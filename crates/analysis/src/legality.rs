@@ -1,0 +1,242 @@
+//! Vectorizability legality per operation.
+
+use crate::graph::DepGraph;
+use crate::scc::strongly_connected_components;
+use sv_ir::{Loop, OpKind, VectorForm};
+
+/// Why an operation can or cannot be vectorized for a given vector length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecStatus {
+    /// Legal to vectorize.
+    Vectorizable,
+    /// Memory operation without unit stride; the machine has no
+    /// scatter/gather support, so it must stay scalar.
+    NotUnitStride,
+    /// Member of a dependence cycle whose distance can be smaller than the
+    /// vector length.
+    InDependenceCycle,
+    /// Reduction accumulation that would need reassociation (illegal for FP
+    /// unless the loop permits it).
+    ReductionNeedsReassoc,
+    /// Uses a loop-carried register value at a distance not divisible by
+    /// the vector length; the vector lanes would straddle two producer
+    /// vectors.
+    CarriedUseMisaligned,
+    /// Already in vector form (transformed loops only).
+    AlreadyVector,
+}
+
+impl VecStatus {
+    /// True for [`VecStatus::Vectorizable`].
+    #[inline]
+    pub fn is_vectorizable(self) -> bool {
+        matches!(self, VecStatus::Vectorizable)
+    }
+}
+
+/// Classify every operation of `l` for vectorization at vector length `vl`.
+///
+/// Follows the classic rule — operations in a dependence cycle execute
+/// sequentially, the rest can be vectorized — with the paper's refinements:
+///
+/// * a cycle is harmless when every loop-carried edge in its component has
+///   distance ≥ `vl` (the paper's `a[i+4] = a[i]` example);
+/// * a reduction whose only cycle is its own accumulation is vectorizable
+///   into partial sums iff the loop allows reassociation;
+/// * memory operations must be unit-stride (no scatter/gather hardware);
+/// * loop-carried register uses must align with the vector length.
+///
+/// # Panics
+///
+/// Panics if `vl < 2` — vectorization is meaningless below that — or if
+/// `graph` was built from a different loop.
+pub fn vectorizable_ops(l: &Loop, graph: &DepGraph, vl: u32) -> Vec<VecStatus> {
+    assert!(vl >= 2, "vector length must be at least 2");
+    assert_eq!(graph.op_count(), l.ops.len(), "graph/loop mismatch");
+    let sccs = strongly_connected_components(graph);
+
+    // For each component: does it tolerate vectorization at vl?
+    // True iff every carried edge inside the component has distance >= vl
+    // and no star edges exist inside it.
+    let n_comps = sccs.components().len();
+    let mut comp_ok = vec![true; n_comps];
+    for e in graph.edges() {
+        let cs = sccs.component_of(e.src);
+        if cs != sccs.component_of(e.dst) {
+            continue;
+        }
+        let c = cs as usize;
+        if e.star || (e.distance >= 1 && e.distance < vl) {
+            comp_ok[c] = false;
+        }
+    }
+
+    l.ops
+        .iter()
+        .map(|op| {
+            if op.opcode.form == VectorForm::Vector
+                || matches!(op.opcode.kind, OpKind::Merge | OpKind::Pack | OpKind::Extract)
+            {
+                return VecStatus::AlreadyVector;
+            }
+            if let Some(m) = &op.mem {
+                if !m.unit_stride() {
+                    return VecStatus::NotUnitStride;
+                }
+            }
+            if op.is_reduction {
+                // The self-cycle is inherent; everything else in its
+                // component must still be cycle-free.
+                let comp = &sccs.components()[sccs.component_of(op.id) as usize];
+                if comp.len() > 1 {
+                    return VecStatus::InDependenceCycle;
+                }
+                // The paper's compiler performs no reduction recognition
+                // (§6 lists it as future work): a reduction is vectorized
+                // into partial results only when the loop explicitly
+                // licenses reassociation.
+                return if l.allow_reassoc {
+                    VecStatus::Vectorizable
+                } else {
+                    VecStatus::ReductionNeedsReassoc
+                };
+            }
+            if sccs.in_cycle(op.id, graph)
+                && !comp_ok[sccs.component_of(op.id) as usize]
+            {
+                return VecStatus::InDependenceCycle;
+            }
+            // Carried register uses must land on vector boundaries.
+            for (_, d) in op.def_uses() {
+                if d >= 1 && d % vl != 0 {
+                    return VecStatus::CarriedUseMisaligned;
+                }
+            }
+            VecStatus::Vectorizable
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::{LoopBuilder, Operand, ScalarType};
+
+    fn classify(l: &Loop, vl: u32) -> Vec<VecStatus> {
+        let g = DepGraph::build(l);
+        vectorizable_ops(l, &g, vl)
+    }
+
+    #[test]
+    fn straight_line_fully_vectorizable() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 16);
+        let y = b.array("y", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let n = b.fneg(lx);
+        b.store(y, 1, 0, n);
+        let l = b.finish();
+        assert!(classify(&l, 2).iter().all(|s| s.is_vectorizable()));
+    }
+
+    #[test]
+    fn non_unit_stride_blocks_memory_op_only() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 2, 0);
+        let n = b.fneg(lx);
+        b.store(y, 1, 0, n);
+        let l = b.finish();
+        let v = classify(&l, 2);
+        assert_eq!(v[lx.index()], VecStatus::NotUnitStride);
+        assert!(v[n.index()].is_vectorizable());
+    }
+
+    #[test]
+    fn fp_reduction_needs_reassoc() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let s = b.reduce_add(lx);
+        let l = b.finish();
+        let v = classify(&l, 2);
+        assert_eq!(v[s.index()], VecStatus::ReductionNeedsReassoc);
+        assert!(v[lx.index()].is_vectorizable());
+    }
+
+    #[test]
+    fn reassoc_enables_reduction() {
+        let mut b = LoopBuilder::new("t");
+        b.allow_reassoc(true);
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let s = b.reduce_add(lx);
+        let l = b.finish();
+        assert!(classify(&l, 2)[s.index()].is_vectorizable());
+    }
+
+    #[test]
+    fn short_memory_recurrence_blocks() {
+        // a[i+1] = -a[i]: distance 1 < vl.
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", ScalarType::F64, 32);
+        let la = b.load(a, 1, 0);
+        let n = b.fneg(la);
+        b.store(a, 1, 1, n);
+        let l = b.finish();
+        let v = classify(&l, 2);
+        assert!(v.iter().all(|s| *s == VecStatus::InDependenceCycle));
+    }
+
+    #[test]
+    fn long_distance_cycle_allows_vectorization() {
+        // a[i+4] = -a[i]: the paper's example — legal for vl ≤ 4.
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", ScalarType::F64, 64);
+        let la = b.load(a, 1, 0);
+        let n = b.fneg(la);
+        b.store(a, 1, 4, n);
+        let l = b.finish();
+        let v2 = classify(&l, 2);
+        assert!(v2.iter().all(|s| s.is_vectorizable()), "{v2:?}");
+        let v8 = classify(&l, 8);
+        assert!(v8.iter().all(|s| *s == VecStatus::InDependenceCycle));
+    }
+
+    #[test]
+    fn misaligned_carried_register_use() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        // y[i] = x-value from 3 iterations ago: 3 % 2 != 0.
+        let u = b.bin(
+            sv_ir::OpKind::Add,
+            ScalarType::F64,
+            Operand::carried(lx, 3),
+            Operand::def(lx),
+        );
+        b.store(y, 1, 0, u);
+        let l = b.finish();
+        let v = classify(&l, 2);
+        assert_eq!(v[u.index()], VecStatus::CarriedUseMisaligned);
+        assert!(v[lx.index()].is_vectorizable());
+        // With vl = 3 the distance aligns.
+        assert!(classify(&l, 3)[u.index()].is_vectorizable());
+    }
+
+    #[test]
+    fn recurrence_blocks_itself_only() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let r = b.recurrence(sv_ir::OpKind::Mul, ScalarType::F64, lx);
+        b.store(y, 1, 0, r);
+        let l = b.finish();
+        let v = classify(&l, 2);
+        assert_eq!(v[r.index()], VecStatus::InDependenceCycle);
+        assert!(v[lx.index()].is_vectorizable());
+    }
+}

@@ -1,0 +1,192 @@
+//! Tarjan's strongly connected components over the dependence graph.
+//!
+//! Cycles in the dependence graph are what force sequential execution;
+//! classic vectorization (and the paper) finds them with Tarjan's
+//! algorithm. The implementation is iterative so pathological synthetic
+//! loops cannot overflow the stack.
+
+use crate::graph::DepGraph;
+use sv_ir::OpId;
+
+/// The strongly connected components of a dependence graph.
+#[derive(Debug, Clone)]
+pub struct Sccs {
+    /// Component index of each operation.
+    comp_of: Vec<u32>,
+    /// Members of each component, in program order. Components are stored
+    /// in topological order of the condensation (sources first).
+    comps: Vec<Vec<OpId>>,
+}
+
+impl Sccs {
+    /// The component containing `op`.
+    #[inline]
+    pub fn component_of(&self, op: OpId) -> u32 {
+        self.comp_of[op.index()]
+    }
+
+    /// Components in topological order (every dependence points from an
+    /// earlier to a later or same component).
+    #[inline]
+    pub fn components(&self) -> &[Vec<OpId>] {
+        &self.comps
+    }
+
+    /// True when `op` is in a dependence cycle: its component has more than
+    /// one member, or it has a self edge (checked against `g`).
+    pub fn in_cycle(&self, op: OpId, g: &DepGraph) -> bool {
+        self.comps[self.comp_of[op.index()] as usize].len() > 1 || g.has_self_cycle(op)
+    }
+}
+
+/// Compute the SCCs of `g` (all edges, every distance).
+pub fn strongly_connected_components(g: &DepGraph) -> Sccs {
+    let n = g.op_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_of = vec![u32::MAX; n];
+    let mut comps_rev: Vec<Vec<OpId>> = Vec::new();
+
+    // Iterative Tarjan: frames of (node, next-successor-cursor).
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        cursor: usize,
+    }
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame { v: root, cursor: 0 }];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            let succ: Vec<usize> = g
+                .succ_edges(OpId(v as u32))
+                .map(|e| e.dst.index())
+                .collect();
+            if frame.cursor < succ.len() {
+                let w = succ[frame.cursor];
+                frame.cursor += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push(Frame { v: w, cursor: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp_of[w] = comps_rev.len() as u32;
+                        comp.push(OpId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps_rev.push(comp);
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.v;
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+
+    // Tarjan emits components in reverse topological order; flip them and
+    // remap indices so `comps` is topological.
+    let count = comps_rev.len() as u32;
+    comps_rev.reverse();
+    for c in comp_of.iter_mut() {
+        *c = count - 1 - *c;
+    }
+    Sccs { comp_of, comps: comps_rev }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::{LoopBuilder, OpKind, ScalarType};
+
+    #[test]
+    fn straight_line_is_all_singletons() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let n = b.fneg(lx);
+        b.store(x, 1, 0, n);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.components().len(), 3);
+        assert!(!sccs.in_cycle(lx, &g));
+    }
+
+    #[test]
+    fn reduction_is_self_cycle_singleton() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let s = b.reduce_add(lx);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let sccs = strongly_connected_components(&g);
+        assert!(sccs.in_cycle(s, &g));
+        assert!(!sccs.in_cycle(lx, &g));
+    }
+
+    #[test]
+    fn memory_recurrence_forms_multi_op_cycle() {
+        // a[i+1] = -a[i]: load and store are mutually dependent.
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", ScalarType::F64, 32);
+        let la = b.load(a, 1, 0);
+        let n = b.fneg(la);
+        let st = b.store(a, 1, 1, n);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.component_of(la), sccs.component_of(st));
+        assert_eq!(sccs.component_of(la), sccs.component_of(n));
+        assert!(sccs.in_cycle(n, &g));
+    }
+
+    #[test]
+    fn condensation_is_topological() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 16);
+        let y = b.array("y", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let n = b.fneg(lx);
+        let m = b.fbin(OpKind::Mul, n, lx);
+        b.store(y, 1, 0, m);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let sccs = strongly_connected_components(&g);
+        for e in g.edges() {
+            assert!(
+                sccs.component_of(e.src) <= sccs.component_of(e.dst),
+                "edge {:?} violates topological order",
+                e
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Additional dependence-analysis behaviour tests.
+
+use sv_analysis::{
+    brute_force_mem_deps, mem_dependences, strongly_connected_components,
+    vectorizable_ops, DepGraph, DepKind, Distance, VecStatus,
+};
+use sv_ir::{ArrayId, LoopBuilder, MemRef, OpKind, Operand, ScalarType};
+
+fn r(stride: i64, offset: i64) -> MemRef {
+    MemRef::scalar(ArrayId(0), stride, offset)
+}
+
+#[test]
+fn weak_zero_siv_is_exact() {
+    // a[5] (invariant) read by a moving a[i]: the conflict happens while
+    // the moving reference has not passed element 5, i.e. exactly at
+    // distances 0..=5 — the classic weak-zero SIV case, solved exactly.
+    let deps = mem_dependences(&r(0, 5), &r(1, 0), 64);
+    let expect: Vec<Distance> = (0..=5).map(Distance::Exact).collect();
+    assert_eq!(deps, expect);
+    let oracle = brute_force_mem_deps(&r(0, 5), &r(1, 0), 16);
+    assert_eq!(oracle.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn crossing_siv_pair_is_exact() {
+    // a[i] vs a[10 − i]: the references cross once; conflicts exist at the
+    // even distances 0, 2, …, 10 (i = (10 − d)/2 ≥ 0) and nowhere else.
+    let deps = mem_dependences(&r(1, 0), &r(-1, 10), 64);
+    let expect: Vec<Distance> = (0..=5).map(|k| Distance::Exact(2 * k)).collect();
+    assert_eq!(deps, expect);
+    let oracle = brute_force_mem_deps(&r(1, 0), &r(-1, 10), 16);
+    for d in [0u32, 2, 4, 6, 8, 10] {
+        assert!(oracle.contains(&d));
+    }
+    assert!(!oracle.contains(&1));
+}
+
+#[test]
+fn wide_vector_refs_against_wide_refs() {
+    // Two width-2 refs offset by one element overlap at distances 0 and 1.
+    let a = MemRef { array: ArrayId(0), stride: 1, offset: 0, width: 2 };
+    let b = MemRef { array: ArrayId(0), stride: 1, offset: 1, width: 2 };
+    assert_eq!(
+        mem_dependences(&a, &b, 64),
+        vec![Distance::Exact(0)],
+        "a's window ends where b's begins in the same iteration"
+    );
+    assert_eq!(
+        mem_dependences(&b, &a, 64),
+        vec![Distance::Exact(0), Distance::Exact(1), Distance::Exact(2)]
+    );
+}
+
+#[test]
+fn output_dependence_edges_are_built() {
+    let mut b = LoopBuilder::new("t");
+    let x = b.array("x", ScalarType::F64, 64);
+    let y = b.array("y", ScalarType::F64, 64);
+    let ly = b.load(y, 1, 0);
+    b.store(x, 1, 1, ly); // writes x[i+1]
+    b.store(x, 1, 0, ly); // writes x[i] — same cell one iteration later
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    assert!(g
+        .edges()
+        .iter()
+        .any(|e| e.kind == DepKind::Output && e.distance == 1));
+}
+
+#[test]
+fn two_statement_cycle_detected_via_mixed_edges() {
+    // s1: t[i] = a[i-1]; s2: a[i] = t[i] + c  — cycle with total distance 1
+    // (t flow at 0, a flow at 1 back into s1's load).
+    let mut b = LoopBuilder::new("t");
+    let a = b.array("a", ScalarType::F64, 64);
+    let t = b.array("t", ScalarType::F64, 64);
+    let la = b.load(a, 1, 0);
+    let st_t = b.store(t, 1, 1, la);
+    let lt = b.load(t, 1, 1);
+    let inc = b.bin(
+        OpKind::Add,
+        ScalarType::F64,
+        Operand::def(lt),
+        Operand::ConstF(1.0),
+    );
+    let st_a = b.store(a, 1, 1, inc);
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    let sccs = strongly_connected_components(&g);
+    assert_eq!(sccs.component_of(la), sccs.component_of(st_a));
+    assert_eq!(sccs.component_of(st_t), sccs.component_of(lt));
+    let v = vectorizable_ops(&l, &g, 2);
+    assert!(v.iter().all(|s| *s == VecStatus::InDependenceCycle), "{v:?}");
+}
+
+#[test]
+fn distinct_distance_classes_stay_parallel() {
+    // a[2i] written, a[2i+1] read: disjoint parity classes, no edges, all
+    // vectorizable except the non-unit-stride memory ops themselves.
+    let mut b = LoopBuilder::new("t");
+    let a = b.array("a", ScalarType::F64, 200);
+    let la = b.load(a, 2, 1);
+    let n = b.fneg(la);
+    b.store(a, 2, 0, n);
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    assert!(g.edges().iter().all(|e| !e.is_mem));
+    let v = vectorizable_ops(&l, &g, 2);
+    assert_eq!(v[0], VecStatus::NotUnitStride);
+    assert!(v[1].is_vectorizable());
+    assert_eq!(v[2], VecStatus::NotUnitStride);
+}
+
+#[test]
+fn reduction_feeding_store_keeps_store_scalar_only_by_cycle_rules() {
+    // The reduction's value is stored each iteration; the store is not in
+    // the cycle and remains legally vectorizable (partition decisions are
+    // the partitioner's job, not legality's).
+    let mut b = LoopBuilder::new("t");
+    let x = b.array("x", ScalarType::F64, 64);
+    let out = b.array("out", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let s = b.reduce_add(lx);
+    b.store(out, 1, 0, s);
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    let v = vectorizable_ops(&l, &g, 2);
+    assert_eq!(v[s.index()], VecStatus::ReductionNeedsReassoc);
+    assert!(v[2].is_vectorizable(), "store of the running sum");
+}
+
+#[test]
+fn long_distance_star_free_loop_vectorizable_at_smaller_vl() {
+    // a[i+6] = f(a[i]): legal at vl 2 and 4, illegal at vl 8.
+    let mut b = LoopBuilder::new("t");
+    let a = b.array("a", ScalarType::F64, 128);
+    let la = b.load(a, 1, 0);
+    let n = b.fabs(la);
+    b.store(a, 1, 6, n);
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    for (vl, ok) in [(2u32, true), (4, true), (8, false)] {
+        let v = vectorizable_ops(&l, &g, vl);
+        assert_eq!(v.iter().all(|s| s.is_vectorizable()), ok, "vl={vl}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the compilation algorithms themselves,
+//! checking the paper's §3.2 claim that partitioning time is small next to
+//! modulo scheduling, plus an ablation of the sum-of-squares tie-break.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sv_analysis::DepGraph;
+use sv_core::{partition_ops, SelectiveConfig};
+use sv_machine::MachineConfig;
+use sv_modsched::modulo_schedule;
+use sv_vectorize::transform;
+use sv_workloads::{synth_loop, SynthProfile};
+
+fn sized_profile(loads: u32, arith: u32) -> SynthProfile {
+    SynthProfile {
+        loads: (loads, loads),
+        arith: (arith, arith),
+        stores: (2, 2),
+        nonunit_prob: 0.1,
+        reduction_prob: 0.3,
+        reassoc: false,
+        recurrence_prob: 0.1,
+        div_prob: 0.02,
+        carried_prob: 0.05,
+        trip: (128, 128),
+        invocations: (1, 1),
+    }
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let m = MachineConfig::paper_default();
+    let mut group = c.benchmark_group("partitioner");
+    for (loads, arith) in [(4u32, 6u32), (8, 16), (12, 32)] {
+        let l = synth_loop("bench", &sized_profile(loads, arith), 7);
+        let g = DepGraph::build(&l);
+        let n = l.ops.len();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| partition_ops(&l, &g, &m, &SelectiveConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modulo_scheduler(c: &mut Criterion) {
+    let m = MachineConfig::paper_default();
+    let mut group = c.benchmark_group("modulo_scheduler");
+    for (loads, arith) in [(4u32, 6u32), (8, 16), (12, 32)] {
+        let l = synth_loop("bench", &sized_profile(loads, arith), 7);
+        // Schedule the transformed (unrolled) loop, as the pipeline does.
+        let t = transform(&l, &m, &vec![false; l.ops.len()]);
+        let g = DepGraph::build(&t.looop);
+        let n = t.looop.ops.len();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| modulo_schedule(&t.looop, &g, &m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dependence_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_analysis");
+    for (loads, arith) in [(8u32, 16u32), (12, 32)] {
+        let l = synth_loop("bench", &sized_profile(loads, arith), 7);
+        let n = l.ops.len();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| DepGraph::build(&l))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiebreak_ablation(c: &mut Criterion) {
+    let m = MachineConfig::paper_default();
+    let l = synth_loop("bench", &sized_profile(8, 16), 11);
+    let g = DepGraph::build(&l);
+    let mut group = c.benchmark_group("ablation_squares_tiebreak");
+    for (name, squares) in [("with_squares", true), ("without_squares", false)] {
+        let cfg = SelectiveConfig { squares_tiebreak: squares, ..Default::default() };
+        group.bench_function(name, |b| b.iter(|| partition_ops(&l, &g, &m, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioner,
+    bench_modulo_scheduler,
+    bench_dependence_analysis,
+    bench_tiebreak_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Per-loop breakdown of one benchmark: cycles, II and ResMII per
+//! technique for every loop. Usage:
+//!
+//! ```text
+//! cargo run -p sv-bench --bin explain -- tomcatv
+//! ```
+
+use sv_bench::{evaluate_suite, EVALUATED};
+use sv_core::SelectiveConfig;
+use sv_machine::MachineConfig;
+use sv_workloads::benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".into());
+    let m = MachineConfig::paper_default();
+    let suite = benchmark(&name);
+    let r = evaluate_suite(&suite, &m, &SelectiveConfig::default());
+    println!(
+        "{:<24} {:>6} {:>14} {:>14} {:>14} {:>14}",
+        "loop", "RL", "modulo", "traditional", "full", "selective"
+    );
+    for l in &r.loops {
+        print!("{:<24} {:>6}", l.name, if l.resource_limited { "yes" } else { "no" });
+        for (_, key) in EVALUATED {
+            let o = &l.outcomes[key];
+            print!(" {:>9} {:>4.1}", o.cycles, o.ii_per_orig);
+        }
+        println!();
+    }
+    println!();
+    for (_, key) in EVALUATED {
+        println!("{:<12} speedup {:>6.3}", key, r.speedup(key));
+    }
+}

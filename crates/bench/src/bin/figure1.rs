@@ -1,0 +1,40 @@
+//! Regenerates the paper's Figure 1: the dot product on the 3-issue toy
+//! machine under all four techniques.
+//!
+//! Paper numbers: modulo scheduling II = 2.0, traditional vectorization
+//! II = 3.0 (2.0 vector loop + 1.0 scalar loop), full vectorization
+//! II = 1.5, selective vectorization II = 1.0.
+
+use sv_bench::print_machine;
+use sv_core::{compile, Strategy};
+use sv_machine::MachineConfig;
+use sv_sim::assert_equivalent;
+use sv_workloads::figure1_dot_product;
+
+fn main() {
+    let m = MachineConfig::figure1();
+    let l = figure1_dot_product();
+    print_machine(&m);
+    println!();
+    println!("Figure 1: s += x[i]*y[i], reduction not vectorizable");
+    println!("{:<22} {:>8} {:>10}", "technique", "II/iter", "paper");
+    let paper = [
+        (Strategy::ModuloNoUnroll, 2.0),
+        (Strategy::Traditional, 3.0),
+        (Strategy::Full, 1.5),
+        (Strategy::Selective, 1.0),
+    ];
+    for (s, expected) in paper {
+        let c = compile(&l, &m, s).expect("schedulable");
+        assert_equivalent(&l, &c);
+        let ii = c.ii_per_original_iteration();
+        println!("{:<22} {:>8.2} {:>10.2}", s.to_string(), ii, expected);
+        assert!(
+            (ii - expected).abs() < 1e-9,
+            "figure 1 mismatch for {s}: got {ii}, paper says {expected}"
+        );
+    }
+    println!();
+    println!("all four IIs match the paper exactly; transformed loops verified");
+    println!("functionally equivalent to the source loop.");
+}

@@ -1,0 +1,214 @@
+//! `svc` — the selective-vectorization compiler driver.
+//!
+//! Compiles a loop written in the textual IR format (what `Loop`'s
+//! `Display` prints and `sv_ir::parse_loop` reads) under any strategy and
+//! reports the schedule, optionally dumping the flat prologue / kernel /
+//! epilogue listing and functionally executing the result.
+//!
+//! ```text
+//! svc LOOP.svl|LOOP.sl [--machine paper|figure1] [--machine-file SPEC]
+//!              [--strategy selective|full|...]
+//!              [--vl N] [--aligned] [--free-comm] [--emit] [--run]
+//! svc --workload tomcatv.residual [...same options]
+//! ```
+//!
+//! With no `--strategy`, all techniques are compared side by side. The
+//! `--workload` form compiles a named loop from the built-in SPEC-FP
+//! substitute suites (`BENCH.LOOP`, e.g. `swim.calc1`).
+
+use std::process::ExitCode;
+use sv_core::{compile, CompiledLoop, Strategy};
+use sv_ir::{parse_loop, Loop};
+use sv_machine::{AlignmentPolicy, CommModel, MachineConfig};
+use sv_modsched::emit_flat;
+use sv_sim::{assert_equivalent, run_compiled};
+
+struct Options {
+    path: String,
+    workload: Option<String>,
+    machine: MachineConfig,
+    strategy: Option<Strategy>,
+    emit: bool,
+    run: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: svc LOOP.svl [--machine paper|figure1] [--strategy NAME]\n\
+         \x20          [--vl N] [--aligned] [--free-comm] [--emit] [--run]\n\
+         \x20     svc --workload BENCH.LOOP [...same options]\n\
+         strategies: modulo-no-unroll, modulo, traditional, full, selective, widened"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut workload = None;
+    let mut machine = MachineConfig::paper_default();
+    let mut strategy = None;
+    let mut emit = false;
+    let mut run = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--machine" => {
+                machine = match args.next().as_deref() {
+                    Some("paper") => MachineConfig::paper_default(),
+                    Some("figure1") => MachineConfig::figure1(),
+                    _ => return Err(usage()),
+                }
+            }
+            "--strategy" => {
+                strategy = Some(match args.next().as_deref() {
+                    Some("modulo-no-unroll") => Strategy::ModuloNoUnroll,
+                    Some("modulo") => Strategy::ModuloOnly,
+                    Some("traditional") => Strategy::Traditional,
+                    Some("full") => Strategy::Full,
+                    Some("selective") => Strategy::Selective,
+                    Some("widened") => Strategy::Widened,
+                    _ => return Err(usage()),
+                })
+            }
+            "--vl" => {
+                machine.vector_length = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 2)
+                    .ok_or_else(usage)?
+            }
+            "--workload" => workload = Some(args.next().ok_or_else(usage)?),
+            "--machine-file" => {
+                let p = args.next().ok_or_else(usage)?;
+                let text = std::fs::read_to_string(&p).map_err(|e| {
+                    eprintln!("svc: cannot read {p}: {e}");
+                    ExitCode::FAILURE
+                })?;
+                machine = MachineConfig::from_spec(&text).map_err(|e| {
+                    eprintln!("svc: {p}: {e}");
+                    ExitCode::FAILURE
+                })?;
+            }
+            "--aligned" => machine.alignment = AlignmentPolicy::AssumeAligned,
+            "--free-comm" => machine.comm = CommModel::Free,
+            "--emit" => emit = true,
+            "--run" => run = true,
+            "--help" | "-h" => return Err(usage()),
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            _ => return Err(usage()),
+        }
+    }
+    if path.is_none() && workload.is_none() {
+        return Err(usage());
+    }
+    Ok(Options {
+        path: path.unwrap_or_default(),
+        workload,
+        machine,
+        strategy,
+        emit,
+        run,
+    })
+}
+
+fn report(l: &Loop, m: &MachineConfig, c: &CompiledLoop, emit: bool, run: bool) {
+    println!(
+        "{:<20} II/iter {:>6.2}  cycles {:>10}",
+        c.strategy.to_string(),
+        c.ii_per_original_iteration(),
+        c.total_cycles(m)
+    );
+    for seg in &c.segments {
+        let regs = seg
+            .registers
+            .as_ref()
+            .map(|r| format!("{}/{}/{}/{}", r.used[0], r.used[1], r.used[2], r.used[3]))
+            .unwrap_or_else(|| "spill!".into());
+        println!(
+            "  segment {:<24} II {:>3} (ResMII {:>3}, RecMII {:>3})  stages {:>2}  MVE {:>2}  regs {regs}",
+            seg.looop.name,
+            seg.schedule.ii,
+            seg.schedule.resmii,
+            seg.schedule.recmii,
+            seg.schedule.stage_count,
+            seg.schedule.mve_factor
+        );
+        if emit {
+            print!("{}", emit_flat(&seg.looop, &seg.schedule));
+        }
+    }
+    if run {
+        assert_equivalent(l, c);
+        let r = run_compiled(c);
+        for (name, v) in &r.live_outs {
+            println!("  liveout {name} = {:?}", v.as_f64());
+        }
+        println!("  functional check: matches the source loop");
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let looop = if let Some(spec) = &opts.workload {
+        let (bench, loop_name) = spec.split_once('.').unwrap_or((spec.as_str(), ""));
+        let suite = sv_workloads::benchmark(bench);
+        let Some(l) = suite
+            .loops
+            .iter()
+            .find(|l| l.name.ends_with(loop_name) || l.name == *spec)
+        else {
+            eprintln!("svc: no loop matching `{spec}` in {}; available:", suite.name);
+            for l in &suite.loops {
+                eprintln!("  {}", l.name);
+            }
+            return ExitCode::FAILURE;
+        };
+        l.clone()
+    } else {
+        let text = match std::fs::read_to_string(&opts.path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("svc: cannot read {}: {e}", opts.path);
+                return ExitCode::FAILURE;
+            }
+        };
+        // Two accepted syntaxes: the low-level IR text (header contains
+        // "(trip ...)") and the expression frontend.
+        let low_level = text
+            .lines()
+            .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .is_some_and(|l| l.contains("(trip"));
+        let parsed = if low_level {
+            parse_loop(&text)
+        } else {
+            sv_ir::loop_from_source(&text)
+        };
+        match parsed {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("svc: {}: {e}", opts.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!("{looop}");
+    let strategies: Vec<Strategy> = match opts.strategy {
+        Some(s) => vec![s],
+        None => Strategy::ALL.to_vec(),
+    };
+    for s in strategies {
+        match compile(&looop, &opts.machine, s) {
+            Ok(c) => report(&looop, &opts.machine, &c, opts.emit, opts.run),
+            Err(e) => {
+                eprintln!("svc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

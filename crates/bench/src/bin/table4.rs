@@ -1,0 +1,48 @@
+//! Regenerates the paper's Table 4: selective vectorization's speedup when
+//! scalar↔vector communication cost is *considered* by the partitioner vs
+//! *ignored* (the transfers are still inserted before scheduling either
+//! way — only the cost analysis changes).
+
+use sv_bench::{evaluate_suite, print_machine};
+use sv_core::SelectiveConfig;
+use sv_machine::MachineConfig;
+use sv_workloads::all_benchmarks;
+
+const PAPER: [(&str, f64, f64); 9] = [
+    ("093.nasa7", 1.04, 0.78),
+    ("101.tomcatv", 1.38, 1.22),
+    ("103.su2cor", 1.15, 1.02),
+    ("104.hydro2d", 1.03, 0.98),
+    ("125.turb3d", 0.95, 0.81),
+    ("146.wave5", 1.03, 0.99),
+    ("171.swim", 1.17, 1.08),
+    ("172.mgrid", 1.26, 1.14),
+    ("301.apsi", 1.02, 0.97),
+];
+
+fn main() {
+    let m = MachineConfig::paper_default();
+    print_machine(&m);
+    println!();
+    println!("Table 4: selective speedup, communication considered vs ignored");
+    println!("{:<14} {:>20} {:>20}", "benchmark", "considered", "ignored");
+    let considered = SelectiveConfig::default();
+    let ignored = SelectiveConfig { account_communication: false, ..Default::default() };
+    let mut degraded = 0;
+    for suite in all_benchmarks() {
+        let rc = evaluate_suite(&suite, &m, &considered).speedup("selective");
+        let ri = evaluate_suite(&suite, &m, &ignored).speedup("selective");
+        let paper = PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
+        println!(
+            "{:<14} {:>11.2} ({:>4.2}) {:>13.2} ({:>4.2})",
+            suite.name, rc, paper.1, ri, paper.2
+        );
+        if ri < rc {
+            degraded += 1;
+        }
+    }
+    println!();
+    println!(
+        "{degraded}/9 benchmarks degrade when communication is ignored — the paper's\nconclusion: a viable solution must track communication costs carefully."
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's Table 5: selective vectorization's speedup when
+//! vector memory operations are assumed misaligned (merge-lowered) vs
+//! compile-time aligned (merge-free) — the best case for static alignment
+//! analysis.
+
+use sv_bench::{evaluate_suite, print_machine};
+use sv_core::SelectiveConfig;
+use sv_machine::{AlignmentPolicy, MachineConfig};
+use sv_workloads::all_benchmarks;
+
+const PAPER: [(&str, f64, f64); 9] = [
+    ("093.nasa7", 1.04, 1.07),
+    ("101.tomcatv", 1.38, 1.48),
+    ("103.su2cor", 1.15, 1.16),
+    ("104.hydro2d", 1.03, 1.05),
+    ("125.turb3d", 0.95, 0.95),
+    ("146.wave5", 1.03, 1.04),
+    ("171.swim", 1.17, 1.21),
+    ("172.mgrid", 1.26, 1.26),
+    ("301.apsi", 1.02, 1.02),
+];
+
+fn main() {
+    let misaligned = MachineConfig::paper_default();
+    let mut aligned = MachineConfig::paper_default();
+    aligned.alignment = AlignmentPolicy::AssumeAligned;
+    print_machine(&misaligned);
+    println!();
+    println!("Table 5: selective speedup, misaligned vs aligned vector memory");
+    println!("{:<14} {:>20} {:>20}", "benchmark", "misaligned", "aligned");
+    let cfg = SelectiveConfig::default();
+    for suite in all_benchmarks() {
+        let rm = evaluate_suite(&suite, &misaligned, &cfg).speedup("selective");
+        let ra = evaluate_suite(&suite, &aligned, &cfg).speedup("selective");
+        let paper = PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
+        println!(
+            "{:<14} {:>11.2} ({:>4.2}) {:>13.2} ({:>4.2})",
+            suite.name, rm, paper.1, ra, paper.2
+        );
+    }
+    println!();
+    println!(
+        "paper shape: alignment knowledge helps modestly — pipelining already\nhides most realignment latency; the gain is reduced merge-unit contention."
+    );
+}

@@ -1,0 +1,43 @@
+//! Extension ablation (paper §3.2): the sum-of-squared-bin-weights
+//! tie-break inside the bin packer keeps bins balanced so the incremental
+//! release/reserve cost probes stay accurate. This table compares the
+//! partitioner with and without it, plus a 1-pass iteration cap.
+
+use sv_bench::{evaluate_suite, print_machine};
+use sv_core::SelectiveConfig;
+use sv_machine::MachineConfig;
+use sv_workloads::all_benchmarks;
+
+fn main() {
+    let m = MachineConfig::paper_default();
+    print_machine(&m);
+    println!();
+    println!("Ablation: selective speedup under partitioner variants");
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "benchmark", "default", "no-squares", "1-pass"
+    );
+    let default = SelectiveConfig::default();
+    let no_squares = SelectiveConfig { squares_tiebreak: false, ..Default::default() };
+    let one_pass = SelectiveConfig { max_iterations: Some(1), ..Default::default() };
+    let mut sums = [0.0f64; 3];
+    for suite in all_benchmarks() {
+        let d = evaluate_suite(&suite, &m, &default).speedup("selective");
+        let n = evaluate_suite(&suite, &m, &no_squares).speedup("selective");
+        let o = evaluate_suite(&suite, &m, &one_pass).speedup("selective");
+        println!("{:<14} {:>10.3} {:>12.3} {:>10.3}", suite.name, d, n, o);
+        sums[0] += d;
+        sums[1] += n;
+        sums[2] += o;
+    }
+    println!();
+    println!(
+        "means: default {:.3}, no-squares {:.3}, 1-pass {:.3}",
+        sums[0] / 9.0,
+        sums[1] / 9.0,
+        sums[2] / 9.0
+    );
+    println!(
+        "the paper observes that convergence takes only a few iterations and\nthat balanced bins are what make incremental cost probes accurate."
+    );
+}

@@ -1,0 +1,244 @@
+//! # sv-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `cargo run -p sv-bench --bin figure1` | Figure 1 (dot-product IIs) |
+//! | `cargo run -p sv-bench --bin table2` | Table 2 (speedup vs modulo scheduling) |
+//! | `cargo run -p sv-bench --bin table3` | Table 3 (per-loop ResMII/II wins) |
+//! | `cargo run -p sv-bench --bin table4` | Table 4 (communication ablation) |
+//! | `cargo run -p sv-bench --bin table5` | Table 5 (alignment ablation) |
+//! | `cargo run -p sv-bench --bin table_ablation` | §3.2 tie-break ablation (extension) |
+//! | `cargo bench -p sv-bench` | partitioner/scheduler micro-benchmarks |
+//!
+//! The harness compiles each workload loop under every technique, prices
+//! it with the standard software-pipeline timing model, and aggregates
+//! cycle-weighted speedups exactly as the paper does (whole-benchmark
+//! cycles relative to the unrolled modulo-scheduling baseline).
+
+use std::collections::BTreeMap;
+use sv_core::{compile_with, CompiledLoop, SelectiveConfig, Strategy};
+use sv_ir::Loop;
+use sv_machine::MachineConfig;
+use sv_workloads::BenchmarkSuite;
+
+/// One technique's result on one loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyOutcome {
+    /// Total cycles over the loop's whole program contribution.
+    pub cycles: u64,
+    /// Kernel II per original iteration.
+    pub ii_per_orig: f64,
+    /// ResMII per original iteration.
+    pub resmii_per_orig: f64,
+}
+
+/// All techniques' results on one loop.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Loop name.
+    pub name: String,
+    /// True when the baseline II is resource-constrained rather than
+    /// recurrence-constrained (Table 3 only counts these).
+    pub resource_limited: bool,
+    /// Outcome per strategy.
+    pub outcomes: BTreeMap<&'static str, StrategyOutcome>,
+}
+
+/// The strategies evaluated by the tables, with stable keys.
+pub const EVALUATED: [(Strategy, &str); 4] = [
+    (Strategy::ModuloOnly, "modulo"),
+    (Strategy::Traditional, "traditional"),
+    (Strategy::Full, "full"),
+    (Strategy::Selective, "selective"),
+];
+
+/// A whole benchmark's evaluation.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Per-loop results.
+    pub loops: Vec<LoopReport>,
+}
+
+fn outcome(c: &CompiledLoop, m: &MachineConfig) -> StrategyOutcome {
+    StrategyOutcome {
+        cycles: c.total_cycles(m),
+        ii_per_orig: c.ii_per_original_iteration(),
+        resmii_per_orig: c.resmii_per_original_iteration(),
+    }
+}
+
+/// Compile one loop under every evaluated technique.
+///
+/// # Panics
+///
+/// Panics if any loop fails to schedule — workload loops always schedule.
+pub fn evaluate_loop(l: &Loop, m: &MachineConfig, cfg: &SelectiveConfig) -> LoopReport {
+    let mut outcomes = BTreeMap::new();
+    let mut resource_limited = true;
+    for (s, key) in EVALUATED {
+        let c = compile_with(l, m, s, cfg)
+            .unwrap_or_else(|e| panic!("{} failed under {s}: {e}", l.name));
+        if s == Strategy::ModuloOnly {
+            let sched = &c.segments[0].schedule;
+            resource_limited = sched.resmii >= sched.recmii;
+        }
+        outcomes.insert(key, outcome(&c, m));
+    }
+    LoopReport { name: l.name.clone(), resource_limited, outcomes }
+}
+
+/// Evaluate a whole suite, fanning the loops out across threads (loop
+/// compilations are independent).
+pub fn evaluate_suite(
+    suite: &BenchmarkSuite,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+) -> SuiteReport {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(suite.loops.len().max(1));
+    let chunk = suite.loops.len().div_ceil(threads.max(1)).max(1);
+    let mut loops: Vec<Vec<LoopReport>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = suite
+            .loops
+            .chunks(chunk)
+            .map(|ls| scope.spawn(move || ls.iter().map(|l| evaluate_loop(l, m, cfg)).collect()))
+            .collect();
+        for h in handles {
+            loops.push(h.join().expect("evaluation worker panicked"));
+        }
+    });
+    SuiteReport { name: suite.name, loops: loops.into_iter().flatten().collect() }
+}
+
+impl SuiteReport {
+    /// Whole-benchmark speedup of `strategy` over the modulo-scheduling
+    /// baseline: `Σ baseline cycles / Σ strategy cycles`.
+    pub fn speedup(&self, strategy: &str) -> f64 {
+        let base: u64 = self.loops.iter().map(|l| l.outcomes["modulo"].cycles).sum();
+        let s: u64 = self.loops.iter().map(|l| l.outcomes[strategy].cycles).sum();
+        base as f64 / s as f64
+    }
+
+    /// Table 3 counts: over resource-limited loops, how often selective
+    /// vectorization's bound/II is better than, equal to, or worse than the
+    /// best competing technique. `metric` selects ResMII or final II.
+    pub fn table3_counts(&self, metric: Table3Metric) -> Counts {
+        let mut c = Counts::default();
+        for l in &self.loops {
+            if !l.resource_limited {
+                continue;
+            }
+            let get = |key: &str| -> f64 {
+                let o = &l.outcomes[key];
+                match metric {
+                    Table3Metric::ResMii => o.resmii_per_orig,
+                    Table3Metric::Ii => o.ii_per_orig,
+                }
+            };
+            let sel = get("selective");
+            let best_other = get("modulo").min(get("traditional")).min(get("full"));
+            const EPS: f64 = 1e-9;
+            if sel + EPS < best_other {
+                c.better += 1;
+            } else if sel > best_other + EPS {
+                c.worse += 1;
+            } else {
+                c.equal += 1;
+            }
+        }
+        c
+    }
+
+    /// Number of resource-limited loops.
+    pub fn resource_limited_loops(&self) -> usize {
+        self.loops.iter().filter(|l| l.resource_limited).count()
+    }
+}
+
+/// Which metric a Table 3 comparison uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table3Metric {
+    /// The resource-constrained lower bound.
+    ResMii,
+    /// The achieved initiation interval.
+    Ii,
+}
+
+/// Better/equal/worse tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Strictly better loops.
+    pub better: usize,
+    /// Ties.
+    pub equal: usize,
+    /// Strictly worse loops.
+    pub worse: usize,
+}
+
+impl Counts {
+    /// Total loops tallied.
+    pub fn total(&self) -> usize {
+        self.better + self.equal + self.worse
+    }
+}
+
+/// Print the paper's Table 1 (the machine description used for a run).
+pub fn print_machine(m: &MachineConfig) {
+    println!("machine `{}`:", m.name);
+    println!(
+        "  issue {} | int {} | fp {} | mem {} | branch {} | vector {} | merge {} | VL {}",
+        m.issue_width,
+        m.int_units,
+        m.fp_units,
+        m.mem_units,
+        m.branch_units,
+        m.vector_units,
+        m.merge_units,
+        m.vector_length
+    );
+    println!(
+        "  latencies: int {}/{}/{} fp {}/{}/{} load {} branch {}",
+        m.lat.int_alu,
+        m.lat.int_mul,
+        m.lat.int_div,
+        m.lat.fp_alu,
+        m.lat.fp_mul,
+        m.lat.fp_div,
+        m.lat.load,
+        m.lat.branch
+    );
+    println!("  comm {:?} | alignment {:?}", m.comm, m.alignment);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workloads::benchmark;
+
+    #[test]
+    fn tomcatv_selective_beats_baseline() {
+        let m = MachineConfig::paper_default();
+        let r = evaluate_suite(&benchmark("tomcatv"), &m, &SelectiveConfig::default());
+        let sel = r.speedup("selective");
+        let full = r.speedup("full");
+        let trad = r.speedup("traditional");
+        assert!(sel > 1.05, "selective speedup {sel}");
+        assert!(sel > full, "selective {sel} vs full {full}");
+        assert!(sel > trad, "selective {sel} vs traditional {trad}");
+    }
+
+    #[test]
+    fn table3_counts_add_up() {
+        let m = MachineConfig::paper_default();
+        let r = evaluate_suite(&benchmark("tomcatv"), &m, &SelectiveConfig::default());
+        let c = r.table3_counts(Table3Metric::ResMii);
+        assert_eq!(c.total(), r.resource_limited_loops());
+    }
+}

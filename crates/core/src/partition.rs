@@ -1,0 +1,612 @@
+//! The selective-vectorization partitioner (paper Figure 2).
+//!
+//! A Kernighan–Lin two-cluster heuristic divides the loop's operations
+//! between a scalar and a vector partition, minimizing the
+//! resource-constrained minimum initiation interval (the high-water mark of
+//! the resource bins). Each scalar operation is binned `k` times to match
+//! the work output of one `k`-wide vector operation; vector memory
+//! operations charge merge-unit realignment when misaligned; and explicit
+//! transfer instructions are charged for every operand whose producer and
+//! consumers sit in different partitions (at most once per operand).
+//!
+//! The algorithm is iterative: every pass repositions each vectorizable
+//! operation exactly once — even when a move temporarily increases the cost
+//! — keeping the best configuration seen; passes repeat until one fails to
+//! improve. Candidate moves are costed *incrementally* by releasing and
+//! re-reserving only the affected resources against checkpointed bins; the
+//! committed move is followed by a fresh bin-packing, exactly as the paper
+//! describes.
+
+use sv_analysis::{vectorizable_ops, DepGraph, VecStatus};
+use sv_ir::{Loop, OpId, OpKind, VectorForm};
+use sv_machine::{AlignmentPolicy, CommModel, MachineConfig, TransferDirection};
+use sv_modsched::Bins;
+
+/// Tuning knobs for the partitioner, mirroring the paper's ablations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectiveConfig {
+    /// Charge explicit transfer operations during cost analysis (Table 4's
+    /// "considered" column). When `false`, transfers are ignored by the
+    /// partitioner but still inserted by the transformer, reproducing the
+    /// paper's "ignored" ablation.
+    pub account_communication: bool,
+    /// Use the sum-of-squared-bin-weights tie-break when choosing resource
+    /// alternatives and candidate moves (the balance optimization of §3.2).
+    pub squares_tiebreak: bool,
+    /// Cap on Kernighan–Lin passes (`None` = run to convergence; the paper
+    /// notes a few passes suffice and the cap exists for compile-time
+    /// control).
+    pub max_iterations: Option<u32>,
+    /// §6 extension: break cost ties toward the configuration with the
+    /// lower static register-pressure estimate, spreading values across
+    /// both register files ("selective vectorization can reduce spilling
+    /// by using both sets of registers"). Off by default — the paper's
+    /// algorithm ignores pressure.
+    pub pressure_aware: bool,
+}
+
+impl Default for SelectiveConfig {
+    fn default() -> SelectiveConfig {
+        SelectiveConfig {
+            account_communication: true,
+            squares_tiebreak: true,
+            max_iterations: None,
+            pressure_aware: false,
+        }
+    }
+}
+
+/// The partitioner's output.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    /// `true` = vector partition, per source operation.
+    pub partition: Vec<bool>,
+    /// Cost of the chosen configuration: the bin high-water mark, i.e. the
+    /// estimated ResMII of the transformed loop (which covers
+    /// `vector_length` original iterations).
+    pub cost: u32,
+    /// Kernighan–Lin passes executed.
+    pub iterations: u32,
+    /// Candidate moves costed (incremental probes).
+    pub moves_evaluated: u64,
+}
+
+/// Everything the cost model bills for one operation in one partition.
+struct CostModel<'a> {
+    l: &'a Loop,
+    m: &'a MachineConfig,
+    cfg: &'a SelectiveConfig,
+    k: u32,
+    /// Register-dataflow consumers of each op (excluding self-loops).
+    consumers: Vec<Vec<OpId>>,
+    /// Distinct producers of each op's operands (excluding self).
+    producers: Vec<Vec<OpId>>,
+    /// Cached reservation lists, one probe allocation saved per use:
+    /// the scalar opcode's requirements per op…
+    scalar_reqs: Vec<Vec<sv_machine::Reservation>>,
+    /// …the vector opcode's (with the realignment merge appended when the
+    /// op is a misaligned memory reference)…
+    vector_reqs: Vec<Vec<sv_machine::Reservation>>,
+    /// …and the transfer sequences per op value and direction
+    /// (`[scalar→vector, vector→scalar]`).
+    comm_reqs: Vec<[Vec<sv_machine::Reservation>; 2]>,
+    /// Bin-packing order: most-constrained opcodes first, fixed up front
+    /// (partition flips barely move the ordering).
+    pack_order: Vec<usize>,
+}
+
+impl<'a> CostModel<'a> {
+    fn new(
+        l: &'a Loop,
+        g: &'a DepGraph,
+        m: &'a MachineConfig,
+        cfg: &'a SelectiveConfig,
+    ) -> CostModel<'a> {
+        let n = l.ops.len();
+        let mut consumers = vec![Vec::new(); n];
+        let mut producers = vec![Vec::new(); n];
+        for e in g.edges() {
+            if e.is_mem || e.src == e.dst {
+                continue;
+            }
+            if !consumers[e.src.index()].contains(&e.dst) {
+                consumers[e.src.index()].push(e.dst);
+            }
+            if !producers[e.dst.index()].contains(&e.src) {
+                producers[e.dst.index()].push(e.src);
+            }
+        }
+        let pool = m.resource_pool();
+        let misaligned_of = |op: &sv_ir::Operation| -> bool {
+            let Some(r) = &op.mem else { return false };
+            match m.alignment {
+                AlignmentPolicy::AssumeAligned => false,
+                AlignmentPolicy::AssumeMisaligned => true,
+                AlignmentPolicy::UseStatic => {
+                    let a = &l.arrays[r.array.0 as usize];
+                    let vec_bytes = u64::from(m.vector_length) * a.ty.size_bytes();
+                    !(a.base_align.is_multiple_of(vec_bytes)
+                        && r.offset.rem_euclid(i64::from(m.vector_length)) == 0)
+                }
+            }
+        };
+        let scalar_reqs: Vec<_> = l.ops.iter().map(|o| m.requirements(o.opcode)).collect();
+        let vector_reqs: Vec<_> = l
+            .ops
+            .iter()
+            .map(|o| {
+                let vopc = o.opcode.with_form(VectorForm::Vector);
+                let mut reqs = m.requirements(vopc);
+                if o.opcode.kind.is_mem() && misaligned_of(o) {
+                    reqs.extend(
+                        m.requirements(sv_ir::Opcode::vector(OpKind::Merge, o.opcode.ty)),
+                    );
+                }
+                reqs
+            })
+            .collect();
+        let comm_reqs: Vec<[Vec<sv_machine::Reservation>; 2]> = l
+            .ops
+            .iter()
+            .map(|o| {
+                let seq = |dir| -> Vec<sv_machine::Reservation> {
+                    m.comm
+                        .transfer_opcodes(dir, o.opcode.ty, m.vector_length)
+                        .iter()
+                        .flat_map(|opc| m.requirements(*opc))
+                        .collect()
+                };
+                [
+                    seq(TransferDirection::ScalarToVector),
+                    seq(TransferDirection::VectorToScalar),
+                ]
+            })
+            .collect();
+        let mut pack_order: Vec<usize> = (0..n).collect();
+        pack_order.sort_by_key(|&i| (m.alternatives_count_in(&pool, l.ops[i].opcode), i));
+        CostModel {
+            l,
+            m,
+            cfg,
+            k: m.vector_length,
+            consumers,
+            producers,
+            scalar_reqs,
+            vector_reqs,
+            comm_reqs,
+            pack_order,
+        }
+    }
+
+    /// Reserve the op's own execution resources (lines 38–45 of Figure 2):
+    /// `k` scalar issues, or one vector issue plus realignment merges.
+    fn reserve_own(&self, bins: &mut Bins, i: usize, vector: bool) -> sv_modsched::Placement {
+        let mut placement = sv_modsched::Placement::default();
+        if vector {
+            merge_into(&mut placement, bins.reserve(&self.vector_reqs[i]));
+        } else {
+            for _ in 0..self.k {
+                merge_into(&mut placement, bins.reserve(&self.scalar_reqs[i]));
+            }
+        }
+        placement
+    }
+
+    /// Reserve the transfer instructions for op `i`'s *value* under the
+    /// given partition assignment (lines 46–48): nothing when the op's
+    /// value stays within its partition, otherwise the through-memory
+    /// store/load sequence, charged once regardless of consumer count.
+    fn reserve_comm(&self, bins: &mut Bins, i: usize, part: &[bool]) -> sv_modsched::Placement {
+        let mut placement = sv_modsched::Placement::default();
+        if !self.cfg.account_communication || self.m.comm != CommModel::ThroughMemory {
+            return placement;
+        }
+        let op = &self.l.ops[i];
+        if !op.defines_value() {
+            return placement;
+        }
+        let produces_vector = part[i];
+        let needs = self.consumers[i]
+            .iter()
+            .any(|c| part[c.index()] != produces_vector);
+        if !needs {
+            return placement;
+        }
+        let reqs = &self.comm_reqs[i][if produces_vector { 1 } else { 0 }];
+        for r in reqs {
+            merge_into(&mut placement, bins.reserve(std::slice::from_ref(r)));
+        }
+        placement
+    }
+}
+
+fn merge_into(into: &mut sv_modsched::Placement, from: sv_modsched::Placement) {
+    into.extend(from);
+}
+
+/// Static register-pressure imbalance estimate for a configuration: the
+/// summed overflow of value counts past each register file, where a
+/// scalar op holds `k` values (one per lane) in its scalar file and a
+/// vector op holds one value in its (smaller) vector file. Coarse by
+/// design — it only has to *order* configurations, the scheduler's
+/// MaxLive does the real check.
+fn pressure_overflow(model: &CostModel<'_>, part: &[bool]) -> u64 {
+    use sv_ir::RegClass;
+    let mut counts = [0u64; 4];
+    for (i, op) in model.l.ops.iter().enumerate() {
+        if !op.defines_value() {
+            continue;
+        }
+        let class = if part[i] {
+            RegClass::of(op.opcode.ty, true)
+        } else {
+            RegClass::of(op.opcode.ty, false)
+        };
+        let slot = RegClass::ALL.iter().position(|&c| c == class).expect("indexed");
+        counts[slot] += if part[i] { 1 } else { u64::from(model.k) };
+    }
+    RegClass::ALL
+        .iter()
+        .enumerate()
+        .map(|(slot, &c)| counts[slot].saturating_sub(u64::from(model.m.regs.size(c))))
+        .sum()
+}
+
+/// Complete bin-packing of a configuration (Figure 2, BIN-PACK): loop
+/// overhead first, then every operation in most-constrained-first order,
+/// then the required transfers. Returns the bins and per-op placements.
+struct Packed {
+    bins: Bins,
+    own: Vec<sv_modsched::Placement>,
+    comm: Vec<sv_modsched::Placement>,
+}
+
+fn bin_pack(model: &CostModel<'_>, part: &[bool]) -> Packed {
+    let mut bins = Bins::new(model.m.resource_pool());
+    for reqs in model.m.loop_overhead() {
+        bins.reserve(&reqs);
+    }
+    let n = model.l.ops.len();
+    let mut own = vec![sv_modsched::Placement::default(); n];
+    let mut comm = vec![sv_modsched::Placement::default(); n];
+    for &i in &model.pack_order {
+        own[i] = model.reserve_own(&mut bins, i, part[i]);
+    }
+    for (i, c) in comm.iter_mut().enumerate() {
+        *c = model.reserve_comm(&mut bins, i, part);
+    }
+    Packed { bins, own, comm }
+}
+
+/// Run the partitioner on `l` for machine `m`.
+///
+/// Operations that are not legally vectorizable (per `sv-analysis`) are
+/// pinned to the scalar partition. When the machine has no vector units or
+/// free communication turns into through-memory chaos, the all-scalar
+/// configuration remains a valid answer — the algorithm never returns a
+/// configuration worse than it.
+///
+/// ```
+/// use sv_analysis::DepGraph;
+/// use sv_core::{partition_ops, SelectiveConfig};
+/// use sv_ir::{LoopBuilder, ScalarType};
+/// use sv_machine::MachineConfig;
+///
+/// // The paper's Figure 1 dot product on the Figure 1 machine.
+/// let mut b = LoopBuilder::new("dot");
+/// let x = b.array("x", ScalarType::F64, 64);
+/// let y = b.array("y", ScalarType::F64, 64);
+/// let lx = b.load(x, 1, 0);
+/// let ly = b.load(y, 1, 0);
+/// let mu = b.fmul(lx, ly);
+/// b.reduce_add(mu);
+/// let l = b.finish();
+///
+/// let m = MachineConfig::figure1();
+/// let g = DepGraph::build(&l);
+/// let r = partition_ops(&l, &g, &m, &SelectiveConfig::default());
+/// assert_eq!(r.cost, 2); // II 1.0 per original iteration — Figure 1(f)
+/// ```
+pub fn partition_ops(
+    l: &Loop,
+    g: &DepGraph,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+) -> PartitionResult {
+    let statuses = vectorizable_ops(l, g, m.vector_length);
+    partition_ops_with_legality(l, g, m, cfg, &statuses)
+}
+
+/// [`partition_ops`] with a precomputed legality vector.
+pub fn partition_ops_with_legality(
+    l: &Loop,
+    g: &DepGraph,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+    statuses: &[VecStatus],
+) -> PartitionResult {
+    // An op is movable when it is legally vectorizable AND the machine can
+    // actually execute its vector form (and the realignment merge it would
+    // need): a machine without vector or merge units pins everything
+    // scalar instead of panicking in the bin packer.
+    let pool = m.resource_pool();
+    let machine_supports = |i: usize| -> bool {
+        let op = &l.ops[i];
+        let vopc = op.opcode.with_form(VectorForm::Vector);
+        let mut reqs = m.requirements(vopc);
+        if op.opcode.kind.is_mem() {
+            reqs.extend(m.requirements(sv_ir::Opcode::vector(OpKind::Merge, op.opcode.ty)));
+        }
+        reqs.iter().all(|r| pool.capacity(r.class) > 0)
+    };
+    let movable: Vec<bool> = statuses
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.is_vectorizable() && machine_supports(i))
+        .collect();
+    let model = CostModel::new(l, g, m, cfg);
+
+    // Kernighan–Lin is a local search; seed it from both extremes — the
+    // paper's all-scalar start and the legal all-vector (full) partition —
+    // and keep the cheaper result. The second start removes the rare local
+    // minimum where full vectorization would beat the all-scalar descent.
+    let scalar_start = vec![false; l.ops.len()];
+    let mut best = kl_descend(&model, cfg, &movable, scalar_start);
+    if movable.iter().any(|&v| v) {
+        let full_start = movable.clone();
+        let alt = kl_descend(&model, cfg, &movable, full_start);
+        best = if (alt.cost, alt.partition.iter().filter(|&&v| v).count())
+            < (best.cost, best.partition.iter().filter(|&&v| v).count())
+        {
+            PartitionResult {
+                iterations: best.iterations + alt.iterations,
+                moves_evaluated: best.moves_evaluated + alt.moves_evaluated,
+                ..alt
+            }
+        } else {
+            PartitionResult {
+                iterations: best.iterations + alt.iterations,
+                moves_evaluated: best.moves_evaluated + alt.moves_evaluated,
+                ..best
+            }
+        };
+    }
+    best
+}
+
+/// One full Kernighan–Lin descent (Figure 2 lines 1–20) from `start`.
+fn kl_descend(
+    model: &CostModel<'_>,
+    cfg: &SelectiveConfig,
+    movable: &[bool],
+    start: Vec<bool>,
+) -> PartitionResult {
+    let n = movable.len();
+    let mut moves_evaluated = 0u64;
+    let mut part = start;
+    let mut packed = bin_pack(model, &part);
+    let mut best_part = part.clone();
+    let mut best_cost = packed.bins.high_water_mark();
+
+    let mut iterations = 0u32;
+    let mut last_cost = u32::MAX;
+    while last_cost != best_cost {
+        if let Some(cap) = cfg.max_iterations {
+            if iterations >= cap {
+                break;
+            }
+        }
+        last_cost = best_cost;
+        iterations += 1;
+        let mut locked = vec![false; n];
+
+        // Lines 10–18: reposition every movable op exactly once.
+        let movable_count = movable.iter().filter(|&&v| v).count();
+        for _ in 0..movable_count {
+            // FIND-OP-TO-SWITCH: probe each unlocked candidate.
+            let mut best_probe: Option<((u32, u64, u64), usize)> = None;
+            for i in 0..n {
+                if !movable[i] || locked[i] {
+                    continue;
+                }
+                moves_evaluated += 1;
+                let cost = probe_switch(model, &mut packed, &mut part, i);
+                let pressure = if cfg.pressure_aware {
+                    part[i] = !part[i];
+                    let p = pressure_overflow(model, &part);
+                    part[i] = !part[i];
+                    p
+                } else {
+                    0
+                };
+                let key = if cfg.squares_tiebreak {
+                    (cost.0, pressure, cost.1)
+                } else {
+                    (cost.0, pressure, 0)
+                };
+                if best_probe.is_none_or(|(bc, bi)| key < bc || (key == bc && i < bi)) {
+                    best_probe = Some((key, i));
+                }
+            }
+            let Some((_, op)) = best_probe else { break };
+
+            // SWITCH-OP + fresh BIN-PACK (lines 12–14).
+            part[op] = !part[op];
+            locked[op] = true;
+            packed = bin_pack(model, &part);
+            let cost = packed.bins.high_water_mark();
+            if cost < best_cost {
+                best_cost = cost;
+                best_part = part.clone();
+            }
+        }
+
+        // Line 19: restart from the best configuration.
+        part = best_part.clone();
+        packed = bin_pack(model, &part);
+    }
+
+    PartitionResult { partition: best_part, cost: best_cost, iterations, moves_evaluated }
+}
+
+/// TEST-REPARTITION (lines 29–32): checkpoint the bins, release the op's
+/// own resources plus the transfers of its value and its producers'
+/// values, flip, re-reserve, read the cost, and restore.
+fn probe_switch(
+    model: &CostModel<'_>,
+    packed: &mut Packed,
+    part: &mut [bool],
+    i: usize,
+) -> (u32, u64) {
+    let checkpoint = packed.bins.checkpoint();
+
+    packed.bins.release(&packed.own[i]);
+    packed.bins.release(&packed.comm[i]);
+    for p in &model.producers[i] {
+        packed.bins.release(&packed.comm[p.index()]);
+    }
+
+    part[i] = !part[i];
+    let _ = model.reserve_own(&mut packed.bins, i, part[i]);
+    let _ = model.reserve_comm(&mut packed.bins, i, part);
+    for p in &model.producers[i] {
+        let _ = model.reserve_comm(&mut packed.bins, p.index(), part);
+    }
+    let cost = (packed.bins.high_water_mark(), packed.bins.sum_squares());
+    part[i] = !part[i];
+    packed.bins.restore(&checkpoint);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::{LoopBuilder, ScalarType};
+
+    fn run(l: &Loop, m: &MachineConfig) -> PartitionResult {
+        let g = DepGraph::build(l);
+        partition_ops(l, &g, m, &SelectiveConfig::default())
+    }
+
+    fn figure1_dot() -> Loop {
+        let mut b = LoopBuilder::new("dot");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let mu = b.fmul(lx, ly);
+        b.reduce_add(mu);
+        b.finish()
+    }
+
+    #[test]
+    fn figure1_reaches_cost_two() {
+        // The paper's headline example: II = 1.0 per original iteration,
+        // i.e. bin high-water mark 2 for the 2-wide transformed loop.
+        let l = figure1_dot();
+        let m = MachineConfig::figure1();
+        let r = run(&l, &m);
+        assert_eq!(r.cost, 2, "partition: {:?}", r.partition);
+        // The reduction must stay scalar.
+        assert!(!r.partition[3]);
+        // Exactly one load and the multiply are vectorized (cost 2 needs
+        // 6 issue slots over 2 rows and ≤ 2 vector ops).
+        let vec_count = r.partition.iter().filter(|&&v| v).count();
+        assert_eq!(vec_count, 2, "partition: {:?}", r.partition);
+        assert!(r.partition[2], "the multiply should vectorize");
+    }
+
+    #[test]
+    fn never_worse_than_all_scalar() {
+        let l = figure1_dot();
+        let m = MachineConfig::figure1();
+        let g = DepGraph::build(&l);
+        let model_cfg = SelectiveConfig::default();
+        let r = partition_ops(&l, &g, &m, &model_cfg);
+        let all_scalar = bin_pack(
+            &CostModel::new(&l, &g, &m, &model_cfg),
+            &vec![false; l.ops.len()],
+        );
+        assert!(r.cost <= all_scalar.bins.high_water_mark());
+    }
+
+    #[test]
+    fn non_vectorizable_ops_stay_scalar() {
+        let mut b = LoopBuilder::new("t");
+        let a = b.array("a", ScalarType::F64, 64);
+        let la = b.load(a, 1, 0);
+        let n = b.fneg(la);
+        b.store(a, 1, 1, n); // distance-1 recurrence: nothing vectorizable
+        let l = b.finish();
+        let r = run(&l, &MachineConfig::paper_default());
+        assert!(r.partition.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn expensive_communication_inhibits_vectorization() {
+        // A single chain load→neg→store on the paper machine: vectorizing
+        // everything is profitable; but if only the neg could vectorize,
+        // the transfers would cost more than the gain. Construct that by
+        // making the loads/stores non-unit-stride.
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 256);
+        let y = b.array("y", ScalarType::F64, 256);
+        let lx = b.load(x, 2, 0);
+        let n = b.fneg(lx);
+        b.store(y, 2, 0, n);
+        let l = b.finish();
+        let r = run(&l, &MachineConfig::paper_default());
+        // Vectorizing the neg alone needs 2 stores + vload + vstore + 2
+        // loads on the memory units — strictly worse. Must stay scalar.
+        assert!(!r.partition[n.index()], "cost {}", r.cost);
+    }
+
+    #[test]
+    fn mem_bound_loop_offloads_to_vector_units() {
+        // Heavy fp arithmetic on 2 fp units: vector unit takes some load.
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 256);
+        let y = b.array("y", ScalarType::F64, 256);
+        let lx = b.load(x, 1, 0);
+        let mut v = lx;
+        for _ in 0..6 {
+            v = b.fmul(v, lx);
+        }
+        b.store(y, 1, 0, v);
+        let l = b.finish();
+        let m = MachineConfig::paper_default();
+        let g = DepGraph::build(&l);
+        let r = partition_ops(&l, &g, &m, &SelectiveConfig::default());
+        let scalar_cost =
+            bin_pack(&CostModel::new(&l, &g, &m, &SelectiveConfig::default()), &vec![
+                false;
+                l.ops.len()
+            ])
+            .bins
+            .high_water_mark();
+        assert!(
+            r.cost < scalar_cost,
+            "selective ({}) should beat all-scalar ({})",
+            r.cost,
+            scalar_cost
+        );
+        assert!(r.partition.iter().any(|&v| v));
+    }
+
+    #[test]
+    fn iteration_count_is_small() {
+        let l = figure1_dot();
+        let r = run(&l, &MachineConfig::figure1());
+        assert!(r.iterations <= 4, "iterations = {}", r.iterations);
+    }
+
+    #[test]
+    fn max_iterations_caps_work() {
+        let l = figure1_dot();
+        let g = DepGraph::build(&l);
+        let cfg = SelectiveConfig { max_iterations: Some(1), ..Default::default() };
+        let r = partition_ops(&l, &g, &MachineConfig::figure1(), &cfg);
+        // One pass per start (all-scalar and all-vector seeds).
+        assert!(r.iterations <= 2, "iterations = {}", r.iterations);
+    }
+}

@@ -1,0 +1,150 @@
+//! Additional partitioner behaviour tests: communication accounting,
+//! alignment accounting, and the Figure 2 mechanics.
+
+use sv_analysis::DepGraph;
+use sv_core::{compile, partition_ops, SelectiveConfig, Strategy};
+use sv_ir::{Loop, LoopBuilder, OpKind, ScalarType};
+use sv_machine::{AlignmentPolicy, CommModel, MachineConfig};
+
+fn run(l: &Loop, m: &MachineConfig, cfg: &SelectiveConfig) -> sv_core::PartitionResult {
+    let g = DepGraph::build(l);
+    partition_ops(l, &g, m, cfg)
+}
+
+/// A chain whose middle is vectorizable but whose memory ends are not:
+/// the classic communication-cost trap.
+fn strided_chain(arith: usize) -> Loop {
+    let mut b = LoopBuilder::new("chain");
+    let x = b.array("x", ScalarType::F64, 512);
+    let y = b.array("y", ScalarType::F64, 512);
+    let lx = b.load(x, 2, 0);
+    let mut v = lx;
+    for _ in 0..arith {
+        v = b.fmul(v, v);
+    }
+    b.store(y, 2, 0, v);
+    b.finish()
+}
+
+#[test]
+fn communication_cost_flips_the_decision_with_chain_length() {
+    let m = MachineConfig::paper_default();
+    let cfg = SelectiveConfig::default();
+    // Short chain: 2 transfers dwarf the gain — stay scalar.
+    let short = run(&strided_chain(2), &m, &cfg);
+    assert!(short.partition.iter().all(|&v| !v), "{:?}", short.partition);
+    // Long chain: 14 fp ops × 2 lanes = 14 cycles/unit scalar; offloading
+    // to the vector unit is worth two transfers.
+    let long = run(&strided_chain(14), &m, &cfg);
+    assert!(long.partition.iter().any(|&v| v), "{:?}", long.partition);
+}
+
+#[test]
+fn free_communication_vectorizes_the_short_chain_too() {
+    let mut m = MachineConfig::paper_default();
+    m.comm = CommModel::Free;
+    let cfg = SelectiveConfig::default();
+    let short = run(&strided_chain(6), &m, &cfg);
+    assert!(short.partition.iter().any(|&v| v));
+}
+
+#[test]
+fn misalignment_charges_reduce_vectorized_memory() {
+    // A pure-copy loop: 4 loads + 4 stores. Aligned, vectorizing all
+    // memory halves the mem-unit load. Misaligned, 8 merges hit the single
+    // merge unit — the partitioner must vectorize fewer refs.
+    let mut b = LoopBuilder::new("copy4");
+    let x = b.array("x", ScalarType::F64, 512);
+    let y = b.array("y", ScalarType::F64, 512);
+    for i in 0..4 {
+        let l = b.load(x, 1, i);
+        b.store(y, 1, i, l);
+    }
+    let l = b.finish();
+
+    let mut aligned = MachineConfig::paper_default();
+    aligned.alignment = AlignmentPolicy::AssumeAligned;
+    let misaligned = MachineConfig::paper_default();
+    let cfg = SelectiveConfig::default();
+
+    let ra = run(&l, &aligned, &cfg);
+    let rm = run(&l, &misaligned, &cfg);
+    let count = |r: &sv_core::PartitionResult| r.partition.iter().filter(|&&v| v).count();
+    assert!(count(&ra) > count(&rm), "aligned {:?} vs misaligned {:?}", ra.partition, rm.partition);
+    assert!(ra.cost <= rm.cost);
+}
+
+#[test]
+fn moves_evaluated_scales_with_vectorizable_ops() {
+    let m = MachineConfig::paper_default();
+    let cfg = SelectiveConfig::default();
+    let small = run(&strided_chain(2), &m, &cfg);
+    let big = run(&strided_chain(12), &m, &cfg);
+    assert!(big.moves_evaluated > small.moves_evaluated);
+}
+
+#[test]
+fn cost_equals_scheduled_resmii_for_workloads() {
+    let m = MachineConfig::paper_default();
+    for suite in sv_workloads::all_benchmarks().iter().take(2) {
+        for l in &suite.loops {
+            let c = compile(l, &m, Strategy::Selective).unwrap();
+            let p = c.partition.as_ref().unwrap();
+            assert_eq!(
+                p.cost, c.segments[0].schedule.resmii,
+                "{}: partitioner cost vs scheduler ResMII",
+                l.name
+            );
+        }
+    }
+}
+
+#[test]
+fn all_scalar_on_vectorless_machine() {
+    // Zero vector units: any vector arithmetic would have no home; the
+    // partitioner must keep arithmetic scalar (memory ops could still
+    // vectorize in principle, but transfers make that useless here).
+    let mut m = MachineConfig::paper_default();
+    m.vector_units = 0;
+    let mut b = LoopBuilder::new("t");
+    let x = b.array("x", ScalarType::F64, 128);
+    let y = b.array("y", ScalarType::F64, 128);
+    let lx = b.load(x, 1, 0);
+    let s = b.fmul(lx, lx);
+    b.store(y, 1, 0, s);
+    let l = b.finish();
+    let r = run(&l, &m, &SelectiveConfig::default());
+    assert!(!r.partition[s.index()], "no vector unit to run the multiply");
+}
+
+#[test]
+fn reduction_input_stream_vectorizes_when_wide_enough() {
+    // nasa7's mxm shape at scale: the reduction pins RecMII, but the
+    // partitioner still offloads the loads/multiplies when the memory
+    // side saturates — mirroring the paper's selective win on loops whose
+    // parallel part is big enough.
+    let mut b = LoopBuilder::new("bigdot");
+    let x = b.array("x", ScalarType::F64, 512);
+    let y = b.array("y", ScalarType::F64, 512);
+    let mut acc = None;
+    for i in 0..4 {
+        let lx = b.load(x, 1, i);
+        let ly = b.load(y, 1, i);
+        let m1 = b.fmul(lx, ly);
+        acc = Some(match acc {
+            None => m1,
+            Some(p) => b.fadd(p, m1),
+        });
+    }
+    b.reduce(OpKind::Add, ScalarType::F64, acc.unwrap());
+    let l = b.finish();
+    let m = MachineConfig::paper_default();
+    let r = run(&l, &m, &SelectiveConfig::default());
+    let base = compile(&l, &m, Strategy::ModuloOnly).unwrap();
+    let sel = compile(&l, &m, Strategy::Selective).unwrap();
+    assert!(
+        sel.segments[0].schedule.resmii <= base.segments[0].schedule.resmii,
+        "selective {:?} vs baseline",
+        r.partition
+    );
+}

@@ -1,0 +1,84 @@
+//! Textual rendering of loops, for logs and debugging.
+
+use crate::program::Loop;
+use std::fmt;
+
+pub(crate) fn fmt_loop(l: &Loop, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(
+        f,
+        "loop {} (trip {}{} x{} invocations, scale {}",
+        l.name,
+        l.trip.count,
+        if l.trip.compile_time_known { "" } else { "?" },
+        l.invocations,
+        l.iter_scale
+    )?;
+    if l.vector_width > 1 {
+        write!(f, ", width {}", l.vector_width)?;
+    }
+    write!(f, ")")?;
+    if l.allow_reassoc {
+        write!(f, " [reassoc]")?;
+    }
+    writeln!(f)?;
+    for (i, a) in l.arrays.iter().enumerate() {
+        write!(
+            f,
+            "  array @{i} {} : {}[{}] align {}{}",
+            a.name,
+            a.ty,
+            a.len,
+            a.base_align,
+            if a.iteration_private { " private" } else { "" }
+        )?;
+        match a.fill {
+            crate::mem::ArrayFill::Data => {}
+            crate::mem::ArrayFill::Zero => write!(f, " fill zero")?,
+            crate::mem::ArrayFill::One => write!(f, " fill one")?,
+            crate::mem::ArrayFill::PosInf => write!(f, " fill +inf")?,
+            crate::mem::ArrayFill::NegInf => write!(f, " fill -inf")?,
+        }
+        writeln!(f)?;
+    }
+    for (i, li) in l.live_ins.iter().enumerate() {
+        writeln!(f, "  livein ${i} {} : {}", li.name, li.ty)?;
+    }
+    for op in &l.ops {
+        writeln!(f, "  {op}")?;
+    }
+    for lo in &l.live_outs {
+        write!(f, "  liveout {} = {}", lo.name, lo.op)?;
+        if let Some(k) = lo.horizontal {
+            write!(f, " (horizontal {})", k.mnemonic())?;
+        }
+        if let Some(k) = lo.combine {
+            write!(f, " (combine {})", k.mnemonic())?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::LoopBuilder;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn renders_all_sections() {
+        let mut b = LoopBuilder::new("show");
+        b.trip(100).invocations(3);
+        let x = b.array("x", ScalarType::F64, 100);
+        let a = b.live_in("a", ScalarType::F64);
+        let lx = b.load(x, 1, 0);
+        let m = b.fmul_li(a, lx);
+        b.reduce_add(m);
+        let text = b.finish().to_string();
+        assert!(text.contains("loop show"));
+        assert!(text.contains("array @0 x"));
+        assert!(text.contains("livein $0 a"));
+        assert!(text.contains("mul.f64"));
+        assert!(text.contains("[red]"));
+        assert!(text.contains("liveout"));
+    }
+}

@@ -1,0 +1,635 @@
+//! A small expression frontend: loops as arithmetic statements.
+//!
+//! The low-level text format (`parse_loop`) mirrors the IR one operation
+//! per line; this frontend accepts the loop the way a programmer thinks
+//! about it and lowers it through [`LoopBuilder`]:
+//!
+//! ```text
+//! loop daxpy 4096 x10 {
+//!     y[i] = a * x[i] + y[i];
+//!     s += x[i] * y[i];
+//! }
+//! ```
+//!
+//! * `name[i±k]`, `name[c*i±k]`, `name[k]` are array references (arrays
+//!   are declared implicitly, sized to the trip count plus margin);
+//! * bare identifiers that are never assigned become `f64` live-ins;
+//! * `s += expr;` / `s *= expr;` declare sum/product reductions
+//!   (live-outs named `s`);
+//! * scalar variables assigned with `=` are per-iteration values; reading
+//!   one *before* its assignment in the body (including in its own
+//!   right-hand side) reads the previous iteration's value, so
+//!   `t = 0.5*t + x[i];` builds a first-order recurrence;
+//! * `sqrt(e)`, `abs(e)`, `min(a,b)`, `max(a,b)` map to the matching
+//!   opcodes; `out t;` marks a scalar as a live-out.
+//!
+//! ```
+//! use sv_ir::loop_from_source;
+//!
+//! let l = loop_from_source(
+//!     "loop triad 1000 { z[i] = a * x[i] + y[i]; }",
+//! )
+//! .unwrap();
+//! assert_eq!(l.name, "triad");
+//! assert_eq!(l.ops().len(), 5); // 2 loads, mul, add, store
+//! ```
+
+use crate::builder::LoopBuilder;
+use crate::op::{OpId, OpKind, Operand};
+use crate::parse::ParseError;
+use crate::program::Loop;
+use crate::types::ScalarType;
+use std::collections::HashMap;
+
+/// Tokenizer for the expression syntax.
+struct Lexer<'a> {
+    s: &'a [u8],
+    pos: usize,
+    text: &'a str,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Int(u64),
+    Sym(char),
+    PlusEq,
+    StarEq,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Lexer<'a> {
+        Lexer { s: text.as_bytes(), pos: 0, text }
+    }
+
+    fn line(&self) -> usize {
+        self.text[..self.pos].matches('\n').count() + 1
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() {
+            match self.s[self.pos] {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                b'#' => {
+                    while self.pos < self.s.len() && self.s[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        self.skip_ws();
+        let Some(&c) = self.s.get(self.pos) else { return Ok(Tok::Eof) };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self
+                .s
+                .get(self.pos)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+            {
+                self.pos += 1;
+            }
+            return Ok(Tok::Ident(self.text[start..self.pos].to_string()));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            let mut float = false;
+            while let Some(&c) = self.s.get(self.pos) {
+                if c.is_ascii_digit() {
+                    self.pos += 1;
+                } else if c == b'.' || c == b'e' || c == b'E' {
+                    float = true;
+                    self.pos += 1;
+                    if matches!(self.s.get(self.pos), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let w = &self.text[start..self.pos];
+            return if float {
+                w.parse()
+                    .map(Tok::Num)
+                    .or_else(|_| self.err(format!("bad number `{w}`")))
+            } else {
+                w.parse()
+                    .map(Tok::Int)
+                    .or_else(|_| self.err(format!("bad integer `{w}`")))
+            };
+        }
+        if c == b'+' && self.s.get(self.pos + 1) == Some(&b'=') {
+            self.pos += 2;
+            return Ok(Tok::PlusEq);
+        }
+        if c == b'*' && self.s.get(self.pos + 1) == Some(&b'=') {
+            self.pos += 2;
+            return Ok(Tok::StarEq);
+        }
+        self.pos += 1;
+        Ok(Tok::Sym(c as char))
+    }
+
+    fn peek(&mut self) -> Result<Tok, ParseError> {
+        let save = self.pos;
+        let t = self.next();
+        self.pos = save;
+        t
+    }
+
+    fn expect_sym(&mut self, want: char) -> Result<(), ParseError> {
+        match self.next()? {
+            Tok::Sym(c) if c == want => Ok(()),
+            other => self.err(format!("expected `{want}`, found {other:?}")),
+        }
+    }
+}
+
+/// An affine array index `stride·i + offset`.
+#[derive(Debug, Clone, Copy)]
+struct Index {
+    stride: i64,
+    offset: i64,
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(f64),
+    Scalar(String),
+    ArrayRef(String, Index),
+    Unary(OpKind, Box<Expr>),
+    Binary(OpKind, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    StoreArray(String, Index, Expr),
+    AssignScalar(String, Expr),
+    Reduce(String, OpKind, Expr),
+    Out(String),
+}
+
+fn parse_index(lx: &mut Lexer<'_>) -> Result<Index, ParseError> {
+    // Forms: i | i+k | i-k | c*i | c*i+k | c*i-k | k
+    lx.expect_sym('[')?;
+    let mut stride = 0i64;
+    let mut offset = 0i64;
+    match lx.next()? {
+        Tok::Ident(id) if id == "i" => stride = 1,
+        Tok::Int(c) => {
+            if let Tok::Sym('*') = lx.peek()? {
+                lx.next()?; // '*'
+                match lx.next()? {
+                    Tok::Ident(id) if id == "i" => stride = c as i64,
+                    other => return lx.err(format!("expected `i`, found {other:?}")),
+                }
+            } else {
+                offset = c as i64; // invariant index
+            }
+        }
+        other => return lx.err(format!("bad index start {other:?}")),
+    }
+    loop {
+        match lx.peek()? {
+            Tok::Sym('+') => {
+                lx.next()?;
+                match lx.next()? {
+                    Tok::Int(k) => offset += k as i64,
+                    other => return lx.err(format!("expected offset, found {other:?}")),
+                }
+            }
+            Tok::Sym('-') => {
+                lx.next()?;
+                match lx.next()? {
+                    Tok::Int(k) => offset -= k as i64,
+                    other => return lx.err(format!("expected offset, found {other:?}")),
+                }
+            }
+            _ => break,
+        }
+    }
+    lx.expect_sym(']')?;
+    Ok(Index { stride, offset })
+}
+
+fn parse_factor(lx: &mut Lexer<'_>) -> Result<Expr, ParseError> {
+    match lx.next()? {
+        Tok::Num(v) => Ok(Expr::Const(v)),
+        Tok::Int(v) => Ok(Expr::Const(v as f64)),
+        Tok::Sym('(') => {
+            let e = parse_expr(lx)?;
+            lx.expect_sym(')')?;
+            Ok(e)
+        }
+        Tok::Sym('-') => Ok(Expr::Unary(OpKind::Neg, Box::new(parse_factor(lx)?))),
+        Tok::Ident(name) => match lx.peek()? {
+            Tok::Sym('[') => {
+                let idx = parse_index(lx)?;
+                Ok(Expr::ArrayRef(name, idx))
+            }
+            Tok::Sym('(') => {
+                lx.next()?; // '('
+                let kind = match name.as_str() {
+                    "sqrt" => OpKind::Sqrt,
+                    "abs" => OpKind::Abs,
+                    "min" => OpKind::Min,
+                    "max" => OpKind::Max,
+                    other => return lx.err(format!("unknown function `{other}`")),
+                };
+                let a = parse_expr(lx)?;
+                let e = if matches!(kind, OpKind::Min | OpKind::Max) {
+                    lx.expect_sym(',')?;
+                    let b = parse_expr(lx)?;
+                    Expr::Binary(kind, Box::new(a), Box::new(b))
+                } else {
+                    Expr::Unary(kind, Box::new(a))
+                };
+                lx.expect_sym(')')?;
+                Ok(e)
+            }
+            _ => Ok(Expr::Scalar(name)),
+        },
+        other => lx.err(format!("expected a factor, found {other:?}")),
+    }
+}
+
+fn parse_term(lx: &mut Lexer<'_>) -> Result<Expr, ParseError> {
+    let mut e = parse_factor(lx)?;
+    loop {
+        match lx.peek()? {
+            Tok::Sym('*') => {
+                lx.next()?;
+                e = Expr::Binary(OpKind::Mul, Box::new(e), Box::new(parse_factor(lx)?));
+            }
+            Tok::Sym('/') => {
+                lx.next()?;
+                e = Expr::Binary(OpKind::Div, Box::new(e), Box::new(parse_factor(lx)?));
+            }
+            _ => return Ok(e),
+        }
+    }
+}
+
+fn parse_expr(lx: &mut Lexer<'_>) -> Result<Expr, ParseError> {
+    let mut e = parse_term(lx)?;
+    loop {
+        match lx.peek()? {
+            Tok::Sym('+') => {
+                lx.next()?;
+                e = Expr::Binary(OpKind::Add, Box::new(e), Box::new(parse_term(lx)?));
+            }
+            Tok::Sym('-') => {
+                lx.next()?;
+                e = Expr::Binary(OpKind::Sub, Box::new(e), Box::new(parse_term(lx)?));
+            }
+            _ => return Ok(e),
+        }
+    }
+}
+
+/// Emission context: maps names to IR entities.
+struct Emit<'a> {
+    b: &'a mut LoopBuilder,
+    arrays: HashMap<String, crate::mem::ArrayId>,
+    live_ins: HashMap<String, crate::program::LiveInId>,
+    /// Current defining op of each scalar variable (this iteration).
+    scalars: HashMap<String, OpId>,
+    /// Scalars assigned anywhere in the body (so earlier reads are carried).
+    assigned: std::collections::HashSet<String>,
+    array_len: u64,
+}
+
+impl<'a> Emit<'a> {
+    fn array(&mut self, name: &str) -> crate::mem::ArrayId {
+        if let Some(&a) = self.arrays.get(name) {
+            return a;
+        }
+        let id = self.b.array(name, ScalarType::F64, self.array_len);
+        self.arrays.insert(name.to_string(), id);
+        id
+    }
+
+    /// Leaf expressions only; compound nodes and carried scalar reads are
+    /// handled by [`emit_with_holes`].
+    fn leaf(&mut self, e: &Expr, line: usize) -> Result<Operand, ParseError> {
+        Ok(match e {
+            Expr::Const(v) => Operand::ConstF(*v),
+            Expr::Scalar(name) => {
+                if let Some(&def) = self.scalars.get(name) {
+                    Operand::def(def)
+                } else {
+                    debug_assert!(!self.assigned.contains(name));
+                    let id = *self.live_ins.entry(name.clone()).or_insert_with(|| {
+                        self.b.live_in(name, ScalarType::F64)
+                    });
+                    Operand::LiveIn(id)
+                }
+            }
+            Expr::ArrayRef(name, idx) => {
+                let a = self.array(name);
+                Operand::def(self.b.load(a, idx.stride, idx.offset))
+            }
+            Expr::Unary(..) | Expr::Binary(..) => {
+                return Err(ParseError {
+                    line,
+                    message: "internal: compound node reached leaf emitter".into(),
+                })
+            }
+        })
+    }
+
+    fn push_arith(&mut self, kind: OpKind, operands: Vec<Operand>) -> OpId {
+        self.b.push(
+            crate::op::Opcode::scalar(kind, ScalarType::F64),
+            operands,
+            None,
+            false,
+        )
+    }
+}
+
+/// Build a [`Loop`] from the expression syntax (see the module docs).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number for syntax problems and
+/// semantic mistakes (unknown functions, stores to scalars, …).
+pub fn loop_from_source(text: &str) -> Result<Loop, ParseError> {
+    let mut lx = Lexer::new(text);
+    match lx.next()? {
+        Tok::Ident(kw) if kw == "loop" => {}
+        other => return lx.err(format!("expected `loop`, found {other:?}")),
+    }
+    // Optional name, trip, optional "xN" invocations.
+    let mut name = "anonymous".to_string();
+    let trip = loop {
+        match lx.next()? {
+            Tok::Ident(id) => name = id,
+            Tok::Int(n) => break n,
+            other => return lx.err(format!("expected a trip count, found {other:?}")),
+        }
+    };
+    let mut invocations = 1;
+    if let Tok::Ident(x) = lx.peek()? {
+        if let Some(n) = x.strip_prefix('x') {
+            if let Ok(v) = n.parse() {
+                invocations = v;
+                lx.next()?;
+            }
+        }
+    }
+    lx.expect_sym('{')?;
+
+    // Parse all statements first (so forward scalar reads are known).
+    let mut stmts = Vec::new();
+    loop {
+        match lx.peek()? {
+            Tok::Sym('}') => {
+                lx.next()?;
+                break;
+            }
+            Tok::Eof => return lx.err("unterminated loop body"),
+            _ => {}
+        }
+        let line = lx.line();
+        match lx.next()? {
+            Tok::Ident(kw) if kw == "out" => {
+                let Tok::Ident(v) = lx.next()? else {
+                    return lx.err("expected a scalar name after `out`");
+                };
+                lx.expect_sym(';')?;
+                stmts.push((line, Stmt::Out(v)));
+            }
+            Tok::Ident(name) => match lx.peek()? {
+                Tok::Sym('[') => {
+                    let idx = parse_index(&mut lx)?;
+                    lx.expect_sym('=')?;
+                    let e = parse_expr(&mut lx)?;
+                    lx.expect_sym(';')?;
+                    stmts.push((line, Stmt::StoreArray(name, idx, e)));
+                }
+                Tok::PlusEq => {
+                    lx.next()?;
+                    let e = parse_expr(&mut lx)?;
+                    lx.expect_sym(';')?;
+                    stmts.push((line, Stmt::Reduce(name, OpKind::Add, e)));
+                }
+                Tok::StarEq => {
+                    lx.next()?;
+                    let e = parse_expr(&mut lx)?;
+                    lx.expect_sym(';')?;
+                    stmts.push((line, Stmt::Reduce(name, OpKind::Mul, e)));
+                }
+                Tok::Sym('=') => {
+                    lx.next()?;
+                    let e = parse_expr(&mut lx)?;
+                    lx.expect_sym(';')?;
+                    stmts.push((line, Stmt::AssignScalar(name, e)));
+                }
+                other => return lx.err(format!("unexpected {other:?} after `{name}`")),
+            },
+            other => return lx.err(format!("expected a statement, found {other:?}")),
+        }
+    }
+
+    // Emit, patching carried scalar reads in a second pass.
+    let mut builder = LoopBuilder::new(name);
+    builder.trip(trip).invocations(invocations);
+    let mut emit = Emit {
+        b: &mut builder,
+        arrays: HashMap::new(),
+        live_ins: HashMap::new(),
+        scalars: HashMap::new(),
+        assigned: stmts
+            .iter()
+            .filter_map(|(_, s)| match s {
+                Stmt::AssignScalar(n, _) => Some(n.clone()),
+                _ => None,
+            })
+            .collect(),
+        array_len: trip + 64,
+    };
+    // Carried reads discovered during emission: (op hole, variable).
+    let mut carried_holes: Vec<(OpId, usize, String)> = Vec::new();
+    let mut outs: Vec<(usize, String)> = Vec::new();
+
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::StoreArray(name, idx, e) => {
+                let v = emit_with_holes(&mut emit, e, *line, &mut carried_holes)?;
+                let a = emit.array(name);
+                let id = OpId(emit.b.as_loop().ops().len() as u32);
+                emit.b.push(
+                    crate::op::Opcode::scalar(OpKind::Store, ScalarType::F64),
+                    vec![v],
+                    Some(crate::mem::MemRef::scalar(a, idx.stride, idx.offset)),
+                    false,
+                );
+                let _ = id;
+            }
+            Stmt::AssignScalar(name, e) => {
+                let v = emit_with_holes(&mut emit, e, *line, &mut carried_holes)?;
+                // The variable's defining op: the expression root when it
+                // is a fresh operation, else a copy to give carried
+                // references a stable id.
+                let id = match v {
+                    Operand::Def { op, distance: 0 } => op,
+                    other => emit.push_arith(OpKind::Copy, vec![other]),
+                };
+                emit.scalars.insert(name.clone(), id);
+            }
+            Stmt::Reduce(name, kind, e) => {
+                let v = emit_with_holes(&mut emit, e, *line, &mut carried_holes)?;
+                let vv = match v {
+                    Operand::Def { op, distance: 0 } => op,
+                    other => emit.push_arith(OpKind::Copy, vec![other]),
+                };
+                let id = emit.b.reduce(*kind, ScalarType::F64, vv);
+                // Rename the auto live-out to the variable name.
+                let lo = emit.b.as_loop().live_outs.len() - 1;
+                outs.push((lo, name.clone()));
+                let _ = id;
+            }
+            Stmt::Out(name) => {
+                let Some(&def) = emit.scalars.get(name) else {
+                    return Err(ParseError {
+                        line: *line,
+                        message: format!("`out {name}` before any assignment"),
+                    });
+                };
+                emit.b.live_out(name, def);
+            }
+        }
+    }
+
+    let scalars = emit.scalars.clone();
+    let mut l = builder.finish_unchecked();
+    // Patch carried reads now that every scalar's defining op is known.
+    for (op, slot, var) in carried_holes {
+        let Some(&def) = scalars.get(&var) else {
+            return Err(ParseError {
+                line: 0,
+                message: format!("scalar `{var}` read but never assigned"),
+            });
+        };
+        l.ops[op.index()].operands[slot] = Operand::carried(def, 1);
+    }
+    for (lo, name) in outs {
+        l.live_outs[lo].name = name;
+    }
+    l.verify().map_err(|e| ParseError {
+        line: 0,
+        message: format!("frontend produced an invalid loop: {e}"),
+    })?;
+    Ok(l)
+}
+
+/// Emit an expression; carried scalar reads become `ConstF(0)` holes whose
+/// positions are recorded for the patch pass.
+fn emit_with_holes(
+    emit: &mut Emit<'_>,
+    e: &Expr,
+    line: usize,
+    holes: &mut Vec<(OpId, usize, String)>,
+) -> Result<Operand, ParseError> {
+    match e {
+        Expr::Unary(kind, a) => {
+            let oa = emit_with_holes(emit, a, line, holes)?;
+            Ok(Operand::def(emit.push_arith(*kind, vec![oa])))
+        }
+        Expr::Binary(kind, a, b) => {
+            let oa = emit_with_holes(emit, a, line, holes)?;
+            let ob = emit_with_holes(emit, b, line, holes)?;
+            Ok(Operand::def(emit.push_arith(*kind, vec![oa, ob])))
+        }
+        Expr::Scalar(name)
+            if emit.assigned.contains(name) && !emit.scalars.contains_key(name) =>
+        {
+            // Carried read: emit a copy with a hole operand.
+            let id = emit.push_arith(OpKind::Copy, vec![Operand::ConstF(0.0)]);
+            holes.push((id, 0, name.clone()));
+            Ok(Operand::def(id))
+        }
+        other => emit.leaf(other, line),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daxpy_lowers_cleanly() {
+        let l = loop_from_source("loop daxpy 4096 x10 { y[i] = a * x[i] + y[i]; }")
+            .unwrap();
+        assert_eq!(l.name, "daxpy");
+        assert_eq!(l.trip.count, 4096);
+        assert_eq!(l.invocations, 10);
+        assert_eq!(l.live_ins.len(), 1);
+        assert_eq!(l.arrays.len(), 2);
+        let stats = l.stats();
+        assert_eq!((stats.loads, stats.stores, stats.fp_arith), (2, 1, 2));
+    }
+
+    #[test]
+    fn reductions_become_live_outs() {
+        let l = loop_from_source("loop dot 100 { s += x[i] * y[i]; }").unwrap();
+        assert_eq!(l.live_outs.len(), 1);
+        assert_eq!(l.live_outs[0].name, "s");
+        assert!(l.ops()[l.live_outs[0].op.index()].is_reduction);
+    }
+
+    #[test]
+    fn recurrences_read_the_previous_iteration() {
+        let l = loop_from_source("loop iir 64 { t = 0.5 * t + x[i]; out t; }").unwrap();
+        // Some op reads t's defining copy at distance 1.
+        let def = l.live_outs.iter().find(|lo| lo.name == "t").unwrap().op;
+        let carried = l
+            .ops()
+            .iter()
+            .any(|o| o.operands.iter().any(|op| op.def_op() == Some((def, 1))));
+        assert!(carried, "{l}");
+    }
+
+    #[test]
+    fn functions_and_indices() {
+        let l = loop_from_source(
+            "loop f 32 { y[2*i+1] = sqrt(abs(x[i-1])) + min(x[i], c); }",
+        )
+        .unwrap();
+        let store = l.ops().iter().find(|o| o.opcode.kind == OpKind::Store).unwrap();
+        assert_eq!(store.mem_ref().stride, 2);
+        assert_eq!(store.mem_ref().offset, 1);
+        assert!(l.ops().iter().any(|o| o.opcode.kind == OpKind::Sqrt));
+        assert!(l.ops().iter().any(|o| o.opcode.kind == OpKind::Min));
+        let load = l.ops().iter().find(|o| o.opcode.kind == OpKind::Load).unwrap();
+        assert_eq!(load.mem_ref().offset, -1);
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = loop_from_source("loop t 8 {\n  y[i] = frobnicate(x[i]);\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+        let e = loop_from_source("loop t 8 { y[i] = q; out q; }").unwrap_err();
+        assert!(e.message.contains('q'));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let l = loop_from_source(
+            "# saxpy with comments\nloop s 10 {\n  # the statement\n  y[i] = 2.0 * x[i];\n}",
+        )
+        .unwrap();
+        assert_eq!(l.trip.count, 10);
+    }
+}

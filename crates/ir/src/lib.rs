@@ -1,0 +1,57 @@
+//! # sv-ir — loop intermediate representation
+//!
+//! The low-level loop IR consumed by every other crate in the `selvec`
+//! workspace. It models exactly the class of loops the MICRO 2005 paper
+//! *Exploiting Vector Parallelism in Software Pipelined Loops* targets:
+//! innermost `do` loops without control flow or function calls, operating
+//! on arrays through affine subscripts, with a single canonical induction
+//! variable.
+//!
+//! The representation is deliberately *machine-level*: each [`Operation`]
+//! corresponds to one (scalar or vector) instruction, and the selective
+//! vectorizer, the traditional/full vectorizers and the modulo scheduler
+//! all operate on this form. Vector operations are first-class: the same
+//! opcode space covers scalar instructions, vector instructions, the
+//! `VMERGE`-style realignment operations used for misaligned vector memory
+//! access, and nothing else — explicit scalar↔vector transfers are ordinary
+//! loads and stores to *communication slots*, as on the paper's simulated
+//! machine, which routes all cross-file communication through memory.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sv_ir::{LoopBuilder, ScalarType};
+//!
+//! // s += x[i] * y[i]   — the paper's Figure 1 dot product.
+//! let mut b = LoopBuilder::new("dot");
+//! let x = b.array("x", ScalarType::F64, 1024);
+//! let y = b.array("y", ScalarType::F64, 1024);
+//! let lx = b.load(x, 1, 0);
+//! let ly = b.load(y, 1, 0);
+//! let m = b.fmul(lx, ly);
+//! let _s = b.reduce_add(m);
+//! let l = b.finish();
+//! assert_eq!(l.ops().len(), 4);
+//! assert!(l.verify().is_ok());
+//! ```
+
+mod builder;
+mod display;
+mod frontend;
+mod mem;
+mod op;
+mod parse;
+mod program;
+mod stats;
+mod types;
+mod verify;
+
+pub use builder::LoopBuilder;
+pub use frontend::loop_from_source;
+pub use mem::{ArrayDecl, ArrayFill, ArrayId, MemRef};
+pub use op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
+pub use parse::{parse_loop, ParseError};
+pub use program::{LiveIn, LiveInId, LiveOut, Loop, TripCount};
+pub use stats::LoopStats;
+pub use types::{RegClass, ScalarType};
+pub use verify::VerifyError;

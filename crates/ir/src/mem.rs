@@ -1,0 +1,170 @@
+//! Arrays and affine memory references.
+
+use crate::types::ScalarType;
+use std::fmt;
+
+/// Initial contents of an array in the functional simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrayFill {
+    /// Deterministic pseudo-random data keyed by `(array, element)` — the
+    /// default for program arrays, so source and transformed loops see the
+    /// same inputs.
+    #[default]
+    Data,
+    /// All zeros (additive-identity pre-history for scalar expansion).
+    Zero,
+    /// All ones (multiplicative identity).
+    One,
+    /// All +∞ (min identity).
+    PosInf,
+    /// All −∞ (max identity).
+    NegInf,
+}
+
+/// Identifier of an array declared in a [`crate::Loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// An array (or scalar-expansion temporary, or communication buffer)
+/// referenced by the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Human-readable name, used only for display.
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Number of elements. The functional simulator allocates this many
+    /// cells; dependence analysis does not use it.
+    pub len: u64,
+    /// Base alignment of element 0 in bytes. Vector references are aligned
+    /// when `base_align` is a multiple of the vector width **and** the
+    /// reference's element offset lands on a vector boundary.
+    pub base_align: u64,
+    /// Marks scalar↔vector *communication slots*. Stores and loads on such
+    /// an array still carry an intra-iteration flow dependence, but
+    /// cross-iteration anti/output dependences are ignored by analysis:
+    /// the slots are renamed per pipeline stage (rotating spill locations /
+    /// modulo variable expansion), as in the paper's Trimaran backend.
+    pub iteration_private: bool,
+    /// Initial contents in the functional simulator.
+    pub fill: ArrayFill,
+}
+
+impl ArrayDecl {
+    /// A plain data array of `len` elements with 16-byte base alignment.
+    pub fn plain(name: impl Into<String>, ty: ScalarType, len: u64) -> ArrayDecl {
+        ArrayDecl {
+            name: name.into(),
+            ty,
+            len,
+            base_align: 16,
+            iteration_private: false,
+            fill: ArrayFill::Data,
+        }
+    }
+}
+
+/// An affine memory reference `array[stride * i + offset]`, where `i` is the
+/// canonical induction variable counting iterations of the loop the
+/// reference appears in, and `width` consecutive elements are accessed.
+///
+/// Scalar loads/stores have `width == 1`; a vector memory operation over
+/// vector length *k* has `width == k`. Dependence analysis treats a
+/// reference as touching elements `stride*i + offset .. stride*i + offset + width`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The array being accessed.
+    pub array: ArrayId,
+    /// Elements advanced per loop iteration.
+    pub stride: i64,
+    /// Constant element offset.
+    pub offset: i64,
+    /// Number of consecutive elements accessed (1 for scalar refs).
+    pub width: u32,
+}
+
+impl MemRef {
+    /// A scalar reference `array[stride*i + offset]`.
+    pub fn scalar(array: ArrayId, stride: i64, offset: i64) -> MemRef {
+        MemRef { array, stride, offset, width: 1 }
+    }
+
+    /// The element index touched at iteration `i`, lowest element of the
+    /// accessed window.
+    #[inline]
+    pub fn first_element(&self, i: i64) -> i64 {
+        self.stride * i + self.offset
+    }
+
+    /// True when the reference advances one element per iteration, the
+    /// pattern required for vector memory operations on machines without
+    /// scatter/gather support (such as the paper's).
+    #[inline]
+    pub fn unit_stride(&self) -> bool {
+        self.stride == 1
+    }
+
+    /// True when the reference does not move with the loop (loop-invariant
+    /// address).
+    #[inline]
+    pub fn invariant(&self) -> bool {
+        self.stride == 0
+    }
+
+    /// Widened copy of this reference covering `k` elements starting at the
+    /// same first element (used when vectorizing a unit-stride reference:
+    /// the transformed loop advances `k` elements per iteration).
+    pub fn widened(&self, k: u32) -> MemRef {
+        MemRef { width: k, ..*self }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}*i{:+}", self.array, self.stride, self.offset)?;
+        if self.width > 1 {
+            write!(f, " ;w{}", self.width)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_ref_basics() {
+        let r = MemRef::scalar(ArrayId(3), 2, -1);
+        assert_eq!(r.width, 1);
+        assert_eq!(r.first_element(5), 9);
+        assert!(!r.unit_stride());
+        assert!(!r.invariant());
+    }
+
+    #[test]
+    fn invariant_and_unit_stride() {
+        assert!(MemRef::scalar(ArrayId(0), 0, 7).invariant());
+        assert!(MemRef::scalar(ArrayId(0), 1, 0).unit_stride());
+    }
+
+    #[test]
+    fn widened_keeps_placement() {
+        let r = MemRef::scalar(ArrayId(1), 1, 4).widened(2);
+        assert_eq!(r.width, 2);
+        assert_eq!(r.first_element(0), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = MemRef::scalar(ArrayId(1), 1, 4);
+        assert_eq!(r.to_string(), "@1[1*i+4]");
+        assert_eq!(r.widened(2).to_string(), "@1[1*i+4 ;w2]");
+    }
+}

@@ -1,0 +1,429 @@
+//! Operations, opcodes and operands.
+
+use crate::mem::MemRef;
+use crate::types::{RegClass, ScalarType};
+use std::fmt;
+
+/// Identifier of an operation inside one [`crate::Loop`].
+///
+/// `OpId(n)` is always the index of the operation in the loop's
+/// program-order operation list; the verifier enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The operation's index in the loop body.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// The operation kinds of the IR.
+///
+/// The set covers the instruction classes of the paper's simulated VLIW
+/// (Table 1): memory operations, integer and floating-point ALU operations,
+/// multiplies and divides (the long-latency, non-pipelined class), and the
+/// vector-merge operation used to realign misaligned vector memory
+/// accesses. Loop-control overhead (back branch, induction update) is
+/// modeled by the machine description rather than explicit IR ops, matching
+/// the paper's use of rotating-register branch support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Memory read. Carries a [`MemRef`]; takes no value operands.
+    Load,
+    /// Memory write. Carries a [`MemRef`]; takes the stored value.
+    Store,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division — long latency and non-pipelined on the paper's machine.
+    Div,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root (modeled with divide latency, as is conventional).
+    Sqrt,
+    /// Register copy.
+    Copy,
+    /// Vector realignment on the dedicated merge unit.
+    ///
+    /// In this reproduction `Merge` is value-pass-through: it forwards its
+    /// single operand and exists to charge the merge unit and its latency,
+    /// exactly the cost the paper attributes to misaligned vector memory
+    /// operations after previous-iteration reuse.
+    Merge,
+    /// Zero-cost gather of scalar lane values into a vector (variadic: one
+    /// operand per lane). Exists only under the idealized *free*
+    /// communication model of the paper's Figure 1, where operands move
+    /// between scalar and vector units without explicit instructions.
+    Pack,
+    /// Zero-cost extraction of one lane of a vector value; operands are the
+    /// vector and a constant lane index. Free-communication counterpart of
+    /// the vector→scalar transfer.
+    Extract,
+}
+
+impl OpKind {
+    /// Number of value operands the kind consumes. [`OpKind::Pack`] is
+    /// variadic (one operand per vector lane) and reports the minimum of 1;
+    /// check [`OpKind::is_variadic`].
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Load => 0,
+            OpKind::Store | OpKind::Neg | OpKind::Abs | OpKind::Sqrt | OpKind::Copy
+            | OpKind::Merge | OpKind::Pack => 1,
+            OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Min
+            | OpKind::Max | OpKind::Extract => 2,
+        }
+    }
+
+    /// True for kinds accepting more operands than [`OpKind::arity`].
+    pub fn is_variadic(self) -> bool {
+        matches!(self, OpKind::Pack)
+    }
+
+    /// True when the kind produces a result value.
+    pub fn defines_value(self) -> bool {
+        !matches!(self, OpKind::Store)
+    }
+
+    /// True for kinds that are commutative and associative, and hence legal
+    /// reduction operators.
+    pub fn is_reduction_kind(self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Mul | OpKind::Min | OpKind::Max)
+    }
+
+    /// True for memory operations.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Short mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+            OpKind::Neg => "neg",
+            OpKind::Abs => "abs",
+            OpKind::Sqrt => "sqrt",
+            OpKind::Copy => "copy",
+            OpKind::Merge => "merge",
+            OpKind::Pack => "pack",
+            OpKind::Extract => "extract",
+        }
+    }
+}
+
+/// Whether an opcode is the scalar or the vector form of its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorForm {
+    /// One element per execution.
+    Scalar,
+    /// One machine vector (`vector_length` elements) per execution.
+    Vector,
+}
+
+impl VectorForm {
+    /// True for [`VectorForm::Vector`].
+    #[inline]
+    pub fn is_vector(self) -> bool {
+        matches!(self, VectorForm::Vector)
+    }
+}
+
+/// A complete opcode: kind × element type × scalar/vector form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Opcode {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Element type.
+    pub ty: ScalarType,
+    /// Scalar or vector form.
+    pub form: VectorForm,
+}
+
+impl Opcode {
+    /// Scalar opcode of `kind` on `ty`.
+    pub fn scalar(kind: OpKind, ty: ScalarType) -> Opcode {
+        Opcode { kind, ty, form: VectorForm::Scalar }
+    }
+
+    /// Vector opcode of `kind` on `ty`.
+    pub fn vector(kind: OpKind, ty: ScalarType) -> Opcode {
+        Opcode { kind, ty, form: VectorForm::Vector }
+    }
+
+    /// The same opcode in the other form.
+    pub fn with_form(self, form: VectorForm) -> Opcode {
+        Opcode { form, ..self }
+    }
+
+    /// True for the vector form.
+    #[inline]
+    pub fn is_vector(self) -> bool {
+        self.form.is_vector()
+    }
+
+    /// Register class of the value this opcode defines (if any).
+    pub fn def_class(self) -> RegClass {
+        RegClass::of(self.ty, self.is_vector())
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_vector() {
+            write!(f, "v")?;
+        }
+        write!(f, "{}.{}", self.kind.mnemonic(), self.ty)
+    }
+}
+
+/// A value operand of an operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// The value defined by operation `op`, `distance` iterations ago.
+    /// `distance == 0` is an intra-iteration use; `distance >= 1` is a
+    /// loop-carried use (the value flows around the back edge).
+    Def {
+        /// Defining operation.
+        op: OpId,
+        /// Iteration distance of the use.
+        distance: u32,
+    },
+    /// A loop-invariant input, set before the loop.
+    LiveIn(crate::program::LiveInId),
+    /// Integer immediate.
+    ConstI(i64),
+    /// Floating-point immediate.
+    ConstF(f64),
+    /// An affine function of the loop's canonical induction variable:
+    /// `scale * iter + offset` as an `i64` data value. Source loops use
+    /// `scale = 1, offset = 0`; the vectorizing/unrolling transformer
+    /// rewrites the coefficients so each lane sees its original iteration
+    /// number.
+    Iv {
+        /// Multiplier of the iteration number.
+        scale: i64,
+        /// Constant addend.
+        offset: i64,
+    },
+}
+
+impl Operand {
+    /// Intra-iteration use of `op`'s value.
+    pub fn def(op: OpId) -> Operand {
+        Operand::Def { op, distance: 0 }
+    }
+
+    /// The canonical induction variable itself (`1 * iter + 0`).
+    pub fn iv() -> Operand {
+        Operand::Iv { scale: 1, offset: 0 }
+    }
+
+    /// Loop-carried use of `op`'s value from `distance` iterations ago.
+    pub fn carried(op: OpId, distance: u32) -> Operand {
+        Operand::Def { op, distance }
+    }
+
+    /// The defining operation, if this operand is a def use.
+    pub fn def_op(&self) -> Option<(OpId, u32)> {
+        match *self {
+            Operand::Def { op, distance } => Some((op, distance)),
+            _ => None,
+        }
+    }
+
+    /// True when the operand is loop-invariant (constant or live-in).
+    pub fn is_invariant(&self) -> bool {
+        matches!(self, Operand::LiveIn(_) | Operand::ConstI(_) | Operand::ConstF(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::Def { op, distance: 0 } => write!(f, "{op}"),
+            Operand::Def { op, distance } => write!(f, "{op}@-{distance}"),
+            Operand::LiveIn(id) => write!(f, "${}", id.0),
+            Operand::ConstI(v) => write!(f, "#{v}"),
+            Operand::ConstF(v) => write!(f, "#{v:?}"),
+            Operand::Iv { scale, offset } => write!(f, "iv*{scale}{offset:+}"),
+        }
+    }
+}
+
+/// Initial value observed by loop-carried reads of an operation's value
+/// before the producing iteration exists (iteration `t < distance`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CarriedInit {
+    /// Zero (the default for ordinary values).
+    #[default]
+    Zero,
+    /// One (multiplicative reduction identity).
+    One,
+    /// +∞ (min-reduction identity).
+    PosInf,
+    /// −∞ (max-reduction identity).
+    NegInf,
+}
+
+impl CarriedInit {
+    /// The identity element for a reduction kind.
+    pub fn identity_for(kind: OpKind) -> CarriedInit {
+        match kind {
+            OpKind::Mul => CarriedInit::One,
+            OpKind::Min => CarriedInit::PosInf,
+            OpKind::Max => CarriedInit::NegInf,
+            _ => CarriedInit::Zero,
+        }
+    }
+}
+
+/// One IR operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    /// Identifier; equals the op's index in the loop body.
+    pub id: OpId,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Value operands (length must equal `opcode.kind.arity()`).
+    pub operands: Vec<Operand>,
+    /// Memory reference for `Load`/`Store` kinds.
+    pub mem: Option<MemRef>,
+    /// Marks the accumulation operation of a reduction (`s = s ⊕ x`).
+    /// Reduction ops carry a self-referential first operand
+    /// `Def { op: self, distance: 1 }`.
+    pub is_reduction: bool,
+    /// Value seen by carried reads of this op before its first iteration.
+    pub carried_init: CarriedInit,
+}
+
+impl Operation {
+    /// True when the operation produces a result value.
+    #[inline]
+    pub fn defines_value(&self) -> bool {
+        self.opcode.kind.defines_value()
+    }
+
+    /// The operation's memory reference, panicking if it is not a memory op.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-memory operation.
+    pub fn mem_ref(&self) -> &MemRef {
+        self.mem.as_ref().expect("mem_ref on non-memory operation")
+    }
+
+    /// Iterate over (producer, distance) pairs of def-operands.
+    pub fn def_uses(&self) -> impl Iterator<Item = (OpId, u32)> + '_ {
+        self.operands.iter().filter_map(Operand::def_op)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.id, self.opcode)?;
+        if self.is_reduction {
+            write!(f, " [red]")?;
+        }
+        match self.carried_init {
+            CarriedInit::Zero => {}
+            CarriedInit::One => write!(f, " [init one]")?,
+            CarriedInit::PosInf => write!(f, " [init +inf]")?,
+            CarriedInit::NegInf => write!(f, " [init -inf]")?,
+        }
+        for (i, o) in self.operands.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {o}")?;
+            } else {
+                write!(f, ", {o}")?;
+            }
+        }
+        if let Some(m) = &self.mem {
+            write!(f, " {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kinds() {
+        assert_eq!(OpKind::Load.arity(), 0);
+        assert_eq!(OpKind::Store.arity(), 1);
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Merge.arity(), 1);
+        assert_eq!(OpKind::Sqrt.arity(), 1);
+    }
+
+    #[test]
+    fn store_defines_nothing() {
+        assert!(!OpKind::Store.defines_value());
+        assert!(OpKind::Load.defines_value());
+        assert!(OpKind::Merge.defines_value());
+    }
+
+    #[test]
+    fn reduction_kinds() {
+        assert!(OpKind::Add.is_reduction_kind());
+        assert!(OpKind::Mul.is_reduction_kind());
+        assert!(OpKind::Min.is_reduction_kind());
+        assert!(!OpKind::Sub.is_reduction_kind());
+        assert!(!OpKind::Div.is_reduction_kind());
+    }
+
+    #[test]
+    fn opcode_display() {
+        let s = Opcode::scalar(OpKind::Mul, ScalarType::F64);
+        let v = Opcode::vector(OpKind::Mul, ScalarType::F64);
+        assert_eq!(s.to_string(), "mul.f64");
+        assert_eq!(v.to_string(), "vmul.f64");
+        assert_eq!(s.with_form(VectorForm::Vector), v);
+    }
+
+    #[test]
+    fn opcode_def_class() {
+        assert_eq!(
+            Opcode::vector(OpKind::Add, ScalarType::F64).def_class(),
+            RegClass::VectorFp
+        );
+        assert_eq!(
+            Opcode::scalar(OpKind::Add, ScalarType::I64).def_class(),
+            RegClass::ScalarInt
+        );
+    }
+
+    #[test]
+    fn operand_helpers() {
+        let o = Operand::carried(OpId(3), 2);
+        assert_eq!(o.def_op(), Some((OpId(3), 2)));
+        assert!(!o.is_invariant());
+        assert!(Operand::ConstI(4).is_invariant());
+        assert_eq!(Operand::def(OpId(1)).def_op(), Some((OpId(1), 0)));
+    }
+}

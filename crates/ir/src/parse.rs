@@ -1,0 +1,484 @@
+//! Parsing the textual loop format.
+//!
+//! The grammar is exactly what [`Loop`]'s `Display` implementation emits,
+//! so `parse_loop(&l.to_string())` round-trips any loop — source,
+//! transformed or distributed. This makes loops storable as plain text
+//! (test fixtures, CLI input, bug reports).
+//!
+//! ```
+//! use sv_ir::{parse_loop, LoopBuilder, ScalarType};
+//!
+//! let mut b = LoopBuilder::new("copy");
+//! let x = b.array("x", ScalarType::F64, 16);
+//! let lx = b.load(x, 1, 0);
+//! b.store(x, 1, 8, lx);
+//! let l = b.finish();
+//! let reparsed = parse_loop(&l.to_string()).unwrap();
+//! assert_eq!(l, reparsed);
+//! ```
+
+use crate::mem::{ArrayDecl, ArrayFill, ArrayId, MemRef};
+use crate::op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
+use crate::program::{LiveIn, LiveInId, LiveOut, Loop, TripCount};
+use crate::types::ScalarType;
+use std::fmt;
+
+/// A syntax or structural error from [`parse_loop`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    s: &'a str,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line, message: message.into() })
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        self.skip_ws();
+        if let Some(rest) = self.s.strip_prefix(token) {
+            self.s = rest;
+            Ok(())
+        } else {
+            self.err(format!("expected `{token}` at `{}`", head(self.s)))
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if let Some(rest) = self.s.strip_prefix(token) {
+            self.s = rest;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.s = self.s.trim_start_matches([' ', '\t']);
+    }
+
+    fn word(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let end = self
+            .s
+            .find(|c: char| c.is_whitespace() || ",()[]:".contains(c))
+            .unwrap_or(self.s.len());
+        if end == 0 {
+            return self.err(format!("expected a word at `{}`", head(self.s)));
+        }
+        let (w, rest) = self.s.split_at(end);
+        self.s = rest;
+        Ok(w)
+    }
+
+    fn int<T: std::str::FromStr>(&mut self) -> Result<T, ParseError> {
+        self.skip_ws();
+        let end = self
+            .s
+            .char_indices()
+            .take_while(|&(i, c)| c.is_ascii_digit() || (i == 0 && (c == '-' || c == '+')))
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        let (w, rest) = self.s.split_at(end);
+        match w.parse() {
+            Ok(v) => {
+                self.s = rest;
+                Ok(v)
+            }
+            Err(_) => self.err(format!("expected a number at `{}`", head(self.s))),
+        }
+    }
+
+    fn float(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let end = self
+            .s
+            .char_indices()
+            .take_while(|&(i, c)| {
+                c.is_ascii_digit()
+                    || c == '.'
+                    || c == 'e'
+                    || c == 'E'
+                    || ((c == '-' || c == '+') && (i == 0 || matches!(self.s.as_bytes()[i - 1], b'e' | b'E')))
+                    || c == 'i' // inf
+                    || c == 'n' // inf / nan
+                    || c == 'f'
+                    || c == 'a'
+                    || c == 'N'
+            })
+            .map(|(i, c)| i + c.len_utf8())
+            .last()
+            .unwrap_or(0);
+        let (w, rest) = self.s.split_at(end);
+        match w.parse() {
+            Ok(v) => {
+                self.s = rest;
+                Ok(v)
+            }
+            Err(_) => self.err(format!("expected a float at `{}`", head(self.s))),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.s.trim().is_empty()
+    }
+}
+
+fn head(s: &str) -> &str {
+    let mut end = s.len().min(24);
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+fn parse_ty(c: &mut Cursor<'_>) -> Result<ScalarType, ParseError> {
+    match c.word()? {
+        "f64" => Ok(ScalarType::F64),
+        "i64" => Ok(ScalarType::I64),
+        other => c.err(format!("unknown type `{other}`")),
+    }
+}
+
+fn kind_from_mnemonic(c: &Cursor<'_>, w: &str) -> Result<OpKind, ParseError> {
+    Ok(match w {
+        "load" => OpKind::Load,
+        "store" => OpKind::Store,
+        "add" => OpKind::Add,
+        "sub" => OpKind::Sub,
+        "mul" => OpKind::Mul,
+        "div" => OpKind::Div,
+        "min" => OpKind::Min,
+        "max" => OpKind::Max,
+        "neg" => OpKind::Neg,
+        "abs" => OpKind::Abs,
+        "sqrt" => OpKind::Sqrt,
+        "copy" => OpKind::Copy,
+        "merge" => OpKind::Merge,
+        "pack" => OpKind::Pack,
+        "extract" => OpKind::Extract,
+        other => return c.err(format!("unknown opcode `{other}`")),
+    })
+}
+
+fn parse_operand(c: &mut Cursor<'_>) -> Result<Operand, ParseError> {
+    c.skip_ws();
+    if c.eat("%") {
+        let op: u32 = c.int()?;
+        let distance = if c.eat("@-") { c.int()? } else { 0 };
+        Ok(Operand::Def { op: OpId(op), distance })
+    } else if c.eat("$") {
+        Ok(Operand::LiveIn(LiveInId(c.int()?)))
+    } else if c.eat("iv*") {
+        let scale: i64 = c.int()?;
+        let offset: i64 = c.int()?; // printed with explicit sign
+        Ok(Operand::Iv { scale, offset })
+    } else if c.eat("#") {
+        // Floats always carry a `.`, exponent, `inf` or `NaN`; plain
+        // digit runs are integers.
+        let save = c.s;
+        let as_int: Result<i64, _> = c.int();
+        if let Ok(v) = as_int {
+            if !c.s.starts_with(['.', 'e', 'E']) {
+                return Ok(Operand::ConstI(v));
+            }
+        }
+        c.s = save;
+        Ok(Operand::ConstF(c.float()?))
+    } else {
+        c.err(format!("expected an operand at `{}`", head(c.s)))
+    }
+}
+
+fn parse_mem_ref(c: &mut Cursor<'_>) -> Result<MemRef, ParseError> {
+    c.expect("@")?;
+    let array: u32 = c.int()?;
+    c.expect("[")?;
+    let stride: i64 = c.int()?;
+    c.expect("*i")?;
+    let offset: i64 = c.int()?; // explicit sign
+    let width = if c.eat(";w") { c.int()? } else { 1 };
+    c.expect("]")?;
+    Ok(MemRef { array: ArrayId(array), stride, offset, width })
+}
+
+/// Parse a loop from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax problems; the parsed loop is also
+/// run through [`Loop::verify`], with violations reported the same way.
+pub fn parse_loop(text: &str) -> Result<Loop, ParseError> {
+    let mut l: Option<Loop> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut c = Cursor { s: trimmed, line };
+        if c.eat("loop ") {
+            let name = c.word()?.to_string();
+            c.expect("(")?;
+            c.expect("trip")?;
+            let count: u64 = c.int()?;
+            let compile_time_known = !c.eat("?");
+            c.expect("x")?;
+            let invocations: u64 = c.int()?;
+            c.expect("invocations")?;
+            c.expect(",")?;
+            c.expect("scale")?;
+            let iter_scale: u32 = c.int()?;
+            let vector_width = if c.eat(",") {
+                c.expect("width")?;
+                c.int()?
+            } else {
+                1
+            };
+            c.expect(")")?;
+            let allow_reassoc = c.eat("[reassoc]");
+            let mut looop = Loop::new(name);
+            looop.trip = TripCount { count, compile_time_known };
+            looop.invocations = invocations;
+            looop.iter_scale = iter_scale;
+            looop.vector_width = vector_width;
+            looop.allow_reassoc = allow_reassoc;
+            l = Some(looop);
+            continue;
+        }
+        let Some(looop) = l.as_mut() else {
+            return c.err("text must start with a `loop` header");
+        };
+        if c.eat("array ") {
+            c.expect("@")?;
+            let idx: u32 = c.int()?;
+            if idx as usize != looop.arrays.len() {
+                return c.err("array indices must be dense and in order");
+            }
+            let name = c.word()?.to_string();
+            c.expect(":")?;
+            let ty = parse_ty(&mut c)?;
+            c.expect("[")?;
+            let len: u64 = c.int()?;
+            c.expect("]")?;
+            c.expect("align")?;
+            let base_align: u64 = c.int()?;
+            let iteration_private = c.eat("private");
+            let fill = if c.eat("fill") {
+                match c.word()? {
+                    "zero" => ArrayFill::Zero,
+                    "one" => ArrayFill::One,
+                    "+inf" => ArrayFill::PosInf,
+                    "-inf" => ArrayFill::NegInf,
+                    other => return c.err(format!("unknown fill `{other}`")),
+                }
+            } else {
+                ArrayFill::Data
+            };
+            looop.arrays.push(ArrayDecl {
+                name,
+                ty,
+                len,
+                base_align,
+                iteration_private,
+                fill,
+            });
+        } else if c.eat("livein ") {
+            c.expect("$")?;
+            let idx: u32 = c.int()?;
+            if idx as usize != looop.live_ins.len() {
+                return c.err("live-in indices must be dense and in order");
+            }
+            let name = c.word()?.to_string();
+            c.expect(":")?;
+            let ty = parse_ty(&mut c)?;
+            looop.live_ins.push(LiveIn { name, ty });
+        } else if c.eat("liveout ") {
+            let name = c.word()?.to_string();
+            c.expect("=")?;
+            c.expect("%")?;
+            let op: u32 = c.int()?;
+            let mut horizontal = None;
+            let mut combine = None;
+            while c.eat("(") {
+                let which = c.word()?.to_string();
+                let mnemonic = c.word()?;
+                let kind = kind_from_mnemonic(&c, mnemonic)?;
+                c.expect(")")?;
+                match which.as_str() {
+                    "horizontal" => horizontal = Some(kind),
+                    "combine" => combine = Some(kind),
+                    other => return c.err(format!("unknown live-out note `{other}`")),
+                }
+            }
+            looop.live_outs.push(LiveOut { name, op: OpId(op), horizontal, combine });
+        } else if c.eat("%") {
+            let id: u32 = c.int()?;
+            if id as usize != looop.ops.len() {
+                return c.err("op ids must be dense and in order");
+            }
+            c.expect("=")?;
+            let mn = c.word()?;
+            let (mn, form) = match mn.strip_prefix('v') {
+                // `v` prefix marks the vector form, except for mnemonics
+                // that genuinely start with v (none today).
+                Some(rest) if !rest.is_empty() && kind_from_mnemonic(&c, rest.split('.').next().unwrap()).is_ok() => {
+                    (rest, VectorForm::Vector)
+                }
+                _ => (mn, VectorForm::Scalar),
+            };
+            let (kind_s, ty_s) = mn
+                .split_once('.')
+                .ok_or_else(|| ParseError { line, message: format!("opcode `{mn}` missing type") })?;
+            let kind = kind_from_mnemonic(&c, kind_s)?;
+            let ty = match ty_s {
+                "f64" => ScalarType::F64,
+                "i64" => ScalarType::I64,
+                other => return c.err(format!("unknown type `{other}`")),
+            };
+            let is_reduction = c.eat("[red]");
+            let carried_init = if c.eat("[init") {
+                let k = match c.word()? {
+                    "one" => CarriedInit::One,
+                    "+inf" => CarriedInit::PosInf,
+                    "-inf" => CarriedInit::NegInf,
+                    other => return c.err(format!("unknown init `{other}`")),
+                };
+                c.expect("]")?;
+                k
+            } else if is_reduction {
+                CarriedInit::identity_for(kind)
+            } else {
+                CarriedInit::Zero
+            };
+            // Operands until the line ends or a memory ref starts.
+            let mut operands = Vec::new();
+            loop {
+                c.skip_ws();
+                if c.done() || c.s.starts_with('@') {
+                    break;
+                }
+                operands.push(parse_operand(&mut c)?);
+                if !c.eat(",") {
+                    break;
+                }
+            }
+            let mem = if !c.done() && {
+                c.skip_ws();
+                c.s.starts_with('@')
+            } {
+                Some(parse_mem_ref(&mut c)?)
+            } else {
+                None
+            };
+            looop.ops.push(Operation {
+                id: OpId(id),
+                opcode: Opcode { kind, ty, form },
+                operands,
+                mem,
+                is_reduction,
+                carried_init,
+            });
+        } else {
+            return c.err(format!("unrecognized line `{}`", head(trimmed)));
+        }
+        if !c.done() {
+            return c.err(format!("trailing text `{}`", head(c.s.trim())));
+        }
+    }
+    let looop = l.ok_or(ParseError { line: 1, message: "empty input".into() })?;
+    looop
+        .verify()
+        .map_err(|e| ParseError { line: 0, message: format!("verification failed: {e}") })?;
+    Ok(looop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+
+    fn round_trip(l: &Loop) {
+        let text = l.to_string();
+        let parsed = parse_loop(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(*l, parsed, "round trip of:\n{text}");
+    }
+
+    #[test]
+    fn round_trips_source_loops() {
+        let mut b = LoopBuilder::new("dot");
+        b.trip(1000).invocations(3).allow_reassoc(true);
+        let x = b.array("x", ScalarType::F64, 1024);
+        let y = b.array_misaligned("y", ScalarType::F64, 1024);
+        let a = b.live_in("alpha", ScalarType::F64);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, -2);
+        let m = b.fmul_li(a, lx);
+        let s = b.fadd(m, ly);
+        b.store(y, 1, 0, s);
+        b.reduce_add(s);
+        round_trip(&b.finish());
+    }
+
+    #[test]
+    fn round_trips_constants_and_iv() {
+        let mut b = LoopBuilder::new("consts");
+        let x = b.array("ix", ScalarType::I64, 64);
+        let iv = b.bin(OpKind::Add, ScalarType::I64, Operand::iv(), Operand::ConstI(-7));
+        let f = b.bin(
+            OpKind::Mul,
+            ScalarType::F64,
+            Operand::ConstF(2.5),
+            Operand::ConstF(-0.125),
+        );
+        let g = b.bin(OpKind::Add, ScalarType::F64, Operand::def(f), Operand::ConstF(3.0));
+        b.store(x, 1, 0, iv);
+        b.live_out("gee", g);
+        round_trip(&b.finish());
+    }
+
+    #[test]
+    fn round_trips_recurrences_and_inits() {
+        let mut b = LoopBuilder::new("rec");
+        let x = b.array("x", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let r = b.recurrence(OpKind::Mul, ScalarType::F64, lx); // init one
+        b.store(x, 1, 8, r);
+        b.reduce(OpKind::Min, ScalarType::F64, r); // init +inf
+        round_trip(&b.finish());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_loop("loop t (trip 4 x1 invocations, scale 1)\n  bogus").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_loop("  array @0 x : f64[4] align 16").unwrap_err();
+        assert!(e.message.contains("loop"));
+    }
+
+    #[test]
+    fn parse_rejects_invalid_structure() {
+        // References a nonexistent op: syntax fine, verification fails.
+        let text = "loop t (trip 4 x1 invocations, scale 1)\n  array @0 x : f64[8] align 16\n  %0 = store.f64 %5 @0[1*i+0]";
+        let e = parse_loop(text).unwrap_err();
+        assert!(e.message.contains("verification failed"), "{e}");
+    }
+}

@@ -1,0 +1,266 @@
+//! The loop container: operations, arrays, live-ins/outs and trip metadata.
+
+use crate::mem::{ArrayDecl, ArrayId};
+use crate::op::{OpId, Operation};
+use crate::types::ScalarType;
+use crate::verify::VerifyError;
+use std::fmt;
+
+/// Identifier of a loop-invariant live-in value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LiveInId(pub u32);
+
+/// A loop-invariant input value, defined before the loop body executes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveIn {
+    /// Human-readable name.
+    pub name: String,
+    /// Value type.
+    pub ty: ScalarType,
+}
+
+/// A value observed after the loop finishes (reduction results and other
+/// scalar outputs). The functional simulator compares live-outs by `name`
+/// between a source loop and its transformed versions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveOut {
+    /// Name used to match live-outs across transformed versions of a loop.
+    pub name: String,
+    /// Operation whose final value is observed.
+    pub op: OpId,
+    /// When `Some(kind)`, `op` defines a *vector* of partial results that
+    /// must be combined elementwise with `kind` after the loop (the
+    /// horizontal combine emitted when a reduction is vectorized into
+    /// partial sums).
+    pub horizontal: Option<crate::op::OpKind>,
+    /// When `Some(kind)`, the live-out is a running reduction whose values
+    /// from separately executed loop pieces (a distributed loop and its
+    /// cleanup loop, say) combine with `kind`; `None` values are replaced
+    /// by later pieces.
+    pub combine: Option<crate::op::OpKind>,
+}
+
+/// Trip-count metadata for a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripCount {
+    /// Number of iterations actually executed per invocation.
+    pub count: u64,
+    /// Whether the count is a compile-time constant. When it is not, or is
+    /// not divisible by the vectorization factor, transformed loops need a
+    /// cleanup loop for the remainder iterations.
+    pub compile_time_known: bool,
+}
+
+impl TripCount {
+    /// A compile-time-known trip count.
+    pub fn known(count: u64) -> TripCount {
+        TripCount { count, compile_time_known: true }
+    }
+
+    /// A trip count only known at run time (the common case for the SPEC
+    /// loops, whose bounds are subroutine arguments).
+    pub fn runtime(count: u64) -> TripCount {
+        TripCount { count, compile_time_known: false }
+    }
+}
+
+/// An innermost `do` loop without control flow: the unit of work for the
+/// whole pipeline.
+///
+/// Invariants (checked by [`Loop::verify`]):
+/// * `ops[n].id == OpId(n)` — ids are program-order indices;
+/// * operand counts match opcode arities; memory ops carry a [`crate::MemRef`]
+///   whose width matches their form; only memory ops carry one;
+/// * def-operands reference ops that define a value; intra-iteration uses
+///   (`distance == 0`) reference *earlier* ops, so program order is a valid
+///   execution order;
+/// * reduction ops use a legal reduction kind and carry the self-referential
+///   carried operand in position 0;
+/// * live-ins/arrays referenced by operands/refs exist; live-outs reference
+///   value-defining ops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Loop name, used in reports.
+    pub name: String,
+    /// Operations in program order.
+    pub ops: Vec<Operation>,
+    /// Arrays referenced by memory operations.
+    pub arrays: Vec<ArrayDecl>,
+    /// Loop-invariant inputs.
+    pub live_ins: Vec<LiveIn>,
+    /// Values observed after the loop.
+    pub live_outs: Vec<LiveOut>,
+    /// Trip count per invocation.
+    pub trip: TripCount,
+    /// How many times the loop is entered over the whole program run.
+    pub invocations: u64,
+    /// Whether floating-point reassociation is permitted, i.e. whether
+    /// reductions may be vectorized into partial sums. (The paper's Figure 1
+    /// discussion assumes it is *not*, which is the default for FP.)
+    pub allow_reassoc: bool,
+    /// Number of *original* iterations completed by one iteration of this
+    /// loop. Source loops have 1; a loop vectorized/unrolled by factor `k`
+    /// has `k`. Used to compare initiation intervals per original iteration.
+    pub iter_scale: u32,
+    /// Lane count of the vector values in this loop (1 when no vector
+    /// operations exist). Usually equals `iter_scale` for vectorized
+    /// loops, but differs under the widened-window extension, where one
+    /// iteration covers more original iterations than a vector holds.
+    pub vector_width: u32,
+}
+
+impl Loop {
+    /// An empty loop shell with the given name. Use [`crate::LoopBuilder`]
+    /// for convenient construction.
+    pub fn new(name: impl Into<String>) -> Loop {
+        Loop {
+            name: name.into(),
+            ops: Vec::new(),
+            arrays: Vec::new(),
+            live_ins: Vec::new(),
+            live_outs: Vec::new(),
+            trip: TripCount::runtime(1024),
+            invocations: 1,
+            allow_reassoc: false,
+            iter_scale: 1,
+            vector_width: 1,
+        }
+    }
+
+    /// The operations in program order.
+    #[inline]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[inline]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Append an operation, assigning it the next id. Returns the id.
+    pub fn push_op(&mut self, mut op: Operation) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        op.id = id;
+        self.ops.push(op);
+        id
+    }
+
+    /// Declare an array, returning its id.
+    pub fn push_array(&mut self, decl: ArrayDecl) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(decl);
+        id
+    }
+
+    /// Declare a live-in, returning its id.
+    pub fn push_live_in(&mut self, li: LiveIn) -> LiveInId {
+        let id = LiveInId(self.live_ins.len() as u32);
+        self.live_ins.push(li);
+        id
+    }
+
+    /// The array declaration for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    #[inline]
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0 as usize]
+    }
+
+    /// Number of iterations this loop executes per invocation, accounting
+    /// for [`Loop::iter_scale`]: a transformed loop covering `k` original
+    /// iterations executes `⌊count/k⌋` iterations (the remainder is handled
+    /// by a cleanup loop).
+    pub fn executed_iterations(&self) -> u64 {
+        self.trip.count / u64::from(self.iter_scale)
+    }
+
+    /// Original iterations left for a cleanup loop after this loop ran.
+    pub fn remainder_iterations(&self) -> u64 {
+        self.trip.count % u64::from(self.iter_scale)
+    }
+
+    /// Check structural invariants. See the type-level docs for the list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        crate::verify::verify(self)
+    }
+}
+
+impl fmt::Display for Loop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::display::fmt_loop(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{CarriedInit, OpKind, Opcode, Operand, Operation};
+    use crate::mem::MemRef;
+
+    fn load_op(arr: ArrayId) -> Operation {
+        Operation {
+            id: OpId(0),
+            opcode: Opcode::scalar(OpKind::Load, ScalarType::F64),
+            operands: vec![],
+            mem: Some(MemRef::scalar(arr, 1, 0)),
+            is_reduction: false,
+            carried_init: CarriedInit::Zero,
+        }
+    }
+
+    #[test]
+    fn push_op_assigns_sequential_ids() {
+        let mut l = Loop::new("t");
+        let a = l.push_array(ArrayDecl {
+            name: "a".into(),
+            ty: ScalarType::F64,
+            len: 8,
+            base_align: 16,
+            iteration_private: false,
+            fill: crate::mem::ArrayFill::Data,
+        });
+        let i0 = l.push_op(load_op(a));
+        let i1 = l.push_op(Operation {
+            id: OpId(99),
+            opcode: Opcode::scalar(OpKind::Neg, ScalarType::F64),
+            operands: vec![Operand::def(i0)],
+            mem: None,
+            is_reduction: false,
+            carried_init: CarriedInit::Zero,
+        });
+        assert_eq!(i0, OpId(0));
+        assert_eq!(i1, OpId(1));
+        assert_eq!(l.op(i1).id, i1);
+    }
+
+    #[test]
+    fn executed_and_remainder_iterations() {
+        let mut l = Loop::new("t");
+        l.trip = TripCount::known(10);
+        l.iter_scale = 4;
+        assert_eq!(l.executed_iterations(), 2);
+        assert_eq!(l.remainder_iterations(), 2);
+        l.iter_scale = 1;
+        assert_eq!(l.executed_iterations(), 10);
+        assert_eq!(l.remainder_iterations(), 0);
+    }
+
+    #[test]
+    fn trip_count_constructors() {
+        assert!(TripCount::known(5).compile_time_known);
+        assert!(!TripCount::runtime(5).compile_time_known);
+    }
+}

@@ -1,0 +1,148 @@
+//! Loop statistics: op-mix summaries for reports and tooling.
+
+use crate::op::OpKind;
+use crate::program::Loop;
+use std::fmt;
+
+/// Operation-mix summary of a loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopStats {
+    /// Memory reads.
+    pub loads: usize,
+    /// Memory writes.
+    pub stores: usize,
+    /// Floating-point arithmetic (including divides/square roots).
+    pub fp_arith: usize,
+    /// Integer arithmetic.
+    pub int_arith: usize,
+    /// Divides and square roots (already counted in the arith fields).
+    pub long_latency: usize,
+    /// Vector-form operations.
+    pub vector_ops: usize,
+    /// Realignment merges.
+    pub merges: usize,
+    /// Reduction accumulations.
+    pub reductions: usize,
+    /// Operations with loop-carried register operands (excluding
+    /// reduction self-references).
+    pub carried_uses: usize,
+}
+
+impl LoopStats {
+    /// Total operations summarized.
+    pub fn total(&self) -> usize {
+        self.loads + self.stores + self.fp_arith + self.int_arith + self.merges
+    }
+}
+
+impl fmt::Display for LoopStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops: {} loads, {} stores, {} fp, {} int, {} long-latency, \
+             {} vector, {} merges, {} reductions, {} carried uses",
+            self.total(),
+            self.loads,
+            self.stores,
+            self.fp_arith,
+            self.int_arith,
+            self.long_latency,
+            self.vector_ops,
+            self.merges,
+            self.reductions,
+            self.carried_uses
+        )
+    }
+}
+
+impl Loop {
+    /// Summarize the loop's operation mix.
+    ///
+    /// ```
+    /// use sv_ir::{LoopBuilder, ScalarType};
+    ///
+    /// let mut b = LoopBuilder::new("dot");
+    /// let x = b.array("x", ScalarType::F64, 64);
+    /// let lx = b.load(x, 1, 0);
+    /// let sq = b.fmul(lx, lx);
+    /// b.reduce_add(sq);
+    /// let s = b.finish().stats();
+    /// assert_eq!((s.loads, s.fp_arith, s.reductions), (1, 2, 1));
+    /// ```
+    pub fn stats(&self) -> LoopStats {
+        let mut s = LoopStats::default();
+        for op in &self.ops {
+            match op.opcode.kind {
+                OpKind::Load => s.loads += 1,
+                OpKind::Store => s.stores += 1,
+                OpKind::Merge => s.merges += 1,
+                OpKind::Pack | OpKind::Extract => {}
+                kind => {
+                    if op.opcode.ty.is_float() {
+                        s.fp_arith += 1;
+                    } else {
+                        s.int_arith += 1;
+                    }
+                    if matches!(kind, OpKind::Div | OpKind::Sqrt) {
+                        s.long_latency += 1;
+                    }
+                }
+            }
+            if op.opcode.is_vector() {
+                s.vector_ops += 1;
+            }
+            if op.is_reduction {
+                s.reductions += 1;
+            }
+            if op
+                .def_uses()
+                .any(|(p, d)| d >= 1 && !(op.is_reduction && p == op.id))
+            {
+                s.carried_uses += 1;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::types::ScalarType;
+
+    #[test]
+    fn counts_every_category() {
+        let mut b = LoopBuilder::new("mix");
+        let x = b.array("x", ScalarType::F64, 64);
+        let ix = b.array("ix", ScalarType::I64, 64);
+        let lx = b.load(x, 1, 0);
+        let li = b.load(ix, 1, 0);
+        let d = b.fdiv(lx, lx);
+        let q = b.imul(li, li);
+        let r = b.recurrence(OpKind::Add, ScalarType::F64, d);
+        b.store(x, 1, 8, r);
+        b.store(ix, 1, 8, q);
+        let s = b.finish().stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 2);
+        assert_eq!(s.fp_arith, 2); // div + recurrence add
+        assert_eq!(s.int_arith, 1);
+        assert_eq!(s.long_latency, 1);
+        assert_eq!(s.carried_uses, 1); // the recurrence
+        assert_eq!(s.reductions, 0);
+        assert_eq!(s.vector_ops, 0);
+        assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut b = LoopBuilder::new("d");
+        let x = b.array("x", ScalarType::F64, 8);
+        let lx = b.load(x, 1, 0);
+        b.store(x, 1, 4, lx);
+        let text = b.finish().stats().to_string();
+        assert!(text.contains("1 loads"));
+        assert!(text.contains("1 stores"));
+    }
+}

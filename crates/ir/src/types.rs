@@ -1,0 +1,120 @@
+//! Scalar element types and register classes.
+
+use std::fmt;
+
+/// Element type of a value or memory cell.
+///
+/// The paper's evaluation operates on 64-bit data (SPEC FP with a vector
+/// length of two 64-bit elements in a 128-bit vector), so the IR provides
+/// exactly the two 64-bit types. Narrower types would only change the
+/// vector length, which is already a free parameter of the machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 double.
+    F64,
+}
+
+impl ScalarType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> u64 {
+        8
+    }
+
+    /// True for [`ScalarType::F64`].
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F64)
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::I64 => write!(f, "i64"),
+            ScalarType::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// Register class a value lives in, used for register-pressure accounting.
+///
+/// The paper's machine (Table 1) has four data register files: scalar
+/// integer, scalar floating point, vector integer, and vector floating
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Scalar integer register file.
+    ScalarInt,
+    /// Scalar floating-point register file.
+    ScalarFp,
+    /// Vector integer register file.
+    VectorInt,
+    /// Vector floating-point register file.
+    VectorFp,
+}
+
+impl RegClass {
+    /// The register class for a value of type `ty` in scalar or vector form.
+    pub fn of(ty: ScalarType, vector: bool) -> RegClass {
+        match (ty.is_float(), vector) {
+            (false, false) => RegClass::ScalarInt,
+            (true, false) => RegClass::ScalarFp,
+            (false, true) => RegClass::VectorInt,
+            (true, true) => RegClass::VectorFp,
+        }
+    }
+
+    /// All register classes, in a fixed order.
+    pub const ALL: [RegClass; 4] = [
+        RegClass::ScalarInt,
+        RegClass::ScalarFp,
+        RegClass::VectorInt,
+        RegClass::VectorFp,
+    ];
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegClass::ScalarInt => "sint",
+            RegClass::ScalarFp => "sfp",
+            RegClass::VectorInt => "vint",
+            RegClass::VectorFp => "vfp",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_type_properties() {
+        assert_eq!(ScalarType::I64.size_bytes(), 8);
+        assert_eq!(ScalarType::F64.size_bytes(), 8);
+        assert!(ScalarType::F64.is_float());
+        assert!(!ScalarType::I64.is_float());
+        assert_eq!(ScalarType::F64.to_string(), "f64");
+    }
+
+    #[test]
+    fn reg_class_of() {
+        assert_eq!(RegClass::of(ScalarType::I64, false), RegClass::ScalarInt);
+        assert_eq!(RegClass::of(ScalarType::F64, false), RegClass::ScalarFp);
+        assert_eq!(RegClass::of(ScalarType::I64, true), RegClass::VectorInt);
+        assert_eq!(RegClass::of(ScalarType::F64, true), RegClass::VectorFp);
+    }
+
+    #[test]
+    fn reg_class_all_distinct() {
+        for (i, a) in RegClass::ALL.iter().enumerate() {
+            for b in &RegClass::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

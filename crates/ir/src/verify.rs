@@ -1,0 +1,275 @@
+//! Structural verification of loops.
+
+use crate::op::{OpId, VectorForm};
+use crate::program::Loop;
+use std::fmt;
+
+/// A violated structural invariant, reported by [`Loop::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// `ops[n].id != OpId(n)`.
+    IdMismatch { at: usize, found: OpId },
+    /// Operand count does not match the opcode's arity.
+    BadArity { op: OpId, expected: usize, found: usize },
+    /// Memory op without a [`crate::MemRef`], or a non-memory op with one.
+    MemRefMismatch { op: OpId },
+    /// Memory ref width disagrees with the opcode form (scalar refs must
+    /// have width 1; vector refs width > 1).
+    BadRefWidth { op: OpId, width: u32 },
+    /// Def-operand names an op that defines no value (a store).
+    UseOfNonValue { op: OpId, referenced: OpId },
+    /// Def-operand names an out-of-range op.
+    DanglingDef { op: OpId, referenced: OpId },
+    /// Intra-iteration operand (`distance == 0`) references the op itself or
+    /// a later op, so program order would not be executable.
+    ForwardUse { op: OpId, referenced: OpId },
+    /// Reduction flag on a non-reduction kind, or without the carried
+    /// self-operand in position 0.
+    MalformedReduction { op: OpId },
+    /// Memory ref names an undeclared array.
+    DanglingArray { op: OpId },
+    /// Operand names an undeclared live-in.
+    DanglingLiveIn { op: OpId },
+    /// Live-out references an out-of-range or non-value op.
+    BadLiveOut { name: String },
+    /// `iter_scale` must be at least 1.
+    BadIterScale,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::IdMismatch { at, found } => {
+                write!(f, "op at index {at} has id {found}")
+            }
+            VerifyError::BadArity { op, expected, found } => {
+                write!(f, "{op} has {found} operands, opcode needs {expected}")
+            }
+            VerifyError::MemRefMismatch { op } => {
+                write!(f, "{op} has a memory-ref/opcode mismatch")
+            }
+            VerifyError::BadRefWidth { op, width } => {
+                write!(f, "{op} has memory ref width {width} inconsistent with its form")
+            }
+            VerifyError::UseOfNonValue { op, referenced } => {
+                write!(f, "{op} uses {referenced}, which defines no value")
+            }
+            VerifyError::DanglingDef { op, referenced } => {
+                write!(f, "{op} references nonexistent op {referenced}")
+            }
+            VerifyError::ForwardUse { op, referenced } => {
+                write!(f, "{op} uses {referenced} at distance 0 but it is not earlier")
+            }
+            VerifyError::MalformedReduction { op } => {
+                write!(f, "{op} is a malformed reduction")
+            }
+            VerifyError::DanglingArray { op } => {
+                write!(f, "{op} references an undeclared array")
+            }
+            VerifyError::DanglingLiveIn { op } => {
+                write!(f, "{op} references an undeclared live-in")
+            }
+            VerifyError::BadLiveOut { name } => {
+                write!(f, "live-out `{name}` references a bad op")
+            }
+            VerifyError::BadIterScale => write!(f, "iter_scale must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+pub(crate) fn verify(l: &Loop) -> Result<(), VerifyError> {
+    if l.iter_scale == 0 {
+        return Err(VerifyError::BadIterScale);
+    }
+    for (i, op) in l.ops.iter().enumerate() {
+        if op.id.index() != i {
+            return Err(VerifyError::IdMismatch { at: i, found: op.id });
+        }
+        let expected = op.opcode.kind.arity();
+        let arity_ok = if op.opcode.kind.is_variadic() {
+            op.operands.len() >= expected
+        } else {
+            op.operands.len() == expected
+        };
+        if !arity_ok {
+            return Err(VerifyError::BadArity {
+                op: op.id,
+                expected,
+                found: op.operands.len(),
+            });
+        }
+        let is_mem = op.opcode.kind.is_mem();
+        if is_mem != op.mem.is_some() {
+            return Err(VerifyError::MemRefMismatch { op: op.id });
+        }
+        if let Some(m) = &op.mem {
+            if (l.arrays.len() as u32) <= m.array.0 {
+                return Err(VerifyError::DanglingArray { op: op.id });
+            }
+            let scalar_form = op.opcode.form == VectorForm::Scalar;
+            if (scalar_form && m.width != 1) || (!scalar_form && m.width < 2) {
+                return Err(VerifyError::BadRefWidth { op: op.id, width: m.width });
+            }
+        }
+        for operand in &op.operands {
+            match operand {
+                crate::op::Operand::Def { op: d, distance } => {
+                    if d.index() >= l.ops.len() {
+                        return Err(VerifyError::DanglingDef { op: op.id, referenced: *d });
+                    }
+                    if !l.ops[d.index()].defines_value() {
+                        return Err(VerifyError::UseOfNonValue {
+                            op: op.id,
+                            referenced: *d,
+                        });
+                    }
+                    if *distance == 0 && d.index() >= i {
+                        return Err(VerifyError::ForwardUse { op: op.id, referenced: *d });
+                    }
+                }
+                crate::op::Operand::LiveIn(id)
+                    if id.0 as usize >= l.live_ins.len() => {
+                        return Err(VerifyError::DanglingLiveIn { op: op.id });
+                    }
+                _ => {}
+            }
+        }
+        if op.is_reduction {
+            let self_carried = matches!(
+                op.operands.first(),
+                Some(crate::op::Operand::Def { op: d, distance }) if *d == op.id && *distance >= 1
+            );
+            if !op.opcode.kind.is_reduction_kind() || !self_carried {
+                return Err(VerifyError::MalformedReduction { op: op.id });
+            }
+        }
+    }
+    for lo in &l.live_outs {
+        let ok = lo.op.index() < l.ops.len() && l.ops[lo.op.index()].defines_value();
+        if !ok {
+            return Err(VerifyError::BadLiveOut { name: lo.name.clone() });
+        }
+        if let Some(k) = lo.horizontal {
+            if !k.is_reduction_kind() {
+                return Err(VerifyError::BadLiveOut { name: lo.name.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::mem::MemRef;
+    use crate::op::{CarriedInit, Opcode, Operand, Operation};
+    use crate::types::ScalarType;
+
+    fn valid_loop() -> Loop {
+        let mut b = LoopBuilder::new("v");
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let n = b.fneg(lx);
+        b.store(x, 1, 0, n);
+        b.finish()
+    }
+
+    #[test]
+    fn valid_loop_verifies() {
+        assert!(valid_loop().verify().is_ok());
+    }
+
+    #[test]
+    fn detects_id_mismatch() {
+        let mut l = valid_loop();
+        l.ops[1].id = OpId(5);
+        assert!(matches!(l.verify(), Err(VerifyError::IdMismatch { at: 1, .. })));
+    }
+
+    #[test]
+    fn detects_bad_arity() {
+        let mut l = valid_loop();
+        l.ops[1].operands.push(Operand::ConstI(1));
+        assert!(matches!(l.verify(), Err(VerifyError::BadArity { .. })));
+    }
+
+    #[test]
+    fn detects_missing_mem_ref() {
+        let mut l = valid_loop();
+        l.ops[0].mem = None;
+        assert!(matches!(l.verify(), Err(VerifyError::MemRefMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_use_of_store_value() {
+        let mut l = valid_loop();
+        // op 2 is the store; make the neg use it (loop-carried so ordering
+        // is not the failure).
+        l.ops[1].operands[0] = Operand::carried(OpId(2), 1);
+        assert!(matches!(l.verify(), Err(VerifyError::UseOfNonValue { .. })));
+    }
+
+    #[test]
+    fn detects_forward_use() {
+        let mut l = valid_loop();
+        l.ops[1].operands[0] = Operand::def(OpId(1));
+        assert!(matches!(l.verify(), Err(VerifyError::ForwardUse { .. })));
+    }
+
+    #[test]
+    fn detects_dangling_def() {
+        let mut l = valid_loop();
+        l.ops[1].operands[0] = Operand::def(OpId(40));
+        assert!(matches!(l.verify(), Err(VerifyError::DanglingDef { .. })));
+    }
+
+    #[test]
+    fn detects_malformed_reduction() {
+        let mut l = valid_loop();
+        l.ops[1].is_reduction = true;
+        assert!(matches!(l.verify(), Err(VerifyError::MalformedReduction { .. })));
+    }
+
+    #[test]
+    fn detects_bad_ref_width() {
+        let mut l = valid_loop();
+        l.ops[0].mem = Some(MemRef { width: 2, ..*l.ops[0].mem_ref() });
+        assert!(matches!(l.verify(), Err(VerifyError::BadRefWidth { .. })));
+    }
+
+    #[test]
+    fn detects_bad_live_out() {
+        let mut l = valid_loop();
+        l.live_outs.push(crate::program::LiveOut {
+            name: "bogus".into(),
+            op: OpId(2), // the store
+            horizontal: None,
+            combine: None,
+        });
+        assert!(matches!(l.verify(), Err(VerifyError::BadLiveOut { .. })));
+    }
+
+    #[test]
+    fn detects_zero_iter_scale() {
+        let mut l = valid_loop();
+        l.iter_scale = 0;
+        assert_eq!(l.verify(), Err(VerifyError::BadIterScale));
+    }
+
+    #[test]
+    fn vector_op_requires_wide_ref() {
+        let mut l = valid_loop();
+        l.ops.push(Operation {
+            id: OpId(3),
+            opcode: Opcode::vector(crate::op::OpKind::Load, ScalarType::F64),
+            operands: vec![],
+            mem: Some(MemRef::scalar(crate::mem::ArrayId(0), 1, 0)),
+            is_reduction: false,
+            carried_init: CarriedInit::Zero,
+        });
+        assert!(matches!(l.verify(), Err(VerifyError::BadRefWidth { .. })));
+    }
+}

@@ -1,0 +1,116 @@
+//! Scalar↔vector operand communication cost model.
+
+use sv_ir::{OpKind, Opcode, ScalarType};
+
+/// Direction of an operand transfer between register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDirection {
+    /// A scalar-produced value consumed by vector operations: the `k`
+    /// scalar elements are stored and read back with one vector load.
+    ScalarToVector,
+    /// A vector-produced value consumed by scalar operations: one vector
+    /// store followed by `k` scalar loads.
+    VectorToScalar,
+}
+
+/// How operands move between the scalar and vector register files.
+///
+/// The paper's machine "does not provide specialized support for
+/// communicating operands between scalar and vector functional units.
+/// Communication is accomplished through memory using a series of load and
+/// store operations" — which compete with the loop's own memory traffic for
+/// the load/store units. [`CommModel::Free`] models the idealized machine
+/// of Figure 1, where transfers cost nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommModel {
+    /// Transfers are free (Figure 1's idealization).
+    Free,
+    /// Transfers are loads/stores through memory (the evaluated machine).
+    ThroughMemory,
+}
+
+impl CommModel {
+    /// The instruction sequence transferring one `ty`-typed operand in
+    /// direction `dir` on a machine with vector length `k`. Empty for
+    /// [`CommModel::Free`].
+    ///
+    /// A particular operand is transferred at most once regardless of its
+    /// number of consumers; callers are responsible for that caching, which
+    /// both the partitioner's cost accounting and the loop transformer
+    /// implement.
+    pub fn transfer_opcodes(
+        &self,
+        dir: TransferDirection,
+        ty: ScalarType,
+        k: u32,
+    ) -> Vec<Opcode> {
+        match self {
+            CommModel::Free => Vec::new(),
+            CommModel::ThroughMemory => {
+                let mut ops = Vec::with_capacity(k as usize + 1);
+                match dir {
+                    TransferDirection::ScalarToVector => {
+                        for _ in 0..k {
+                            ops.push(Opcode::scalar(OpKind::Store, ty));
+                        }
+                        ops.push(Opcode::vector(OpKind::Load, ty));
+                    }
+                    TransferDirection::VectorToScalar => {
+                        ops.push(Opcode::vector(OpKind::Store, ty));
+                        for _ in 0..k {
+                            ops.push(Opcode::scalar(OpKind::Load, ty));
+                        }
+                    }
+                }
+                ops
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::VectorForm;
+
+    #[test]
+    fn free_model_has_no_ops() {
+        for dir in [TransferDirection::ScalarToVector, TransferDirection::VectorToScalar] {
+            assert!(CommModel::Free
+                .transfer_opcodes(dir, ScalarType::F64, 2)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn scalar_to_vector_is_k_stores_one_vload() {
+        let ops = CommModel::ThroughMemory.transfer_opcodes(
+            TransferDirection::ScalarToVector,
+            ScalarType::F64,
+            2,
+        );
+        assert_eq!(ops.len(), 3);
+        assert_eq!(
+            ops.iter().filter(|o| o.kind == OpKind::Store && o.form == VectorForm::Scalar).count(),
+            2
+        );
+        assert_eq!(
+            ops.iter().filter(|o| o.kind == OpKind::Load && o.form == VectorForm::Vector).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn vector_to_scalar_is_one_vstore_k_loads() {
+        let ops = CommModel::ThroughMemory.transfer_opcodes(
+            TransferDirection::VectorToScalar,
+            ScalarType::F64,
+            4,
+        );
+        assert_eq!(ops.len(), 5);
+        assert_eq!(
+            ops.iter().filter(|o| o.kind == OpKind::Load && o.form == VectorForm::Scalar).count(),
+            4
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # sv-machine — parametric VLIW machine model
+//!
+//! Describes the compiler-visible resources, latencies and register files
+//! of the paper's simulated processor (MICRO 2005, Table 1), plus the
+//! communication and alignment cost models that drive the selective
+//! vectorizer:
+//!
+//! * all scalar↔vector operand communication goes **through memory** as a
+//!   series of stores and loads that compete with the program's own memory
+//!   operations for the load/store units;
+//! * misaligned vector memory operations require realignment on the
+//!   dedicated **vector merge unit** (one merge per access in steady state,
+//!   after previous-iteration reuse).
+//!
+//! Two presets are provided: [`MachineConfig::paper_default`] (Table 1) and
+//! [`MachineConfig::figure1`] (the 3-issue toy machine of the motivating
+//! example, with free communication).
+//!
+//! ```
+//! use sv_machine::MachineConfig;
+//! use sv_ir::{OpKind, Opcode, ScalarType};
+//!
+//! let m = MachineConfig::paper_default();
+//! assert_eq!(m.vector_length, 2);
+//! let fmul = Opcode::scalar(OpKind::Mul, ScalarType::F64);
+//! assert_eq!(m.latency(fmul), 4);
+//! ```
+
+mod comm;
+mod config;
+mod resources;
+mod spec;
+
+pub use comm::{CommModel, TransferDirection};
+pub use config::{AlignmentPolicy, Latencies, MachineConfig, RegFiles, ResourceModel};
+pub use resources::{Reservation, ResourceClass, ResourceInstance, ResourcePool};
+pub use spec::SpecError;

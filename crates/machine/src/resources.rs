@@ -1,0 +1,245 @@
+//! Compiler-visible resource classes and instances.
+
+use std::fmt;
+
+/// A class of identical machine resources.
+///
+/// Each class has a per-cycle capacity (its instance count); an operation
+/// reserves one instance of each class it requires, for one or more cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceClass {
+    /// Instruction issue slot (one per instruction per cycle).
+    Issue,
+    /// Scalar integer unit.
+    Int,
+    /// Scalar floating-point unit.
+    Fp,
+    /// Load/store unit — shared between scalar and vector memory
+    /// operations, as on the paper's machine.
+    Mem,
+    /// Branch unit (loop back-branch).
+    Branch,
+    /// Vector arithmetic unit (shared int/fp).
+    Vector,
+    /// Vector merge unit (realignment of misaligned vector memory ops).
+    Merge,
+    /// Artificial class limiting total vector instructions per cycle; used
+    /// by the Figure 1 toy machine ("one vector instruction each cycle").
+    VectorIssue,
+}
+
+impl ResourceClass {
+    /// All classes, in a fixed display order.
+    pub const ALL: [ResourceClass; 8] = [
+        ResourceClass::Issue,
+        ResourceClass::Int,
+        ResourceClass::Fp,
+        ResourceClass::Mem,
+        ResourceClass::Branch,
+        ResourceClass::Vector,
+        ResourceClass::Merge,
+        ResourceClass::VectorIssue,
+    ];
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceClass::Issue => "issue",
+            ResourceClass::Int => "int",
+            ResourceClass::Fp => "fp",
+            ResourceClass::Mem => "mem",
+            ResourceClass::Branch => "branch",
+            ResourceClass::Vector => "vector",
+            ResourceClass::Merge => "merge",
+            ResourceClass::VectorIssue => "vissue",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One concrete unit of a [`ResourceClass`]: `(class, index)` with
+/// `index < capacity(class)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceInstance {
+    /// The class this instance belongs to.
+    pub class: ResourceClass,
+    /// Index within the class.
+    pub index: u32,
+}
+
+impl fmt::Display for ResourceInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.index)
+    }
+}
+
+/// A reservation requirement: one instance of `class` for `cycles`
+/// consecutive cycles (non-pipelined units reserve for more than one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Required class.
+    pub class: ResourceClass,
+    /// Consecutive cycles reserved.
+    pub cycles: u32,
+}
+
+impl Reservation {
+    /// A one-cycle reservation of `class`.
+    pub fn one(class: ResourceClass) -> Reservation {
+        Reservation { class, cycles: 1 }
+    }
+}
+
+/// The set of resource instances of one machine configuration, in a stable
+/// global order, with dense instance ids for fast indexed tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourcePool {
+    counts: Vec<(ResourceClass, u32)>,
+    /// flat[i] = instance with dense id i
+    flat: Vec<ResourceInstance>,
+    /// start offset of each class in `flat`, parallel to `counts`
+    offsets: Vec<usize>,
+}
+
+impl ResourcePool {
+    /// Build a pool from `(class, capacity)` pairs; zero-capacity classes
+    /// are dropped.
+    pub fn new(counts: impl IntoIterator<Item = (ResourceClass, u32)>) -> ResourcePool {
+        let counts: Vec<_> = counts.into_iter().filter(|&(_, n)| n > 0).collect();
+        let mut flat = Vec::new();
+        let mut offsets = Vec::with_capacity(counts.len());
+        for &(class, n) in &counts {
+            offsets.push(flat.len());
+            for index in 0..n {
+                flat.push(ResourceInstance { class, index });
+            }
+        }
+        ResourcePool { counts, flat, offsets }
+    }
+
+    /// Total number of instances.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flat.len()
+    }
+
+    /// True when the pool has no instances.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+    }
+
+    /// All instances in dense-id order.
+    #[inline]
+    pub fn instances(&self) -> &[ResourceInstance] {
+        &self.flat
+    }
+
+    /// Dense id of an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the instance's class is not in the pool or its index is
+    /// out of range.
+    pub fn dense_id(&self, inst: ResourceInstance) -> usize {
+        let slot = self
+            .counts
+            .iter()
+            .position(|&(c, _)| c == inst.class)
+            .expect("resource class not in pool");
+        assert!(inst.index < self.counts[slot].1, "instance index out of range");
+        self.offsets[slot] + inst.index as usize
+    }
+
+    /// The instances of one class (empty when the class has no capacity).
+    pub fn alternatives(&self, class: ResourceClass) -> &[ResourceInstance] {
+        match self.counts.iter().position(|&(c, _)| c == class) {
+            Some(slot) => {
+                let start = self.offsets[slot];
+                &self.flat[start..start + self.counts[slot].1 as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// The dense-id range of one class's instances (instances of a class
+    /// are contiguous, so `alternative_range(c)` zips with
+    /// [`ResourcePool::alternatives`]). Empty range when the class has no
+    /// capacity.
+    pub fn alternative_range(&self, class: ResourceClass) -> std::ops::Range<usize> {
+        match self.counts.iter().position(|&(c, _)| c == class) {
+            Some(slot) => {
+                let start = self.offsets[slot];
+                start..start + self.counts[slot].1 as usize
+            }
+            None => 0..0,
+        }
+    }
+
+    /// Capacity of a class (0 when absent).
+    pub fn capacity(&self, class: ResourceClass) -> u32 {
+        self.counts
+            .iter()
+            .find(|&&(c, _)| c == class)
+            .map_or(0, |&(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ResourcePool {
+        ResourcePool::new([
+            (ResourceClass::Issue, 3),
+            (ResourceClass::Mem, 2),
+            (ResourceClass::Vector, 0),
+            (ResourceClass::Merge, 1),
+        ])
+    }
+
+    #[test]
+    fn zero_capacity_classes_dropped() {
+        let p = pool();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.capacity(ResourceClass::Vector), 0);
+        assert!(p.alternatives(ResourceClass::Vector).is_empty());
+    }
+
+    #[test]
+    fn dense_ids_are_contiguous_and_stable() {
+        let p = pool();
+        for (i, inst) in p.instances().iter().enumerate() {
+            assert_eq!(p.dense_id(*inst), i);
+        }
+    }
+
+    #[test]
+    fn alternatives_per_class() {
+        let p = pool();
+        let mems = p.alternatives(ResourceClass::Mem);
+        assert_eq!(mems.len(), 2);
+        assert!(mems.iter().all(|m| m.class == ResourceClass::Mem));
+        assert_eq!(mems[1].index, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_id_checks_range() {
+        pool().dense_id(ResourceInstance { class: ResourceClass::Mem, index: 9 });
+    }
+
+    #[test]
+    fn reservation_one() {
+        let r = Reservation::one(ResourceClass::Fp);
+        assert_eq!(r.cycles, 1);
+        assert_eq!(r.class, ResourceClass::Fp);
+    }
+
+    #[test]
+    fn display_instance() {
+        let i = ResourceInstance { class: ResourceClass::Mem, index: 1 };
+        assert_eq!(i.to_string(), "mem.1");
+    }
+}

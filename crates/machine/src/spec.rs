@@ -1,0 +1,193 @@
+//! Textual machine descriptions.
+//!
+//! A small `key = value` format so alternative architectures can be swept
+//! from files rather than code — the backend-cost-model story of the paper
+//! depends on describing the machine precisely, and Trimaran itself is
+//! driven by machine-description files. Unspecified keys inherit from
+//! [`MachineConfig::paper_default`].
+//!
+//! ```text
+//! # a wider vector machine
+//! name = widevec
+//! vector_units = 2
+//! merge_units = 2
+//! vector_length = 4
+//! alignment = aligned
+//! ```
+
+use crate::comm::CommModel;
+use crate::config::{AlignmentPolicy, MachineConfig};
+use std::fmt;
+
+/// A malformed machine description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl MachineConfig {
+    /// Parse a machine description, starting from
+    /// [`MachineConfig::paper_default`] and overriding the listed keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for unknown keys or unparsable values.
+    ///
+    /// ```
+    /// use sv_machine::MachineConfig;
+    ///
+    /// let m = MachineConfig::from_spec(
+    ///     "name = wide\nissue_width = 8\nvector_length = 4\ncomm = free\n",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(m.issue_width, 8);
+    /// assert_eq!(m.vector_length, 4);
+    /// ```
+    pub fn from_spec(text: &str) -> Result<MachineConfig, SpecError> {
+        let mut m = MachineConfig::paper_default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let stripped = raw.split('#').next().unwrap_or("").trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = stripped.split_once('=') else {
+                return Err(SpecError {
+                    line,
+                    message: format!("expected `key = value`, got `{stripped}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let err = |message: String| SpecError { line, message };
+            let num = |v: &str| -> Result<u32, SpecError> {
+                v.parse()
+                    .map_err(|_| err(format!("`{v}` is not a number")))
+            };
+            let flag = |v: &str| -> Result<bool, SpecError> {
+                match v {
+                    "true" | "yes" | "on" => Ok(true),
+                    "false" | "no" | "off" => Ok(false),
+                    _ => Err(err(format!("`{v}` is not a boolean"))),
+                }
+            };
+            match key {
+                "name" => m.name = value.to_string(),
+                "issue_width" => m.issue_width = num(value)?,
+                "int_units" => m.int_units = num(value)?,
+                "fp_units" => m.fp_units = num(value)?,
+                "mem_units" => m.mem_units = num(value)?,
+                "branch_units" => m.branch_units = num(value)?,
+                "vector_units" => m.vector_units = num(value)?,
+                "merge_units" => m.merge_units = num(value)?,
+                "vector_length" => m.vector_length = num(value)?,
+                "vector_issue_limit" => {
+                    m.vector_issue_limit =
+                        if value == "none" { None } else { Some(num(value)?) }
+                }
+                "comm" => {
+                    m.comm = match value {
+                        "through-memory" => CommModel::ThroughMemory,
+                        "free" => CommModel::Free,
+                        _ => return Err(err(format!("unknown comm model `{value}`"))),
+                    }
+                }
+                "alignment" => {
+                    m.alignment = match value {
+                        "misaligned" => AlignmentPolicy::AssumeMisaligned,
+                        "aligned" => AlignmentPolicy::AssumeAligned,
+                        "static" => AlignmentPolicy::UseStatic,
+                        _ => return Err(err(format!("unknown alignment `{value}`"))),
+                    }
+                }
+                "count_loop_overhead" => m.count_loop_overhead = flag(value)?,
+                "non_pipelined_divide" => m.non_pipelined_divide = flag(value)?,
+                "loop_setup_cycles" => m.loop_setup_cycles = u64::from(num(value)?),
+                "lat.int_alu" => m.lat.int_alu = num(value)?,
+                "lat.int_mul" => m.lat.int_mul = num(value)?,
+                "lat.int_div" => m.lat.int_div = num(value)?,
+                "lat.fp_alu" => m.lat.fp_alu = num(value)?,
+                "lat.fp_mul" => m.lat.fp_mul = num(value)?,
+                "lat.fp_div" => m.lat.fp_div = num(value)?,
+                "lat.load" => m.lat.load = num(value)?,
+                "lat.store" => m.lat.store = num(value)?,
+                "lat.branch" => m.lat.branch = num(value)?,
+                "lat.merge" => m.lat.merge = num(value)?,
+                "regs.scalar_int" => m.regs.scalar_int = num(value)?,
+                "regs.scalar_fp" => m.regs.scalar_fp = num(value)?,
+                "regs.vector_int" => m.regs.vector_int = num(value)?,
+                "regs.vector_fp" => m.regs.vector_fp = num(value)?,
+                "regs.predicates" => m.regs.predicates = num(value)?,
+                other => return Err(err(format!("unknown key `{other}`"))),
+            }
+        }
+        if m.vector_length < 2 {
+            return Err(SpecError {
+                line: 0,
+                message: "vector_length must be at least 2".into(),
+            });
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_paper_machine() {
+        let m = MachineConfig::from_spec("").unwrap();
+        assert_eq!(m, MachineConfig::paper_default());
+    }
+
+    #[test]
+    fn overrides_and_comments() {
+        let m = MachineConfig::from_spec(
+            "# wider machine\nissue_width = 8 # eight slots\nlat.load = 2\nregs.vector_fp = 96\nalignment = static\n",
+        )
+        .unwrap();
+        assert_eq!(m.issue_width, 8);
+        assert_eq!(m.lat.load, 2);
+        assert_eq!(m.regs.vector_fp, 96);
+        assert_eq!(m.alignment, AlignmentPolicy::UseStatic);
+        // Untouched keys keep Table 1 values.
+        assert_eq!(m.fp_units, 2);
+    }
+
+    #[test]
+    fn vector_issue_limit_none_and_some() {
+        let m = MachineConfig::from_spec("vector_issue_limit = 1\n").unwrap();
+        assert_eq!(m.vector_issue_limit, Some(1));
+        let m = MachineConfig::from_spec("vector_issue_limit = none\n").unwrap();
+        assert_eq!(m.vector_issue_limit, None);
+    }
+
+    #[test]
+    fn errors_carry_line_and_message() {
+        let e = MachineConfig::from_spec("issue_width = 6\nbogus_key = 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus_key"));
+        let e = MachineConfig::from_spec("issue_width six\n").unwrap_err();
+        assert!(e.message.contains("key = value"));
+        let e = MachineConfig::from_spec("comm = telepathy\n").unwrap_err();
+        assert!(e.message.contains("telepathy"));
+    }
+
+    #[test]
+    fn rejects_degenerate_vector_length() {
+        let e = MachineConfig::from_spec("vector_length = 1\n").unwrap_err();
+        assert!(e.message.contains("at least 2"));
+    }
+}

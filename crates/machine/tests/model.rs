@@ -1,0 +1,131 @@
+//! Machine-model behaviour tests beyond the inline unit tests.
+
+use sv_ir::{OpKind, Opcode, ScalarType};
+use sv_machine::{
+    AlignmentPolicy, CommModel, MachineConfig, ResourceClass, ResourceModel,
+    TransferDirection,
+};
+
+#[test]
+fn paper_default_matches_table1_resources() {
+    let m = MachineConfig::paper_default();
+    let pool = m.resource_pool();
+    assert_eq!(pool.capacity(ResourceClass::Issue), 6);
+    assert_eq!(pool.capacity(ResourceClass::Int), 4);
+    assert_eq!(pool.capacity(ResourceClass::Fp), 2);
+    assert_eq!(pool.capacity(ResourceClass::Mem), 2);
+    assert_eq!(pool.capacity(ResourceClass::Branch), 1);
+    assert_eq!(pool.capacity(ResourceClass::Vector), 1);
+    assert_eq!(pool.capacity(ResourceClass::Merge), 1);
+    assert_eq!(pool.capacity(ResourceClass::VectorIssue), 0); // unlimited
+    assert_eq!(pool.len(), 17);
+    assert_eq!(m.alignment, AlignmentPolicy::AssumeMisaligned);
+    assert_eq!(m.comm, CommModel::ThroughMemory);
+    assert_eq!(m.model, ResourceModel::Full);
+}
+
+#[test]
+fn scalar_copy_routes_by_type() {
+    let m = MachineConfig::paper_default();
+    let icopy = m.requirements(Opcode::scalar(OpKind::Copy, ScalarType::I64));
+    assert!(icopy.iter().any(|r| r.class == ResourceClass::Int));
+    let fcopy = m.requirements(Opcode::scalar(OpKind::Copy, ScalarType::F64));
+    assert!(fcopy.iter().any(|r| r.class == ResourceClass::Fp));
+}
+
+#[test]
+fn vector_copy_routes_to_vector_unit() {
+    let m = MachineConfig::paper_default();
+    let vcopy = m.requirements(Opcode::vector(OpKind::Copy, ScalarType::F64));
+    assert!(vcopy.iter().any(|r| r.class == ResourceClass::Vector));
+}
+
+#[test]
+fn integer_divide_reserves_full_latency() {
+    let m = MachineConfig::paper_default();
+    let idiv = m.requirements(Opcode::scalar(OpKind::Div, ScalarType::I64));
+    let int = idiv.iter().find(|r| r.class == ResourceClass::Int).unwrap();
+    assert_eq!(int.cycles, 36);
+}
+
+#[test]
+fn pipelined_divide_option() {
+    let mut m = MachineConfig::paper_default();
+    m.non_pipelined_divide = false;
+    let fdiv = m.requirements(Opcode::scalar(OpKind::Div, ScalarType::F64));
+    let fp = fdiv.iter().find(|r| r.class == ResourceClass::Fp).unwrap();
+    assert_eq!(fp.cycles, 1);
+    // Latency stays 32 either way.
+    assert_eq!(m.latency(Opcode::scalar(OpKind::Div, ScalarType::F64)), 32);
+}
+
+#[test]
+fn sqrt_shares_divide_latency() {
+    let m = MachineConfig::paper_default();
+    assert_eq!(
+        m.latency(Opcode::scalar(OpKind::Sqrt, ScalarType::F64)),
+        m.latency(Opcode::scalar(OpKind::Div, ScalarType::F64))
+    );
+    assert_eq!(
+        m.latency(Opcode::scalar(OpKind::Sqrt, ScalarType::I64)),
+        m.latency(Opcode::scalar(OpKind::Div, ScalarType::I64))
+    );
+}
+
+#[test]
+fn pack_and_extract_are_free() {
+    let m = MachineConfig::paper_default();
+    for opc in [
+        Opcode::vector(OpKind::Pack, ScalarType::F64),
+        Opcode::scalar(OpKind::Extract, ScalarType::F64),
+    ] {
+        assert!(m.requirements(opc).is_empty());
+        assert_eq!(m.latency(opc), 0);
+    }
+}
+
+#[test]
+fn transfer_sequences_scale_with_vector_length() {
+    for k in [2u32, 4, 8] {
+        let s2v = CommModel::ThroughMemory.transfer_opcodes(
+            TransferDirection::ScalarToVector,
+            ScalarType::F64,
+            k,
+        );
+        assert_eq!(s2v.len() as u32, k + 1);
+        let v2s = CommModel::ThroughMemory.transfer_opcodes(
+            TransferDirection::VectorToScalar,
+            ScalarType::I64,
+            k,
+        );
+        assert_eq!(v2s.len() as u32, k + 1);
+        // All transfer instructions are memory operations: they compete
+        // with the loop's own loads/stores, the paper's key cost point.
+        assert!(s2v.iter().chain(&v2s).all(|o| o.kind.is_mem()));
+    }
+}
+
+#[test]
+fn figure1_toy_counts_only_issue_slots() {
+    let m = MachineConfig::figure1();
+    // Four scalar ops on 3 slots can never beat ceil(4/3) = 2 rows; the
+    // requirements confirm scalar ops need exactly one issue slot.
+    for kind in [OpKind::Load, OpKind::Store, OpKind::Mul, OpKind::Add] {
+        let reqs = m.requirements(Opcode::scalar(kind, ScalarType::F64));
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].class, ResourceClass::Issue);
+        assert_eq!(reqs[0].cycles, 1);
+    }
+    assert!(m.loop_overhead().is_empty());
+    assert_eq!(m.loop_setup_cycles, 0);
+}
+
+#[test]
+fn overhead_uses_branch_and_int() {
+    let m = MachineConfig::paper_default();
+    let oh = m.loop_overhead();
+    assert_eq!(oh.len(), 2);
+    assert!(oh[0].iter().any(|r| r.class == ResourceClass::Branch));
+    assert!(oh[1].iter().any(|r| r.class == ResourceClass::Int));
+    assert!(oh.iter().all(|reqs| reqs.iter().any(|r| r.class == ResourceClass::Issue)));
+}

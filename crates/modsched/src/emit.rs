@@ -1,0 +1,277 @@
+//! Flat code emission: prologue / kernel / epilogue.
+//!
+//! A modulo schedule is a recipe; real code generation lays it out as the
+//! classic three-part software pipeline (Rau's "code generation schema"):
+//! a **prologue** that fills the pipeline one stage at a time, a **kernel**
+//! of `II` VLIW rows executed `n − SC + 1` times with all `SC` stages in
+//! flight, and an **epilogue** that drains the remaining iterations. On
+//! the paper's machine the kernel is guarded by stage predicates over
+//! rotating registers, so prologue and epilogue can also be expressed as
+//! predicated kernel copies; this module emits the explicit (unpredicated)
+//! layout, which is also what modulo variable expansion needs.
+
+use crate::sched::Schedule;
+use sv_ir::{Loop, OpId};
+use std::fmt;
+
+/// One issue row: the operation instances launched in a single cycle.
+/// `iteration_offset` identifies which loop iteration the instance belongs
+/// to — absolute from the start in the prologue, relative to the kernel's
+/// running base in the kernel, and counted back from the last iteration in
+/// the epilogue.
+pub type Row = Vec<(OpId, u64)>;
+
+/// The flat three-part layout of a modulo schedule.
+#[derive(Debug, Clone)]
+pub struct FlatListing {
+    /// Initiation interval the layout repeats at.
+    pub ii: u32,
+    /// Stage count `SC`.
+    pub stage_count: u32,
+    /// `(SC − 1) · II` fill rows; entries carry absolute iteration numbers
+    /// (0-based from the first iteration).
+    pub prologue: Vec<Row>,
+    /// `II` steady-state rows; entries carry the *stage* of the op, i.e.
+    /// at kernel execution `t` the instance belongs to iteration
+    /// `t + (SC − 1) − stage`.
+    pub kernel: Vec<Row>,
+    /// `(SC − 1) · II + drain` rows; entries count iterations back from
+    /// the last (`0` = final iteration).
+    pub epilogue: Vec<Row>,
+}
+
+impl FlatListing {
+    /// Total operation instances the layout executes for `n ≥ SC`
+    /// iterations: prologue + `(n − SC + 1)` kernel executions + epilogue.
+    pub fn instances_for(&self, n: u64) -> u64 {
+        let per_kernel: u64 = self.kernel.iter().map(|r| r.len() as u64).sum();
+        let fixed: u64 = self
+            .prologue
+            .iter()
+            .chain(&self.epilogue)
+            .map(|r| r.len() as u64)
+            .sum();
+        fixed + per_kernel * (n - u64::from(self.stage_count) + 1)
+    }
+}
+
+/// Lay out `schedule` as prologue / kernel / epilogue.
+///
+/// ```
+/// use sv_analysis::DepGraph;
+/// use sv_ir::{LoopBuilder, ScalarType};
+/// use sv_machine::MachineConfig;
+/// use sv_modsched::{emit_flat, modulo_schedule};
+///
+/// let mut b = LoopBuilder::new("copy");
+/// let x = b.array("x", ScalarType::F64, 64);
+/// let y = b.array("y", ScalarType::F64, 64);
+/// let lx = b.load(x, 1, 0);
+/// b.store(y, 1, 0, lx);
+/// let l = b.finish();
+/// let m = MachineConfig::paper_default();
+/// let g = DepGraph::build(&l);
+/// let s = modulo_schedule(&l, &g, &m)?;
+/// let flat = emit_flat(&l, &s);
+/// assert_eq!(flat.kernel.len(), s.ii as usize);
+/// // Over n iterations the layout launches each op exactly n times.
+/// let n = 100;
+/// assert_eq!(flat.instances_for(n), n * l.ops().len() as u64);
+/// # Ok::<(), sv_modsched::ScheduleError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics when the schedule does not belong to `l`.
+pub fn emit_flat(l: &Loop, schedule: &Schedule) -> FlatListing {
+    assert_eq!(schedule.times.len(), l.ops.len(), "schedule/loop mismatch");
+    let ii = schedule.ii;
+    let sc = schedule.stage_count;
+
+    // Kernel: op at flat time σ sits in row σ mod II at stage σ / II.
+    let mut kernel: Vec<Row> = vec![Vec::new(); ii as usize];
+    for op in &l.ops {
+        let t = schedule.times[op.id.index()];
+        kernel[(t % ii) as usize].push((op.id, u64::from(t / ii)));
+    }
+    for row in &mut kernel {
+        row.sort_unstable_by_key(|&(op, _)| op);
+    }
+
+    // Prologue: cycles 0 .. (SC−1)·II; instance (op, j) issues at
+    // j·II + σ(op).
+    let fill_cycles = u64::from(sc - 1) * u64::from(ii);
+    let mut prologue: Vec<Row> = vec![Vec::new(); fill_cycles as usize];
+    for j in 0..u64::from(sc - 1) {
+        for op in &l.ops {
+            let c = j * u64::from(ii) + u64::from(schedule.times[op.id.index()]);
+            if c < fill_cycles {
+                prologue[c as usize].push((op.id, j));
+            }
+        }
+    }
+
+    // Epilogue: with the last kernel execution covering the final
+    // iteration's stage 0, the remaining instances issue over the next
+    // (SC−1)·II cycles (plus latency drain, which needs no issue rows).
+    // Instance (op, back) with back = iterations-before-last belongs in
+    // epilogue cycle σ(op) − (back + 1)·II, for σ(op) ≥ (back + 1)·II.
+    let mut epilogue: Vec<Row> = vec![Vec::new(); fill_cycles as usize];
+    for back in 0..u64::from(sc - 1) {
+        for op in &l.ops {
+            let t = u64::from(schedule.times[op.id.index()]);
+            let offset = (back + 1) * u64::from(ii);
+            if t >= offset {
+                epilogue[(t - offset) as usize].push((op.id, back));
+            }
+        }
+    }
+    for row in prologue.iter_mut().chain(&mut epilogue) {
+        row.sort_unstable_by_key(|&(op, _)| op);
+    }
+
+    FlatListing { ii, stage_count: sc, prologue, kernel, epilogue }
+}
+
+impl fmt::Display for FlatListing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let row = |f: &mut fmt::Formatter<'_>, r: &Row| -> fmt::Result {
+            if r.is_empty() {
+                writeln!(f, "  (nop)")
+            } else {
+                let ops: Vec<String> =
+                    r.iter().map(|(op, j)| format!("{op}[{j}]")).collect();
+                writeln!(f, "  {}", ops.join("  "))
+            }
+        };
+        writeln!(f, "prologue ({} rows):", self.prologue.len())?;
+        for r in &self.prologue {
+            row(f, r)?;
+        }
+        writeln!(f, "kernel (II = {}):", self.ii)?;
+        for r in &self.kernel {
+            row(f, r)?;
+        }
+        writeln!(f, "epilogue ({} rows):", self.epilogue.len())?;
+        for r in &self.epilogue {
+            row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::modulo_schedule;
+    use sv_analysis::DepGraph;
+    use sv_ir::{LoopBuilder, ScalarType};
+    use sv_machine::MachineConfig;
+    use std::collections::HashSet;
+
+    fn flat_for(l: &Loop) -> (Schedule, FlatListing) {
+        let m = MachineConfig::paper_default();
+        let g = DepGraph::build(l);
+        let s = modulo_schedule(l, &g, &m).unwrap();
+        let f = emit_flat(l, &s);
+        (s, f)
+    }
+
+    use sv_ir::Loop;
+
+    fn sample() -> Loop {
+        let mut b = LoopBuilder::new("sample");
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let m1 = b.fmul(lx, lx);
+        let a = b.fadd(m1, lx);
+        b.store(y, 1, 0, a);
+        b.finish()
+    }
+
+    /// Enumerate every (op, iteration) instance the layout launches over
+    /// `n` iterations and check it is exactly each op once per iteration.
+    fn coverage(l: &Loop, f: &FlatListing, n: u64) {
+        let sc = u64::from(f.stage_count);
+        assert!(n >= sc);
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        for row in &f.prologue {
+            for &(op, j) in row {
+                assert!(seen.insert((op.0, j)), "duplicate {op} iter {j} (prologue)");
+            }
+        }
+        for t in 0..(n - sc + 1) {
+            for row in &f.kernel {
+                for &(op, stage) in row {
+                    let j = t + (sc - 1) - stage;
+                    assert!(seen.insert((op.0, j)), "duplicate {op} iter {j} (kernel)");
+                }
+            }
+        }
+        for row in &f.epilogue {
+            for &(op, back) in row {
+                let j = n - 1 - back;
+                assert!(seen.insert((op.0, j)), "duplicate {op} iter {j} (epilogue)");
+            }
+        }
+        assert_eq!(seen.len() as u64, n * l.ops.len() as u64);
+        assert_eq!(f.instances_for(n), n * l.ops.len() as u64);
+    }
+
+    #[test]
+    fn layout_covers_every_instance_exactly_once() {
+        let l = sample();
+        let (_, f) = flat_for(&l);
+        let sc = u64::from(f.stage_count);
+        for n in [sc, sc + 5, sc + 29] {
+            coverage(&l, &f, n);
+        }
+    }
+
+    #[test]
+    fn kernel_rows_hold_all_ops() {
+        let l = sample();
+        let (s, f) = flat_for(&l);
+        let total: usize = f.kernel.iter().map(|r| r.len()).sum();
+        assert_eq!(total, l.ops.len());
+        assert_eq!(f.kernel.len(), s.ii as usize);
+    }
+
+    #[test]
+    fn prologue_and_epilogue_are_mirrored_in_size() {
+        let l = sample();
+        let (s, f) = flat_for(&l);
+        let fill = ((s.stage_count - 1) * s.ii) as usize;
+        assert_eq!(f.prologue.len(), fill);
+        assert_eq!(f.epilogue.len(), fill);
+        // Prologue + epilogue together hold SC−1 copies of every op.
+        let count: usize = f
+            .prologue
+            .iter()
+            .chain(&f.epilogue)
+            .map(|r| r.len())
+            .sum();
+        assert_eq!(count, (s.stage_count as usize - 1) * l.ops.len());
+    }
+
+    #[test]
+    fn rows_respect_issue_width() {
+        let l = sample();
+        let m = MachineConfig::paper_default();
+        let (_, f) = flat_for(&l);
+        for row in f.prologue.iter().chain(&f.kernel).chain(&f.epilogue) {
+            assert!(row.len() <= m.issue_width as usize);
+        }
+    }
+
+    #[test]
+    fn display_shows_all_sections() {
+        let l = sample();
+        let (_, f) = flat_for(&l);
+        let text = f.to_string();
+        assert!(text.contains("prologue"));
+        assert!(text.contains("kernel (II ="));
+        assert!(text.contains("epilogue"));
+    }
+}

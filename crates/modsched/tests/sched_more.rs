@@ -1,0 +1,167 @@
+//! Additional modulo-scheduler behaviour tests.
+
+use sv_analysis::DepGraph;
+use sv_ir::{Loop, LoopBuilder, OpKind, Opcode, Operand, ScalarType, VectorForm};
+use sv_machine::MachineConfig;
+use sv_modsched::{compute_mii, compute_recmii, compute_resmii, modulo_schedule};
+
+fn sched(l: &Loop, m: &MachineConfig) -> sv_modsched::Schedule {
+    let g = DepGraph::build(l);
+    modulo_schedule(l, &g, m).expect("schedulable")
+}
+
+/// Build a loop with `n` independent fp multiply chains.
+fn fp_chains(n: usize) -> Loop {
+    let mut b = LoopBuilder::new("chains");
+    let x = b.array("x", ScalarType::F64, 256);
+    let y = b.array("y", ScalarType::F64, 256);
+    for i in 0..n {
+        let lx = b.load(x, 1, i as i64);
+        let m1 = b.fmul(lx, lx);
+        b.store(y, 1, i as i64, m1);
+    }
+    b.finish()
+}
+
+#[test]
+fn vector_issue_limit_serializes_vector_ops() {
+    // On the toy machine, vector ops are capped at one per cycle even
+    // though three issue slots exist.
+    let mut b = LoopBuilder::new("vecs");
+    let x = b.array("x", ScalarType::F64, 64);
+    let y = b.array("y", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let ly = b.load(y, 1, 0);
+    let m1 = b.fmul(lx, lx);
+    let m2 = b.fmul(ly, ly);
+    let s = b.fadd(m1, m2);
+    b.store(y, 1, 0, s);
+    let src = b.finish();
+    // Vectorize everything by hand via the transformer-equivalent: mark
+    // vector forms directly using the machine pipeline is overkill here;
+    // instead check ResMII arithmetic: 6 vector ops at 1/cycle = 6 rows.
+    let machine = MachineConfig::figure1();
+    let mut vec_loop = src.clone();
+    for op in &mut vec_loop.ops {
+        op.opcode = op.opcode.with_form(VectorForm::Vector);
+        if let Some(r) = &mut op.mem {
+            r.width = 2;
+            r.stride = 2;
+        }
+    }
+    vec_loop.iter_scale = 2;
+    vec_loop.verify().unwrap();
+    assert_eq!(compute_resmii(&vec_loop, &machine), 6);
+    let s = sched(&vec_loop, &machine);
+    assert_eq!(s.ii, 6);
+}
+
+#[test]
+fn non_pipelined_divide_forces_ii_at_least_reservation() {
+    // Two divides on 2 FP units: each occupies its unit 32 cycles.
+    let mut b = LoopBuilder::new("divs");
+    let x = b.array("x", ScalarType::F64, 64);
+    let y = b.array("y", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let ly = b.load(y, 1, 0);
+    let d1 = b.fdiv(lx, ly);
+    let d2 = b.fdiv(ly, lx);
+    let s = b.fadd(d1, d2);
+    b.store(x, 1, 32, s);
+    let l = b.finish();
+    let m = MachineConfig::paper_default();
+    let s = sched(&l, &m);
+    // One divide per FP unit (32 cycles each) plus the add on top of one
+    // of them: the bound is 33, not 64.
+    assert_eq!(s.resmii, 33);
+    assert_eq!(s.ii, 33);
+}
+
+#[test]
+fn issue_width_binds_wide_loops() {
+    // 8 chains × 3 ops = 24 ops on a 6-wide machine: issue ResMII = 4+...
+    let l = fp_chains(8);
+    let m = MachineConfig::paper_default();
+    let s = sched(&l, &m);
+    // 16 memory ops dominate: 8 per unit.
+    assert_eq!(s.resmii, 8);
+    assert_eq!(s.ii, 8);
+}
+
+#[test]
+fn recmii_dominates_when_cycles_are_slow() {
+    let mut b = LoopBuilder::new("slowcycle");
+    let a = b.array("a", ScalarType::F64, 64);
+    let la = b.load(a, 1, 0);
+    let d = b.bin(
+        OpKind::Div,
+        ScalarType::F64,
+        Operand::def(la),
+        Operand::ConstF(3.0),
+    );
+    b.store(a, 1, 1, d);
+    let l = b.finish();
+    let m = MachineConfig::paper_default();
+    let g = DepGraph::build(&l);
+    // Cycle: load(3) + div(32) + store(1) over distance 1.
+    assert_eq!(compute_recmii(&l, &g, &m), 36);
+    assert_eq!(compute_mii(&l, &g, &m), 36);
+}
+
+#[test]
+fn empty_ops_loop_schedules_trivially() {
+    let mut l = Loop::new("empty");
+    l.trip = sv_ir::TripCount::known(8);
+    let m = MachineConfig::paper_default();
+    let g = DepGraph::build(&l);
+    let s = modulo_schedule(&l, &g, &m).unwrap();
+    assert_eq!(s.ii, 1);
+    assert_eq!(s.stage_count, 1);
+}
+
+#[test]
+fn schedule_is_deterministic() {
+    let l = fp_chains(5);
+    let m = MachineConfig::paper_default();
+    let a = sched(&l, &m);
+    let b = sched(&l, &m);
+    assert_eq!(a.times, b.times);
+    assert_eq!(a.assignments, b.assignments);
+}
+
+#[test]
+fn resmii_orders_constrained_opcodes_first() {
+    // A loop mixing merge-unit ops (1 instance) with fp ops (2 instances):
+    // the bound must reflect the merge unit exactly, not overshoot from
+    // bad packing order.
+    let mut l = Loop::new("mergebound");
+    let mut b = LoopBuilder::new("shell");
+    let x = b.array("x", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let _ = (x, lx);
+    let shell = b.finish();
+    l.arrays = shell.arrays.clone();
+    // 3 vector merges + 1 vector load feeding them.
+    let load = l.push_op(sv_ir::Operation {
+        id: sv_ir::OpId(0),
+        opcode: Opcode::vector(OpKind::Load, ScalarType::F64),
+        operands: vec![],
+        mem: Some(sv_ir::MemRef { array: sv_ir::ArrayId(0), stride: 2, offset: 0, width: 2 }),
+        is_reduction: false,
+        carried_init: sv_ir::CarriedInit::Zero,
+    });
+    for _ in 0..3 {
+        l.push_op(sv_ir::Operation {
+            id: sv_ir::OpId(0),
+            opcode: Opcode::vector(OpKind::Merge, ScalarType::F64),
+            operands: vec![Operand::def(load)],
+            mem: None,
+            is_reduction: false,
+            carried_init: sv_ir::CarriedInit::Zero,
+        });
+    }
+    l.iter_scale = 2;
+    l.verify().unwrap();
+    let m = MachineConfig::paper_default();
+    assert_eq!(compute_resmii(&l, &m), 3); // the single merge unit
+}

@@ -1,0 +1,130 @@
+//! Functional execution of the *flat* prologue/kernel/epilogue layout.
+//!
+//! [`crate::execute_pipelined`] executes a modulo schedule from its issue
+//! times; this module instead walks the emitted three-part code layout
+//! ([`sv_modsched::emit_flat`]) the way a fetch unit would: prologue rows
+//! once, kernel rows `n − SC + 1` times, epilogue rows once. Matching the
+//! in-order interpreter proves the *layout* (not just the schedule it was
+//! derived from) launches every operation instance exactly once, in a
+//! dependence-correct order.
+
+use crate::interp::LiveOutValue;
+use crate::memory::Memory;
+use crate::pipeline_exec::execute_instances;
+use sv_ir::Loop;
+use sv_modsched::FlatListing;
+
+/// Execute `iterations ≥ stage_count` iterations of `l` by walking the
+/// flat layout, mutating `mem`; returns the live-outs after the drain.
+///
+/// # Panics
+///
+/// Panics when `iterations < stage_count` (the layout's prologue assumes a
+/// full pipeline; shorter trips run in the cleanup loop in real code) or
+/// when the layout launches an instance out of dependence order — which
+/// would be an emission bug.
+pub fn execute_flat(
+    l: &Loop,
+    flat: &FlatListing,
+    mem: &mut Memory,
+    iterations: u64,
+) -> Vec<LiveOutValue> {
+    let sc = u64::from(flat.stage_count);
+    assert!(
+        iterations >= sc,
+        "flat layout needs at least stage_count iterations"
+    );
+    // Materialize the launch sequence: (sequence index, iteration, op).
+    let mut seq: Vec<(u64, usize)> = Vec::new();
+    for row in &flat.prologue {
+        for &(op, j) in row {
+            seq.push((j, op.index()));
+        }
+    }
+    for t in 0..(iterations - sc + 1) {
+        for row in &flat.kernel {
+            for &(op, stage) in row {
+                let j = t + (sc - 1) - stage;
+                seq.push((j, op.index()));
+            }
+        }
+    }
+    for row in &flat.epilogue {
+        for &(op, back) in row {
+            let j = iterations - 1 - back;
+            seq.push((j, op.index()));
+        }
+    }
+    execute_instances(l, mem, &seq, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::execute_loop;
+    use sv_analysis::DepGraph;
+    use sv_ir::{LoopBuilder, ScalarType};
+    use sv_machine::MachineConfig;
+    use sv_modsched::{emit_flat, modulo_schedule};
+
+    fn check(l: &Loop, n_extra: u64) {
+        let m = MachineConfig::paper_default();
+        let g = DepGraph::build(l);
+        let s = modulo_schedule(l, &g, &m).unwrap();
+        let flat = emit_flat(l, &s);
+        let n = u64::from(flat.stage_count) + n_extra;
+        let mut mem_a = Memory::for_arrays(&l.arrays);
+        let mut mem_b = mem_a.clone();
+        let outs_a = execute_loop(l, &mut mem_a, 0..n);
+        let outs_b = execute_flat(l, &flat, &mut mem_b, n);
+        for i in 0..l.arrays.len() as u32 {
+            for (e, (va, vb)) in mem_a.array(i).iter().zip(mem_b.array(i)).enumerate() {
+                assert!(va.approx_eq(*vb), "{}: array {i}[{e}]", l.name);
+            }
+        }
+        for (a, b) in outs_a.iter().zip(&outs_b) {
+            assert!(a.value.approx_eq(b.value), "{}: live-out {}", l.name, a.name);
+        }
+    }
+
+    #[test]
+    fn flat_copy_loop_matches() {
+        let mut b = LoopBuilder::new("copy");
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        b.store(y, 1, 0, lx);
+        check(&b.finish(), 40);
+    }
+
+    #[test]
+    fn flat_reduction_matches() {
+        let mut b = LoopBuilder::new("dot");
+        let x = b.array("x", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let sq = b.fmul(lx, lx);
+        b.reduce_add(sq);
+        check(&b.finish(), 33);
+    }
+
+    #[test]
+    fn flat_memory_recurrence_matches() {
+        let mut b = LoopBuilder::new("rec");
+        let a = b.array("a", ScalarType::F64, 128);
+        let la = b.load(a, 1, 0);
+        let n = b.fabs(la);
+        b.store(a, 1, 4, n);
+        check(&b.finish(), 25);
+    }
+
+    #[test]
+    fn flat_exact_stage_count_iterations() {
+        let mut b = LoopBuilder::new("tight");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let m1 = b.fmul(lx, lx);
+        b.store(y, 1, 0, m1);
+        check(&b.finish(), 0); // n == SC: one kernel execution
+    }
+}

@@ -1,0 +1,59 @@
+//! # sv-sim — functional and cycle-level simulation
+//!
+//! The execution substrate standing in for Trimaran's cycle-accurate
+//! simulator:
+//!
+//! * [`execute_loop`] — a functional interpreter for loops in any form
+//!   (source, unrolled, vectorized, distributed) over a shared [`Memory`]
+//!   of named arrays, used to prove that every transformation preserves
+//!   semantics;
+//! * [`run_source`] / [`run_compiled`] — whole-plan execution producing
+//!   final memory and live-out values, plus [`assert_equivalent`] which
+//!   compares a compiled plan against its source loop;
+//! * [`play_schedule`] / [`validate_schedule`] — a cycle-level
+//!   software-pipeline player that walks a modulo schedule with all
+//!   in-flight iterations, validating both dependence latencies and
+//!   per-cycle resource capacities, and producing the exact cycle count
+//!   the analytic timing model is cross-checked against;
+//! * [`execute_pipelined`] — functional execution of the schedule itself,
+//!   every operation instance at its issue cycle with registers renamed
+//!   per iteration.
+//!
+//! ```
+//! use sv_sim::{assert_equivalent, run_source};
+//! use sv_core::{compile, Strategy};
+//! use sv_machine::MachineConfig;
+//! use sv_ir::{LoopBuilder, ScalarType};
+//!
+//! let mut b = LoopBuilder::new("dot");
+//! b.trip(100);
+//! let x = b.array("x", ScalarType::F64, 128);
+//! let y = b.array("y", ScalarType::F64, 128);
+//! let lx = b.load(x, 1, 0);
+//! let ly = b.load(y, 1, 0);
+//! let m = b.fmul(lx, ly);
+//! b.reduce_add(m);
+//! let l = b.finish();
+//!
+//! let machine = MachineConfig::figure1();
+//! let compiled = compile(&l, &machine, Strategy::Selective).unwrap();
+//! assert_equivalent(&l, &compiled); // same memory and live-outs
+//! let _ = run_source(&l);
+//! ```
+
+mod flat_exec;
+mod interp;
+mod memory;
+mod pipeline_exec;
+mod player;
+mod run;
+
+pub use interp::{execute_loop, LiveOutValue};
+pub use flat_exec::execute_flat;
+pub use pipeline_exec::execute_pipelined;
+pub use memory::{Memory, Scalar};
+pub use player::{play_schedule, validate_schedule, PlaybackReport, ValidationError};
+pub use run::{
+    assert_equivalent, has_register_state_across_cleanup, run_compiled, run_source,
+    RunResult,
+};

@@ -1,0 +1,231 @@
+//! Simulated memory: named arrays of typed cells.
+
+use sv_ir::{ArrayDecl, ArrayFill, ScalarType};
+
+/// One machine word: a 64-bit integer or double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// 64-bit signed integer.
+    I(i64),
+    /// 64-bit IEEE double.
+    F(f64),
+}
+
+impl Scalar {
+    /// The value as f64 (integers convert).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::I(v) => v as f64,
+            Scalar::F(v) => v,
+        }
+    }
+
+    /// The value as i64 (doubles truncate).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Scalar::I(v) => v,
+            Scalar::F(v) => v as i64,
+        }
+    }
+
+    /// Coerce to the given element type.
+    pub fn coerce(self, ty: ScalarType) -> Scalar {
+        match ty {
+            ScalarType::I64 => Scalar::I(self.as_i64()),
+            ScalarType::F64 => Scalar::F(self.as_f64()),
+        }
+    }
+
+    /// Approximate equality: exact for integers, relative 1e-9 for floats
+    /// (vectorized reductions reassociate, perturbing the last bits).
+    pub fn approx_eq(self, other: Scalar) -> bool {
+        match (self, other) {
+            (Scalar::I(a), Scalar::I(b)) => a == b,
+            (a, b) => {
+                let (a, b) = (a.as_f64(), b.as_f64());
+                if a == b {
+                    return true;
+                }
+                if a.is_nan() || b.is_nan() {
+                    return a.is_nan() && b.is_nan();
+                }
+                if a.is_infinite() || b.is_infinite() {
+                    return a == b;
+                }
+                (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random fill so source and transformed loops see
+/// identical array contents. Floats land in `[0.5, 1.5)` (division-safe,
+/// min/max-interesting); integers in `[1, 16]`.
+fn data_value(array: u32, elem: u64, ty: ScalarType) -> Scalar {
+    let mut h = (u64::from(array) << 32) ^ elem ^ 0x9e37_79b9_7f4a_7c15;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    match ty {
+        ScalarType::F64 => Scalar::F(0.5 + (h % (1 << 20)) as f64 / (1u64 << 20) as f64),
+        ScalarType::I64 => Scalar::I(1 + (h % 16) as i64),
+    }
+}
+
+/// Simulated memory for one loop-family (source and its transforms share
+/// the array numbering for the common prefix; transform-added arrays
+/// append).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    arrays: Vec<Vec<Scalar>>,
+    types: Vec<ScalarType>,
+}
+
+impl Memory {
+    /// Allocate and fill memory for a set of array declarations.
+    pub fn for_arrays(decls: &[ArrayDecl]) -> Memory {
+        let mut arrays = Vec::with_capacity(decls.len());
+        let mut types = Vec::with_capacity(decls.len());
+        for (ai, d) in decls.iter().enumerate() {
+            let fill_value = |e: u64| match d.fill {
+                ArrayFill::Data => data_value(ai as u32, e, d.ty),
+                ArrayFill::Zero => Scalar::F(0.0).coerce(d.ty),
+                ArrayFill::One => Scalar::F(1.0).coerce(d.ty),
+                ArrayFill::PosInf => Scalar::F(f64::INFINITY),
+                ArrayFill::NegInf => Scalar::F(f64::NEG_INFINITY),
+            };
+            arrays.push((0..d.len).map(fill_value).collect());
+            types.push(d.ty);
+        }
+        Memory { arrays, types }
+    }
+
+    /// Read one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access — transformed loops must never read
+    /// outside their declared arrays.
+    pub fn read(&self, array: u32, elem: i64) -> Scalar {
+        let a = &self.arrays[array as usize];
+        assert!(
+            elem >= 0 && (elem as usize) < a.len(),
+            "read out of bounds: array {array} elem {elem} len {}",
+            a.len()
+        );
+        a[elem as usize]
+    }
+
+    /// Write one element (coerced to the array's type).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn write(&mut self, array: u32, elem: i64, v: Scalar) {
+        let ty = self.types[array as usize];
+        let a = &mut self.arrays[array as usize];
+        assert!(
+            elem >= 0 && (elem as usize) < a.len(),
+            "write out of bounds: array {array} elem {elem} len {}",
+            a.len()
+        );
+        a[elem as usize] = v.coerce(ty);
+    }
+
+    /// Number of arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Whole array contents (for equivalence checks).
+    pub fn array(&self, array: u32) -> &[Scalar] {
+        &self.arrays[array as usize]
+    }
+
+    /// Copy array `idx` from another memory (used to thread shared program
+    /// arrays through separately allocated loop pieces).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arrays have different lengths.
+    pub fn copy_array_from(&mut self, other: &Memory, idx: u32) {
+        let src = &other.arrays[idx as usize];
+        let dst = &mut self.arrays[idx as usize];
+        assert_eq!(src.len(), dst.len(), "array {idx} shape mismatch");
+        dst.copy_from_slice(src);
+    }
+
+    /// The deterministic live-in value for a name (floats in `[0.5, 1.5)`).
+    pub fn live_in_value(name: &str, ty: ScalarType) -> Scalar {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        match ty {
+            ScalarType::F64 => Scalar::F(0.5 + (h % (1 << 20)) as f64 / (1u64 << 20) as f64),
+            ScalarType::I64 => Scalar::I(1 + (h % 16) as i64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::ArrayDecl;
+
+    #[test]
+    fn data_fill_is_deterministic_and_nonzero() {
+        let d = ArrayDecl::plain("x", ScalarType::F64, 64);
+        let m1 = Memory::for_arrays(std::slice::from_ref(&d));
+        let m2 = Memory::for_arrays(&[d]);
+        for e in 0..64 {
+            let v = m1.read(0, e);
+            assert_eq!(v, m2.read(0, e));
+            assert!(v.as_f64() >= 0.5 && v.as_f64() < 1.5);
+        }
+    }
+
+    #[test]
+    fn fills_respect_kind() {
+        let mut one = ArrayDecl::plain("t", ScalarType::F64, 4);
+        one.fill = ArrayFill::One;
+        let m = Memory::for_arrays(&[one]);
+        assert_eq!(m.read(0, 3).as_f64(), 1.0);
+    }
+
+    #[test]
+    fn int_arrays_coerce_on_write() {
+        let d = ArrayDecl::plain("i", ScalarType::I64, 4);
+        let mut m = Memory::for_arrays(&[d]);
+        m.write(0, 1, Scalar::F(3.7));
+        assert_eq!(m.read(0, 1), Scalar::I(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let d = ArrayDecl::plain("x", ScalarType::F64, 4);
+        Memory::for_arrays(&[d]).read(0, 4);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_reassociation() {
+        let a = Scalar::F(1.0 + 1e-15);
+        let b = Scalar::F(1.0);
+        assert!(a.approx_eq(b));
+        assert!(!Scalar::F(1.0).approx_eq(Scalar::F(1.1)));
+        assert!(Scalar::I(3).approx_eq(Scalar::I(3)));
+        assert!(!Scalar::I(3).approx_eq(Scalar::I(4)));
+    }
+
+    #[test]
+    fn live_in_values_deterministic() {
+        let a = Memory::live_in_value("alpha", ScalarType::F64);
+        let b = Memory::live_in_value("alpha", ScalarType::F64);
+        assert_eq!(a, b);
+        assert!(a.as_f64() >= 0.5);
+    }
+}

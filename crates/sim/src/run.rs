@@ -1,0 +1,285 @@
+//! Whole-plan functional execution and equivalence checking.
+
+use crate::interp::{execute_loop, LiveOutValue};
+use crate::memory::{Memory, Scalar};
+use std::collections::BTreeMap;
+use sv_core::CompiledLoop;
+use sv_ir::{Loop, OpKind, ScalarType};
+
+/// Final state after functionally executing one invocation of a loop (or
+/// of a compiled plan).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Memory restricted to the *shared* arrays (the source loop's array
+    /// table), which is what transformed versions must preserve.
+    pub memory: Memory,
+    /// Combined live-out values by name.
+    pub live_outs: BTreeMap<String, Scalar>,
+}
+
+fn combine_liveouts(acc: &mut BTreeMap<String, Scalar>, outs: Vec<LiveOutValue>, ran: bool) {
+    for o in outs {
+        match (acc.get(&o.name).copied(), o.combine) {
+            (Some(prev), Some(kind)) => {
+                let merged = match kind {
+                    OpKind::Add => Scalar::F(prev.as_f64() + o.value.as_f64()),
+                    OpKind::Mul => Scalar::F(prev.as_f64() * o.value.as_f64()),
+                    OpKind::Min => Scalar::F(prev.as_f64().min(o.value.as_f64())),
+                    OpKind::Max => Scalar::F(prev.as_f64().max(o.value.as_f64())),
+                    _ => o.value,
+                };
+                acc.insert(o.name, merged);
+            }
+            _ => {
+                // Non-reductions: only a piece that actually ran may
+                // overwrite (a zero-trip cleanup observes nothing).
+                if ran || !acc.contains_key(&o.name) {
+                    acc.insert(o.name, o.value);
+                }
+            }
+        }
+    }
+}
+
+/// Execute one invocation of the source loop.
+pub fn run_source(l: &Loop) -> RunResult {
+    let mut mem = Memory::for_arrays(&l.arrays);
+    let outs = execute_loop(l, &mut mem, 0..l.trip.count);
+    let mut live_outs = BTreeMap::new();
+    combine_liveouts(&mut live_outs, outs, l.trip.count > 0);
+    RunResult { memory: mem, live_outs }
+}
+
+/// Execute one invocation of a compiled plan: every segment in order, its
+/// main loop for the bulk iterations and its cleanup loop for the
+/// remainder, with the source-level arrays threaded through all pieces.
+pub fn run_compiled(c: &CompiledLoop) -> RunResult {
+    // Thread the maximal shared array prefix through all pieces: every
+    // piece's table extends a common base (source arrays plus any
+    // scalar-expansion temporaries); only transform-private communication
+    // slots sit past the prefix, and those are dead across pieces.
+    let pieces_min = c
+        .segments
+        .iter()
+        .flat_map(|s| {
+            std::iter::once(s.looop.arrays.len())
+                .chain(s.cleanup.iter().map(|(cl, _)| cl.arrays.len()))
+        })
+        .min()
+        .unwrap_or(c.source.arrays.len());
+    let base_len = pieces_min.max(c.source.arrays.len());
+    let base_decls: Vec<sv_ir::ArrayDecl> = c
+        .segments
+        .iter()
+        .flat_map(|s| std::iter::once(&s.looop).chain(s.cleanup.iter().map(|(cl, _)| cl)))
+        .find(|l| l.arrays.len() >= base_len)
+        .map(|l| l.arrays[..base_len].to_vec())
+        .unwrap_or_else(|| c.source.arrays.clone());
+    let mut global = Memory::for_arrays(&base_decls);
+    let mut live_outs = BTreeMap::new();
+
+    let run_piece =
+        |global: &mut Memory, l: &Loop, iters: std::ops::Range<u64>, acc: &mut BTreeMap<String, Scalar>| {
+            debug_assert!(l.arrays.len() >= base_len);
+            let mut mem = Memory::for_arrays(&l.arrays);
+            for i in 0..base_len as u32 {
+                mem.copy_array_from(global, i);
+            }
+            let ran = iters.end > iters.start;
+            let outs = execute_loop(l, &mut mem, iters);
+            for i in 0..base_len as u32 {
+                global.copy_array_from(&mem, i);
+            }
+            combine_liveouts(acc, outs, ran);
+        };
+
+    for seg in &c.segments {
+        let n = seg.looop.executed_iterations();
+        run_piece(&mut global, &seg.looop, 0..n, &mut live_outs);
+        let r = seg.looop.remainder_iterations();
+        if r > 0 {
+            let (cl, _) = seg
+                .cleanup
+                .as_ref()
+                .expect("remainder iterations require a cleanup loop");
+            let start = n * u64::from(seg.looop.iter_scale);
+            run_piece(&mut global, cl, start..start + r, &mut live_outs);
+        }
+    }
+    RunResult { memory: global, live_outs }
+}
+
+/// True when carried *register* state would have to flow from a pipelined
+/// loop into its cleanup loop: a carried register use that is not a
+/// reduction accumulation. Reductions transfer through the live-out
+/// combine; other carried register values are not threaded across the
+/// main→cleanup boundary by this simulator (real code generation wires
+/// them through pipeline live-outs), so equivalence checks should use
+/// remainder-free trip counts for such loops.
+pub fn has_register_state_across_cleanup(l: &Loop) -> bool {
+    l.ops.iter().any(|op| {
+        op.def_uses()
+            .any(|(p, d)| d >= 1 && !(op.is_reduction && p == op.id))
+    })
+}
+
+/// Functionally execute `src` and `compiled` and assert they agree on
+/// every shared array (elementwise, with reassociation-tolerant float
+/// comparison) and on every live-out value.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first mismatch.
+pub fn assert_equivalent(src: &Loop, compiled: &CompiledLoop) {
+    let a = run_source(src);
+    let b = run_compiled(compiled);
+    for (idx, decl) in src.arrays.iter().enumerate() {
+        let (xa, xb) = (a.memory.array(idx as u32), b.memory.array(idx as u32));
+        assert_eq!(xa.len(), xb.len(), "array {} length", decl.name);
+        for (e, (va, vb)) in xa.iter().zip(xb).enumerate() {
+            assert!(
+                va.approx_eq(*vb),
+                "array {}[{e}] mismatch under {}: source {va:?} vs compiled {vb:?}",
+                decl.name,
+                compiled.strategy,
+            );
+        }
+    }
+    assert_eq!(
+        a.live_outs.keys().collect::<Vec<_>>(),
+        b.live_outs.keys().collect::<Vec<_>>(),
+        "live-out sets under {}",
+        compiled.strategy
+    );
+    for (name, va) in &a.live_outs {
+        let vb = b.live_outs[name];
+        assert!(
+            va.approx_eq(vb),
+            "live-out {name} mismatch under {}: source {va:?} vs compiled {vb:?}",
+            compiled.strategy
+        );
+    }
+}
+
+/// Convenience: the scalar type never matters to callers, but keep the
+/// import used for doc examples.
+#[doc(hidden)]
+pub fn _ty() -> ScalarType {
+    ScalarType::F64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_core::{compile, Strategy};
+    use sv_ir::LoopBuilder;
+    use sv_machine::MachineConfig;
+
+    fn daxpy(trip: u64) -> Loop {
+        let mut b = LoopBuilder::new("daxpy");
+        b.trip(trip);
+        let x = b.array("x", ScalarType::F64, trip + 8);
+        let y = b.array("y", ScalarType::F64, trip + 8);
+        let a = b.live_in("a", ScalarType::F64);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let ax = b.fmul_li(a, lx);
+        let s = b.fadd(ax, ly);
+        b.store(y, 1, 0, s);
+        b.finish()
+    }
+
+    #[test]
+    fn daxpy_equivalent_under_all_strategies() {
+        let l = daxpy(101); // odd trip exercises the cleanup loop
+        for machine in [MachineConfig::paper_default(), MachineConfig::figure1()] {
+            for s in Strategy::ALL {
+                let c = compile(&l, &machine, s).unwrap();
+                assert_equivalent(&l, &c);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_product_equivalent_under_all_strategies() {
+        let mut b = LoopBuilder::new("dot");
+        b.trip(97);
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let m = b.fmul(lx, ly);
+        b.reduce_add(m);
+        let l = b.finish();
+        for machine in [MachineConfig::paper_default(), MachineConfig::figure1()] {
+            for s in Strategy::ALL {
+                let c = compile(&l, &machine, s).unwrap();
+                assert_equivalent(&l, &c);
+            }
+        }
+    }
+
+    #[test]
+    fn reassociated_reduction_equivalent() {
+        let mut b = LoopBuilder::new("dotr");
+        b.trip(64).allow_reassoc(true);
+        let x = b.array("x", ScalarType::F64, 80);
+        let lx = b.load(x, 1, 0);
+        b.reduce_add(lx);
+        let l = b.finish();
+        let m = MachineConfig::paper_default();
+        for s in Strategy::ALL {
+            let c = compile(&l, &m, s).unwrap();
+            assert_equivalent(&l, &c);
+        }
+    }
+
+    #[test]
+    fn recurrence_loop_equivalent() {
+        // Sequential part + parallel part: exercises distribution and
+        // selective partitioning with a non-vectorizable component.
+        let mut b = LoopBuilder::new("mixed");
+        b.trip(60);
+        let x = b.array("x", ScalarType::F64, 80);
+        let y = b.array("y", ScalarType::F64, 80);
+        let z = b.array("z", ScalarType::F64, 80);
+        let lx = b.load(x, 1, 0);
+        let n = b.fneg(lx);
+        b.store(y, 1, 0, n);
+        let la = b.load(z, 1, 0);
+        let r = b.recurrence(OpKind::Mul, ScalarType::F64, la);
+        b.store(z, 1, 1, r);
+        let l = b.finish();
+        // Carried register state crosses the cleanup boundary only through
+        // memory here (z), which is safe; trip 60 is even anyway.
+        let m = MachineConfig::paper_default();
+        for s in Strategy::ALL {
+            let c = compile(&l, &m, s).unwrap();
+            assert_equivalent(&l, &c);
+        }
+    }
+
+    #[test]
+    fn register_state_predicate() {
+        let l = daxpy(10);
+        assert!(!has_register_state_across_cleanup(&l));
+        let mut b = LoopBuilder::new("c");
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        let s = b.bin(
+            OpKind::Add,
+            ScalarType::F64,
+            sv_ir::Operand::def(lx),
+            sv_ir::Operand::carried(lx, 1),
+        );
+        b.store(x, 1, 8, s);
+        let l2 = b.finish();
+        assert!(has_register_state_across_cleanup(&l2));
+        // Reductions alone do not count.
+        let mut b = LoopBuilder::new("r");
+        let x = b.array("x", ScalarType::F64, 16);
+        let lx = b.load(x, 1, 0);
+        b.reduce_add(lx);
+        assert!(!has_register_state_across_cleanup(&b.finish()));
+    }
+}

@@ -1,0 +1,36 @@
+//! Full vectorization: vectorize every legal operation, keep the loop
+//! intact (paper §4.1, the "full" technique).
+
+use crate::neighbor::apply_neighbor_rule;
+use sv_analysis::{vectorizable_ops, DepGraph};
+use sv_ir::Loop;
+
+/// The partition the full vectorizer chooses: every operation that is
+/// legal for vector length `vl` *and* has at least one legal dataflow
+/// neighbour goes to the vector partition; the rest is unrolled scalar.
+pub fn full_vectorization_partition(l: &Loop, g: &DepGraph, vl: u32) -> Vec<bool> {
+    let statuses = vectorizable_ops(l, g, vl);
+    apply_neighbor_rule(l, g, &statuses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::{LoopBuilder, ScalarType};
+
+    #[test]
+    fn dot_product_vectorizes_all_but_reduction() {
+        let mut b = LoopBuilder::new("dot");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let m = b.fmul(lx, ly);
+        let s = b.reduce_add(m);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let part = full_vectorization_partition(&l, &g, 2);
+        assert!(part[lx.index()] && part[ly.index()] && part[m.index()]);
+        assert!(!part[s.index()]);
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's profitability guard for the non-selective vectorizers.
+//!
+//! On the evaluated machine, scalar↔vector communication is so expensive
+//! that the paper improves its traditional and full vectorizers with one
+//! rule: "an operation is not vectorized unless it has at least one
+//! vectorizable predecessor or successor. Doing otherwise is clearly
+//! unfavorable." (With selective vectorization such cases fall out of the
+//! cost model automatically.)
+
+use sv_analysis::{DepGraph, VecStatus};
+use sv_ir::Loop;
+
+/// Restrict a legality vector to operations with at least one legal
+/// dataflow neighbour (register-edge predecessor or successor). Returns the
+/// vector-partition assignment for the full vectorizer.
+pub fn apply_neighbor_rule(l: &Loop, g: &DepGraph, statuses: &[VecStatus]) -> Vec<bool> {
+    assert_eq!(statuses.len(), l.ops.len());
+    l.ops
+        .iter()
+        .map(|op| {
+            if !statuses[op.id.index()].is_vectorizable() {
+                return false;
+            }
+            let has_legal_neighbor = g
+                .pred_edges(op.id)
+                .chain(g.succ_edges(op.id))
+                .filter(|e| !e.is_mem)
+                .any(|e| {
+                    let other = if e.src == op.id { e.dst } else { e.src };
+                    other != op.id && statuses[other.index()].is_vectorizable()
+                });
+            has_legal_neighbor
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_analysis::vectorizable_ops;
+    use sv_ir::{LoopBuilder, ScalarType};
+
+    #[test]
+    fn isolated_legal_op_is_not_vectorized() {
+        // A copy loop where the loaded value feeds only a non-vectorizable
+        // recurrence: the load has no legal dataflow neighbour.
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let r = b.recurrence(sv_ir::OpKind::Mul, ScalarType::F64, lx);
+        b.store(y, 1, 0, r);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let st = vectorizable_ops(&l, &g, 2);
+        let part = apply_neighbor_rule(&l, &g, &st);
+        assert!(st[lx.index()].is_vectorizable());
+        assert!(!part[lx.index()], "isolated load must stay scalar");
+        assert!(!part[r.index()]);
+    }
+
+    #[test]
+    fn connected_legal_ops_are_vectorized() {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let lx = b.load(x, 1, 0);
+        let n = b.fneg(lx);
+        b.store(y, 1, 0, n);
+        let l = b.finish();
+        let g = DepGraph::build(&l);
+        let st = vectorizable_ops(&l, &g, 2);
+        let part = apply_neighbor_rule(&l, &g, &st);
+        assert_eq!(part, vec![true, true, true]);
+    }
+}

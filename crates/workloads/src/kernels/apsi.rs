@@ -1,0 +1,160 @@
+//! 301.apsi — mesoscale pollutant-dispersion model (SPEC 2000).
+//!
+//! Many moderate loops over 3-D meteorology fields: vertical diffusion
+//! (tridiagonal recurrences), horizontal advection stencils, and
+//! thermodynamic point updates with divides and square roots. Aggregate
+//! gains are small (the paper: 1.02×) because the sequential vertical
+//! solves take a large share.
+
+use sv_ir::{Loop, LoopBuilder, OpKind, Operand, ScalarType};
+
+const N: u64 = 112; // 112×112×16 training grid, horizontal line
+const STEPS: u64 = 100;
+
+/// Seven hand kernels (suite filled to the paper's 61).
+pub fn kernels() -> Vec<Loop> {
+    vec![
+        advection(),
+        vertical_diffusion(),
+        thermo(),
+        smoothing(),
+        coriolis(),
+        moisture_clip(),
+        radiation_decay(),
+    ]
+}
+
+/// Horizontal advection: upwind differences, fully parallel.
+fn advection() -> Loop {
+    let mut b = LoopBuilder::new("apsi.advect");
+    b.trip(N).invocations(STEPS * N * 4);
+    let c = b.array("c", ScalarType::F64, N + 8);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let out = b.array("cn", ScalarType::F64, N + 8);
+    let dt = b.live_in("dtdx", ScalarType::F64);
+    let c0 = b.load(c, 1, 0);
+    let c1 = b.load(c, 1, 1);
+    let lu = b.load(u, 1, 0);
+    let g = b.fsub(c1, c0);
+    let f = b.fmul(lu, g);
+    let s = b.fmul_li(dt, f);
+    let n = b.fsub(c0, s);
+    b.store(out, 1, 0, n);
+    b.finish()
+}
+
+/// Vertical diffusion solve: the Thomas-algorithm recurrence with a
+/// divide — sequential.
+fn vertical_diffusion() -> Loop {
+    let mut b = LoopBuilder::new("apsi.vdiff");
+    b.trip(N).invocations(STEPS * N * 6);
+    let a = b.array("a", ScalarType::F64, N + 8);
+    let c = b.array("c", ScalarType::F64, N + 8);
+    let kz = b.array("kz", ScalarType::F64, N + 8);
+    let d = b.array("d", ScalarType::F64, N + 8);
+    let w = b.array("w", ScalarType::F64, N + 8);
+    let dz = b.live_in("dzi", ScalarType::F64);
+    // Parallel part: assemble the diffusion coefficients.
+    let lk = b.load(kz, 1, 0);
+    let lk1 = b.load(kz, 1, 1);
+    let ks = b.fadd(lk, lk1);
+    let coef = b.fmul_li(dz, ks);
+    b.store(w, 1, 0, coef);
+    let la = b.load(a, 1, 0);
+    let lc = b.load(c, 1, 0);
+    let off = b.fmul(la, lc);
+    // Sequential part: the Thomas forward sweep feeding d.
+    let m = b.fmul(off, coef);
+    let r = b.recurrence(OpKind::Sub, ScalarType::F64, m);
+    b.store(d, 1, 0, r);
+    b.finish()
+}
+
+/// Thermodynamic update: sqrt + divide per point, parallel but
+/// long-latency-unit bound.
+fn thermo() -> Loop {
+    let mut b = LoopBuilder::new("apsi.thermo");
+    b.trip(N).invocations(STEPS * N / 8);
+    let t = b.array("t", ScalarType::F64, N + 8);
+    let p = b.array("p", ScalarType::F64, N + 8);
+    let out = b.array("theta", ScalarType::F64, N + 8);
+    let lt = b.load(t, 1, 0);
+    let lp = b.load(p, 1, 0);
+    let sp = b.fsqrt(lp);
+    let r = b.fdiv(lt, sp);
+    b.store(out, 1, 0, r);
+    b.finish()
+}
+
+/// Shapiro smoothing filter: 1-2-1 weighted average, parallel.
+fn smoothing() -> Loop {
+    let mut b = LoopBuilder::new("apsi.smooth");
+    b.trip(N).invocations(STEPS * N * 2);
+    let f = b.array("f", ScalarType::F64, N + 8);
+    let out = b.array("fs", ScalarType::F64, N + 8);
+    let fm = b.load(f, 1, 0);
+    let fc = b.load(f, 1, 1);
+    let fp = b.load(f, 1, 2);
+    let s1 = b.fadd(fm, fp);
+    let tc = b.fadd(fc, fc);
+    let s2 = b.fadd(s1, tc);
+    let avg = b.bin(OpKind::Mul, ScalarType::F64, Operand::def(s2), Operand::ConstF(0.25));
+    b.store(out, 1, 0, avg);
+    b.finish()
+}
+
+/// Coriolis rotation of the wind components: cross-coupled multiply–adds
+/// over u and v.
+fn coriolis() -> Loop {
+    let mut b = LoopBuilder::new("apsi.coriolis");
+    b.trip(N).invocations(STEPS * N);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let v = b.array("v", ScalarType::F64, N + 8);
+    let fcor = b.live_in("f", ScalarType::F64);
+    let lu = b.load(u, 1, 0);
+    let lv = b.load(v, 1, 0);
+    let du = b.fmul_li(fcor, lv);
+    let nu = b.fadd(lu, du);
+    b.store(u, 1, 0, nu);
+    let dv = b.fmul_li(fcor, lu);
+    let nv = b.fsub(lv, dv);
+    b.store(v, 1, 0, nv);
+    b.finish()
+}
+
+/// Moisture clipping: negative humidities are zeroed and the removed mass
+/// accumulated for conservation accounting.
+fn moisture_clip() -> Loop {
+    use sv_ir::Operand;
+    let mut b = LoopBuilder::new("apsi.clip");
+    b.trip(N).invocations(STEPS * N / 2);
+    let q = b.array("q", ScalarType::F64, N + 8);
+    let lq = b.load(q, 1, 0);
+    let cl = b.bin(
+        OpKind::Max,
+        ScalarType::F64,
+        Operand::def(lq),
+        Operand::ConstF(0.0),
+    );
+    b.store(q, 1, 0, cl);
+    let removed = b.fsub(cl, lq);
+    b.reduce_add(removed);
+    b.finish()
+}
+
+/// Long-wave radiation decay: a first-order relaxation toward the
+/// equilibrium profile — multiply-dominated, parallel.
+fn radiation_decay() -> Loop {
+    let mut b = LoopBuilder::new("apsi.radiation");
+    b.trip(N).invocations(STEPS * N / 4);
+    let t = b.array("t", ScalarType::F64, N + 8);
+    let teq = b.array("teq", ScalarType::F64, N + 8);
+    let tau = b.live_in("tau", ScalarType::F64);
+    let lt = b.load(t, 1, 0);
+    let le = b.load(teq, 1, 0);
+    let d = b.fsub(le, lt);
+    let relax = b.fmul_li(tau, d);
+    let nt = b.fadd(lt, relax);
+    b.store(t, 1, 0, nt);
+    b.finish()
+}

@@ -1,0 +1,155 @@
+//! 104.hydro2d — Navier–Stokes galactic-jet simulation (SPEC 95).
+//!
+//! Dozens of small, similar finite-difference sweeps. Most are
+//! vectorizable but short and already well balanced on the scalar units,
+//! so every technique lands close to 1× (the paper: 0.94/1.00/1.03).
+
+use sv_ir::{Loop, LoopBuilder, OpKind, ScalarType};
+
+const N: u64 = 402;
+const STEPS: u64 = 20;
+
+/// Eight hand kernels (suite filled to the paper's 67).
+pub fn kernels() -> Vec<Loop> {
+    vec![
+        flux(),
+        advection(),
+        pressure(),
+        timestep_min(),
+        viscosity(),
+        energy_update(),
+        boundary_reflect(),
+        density_floor(),
+    ]
+}
+
+/// Flux differences: `f[i] = u[i]·v[i] − u[i−1]·v[i−1]`.
+fn flux() -> Loop {
+    let mut b = LoopBuilder::new("hydro2d.flux");
+    b.trip(N).invocations(STEPS * N);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let v = b.array("v", ScalarType::F64, N + 8);
+    let f = b.array("f", ScalarType::F64, N + 8);
+    let u1 = b.load(u, 1, 1);
+    let v1 = b.load(v, 1, 1);
+    let u0 = b.load(u, 1, 0);
+    let v0 = b.load(v, 1, 0);
+    let m1 = b.fmul(u1, v1);
+    let m0 = b.fmul(u0, v0);
+    let d = b.fsub(m1, m0);
+    b.store(f, 1, 0, d);
+    b.finish()
+}
+
+/// Upwind advection: `q[i] += dt·(f[i] − f[i+1])`.
+fn advection() -> Loop {
+    let mut b = LoopBuilder::new("hydro2d.advect");
+    b.trip(N).invocations(STEPS * N);
+    let q = b.array("q", ScalarType::F64, N + 8);
+    let f = b.array("f", ScalarType::F64, N + 8);
+    let dt = b.live_in("dt", ScalarType::F64);
+    let lq = b.load(q, 1, 0);
+    let f0 = b.load(f, 1, 0);
+    let f1 = b.load(f, 1, 1);
+    let df = b.fsub(f0, f1);
+    let sc = b.fmul_li(dt, df);
+    let nq = b.fadd(lq, sc);
+    b.store(q, 1, 0, nq);
+    b.finish()
+}
+
+/// Pressure/equation-of-state: has a divide per point, which dominates
+/// both scalar and vector costs (the divide unit is not pipelined).
+fn pressure() -> Loop {
+    let mut b = LoopBuilder::new("hydro2d.pressure");
+    b.trip(N).invocations(STEPS * N / 2);
+    let e = b.array("e", ScalarType::F64, N + 8);
+    let rho = b.array("rho", ScalarType::F64, N + 8);
+    let p = b.array("p", ScalarType::F64, N + 8);
+    let le = b.load(e, 1, 0);
+    let lr = b.load(rho, 1, 0);
+    let d = b.fdiv(le, lr);
+    let g = b.fmul(d, le);
+    b.store(p, 1, 0, g);
+    b.finish()
+}
+
+/// Courant time-step search: a min reduction over a divide chain —
+/// vectorizable (min is order-insensitive) but divide-bound.
+fn timestep_min() -> Loop {
+    let mut b = LoopBuilder::new("hydro2d.courant");
+    b.trip(N).invocations(STEPS * 4);
+    let c = b.array("c", ScalarType::F64, N + 8);
+    let v = b.array("vel", ScalarType::F64, N + 8);
+    let lc = b.load(c, 1, 0);
+    let lv = b.load(v, 1, 0);
+    let s = b.fadd(lc, lv);
+    let dt = b.fdiv(lc, s);
+    b.reduce(OpKind::Min, ScalarType::F64, dt);
+    b.finish()
+}
+
+/// Artificial viscosity: velocity-difference products clamped at zero
+/// (min/max against constants), fully parallel.
+fn viscosity() -> Loop {
+    use sv_ir::Operand;
+    let mut b = LoopBuilder::new("hydro2d.viscosity");
+    b.trip(N).invocations(STEPS * N);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let q = b.array("q", ScalarType::F64, N + 8);
+    let u0 = b.load(u, 1, 0);
+    let u1 = b.load(u, 1, 1);
+    let du = b.fsub(u1, u0);
+    let clamped = b.bin(OpKind::Min, ScalarType::F64, Operand::def(du), Operand::ConstF(0.0));
+    let sq = b.fmul(clamped, clamped);
+    b.store(q, 1, 0, sq);
+    b.finish()
+}
+
+/// Total-energy update: multiply–add over three streams.
+fn energy_update() -> Loop {
+    let mut b = LoopBuilder::new("hydro2d.energy");
+    b.trip(N).invocations(STEPS * N);
+    let e = b.array("e", ScalarType::F64, N + 8);
+    let p = b.array("p", ScalarType::F64, N + 8);
+    let dv = b.array("dv", ScalarType::F64, N + 8);
+    let le = b.load(e, 1, 0);
+    let lp = b.load(p, 1, 0);
+    let ld = b.load(dv, 1, 0);
+    let work = b.fmul(lp, ld);
+    let ne = b.fsub(le, work);
+    b.store(e, 1, 0, ne);
+    b.finish()
+}
+
+/// Reflecting boundary: copy with negation into the ghost strip.
+fn boundary_reflect() -> Loop {
+    let mut b = LoopBuilder::new("hydro2d.reflect");
+    b.trip(64).invocations(STEPS * 8);
+    let v = b.array("v", ScalarType::F64, 96);
+    let ghost = b.array("vghost", ScalarType::F64, 96);
+    let l = b.load(v, 1, 0);
+    let n = b.fneg(l);
+    b.store(ghost, 1, 0, n);
+    b.finish()
+}
+
+/// Density floor: max against the vacuum threshold, counting violations
+/// through a running (sequential) sum.
+fn density_floor() -> Loop {
+    use sv_ir::Operand;
+    let mut b = LoopBuilder::new("hydro2d.floor");
+    b.trip(N).invocations(STEPS * N / 2);
+    let rho = b.array("rho", ScalarType::F64, N + 8);
+    let lr = b.load(rho, 1, 0);
+    let fl = b.bin(
+        OpKind::Max,
+        ScalarType::F64,
+        Operand::def(lr),
+        Operand::ConstF(1e-6),
+    );
+    b.store(rho, 1, 0, fl);
+    let delta = b.fsub(fl, lr);
+    b.reduce_add(delta);
+    b.finish()
+}

@@ -1,0 +1,157 @@
+//! 172.mgrid — multigrid solver (SPEC 2000).
+//!
+//! `resid` and `psinv` (27-point stencils, here row-linearized to their
+//! 1-D op mix) dominate; `rprj3`/`interp` move between grids with
+//! non-unit strides; `norm2u3` is a sum+max reduction pair.
+
+use sv_ir::{Loop, LoopBuilder, OpKind, Operand, ScalarType};
+
+const N: u64 = 254; // 256³ training grid, inner dimension
+const VCYCLES: u64 = 40;
+
+/// Eight hand kernels (suite filled to the paper's 16).
+pub fn kernels() -> Vec<Loop> {
+    vec![
+        resid(),
+        psinv(),
+        rprj3(),
+        interp(),
+        norm2u3(),
+        comm3(),
+        zero3(),
+        zran3_sift(),
+    ]
+}
+
+fn stencil_body(name: &str, loads: usize) -> Loop {
+    let mut b = LoopBuilder::new(name);
+    b.trip(N).invocations(VCYCLES * N * 4);
+    let u = b.array("u", ScalarType::F64, 3 * N + 16);
+    let v = b.array("v", ScalarType::F64, N + 8);
+    let r = b.array("r", ScalarType::F64, N + 8);
+    let c0 = b.live_in("c0", ScalarType::F64);
+    let c1 = b.live_in("c1", ScalarType::F64);
+
+    // Neighbour sums share one coefficient per distance class, exactly as
+    // mgrid factors them: sum the neighbours first, multiply once.
+    let centre = b.load(u, 1, 1);
+    let scaled_centre = b.fmul_li(c0, centre);
+    let mut nsum: Option<sv_ir::OpId> = None;
+    for i in 0..loads {
+        let off = [0i64, 2, N as i64, N as i64 + 2, 2 * N as i64, 2 * N as i64 + 2, 1, 3]
+            [i % 8]
+            + (i / 8) as i64;
+        let l = b.load(u, 1, off);
+        nsum = Some(match nsum {
+            None => l,
+            Some(prev) => b.fadd(prev, l),
+        });
+    }
+    let weighted = b.fmul_li(c1, nsum.expect("at least one neighbour"));
+    let acc = b.fadd(scaled_centre, weighted);
+    let lv = b.load(v, 1, 0);
+    let res = b.fsub(lv, acc);
+    b.store(r, 1, 0, res);
+    b.finish()
+}
+
+/// `resid`: r = v − A·u. Eight neighbour loads plus the centre.
+fn resid() -> Loop {
+    stencil_body("mgrid.resid", 8)
+}
+
+/// `psinv`: u += M·r — same shape, six neighbour loads.
+fn psinv() -> Loop {
+    stencil_body("mgrid.psinv", 6)
+}
+
+/// `rprj3`: restriction to the coarse grid — the *output* runs at half
+/// rate, so the fine-grid loads have stride 2: not vectorizable on a
+/// machine without gather support.
+fn rprj3() -> Loop {
+    let mut b = LoopBuilder::new("mgrid.rprj3");
+    b.trip(N / 2).invocations(VCYCLES * N);
+    let r = b.array("r", ScalarType::F64, 2 * N + 16);
+    let s = b.array("s", ScalarType::F64, N / 2 + 8);
+    let l0 = b.load(r, 2, 0);
+    let l1 = b.load(r, 2, 1);
+    let l2 = b.load(r, 2, 2);
+    let s01 = b.fadd(l0, l1);
+    let w = b.bin(OpKind::Mul, ScalarType::F64, Operand::def(l2), Operand::ConstF(0.5));
+    let sum = b.fadd(s01, w);
+    b.store(s, 1, 0, sum);
+    b.finish()
+}
+
+/// `interp`: prolongation — coarse loads feed two interleaved stores
+/// (stride 2), again gather/scatter-bound.
+fn interp() -> Loop {
+    let mut b = LoopBuilder::new("mgrid.interp");
+    b.trip(N / 2).invocations(VCYCLES * N);
+    let z = b.array("z", ScalarType::F64, N / 2 + 8);
+    let u = b.array("uf", ScalarType::F64, 2 * N + 16);
+    let l0 = b.load(z, 1, 0);
+    let l1 = b.load(z, 1, 1);
+    let avg1 = b.fadd(l0, l1);
+    let avg = b.bin(OpKind::Mul, ScalarType::F64, Operand::def(avg1), Operand::ConstF(0.5));
+    b.store(u, 2, 0, l0);
+    b.store(u, 2, 1, avg);
+    b.finish()
+}
+
+/// `norm2u3`: the L2 and max norms — an FP sum reduction (sequential
+/// without reassociation) plus a vectorizable max reduction.
+fn norm2u3() -> Loop {
+    let mut b = LoopBuilder::new("mgrid.norm2u3");
+    b.trip(N).invocations(VCYCLES * N / 8);
+    let r = b.array("r", ScalarType::F64, N + 8);
+    let l = b.load(r, 1, 0);
+    let sq = b.fmul(l, l);
+    b.reduce_add(sq);
+    let a = b.fabs(l);
+    b.reduce(OpKind::Max, ScalarType::F64, a);
+    b.finish()
+}
+
+/// `comm3`: ghost-cell exchange — plain edge copies, fully vectorizable
+/// but too small for any technique to matter.
+fn comm3() -> Loop {
+    let mut b = LoopBuilder::new("mgrid.comm3");
+    b.trip(N).invocations(VCYCLES * N / 2);
+    let face = b.array("face", ScalarType::F64, N + 8);
+    let ghost = b.array("ghost", ScalarType::F64, N + 8);
+    let l = b.load(face, 1, 0);
+    b.store(ghost, 1, 0, l);
+    b.finish()
+}
+
+/// `zero3`: clear a work array between V-cycles.
+fn zero3() -> Loop {
+    use sv_ir::{OpKind, Operand};
+    let mut b = LoopBuilder::new("mgrid.zero3");
+    b.trip(N).invocations(VCYCLES * N / 4);
+    let r = b.array("r", ScalarType::F64, N + 8);
+    let z = b.bin(
+        OpKind::Mul,
+        ScalarType::F64,
+        Operand::ConstF(0.0),
+        Operand::ConstF(0.0),
+    );
+    b.store(r, 1, 0, z);
+    b.finish()
+}
+
+/// The `zran3` charge-sifting pass: running max/min searches over the
+/// random field — order-sensitive scans modeled as recurrences.
+fn zran3_sift() -> Loop {
+    use sv_ir::OpKind;
+    let mut b = LoopBuilder::new("mgrid.zran3");
+    b.trip(N).invocations(N / 4);
+    let z = b.array("z", ScalarType::F64, N + 8);
+    let lz = b.load(z, 1, 0);
+    let hi = b.recurrence(OpKind::Max, ScalarType::F64, lz);
+    let lo = b.recurrence(OpKind::Min, ScalarType::F64, lz);
+    let spread = b.fsub(hi, lo);
+    b.live_out("spread", spread);
+    b.finish()
+}

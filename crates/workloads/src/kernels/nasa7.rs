@@ -1,0 +1,156 @@
+//! 093.nasa7 — the NAS kernels (SPEC 92).
+//!
+//! Seven numeric kernels with very different characters: `mxm`'s inner
+//! loop is an FP dot-product reduction (sequential without
+//! reassociation), `cfft2d` has stride-2 complex butterflies, `cholsky`
+//! and `gmtry` carry divide recurrences, `btrix` is a big straight-line
+//! block solve, `vpenta` a pentadiagonal recurrence, `emit` a vorticity
+//! accumulation. Traditional vectorization collapses here (the paper
+//! measures 0.18×) because distribution scalar-expands everything around
+//! the reductions.
+
+use sv_ir::{Loop, LoopBuilder, OpKind, Operand, ScalarType};
+
+const N: u64 = 128;
+const REPS: u64 = 60;
+
+/// Seven hand kernels (suite filled to the paper's 30).
+pub fn kernels() -> Vec<Loop> {
+    vec![mxm(), cfft2d(), cholsky(), btrix(), gmtry(), emit(), vpenta()]
+}
+
+/// `mxm` inner loop: `c += a[i]·b[i]` — the canonical non-reassociable
+/// FP reduction; only the load/multiply stream can be vectorized.
+fn mxm() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.mxm");
+    b.trip(N).invocations(REPS * N * 16);
+    let a = b.array("a", ScalarType::F64, N + 8);
+    let bb = b.array("b", ScalarType::F64, N + 8);
+    let la = b.load(a, 1, 0);
+    let lb = b.load(bb, 1, 0);
+    let m = b.fmul(la, lb);
+    b.reduce_add(m);
+    b.finish()
+}
+
+/// `cfft2d` butterfly: complex data interleaved re/im ⇒ stride-2 memory
+/// refs, so the memory side stays scalar while the arithmetic could go
+/// either way.
+fn cfft2d() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.cfft2d");
+    b.trip(N / 2).invocations(REPS * 14);
+    let x = b.array("x", ScalarType::F64, 2 * N + 16);
+    let y = b.array("y", ScalarType::F64, 2 * N + 16);
+    let wr = b.live_in("wr", ScalarType::F64);
+    let wi = b.live_in("wi", ScalarType::F64);
+    let xr = b.load(x, 2, 0);
+    let xi = b.load(x, 2, 1);
+    let yr = b.load(y, 2, 0);
+    let yi = b.load(y, 2, 1);
+    // (tr, ti) = w · (y_r, y_i)
+    let t1 = b.fmul_li(wr, yr);
+    let t2 = b.fmul_li(wi, yi);
+    let tr = b.fsub(t1, t2);
+    let t3 = b.fmul_li(wr, yi);
+    let t4 = b.fmul_li(wi, yr);
+    let ti = b.fadd(t3, t4);
+    let or1 = b.fadd(xr, tr);
+    let oi1 = b.fadd(xi, ti);
+    b.store(x, 2, 0, or1);
+    b.store(x, 2, 1, oi1);
+    let or2 = b.fsub(xr, tr);
+    let oi2 = b.fsub(xi, ti);
+    b.store(y, 2, 0, or2);
+    b.store(y, 2, 1, oi2);
+    b.finish()
+}
+
+/// `cholsky` elimination step: `a[i] −= f·a[i−off]` with a divide feeding
+/// the pivot — the multiply-add stream is parallel, the divide chain not.
+fn cholsky() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.cholsky");
+    b.trip(N).invocations(REPS * 8);
+    let a = b.array("a", ScalarType::F64, 2 * N + 16);
+    let piv = b.array("piv", ScalarType::F64, N + 8);
+    let f = b.live_in("f", ScalarType::F64);
+    let above = b.load(a, 1, N as i64);
+    let cur = b.load(a, 1, 0);
+    let scaled = b.fmul_li(f, above);
+    let upd = b.fsub(cur, scaled);
+    b.store(a, 1, 0, upd);
+    let lp = b.load(piv, 1, 0);
+    let d = b.fdiv(upd, lp);
+    b.store(piv, 1, 1, d); // divide feeds the next pivot: recurrence
+    b.finish()
+}
+
+/// `btrix` block-tridiagonal inner loop: a long straight-line FP chain
+/// with many loads — purely resource-bound.
+fn btrix() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.btrix");
+    b.trip(N).invocations(REPS * 16);
+    let arrs: Vec<_> = (0..5)
+        .map(|i| b.array(format!("m{i}"), ScalarType::F64, N + 8))
+        .collect();
+    let out = b.array("out", ScalarType::F64, N + 8);
+    let mut acc: Option<sv_ir::OpId> = None;
+    for (i, &a) in arrs.iter().enumerate() {
+        let l = b.load(a, 1, 0);
+        let l2 = b.load(a, 1, 1);
+        let m = b.fmul(l, l2);
+        acc = Some(match acc {
+            None => m,
+            Some(prev) => {
+                if i % 2 == 0 {
+                    b.fadd(prev, m)
+                } else {
+                    b.fsub(prev, m)
+                }
+            }
+        });
+    }
+    b.store(out, 1, 0, acc.unwrap());
+    b.finish()
+}
+
+/// `gmtry` Gaussian elimination: divide-and-subtract recurrence.
+fn gmtry() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.gmtry");
+    b.trip(N).invocations(REPS * 4);
+    let rmatrx = b.array("rmatrx", ScalarType::F64, 2 * N + 16);
+    let l = b.load(rmatrx, 1, 0);
+    let r = b.recurrence(OpKind::Sub, ScalarType::F64, l);
+    let d = b.bin(OpKind::Div, ScalarType::F64, Operand::def(r), Operand::ConstF(3.0));
+    b.store(rmatrx, 1, N as i64, d);
+    b.finish()
+}
+
+/// `emit` vortex emission: parallel arithmetic plus an FP sum.
+fn emit() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.emit");
+    b.trip(N).invocations(REPS * 2);
+    let z = b.array("z", ScalarType::F64, N + 8);
+    let g = b.array("gamma", ScalarType::F64, N + 8);
+    let out = b.array("force", ScalarType::F64, N + 8);
+    let lz = b.load(z, 1, 0);
+    let lg = b.load(g, 1, 0);
+    let sq = b.fmul(lz, lz);
+    let s = b.fsqrt(sq);
+    let m = b.fmul(s, lg);
+    b.store(out, 1, 0, m);
+    b.reduce_add(m);
+    b.finish()
+}
+
+/// `vpenta` pentadiagonal inversion: two chained recurrences.
+fn vpenta() -> Loop {
+    let mut b = LoopBuilder::new("nasa7.vpenta");
+    b.trip(N).invocations(REPS * 8);
+    let x = b.array("x", ScalarType::F64, N + 8);
+    let y = b.array("y", ScalarType::F64, N + 8);
+    let lx = b.load(x, 1, 0);
+    let r1 = b.recurrence(OpKind::Mul, ScalarType::F64, lx);
+    let r2 = b.recurrence(OpKind::Add, ScalarType::F64, r1);
+    b.store(y, 1, 0, r2);
+    b.finish()
+}

@@ -1,0 +1,163 @@
+//! 103.su2cor — quantum chromodynamics (SPEC 95).
+//!
+//! Quark-propagator Monte Carlo: the hot loops multiply complex SU(2)
+//! gauge links into spinors (long multiply–add chains over interleaved
+//! re/im data that su2cor keeps in *separate* arrays, so the streams stay
+//! unit-stride and vectorizable) plus Gaussian-update loops with sums.
+
+use sv_ir::{Loop, LoopBuilder, OpKind, ScalarType};
+
+const N: u64 = 256;
+const SWEEPS: u64 = 80;
+
+/// Seven hand kernels (suite filled to the paper's 38).
+pub fn kernels() -> Vec<Loop> {
+    vec![
+        gauge_mul(),
+        spinor_update(),
+        correlation(),
+        gaussian(),
+        staple_sum(),
+        trace_re(),
+        momentum_refresh(),
+    ]
+}
+
+/// Complex matrix–vector multiply with separate re/im arrays: 8 loads,
+/// 8 multiplies, 6 adds, 2 stores — FP-unit-bound, ideal for offloading
+/// part of the work to the vector unit.
+fn gauge_mul() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.gaugemul");
+    b.trip(N).invocations(SWEEPS * N / 8);
+    let ur = b.array("ur", ScalarType::F64, N + 8);
+    let ui = b.array("ui", ScalarType::F64, N + 8);
+    let vr = b.array("vr", ScalarType::F64, N + 8);
+    let vi = b.array("vi", ScalarType::F64, N + 8);
+    let wr = b.array("wr", ScalarType::F64, N + 8);
+    let wi = b.array("wi", ScalarType::F64, N + 8);
+    let lur = b.load(ur, 1, 0);
+    let lui = b.load(ui, 1, 0);
+    let lvr = b.load(vr, 1, 0);
+    let lvi = b.load(vi, 1, 0);
+    let lur2 = b.load(ur, 1, 1);
+    let lui2 = b.load(ui, 1, 1);
+    let lvr2 = b.load(vr, 1, 1);
+    let lvi2 = b.load(vi, 1, 1);
+    let m1 = b.fmul(lur, lvr);
+    let m2 = b.fmul(lui, lvi);
+    let re1 = b.fsub(m1, m2);
+    let m3 = b.fmul(lur2, lvr2);
+    let m4 = b.fmul(lui2, lvi2);
+    let re2 = b.fsub(m3, m4);
+    let re = b.fadd(re1, re2);
+    b.store(wr, 1, 0, re);
+    let m5 = b.fmul(lur, lvi);
+    let m6 = b.fmul(lui, lvr);
+    let im1 = b.fadd(m5, m6);
+    let m7 = b.fmul(lur2, lvi2);
+    let m8 = b.fmul(lui2, lvr2);
+    let im2 = b.fadd(m7, m8);
+    let im = b.fadd(im1, im2);
+    b.store(wi, 1, 0, im);
+    b.finish()
+}
+
+/// Spinor update `s = s + k·w` over four components.
+fn spinor_update() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.spinor");
+    b.trip(N).invocations(SWEEPS * N / 4);
+    let s = b.array("s", ScalarType::F64, N + 8);
+    let w = b.array("w", ScalarType::F64, N + 8);
+    let k = b.live_in("kappa", ScalarType::F64);
+    let ls = b.load(s, 1, 0);
+    let lw = b.load(w, 1, 0);
+    let kw = b.fmul_li(k, lw);
+    let sum = b.fadd(ls, kw);
+    b.store(s, 1, 0, sum);
+    b.finish()
+}
+
+/// Correlation-function accumulation: an FP sum over a product — the
+/// reduction keeps the loop partly sequential.
+fn correlation() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.corr");
+    b.trip(N).invocations(SWEEPS * N / 2);
+    let a = b.array("prop1", ScalarType::F64, N + 8);
+    let c = b.array("prop2", ScalarType::F64, N + 8);
+    let la = b.load(a, 1, 0);
+    let lc = b.load(c, 1, 0);
+    let m = b.fmul(la, lc);
+    b.reduce_add(m);
+    b.finish()
+}
+
+/// Gaussian heat-bath update: sqrt/div-heavy chain with a running
+/// normalization recurrence.
+fn gaussian() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.gaussian");
+    b.trip(N).invocations(SWEEPS * 2);
+    let r = b.array("rand", ScalarType::F64, N + 8);
+    let o = b.array("eta", ScalarType::F64, N + 8);
+    let lr = b.load(r, 1, 0);
+    let s = b.fsqrt(lr);
+    let d = b.fdiv(s, lr);
+    let acc = b.recurrence(OpKind::Add, ScalarType::F64, d);
+    b.store(o, 1, 0, acc);
+    b.finish()
+}
+
+/// Staple accumulation around a plaquette: three-array multiply–add
+/// chains, fully parallel.
+fn staple_sum() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.staple");
+    b.trip(N).invocations(SWEEPS * N / 16);
+    let a = b.array("linkA", ScalarType::F64, N + 8);
+    let c = b.array("linkB", ScalarType::F64, N + 8);
+    let d = b.array("linkC", ScalarType::F64, N + 8);
+    let out = b.array("staple", ScalarType::F64, N + 8);
+    let la = b.load(a, 1, 0);
+    let lc = b.load(c, 1, 0);
+    let ld = b.load(d, 1, 0);
+    let m1 = b.fmul(la, lc);
+    let m2 = b.fmul(m1, ld);
+    let lo = b.load(out, 1, 0);
+    let acc = b.fadd(lo, m2);
+    b.store(out, 1, 0, acc);
+    b.finish()
+}
+
+/// Real-trace accumulation of the plaquette action — the FP sum every
+/// Monte Carlo step reports.
+fn trace_re() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.trace");
+    b.trip(N).invocations(SWEEPS * N / 8);
+    let ur = b.array("ur2", ScalarType::F64, N + 8);
+    let vr = b.array("vr2", ScalarType::F64, N + 8);
+    let ui = b.array("ui2", ScalarType::F64, N + 8);
+    let vi = b.array("vi2", ScalarType::F64, N + 8);
+    let lur = b.load(ur, 1, 0);
+    let lvr = b.load(vr, 1, 0);
+    let lui = b.load(ui, 1, 0);
+    let lvi = b.load(vi, 1, 0);
+    let re = b.fmul(lur, lvr);
+    let im = b.fmul(lui, lvi);
+    let tr = b.fsub(re, im);
+    b.reduce_add(tr);
+    b.finish()
+}
+
+/// Momentum refreshment between trajectories: scale-and-add of the noise
+/// field into the momenta.
+fn momentum_refresh() -> Loop {
+    let mut b = LoopBuilder::new("su2cor.momentum");
+    b.trip(N).invocations(SWEEPS / 2);
+    let pmom = b.array("pmom", ScalarType::F64, N + 8);
+    let noise = b.array("noise", ScalarType::F64, N + 8);
+    let c1 = b.live_in("c1", ScalarType::F64);
+    let lp = b.load(pmom, 1, 0);
+    let ln = b.load(noise, 1, 0);
+    let sc = b.fmul_li(c1, lp);
+    let sum = b.fadd(sc, ln);
+    b.store(pmom, 1, 0, sum);
+    b.finish()
+}

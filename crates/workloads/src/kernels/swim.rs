@@ -1,0 +1,216 @@
+//! 171.swim — shallow water equations (SPEC 2000).
+//!
+//! Three big stencil sweeps (`calc1`, `calc2`, `calc3`) dominate: pure
+//! element-wise finite differences, fully data parallel, memory heavy.
+//! A small periodic-boundary copy loop runs per sweep.
+
+use sv_ir::{Loop, LoopBuilder, ScalarType};
+
+const N: u64 = 512; // 512×512 training grid, row-linearized
+const STEPS: u64 = 30;
+
+/// The eight hand-modeled inner loops (the suite is filled to the paper's
+/// 14 by the synthetic generator).
+pub fn kernels() -> Vec<Loop> {
+    vec![
+        calc1(),
+        calc2(),
+        calc3(),
+        boundary_copy(),
+        pcheck(),
+        initial_conditions(),
+        halve_timestep(),
+        ns_boundary(),
+    ]
+}
+
+/// `calc1`: CU, CV, Z, H from U, V, P — 8 loads, 4 stores, ~14 FP ops.
+fn calc1() -> Loop {
+    let mut b = LoopBuilder::new("swim.calc1");
+    b.trip(N).invocations(STEPS * N);
+    let u = b.array("u", ScalarType::F64, 2 * N + 8);
+    let v = b.array("v", ScalarType::F64, 2 * N + 8);
+    let p = b.array("p", ScalarType::F64, 2 * N + 8);
+    let cu = b.array("cu", ScalarType::F64, N + 8);
+    let cv = b.array("cv", ScalarType::F64, N + 8);
+    let z = b.array("z", ScalarType::F64, N + 8);
+    let h = b.array("h", ScalarType::F64, N + 8);
+
+    let pc = b.load(p, 1, 0);
+    let pe = b.load(p, 1, 1);
+    let pn = b.load(p, 1, N as i64);
+    let uc = b.load(u, 1, 0);
+    let ue = b.load(u, 1, 1);
+    let vc = b.load(v, 1, 0);
+    let vn = b.load(v, 1, N as i64);
+    let un = b.load(u, 1, N as i64);
+
+    // cu = ½(p[i]+p[i+1])·u
+    let sp = b.fadd(pc, pe);
+    let cuv = b.fmul(sp, uc);
+    b.store(cu, 1, 0, cuv);
+    // cv = ½(p[i]+p[i+N])·v
+    let spn = b.fadd(pc, pn);
+    let cvv = b.fmul(spn, vc);
+    b.store(cv, 1, 0, cvv);
+    // z = (dv/dx − du/dy) / (p sums)
+    let dv = b.fsub(vn, vc);
+    let du = b.fsub(ue, uc);
+    let num = b.fsub(dv, du);
+    let den = b.fadd(sp, spn);
+    let zv = b.fdiv(num, den);
+    b.store(z, 1, 0, zv);
+    // h = p + ¼(u² + v²)
+    let u2 = b.fmul(uc, ue);
+    let v2 = b.fmul(vc, vn);
+    let ke = b.fadd(u2, v2);
+    let hv = b.fadd(pc, ke);
+    b.store(h, 1, 0, hv);
+    let _ = un;
+    b.finish()
+}
+
+/// `calc2`: the time-stepped U, V, P update — 9 loads, 3 stores.
+fn calc2() -> Loop {
+    let mut b = LoopBuilder::new("swim.calc2");
+    b.trip(N).invocations(STEPS * N);
+    let cu = b.array("cu", ScalarType::F64, 2 * N + 8);
+    let cv = b.array("cv", ScalarType::F64, 2 * N + 8);
+    let z = b.array("z", ScalarType::F64, 2 * N + 8);
+    let h = b.array("h", ScalarType::F64, 2 * N + 8);
+    let unew = b.array("unew", ScalarType::F64, N + 8);
+    let vnew = b.array("vnew", ScalarType::F64, N + 8);
+    let pnew = b.array("pnew", ScalarType::F64, N + 8);
+    let tdts = b.live_in("tdts8", ScalarType::F64);
+
+    let zc = b.load(z, 1, 0);
+    let zn = b.load(z, 1, N as i64);
+    let cvc = b.load(cv, 1, 0);
+    let cve = b.load(cv, 1, 1);
+    let cuc = b.load(cu, 1, 0);
+    let cun = b.load(cu, 1, N as i64);
+    let hc = b.load(h, 1, 0);
+    let he = b.load(h, 1, 1);
+    let hn = b.load(h, 1, N as i64);
+
+    let zs = b.fadd(zc, zn);
+    let cvs = b.fadd(cvc, cve);
+    let t1 = b.fmul(zs, cvs);
+    let t2 = b.fmul_li(tdts, t1);
+    let dh = b.fsub(he, hc);
+    let un = b.fsub(t2, dh);
+    b.store(unew, 1, 0, un);
+
+    let cus = b.fadd(cuc, cun);
+    let t3 = b.fmul(zs, cus);
+    let t4 = b.fmul_li(tdts, t3);
+    let dhn = b.fsub(hn, hc);
+    let vn = b.fsub(t4, dhn);
+    b.store(vnew, 1, 0, vn);
+
+    let cue = b.load(cu, 1, 1);
+    let dcu = b.fsub(cue, cuc);
+    let dcv = b.fsub(cve, cvc);
+    let div = b.fadd(dcu, dcv);
+    let pn = b.fsub(hc, div);
+    b.store(pnew, 1, 0, pn);
+    b.finish()
+}
+
+/// `calc3`: the time-smoothing update `uold = u + α(unew − 2u + uold)`.
+fn calc3() -> Loop {
+    let mut b = LoopBuilder::new("swim.calc3");
+    b.trip(N).invocations(STEPS * N);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let uold = b.array("uold", ScalarType::F64, N + 8);
+    let unew = b.array("unew", ScalarType::F64, N + 8);
+    let alpha = b.live_in("alpha", ScalarType::F64);
+    let lu = b.load(u, 1, 0);
+    let lo = b.load(uold, 1, 0);
+    let ln = b.load(unew, 1, 0);
+    let two_u = b.fadd(lu, lu);
+    let curv1 = b.fsub(ln, two_u);
+    let curv = b.fadd(curv1, lo);
+    let scaled = b.fmul_li(alpha, curv);
+    let res = b.fadd(lu, scaled);
+    b.store(uold, 1, 0, res);
+    b.store(u, 1, 0, ln);
+    b.finish()
+}
+
+/// Periodic boundary copy: short trip, pure copies — little to gain, a
+/// loop where all techniques tie.
+fn boundary_copy() -> Loop {
+    let mut b = LoopBuilder::new("swim.boundary");
+    b.trip(N).invocations(STEPS * 3);
+    let src = b.array("interior", ScalarType::F64, N + 8);
+    let dst = b.array("halo", ScalarType::F64, N + 8);
+    let l = b.load(src, 1, 0);
+    b.store(dst, 1, 0, l);
+    b.finish()
+}
+
+/// `pcheck`-style diagnostics: three FP sums over the state arrays —
+/// sequential reductions that tie every technique.
+fn pcheck() -> Loop {
+    let mut b = LoopBuilder::new("swim.pcheck");
+    b.trip(N).invocations(STEPS / 2 * N / 8);
+    let p = b.array("p", ScalarType::F64, N + 8);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let v = b.array("v", ScalarType::F64, N + 8);
+    let lp = b.load(p, 1, 0);
+    b.reduce_add(lp);
+    let lu = b.load(u, 1, 0);
+    let au = b.fabs(lu);
+    b.reduce_add(au);
+    let lv = b.load(v, 1, 0);
+    let av = b.fabs(lv);
+    b.reduce_add(av);
+    b.finish()
+}
+
+/// Initial-condition setup: trigonometric-flavoured polynomials of the
+/// grid index, exercising induction-variable data operands.
+fn initial_conditions() -> Loop {
+    use sv_ir::{OpKind, Operand};
+    let mut b = LoopBuilder::new("swim.init");
+    b.trip(N).invocations(N); // once per row at startup
+    let psi = b.array("psi", ScalarType::F64, N + 8);
+    let amp = b.live_in("amp", ScalarType::F64);
+    let idx = b.bin(
+        OpKind::Mul,
+        ScalarType::F64,
+        Operand::iv(),
+        Operand::ConstF(0.015),
+    );
+    let sq = b.fmul(idx, idx);
+    let wave = b.fsub(idx, sq);
+    let scaled = b.fmul_li(amp, wave);
+    b.store(psi, 1, 0, scaled);
+    b.finish()
+}
+
+/// Time-step halving on restart: a couple of scalar multiplies over short
+/// coefficient arrays.
+fn halve_timestep() -> Loop {
+    use sv_ir::{OpKind, Operand};
+    let mut b = LoopBuilder::new("swim.halvedt");
+    b.trip(32).invocations(STEPS / 10 + 1);
+    let c = b.array("coef", ScalarType::F64, 48);
+    let l = b.load(c, 1, 0);
+    let h = b.bin(OpKind::Mul, ScalarType::F64, Operand::def(l), Operand::ConstF(0.5));
+    b.store(c, 1, 0, h);
+    b.finish()
+}
+
+/// North–south periodic boundary: strided row copy (the grid pitch makes
+/// it non-unit-stride — not vectorizable without gather).
+fn ns_boundary() -> Loop {
+    let mut b = LoopBuilder::new("swim.nsboundary");
+    b.trip(N / 2).invocations(STEPS * 3);
+    let grid = b.array("grid", ScalarType::F64, 2 * N + 16);
+    let halo = b.array("halo2", ScalarType::F64, N + 8);
+    let l = b.load(grid, 2, 0);
+    b.store(halo, 1, 0, l);
+    b.finish()
+}

@@ -1,0 +1,166 @@
+//! 146.wave5 — plasma particle-in-cell simulation (SPEC 95).
+//!
+//! Particle pushes (field interpolation, position/velocity updates) mix
+//! unit-stride field arrays with particle-indexed accesses that defeat
+//! unit-stride vectorization, plus FFT-ish field solves. With 133
+//! resource-limited loops, no single kernel dominates; gains are modest
+//! (the paper: 1.03×).
+
+use sv_ir::{Loop, LoopBuilder, OpKind, ScalarType};
+
+const NP: u64 = 5000; // particles per push loop (scaled)
+const NF: u64 = 1000; // field points
+const STEPS: u64 = 40;
+
+/// Eight hand kernels (suite filled to the paper's 133).
+pub fn kernels() -> Vec<Loop> {
+    vec![
+        particle_push(),
+        field_interp(),
+        charge_deposit(),
+        field_solve(),
+        diagnostics(),
+        vy_push(),
+        current_smooth(),
+        boundary_absorb(),
+    ]
+}
+
+/// Velocity/position update: unit-stride over the particle arrays, fully
+/// parallel — the benchmark's best case.
+fn particle_push() -> Loop {
+    let mut b = LoopBuilder::new("wave5.push");
+    b.trip(NP).invocations(STEPS);
+    let px = b.array("px", ScalarType::F64, NP + 8);
+    let vx = b.array("vx", ScalarType::F64, NP + 8);
+    let ex = b.array("ex", ScalarType::F64, NP + 8);
+    let qm = b.live_in("qm", ScalarType::F64);
+    let lv = b.load(vx, 1, 0);
+    let le = b.load(ex, 1, 0);
+    let acc = b.fmul_li(qm, le);
+    let nv = b.fadd(lv, acc);
+    b.store(vx, 1, 0, nv);
+    let lp = b.load(px, 1, 0);
+    let np = b.fadd(lp, nv);
+    b.store(px, 1, 0, np);
+    b.finish()
+}
+
+/// Field interpolation at particle positions: the gather is modeled by a
+/// non-unit-stride read — not vectorizable without hardware gather.
+fn field_interp() -> Loop {
+    let mut b = LoopBuilder::new("wave5.interp");
+    b.trip(NP / 2).invocations(STEPS);
+    let grid = b.array("grid", ScalarType::F64, 2 * NP + 16);
+    let w = b.array("w", ScalarType::F64, NP + 8);
+    let out = b.array("epart", ScalarType::F64, NP + 8);
+    let g0 = b.load(grid, 2, 0);
+    let g1 = b.load(grid, 2, 1);
+    let lw = b.load(w, 1, 0);
+    let d = b.fsub(g1, g0);
+    let itp = b.fmul(lw, d);
+    let res = b.fadd(g0, itp);
+    b.store(out, 1, 0, res);
+    b.finish()
+}
+
+/// Charge deposition: scatter modeled as a non-unit-stride
+/// read-modify-write — sequentializing, like the real histogramming loop.
+fn charge_deposit() -> Loop {
+    let mut b = LoopBuilder::new("wave5.deposit");
+    b.trip(NP / 2).invocations(STEPS);
+    let rho = b.array("rho", ScalarType::F64, 2 * NP + 16);
+    let q = b.array("q", ScalarType::F64, NP + 8);
+    let lq = b.load(q, 1, 0);
+    let lr = b.load(rho, 2, 0);
+    let s = b.fadd(lr, lq);
+    b.store(rho, 2, 0, s);
+    b.finish()
+}
+
+/// Tridiagonal field solve along each line: a forward recurrence.
+fn field_solve() -> Loop {
+    let mut b = LoopBuilder::new("wave5.solve");
+    b.trip(NF).invocations(STEPS * 8);
+    let d = b.array("diag", ScalarType::F64, NF + 8);
+    let r = b.array("rhs", ScalarType::F64, NF + 8);
+    let s = b.array("scale", ScalarType::F64, NF + 8);
+    let out = b.array("phi", ScalarType::F64, NF + 8);
+    // Parallel preconditioning of the right-hand side...
+    let ld = b.load(d, 1, 0);
+    let lr = b.load(r, 1, 0);
+    let ls = b.load(s, 1, 0);
+    let pre = b.fmul(lr, ls);
+    let m = b.fmul(ld, pre);
+    b.store(out, 1, 0, m);
+    // ...feeding the sequential elimination sweep.
+    let acc = b.recurrence(OpKind::Sub, ScalarType::F64, m);
+    b.store(r, 1, 1, acc);
+    b.finish()
+}
+
+/// Energy/momentum diagnostics: parallel squares into an FP sum.
+fn diagnostics() -> Loop {
+    let mut b = LoopBuilder::new("wave5.diag");
+    b.trip(NP).invocations(STEPS / 4);
+    let vx = b.array("vx", ScalarType::F64, NP + 8);
+    let vy = b.array("vy", ScalarType::F64, NP + 8);
+    let lx = b.load(vx, 1, 0);
+    let ly = b.load(vy, 1, 0);
+    let sx = b.fmul(lx, lx);
+    let sy = b.fmul(ly, ly);
+    let s = b.fadd(sx, sy);
+    b.reduce_add(s);
+    b.finish()
+}
+
+/// The y-velocity push: same shape as the x push, second hot copy.
+fn vy_push() -> Loop {
+    let mut b = LoopBuilder::new("wave5.vypush");
+    b.trip(NP).invocations(STEPS);
+    let py = b.array("py", ScalarType::F64, NP + 8);
+    let vy = b.array("vy2", ScalarType::F64, NP + 8);
+    let ey = b.array("ey", ScalarType::F64, NP + 8);
+    let qm = b.live_in("qm", ScalarType::F64);
+    let lv = b.load(vy, 1, 0);
+    let le = b.load(ey, 1, 0);
+    let acc = b.fmul_li(qm, le);
+    let nv = b.fadd(lv, acc);
+    b.store(vy, 1, 0, nv);
+    let lp = b.load(py, 1, 0);
+    let np = b.fadd(lp, nv);
+    b.store(py, 1, 0, np);
+    b.finish()
+}
+
+/// Current smoothing: a 1-2-1 filter over the deposited current.
+fn current_smooth() -> Loop {
+    use sv_ir::Operand;
+    let mut b = LoopBuilder::new("wave5.smooth");
+    b.trip(NF).invocations(STEPS * 2);
+    let j = b.array("cur", ScalarType::F64, NF + 8);
+    let js = b.array("curs", ScalarType::F64, NF + 8);
+    let jm = b.load(j, 1, 0);
+    let jc = b.load(j, 1, 1);
+    let jp = b.load(j, 1, 2);
+    let side = b.fadd(jm, jp);
+    let twice = b.fadd(jc, jc);
+    let sum = b.fadd(side, twice);
+    let avg = b.bin(OpKind::Mul, ScalarType::F64, Operand::def(sum), Operand::ConstF(0.25));
+    b.store(js, 1, 1, avg);
+    b.finish()
+}
+
+/// Absorbing boundary for the fields: an exponential-taper multiply near
+/// the edges, low trip count, entered constantly.
+fn boundary_absorb() -> Loop {
+    let mut b = LoopBuilder::new("wave5.absorb");
+    b.trip(32).invocations(STEPS * 64);
+    let e = b.array("efield", ScalarType::F64, 48);
+    let taper = b.array("taper", ScalarType::F64, 48);
+    let le = b.load(e, 1, 0);
+    let lt = b.load(taper, 1, 0);
+    let damped = b.fmul(le, lt);
+    b.store(e, 1, 0, damped);
+    b.finish()
+}

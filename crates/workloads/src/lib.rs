@@ -1,0 +1,36 @@
+//! # sv-workloads — SPEC FP substitute benchmark suites
+//!
+//! The paper evaluates on nine SPEC FP benchmarks compiled through SUIF.
+//! Neither the benchmarks' Fortran sources nor SUIF are available here, so
+//! this crate provides the substitution documented in `DESIGN.md`:
+//!
+//! * **hand-written IR encodings** of each benchmark's famous hot kernels
+//!   (tomcatv's SOR residual and tridiagonal solves, swim's shallow-water
+//!   stencils, mgrid's `resid`/`psinv` relaxation, nasa7's seven kernels,
+//!   and representative loops for su2cor, hydro2d, turb3d, wave5 and apsi),
+//!   carrying the dominant invocation weights; and
+//! * a **seeded synthetic loop generator** ([`synth_loop`]) that fills each
+//!   suite out to the paper's per-benchmark count of resource-limited
+//!   loops (Table 3), with per-benchmark op-mix and trip-count profiles.
+//!
+//! What decides every number in the paper's tables is each loop's *op mix,
+//! dependence structure and trip count* — which these substitutes model —
+//! not the surrounding program, which they do not.
+//!
+//! ```
+//! use sv_workloads::{all_benchmarks, figure1_dot_product};
+//!
+//! let suites = all_benchmarks();
+//! assert_eq!(suites.len(), 9);
+//! let tomcatv = suites.iter().find(|s| s.name == "101.tomcatv").unwrap();
+//! assert_eq!(tomcatv.loops.len(), 6); // paper Table 3
+//! assert!(figure1_dot_product().verify().is_ok());
+//! ```
+
+mod gen;
+mod kernels;
+mod suite;
+
+pub use gen::{synth_loop, SynthProfile};
+pub use kernels::figure1_dot_product;
+pub use suite::{all_benchmarks, benchmark, BenchmarkSuite};

@@ -1,0 +1,252 @@
+//! Benchmark suites: hand kernels plus calibrated synthetic fill.
+
+use crate::gen::{synth_loop, SynthProfile};
+use crate::kernels;
+use sv_ir::Loop;
+
+/// One SPEC-FP-substitute benchmark: its name and the resource-limited
+/// inner loops it contributes to the evaluation, each with trip and
+/// invocation weights.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSuite {
+    /// SPEC name, e.g. `"101.tomcatv"`.
+    pub name: &'static str,
+    /// The loops. The first entries are hand-written hot kernels; the rest
+    /// are seeded synthetic loops filling the suite to the paper's
+    /// per-benchmark loop count (Table 3).
+    pub loops: Vec<Loop>,
+}
+
+struct SuiteSpec {
+    name: &'static str,
+    hand: fn() -> Vec<Loop>,
+    /// Paper Table 3 loop count the suite is filled to.
+    count: usize,
+    profile: SynthProfile,
+    seed: u64,
+}
+
+fn specs() -> Vec<SuiteSpec> {
+    // Filler profiles echo each benchmark's character; hand kernels carry
+    // the dominant weights (their invocation counts dwarf the fillers').
+    let stencil = SynthProfile {
+        loads: (3, 8),
+        arith: (4, 12),
+        stores: (1, 2),
+        nonunit_prob: 0.05,
+        reduction_prob: 0.1,
+        reassoc: false,
+        recurrence_prob: 0.1,
+        div_prob: 0.02,
+        carried_prob: 0.05,
+        trip: (64, 512),
+        invocations: (5, 40),
+    };
+    vec![
+        SuiteSpec {
+            name: "093.nasa7",
+            hand: kernels::nasa7::kernels,
+            count: 30,
+            profile: SynthProfile {
+                reduction_prob: 0.6,
+                recurrence_prob: 0.4,
+                div_prob: 0.06,
+                ..stencil.clone()
+            },
+            seed: 0x9307,
+        },
+        SuiteSpec {
+            name: "101.tomcatv",
+            hand: kernels::tomcatv::kernels,
+            count: 6,
+            profile: stencil.clone(), // never used: 6 hand kernels
+            seed: 0x1010,
+        },
+        SuiteSpec {
+            name: "103.su2cor",
+            hand: kernels::su2cor::kernels,
+            count: 38,
+            profile: SynthProfile {
+                loads: (4, 10),
+                arith: (6, 16),
+                reduction_prob: 0.2,
+                recurrence_prob: 0.12,
+                ..stencil.clone()
+            },
+            seed: 0x1030,
+        },
+        SuiteSpec {
+            name: "104.hydro2d",
+            hand: kernels::hydro2d::kernels,
+            count: 67,
+            profile: SynthProfile {
+                loads: (2, 5),
+                arith: (2, 6),
+                div_prob: 0.08,
+                recurrence_prob: 0.15,
+                ..stencil.clone()
+            },
+            seed: 0x1040,
+        },
+        SuiteSpec {
+            name: "125.turb3d",
+            hand: kernels::turb3d::kernels,
+            count: 12,
+            profile: SynthProfile {
+                loads: (3, 6),
+                arith: (3, 8),
+                trip: (3, 8),
+                invocations: (20_000, 80_000),
+                nonunit_prob: 0.15,
+                reduction_prob: 0.1,
+                recurrence_prob: 0.05,
+                div_prob: 0.0,
+                ..stencil.clone()
+            },
+            seed: 0x1250,
+        },
+        SuiteSpec {
+            name: "146.wave5",
+            hand: kernels::wave5::kernels,
+            count: 133,
+            profile: SynthProfile {
+                loads: (2, 6),
+                arith: (2, 8),
+                nonunit_prob: 0.25,
+                reduction_prob: 0.15,
+                recurrence_prob: 0.2,
+                ..stencil.clone()
+            },
+            seed: 0x1460,
+        },
+        SuiteSpec {
+            name: "171.swim",
+            hand: kernels::swim::kernels,
+            count: 14,
+            profile: SynthProfile {
+                loads: (5, 9),
+                arith: (6, 14),
+                stores: (1, 3),
+                recurrence_prob: 0.0,
+                ..stencil.clone()
+            },
+            seed: 0x1710,
+        },
+        SuiteSpec {
+            name: "172.mgrid",
+            hand: kernels::mgrid::kernels,
+            count: 16,
+            profile: SynthProfile {
+                loads: (6, 10),
+                arith: (6, 12),
+                recurrence_prob: 0.05,
+                reduction_prob: 0.3,
+                trip: (16, 128),
+                ..stencil.clone()
+            },
+            seed: 0x1720,
+        },
+        SuiteSpec {
+            name: "301.apsi",
+            hand: kernels::apsi::kernels,
+            count: 61,
+            profile: SynthProfile {
+                loads: (2, 6),
+                arith: (3, 9),
+                div_prob: 0.06,
+                recurrence_prob: 0.25,
+                ..stencil
+            },
+            seed: 0x3010,
+        },
+    ]
+}
+
+fn build(spec: &SuiteSpec) -> BenchmarkSuite {
+    let mut loops = (spec.hand)();
+    assert!(
+        loops.len() <= spec.count,
+        "{}: more hand kernels than the paper's loop count",
+        spec.name
+    );
+    let fill = spec.count - loops.len();
+    for i in 0..fill {
+        let name = format!("{}.synth{i}", spec.name);
+        loops.push(synth_loop(&name, &spec.profile, spec.seed ^ (i as u64) << 8));
+    }
+    BenchmarkSuite { name: spec.name, loops }
+}
+
+/// All nine benchmark suites, in the paper's table order.
+pub fn all_benchmarks() -> Vec<BenchmarkSuite> {
+    specs().iter().map(build).collect()
+}
+
+/// One suite by (full or suffix) name, e.g. `"tomcatv"`.
+///
+/// # Panics
+///
+/// Panics when no suite matches.
+pub fn benchmark(name: &str) -> BenchmarkSuite {
+    specs()
+        .iter()
+        .find(|s| s.name == name || s.name.ends_with(name))
+        .map(build)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_counts_match_paper_table3() {
+        let expected = [
+            ("093.nasa7", 30),
+            ("101.tomcatv", 6),
+            ("103.su2cor", 38),
+            ("104.hydro2d", 67),
+            ("125.turb3d", 12),
+            ("146.wave5", 133),
+            ("171.swim", 14),
+            ("172.mgrid", 16),
+            ("301.apsi", 61),
+        ];
+        let suites = all_benchmarks();
+        assert_eq!(suites.len(), expected.len());
+        for ((name, count), suite) in expected.iter().zip(&suites) {
+            assert_eq!(suite.name, *name);
+            assert_eq!(suite.loops.len(), *count, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_loop_verifies_and_is_unique() {
+        for suite in all_benchmarks() {
+            let mut names = std::collections::HashSet::new();
+            for l in &suite.loops {
+                assert!(l.verify().is_ok(), "{} / {}", suite.name, l.name);
+                assert!(names.insert(l.name.clone()), "duplicate {}", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_lookup_by_suffix() {
+        assert_eq!(benchmark("tomcatv").name, "101.tomcatv");
+        assert_eq!(benchmark("171.swim").name, "171.swim");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn benchmark_lookup_rejects_unknown() {
+        benchmark("nope");
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = benchmark("wave5");
+        let b = benchmark("wave5");
+        assert_eq!(a.loops, b.loops);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tests that pin the *character* of each benchmark suite — the properties
+//! the Table 2 calibration relies on. If a kernel edit breaks one of
+//! these, the aggregate speedups will drift from the paper's shape.
+
+use sv_workloads::{all_benchmarks, benchmark};
+
+#[test]
+fn turb3d_loops_have_low_trip_counts() {
+    let s = benchmark("turb3d");
+    // The paper's turb3d effect (selective ≈ 1) requires short pipelines
+    // to dominate: every loop trips at most a few dozen iterations.
+    for l in &s.loops {
+        assert!(l.trip.count <= 64, "{} trips {}", l.name, l.trip.count);
+    }
+    // …and they are entered very many times.
+    assert!(s.loops.iter().all(|l| l.invocations >= 1_000));
+}
+
+#[test]
+fn nasa7_is_reduction_and_recurrence_heavy() {
+    let s = benchmark("nasa7");
+    let sequential = s
+        .loops
+        .iter()
+        .filter(|l| {
+            let st = l.stats();
+            st.reductions > 0 || st.carried_uses > 0
+        })
+        .count();
+    assert!(
+        sequential * 2 >= s.loops.len(),
+        "only {sequential}/{} nasa7 loops carry sequential chains",
+        s.loops.len()
+    );
+}
+
+#[test]
+fn tomcatv_mixes_parallel_and_sequential_work() {
+    let s = benchmark("tomcatv");
+    let stats: Vec<_> = s.loops.iter().map(|l| l.stats()).collect();
+    // The residual loop is big and mixed: data-parallel body plus in-loop
+    // max reductions.
+    let residual = &stats[0];
+    assert!(residual.fp_arith >= 25, "residual fp ops: {}", residual.fp_arith);
+    assert_eq!(residual.reductions, 2);
+    // The solver loops are sequential.
+    assert!(stats.iter().any(|st| st.carried_uses > 0));
+}
+
+#[test]
+fn swim_stencils_are_fully_parallel() {
+    let s = benchmark("swim");
+    for l in s.loops.iter().take(3) {
+        let st = l.stats();
+        assert_eq!(st.carried_uses, 0, "{}", l.name);
+        assert_eq!(st.reductions, 0, "{}", l.name);
+        assert!(st.loads >= 3, "{}", l.name);
+    }
+}
+
+#[test]
+fn every_suite_contains_non_vectorizable_work() {
+    // Traditional vectorization must have something to distribute around
+    // in every benchmark, as in real SPEC code.
+    for s in all_benchmarks() {
+        let any_sequential = s.loops.iter().any(|l| {
+            let st = l.stats();
+            st.reductions > 0 || st.carried_uses > 0
+        });
+        assert!(any_sequential, "{} is entirely parallel", s.name);
+    }
+}
+
+#[test]
+fn every_suite_contains_vectorizable_work() {
+    use sv_analysis::{vectorizable_ops, DepGraph};
+    for s in all_benchmarks() {
+        let any_parallel = s.loops.iter().any(|l| {
+            let g = DepGraph::build(l);
+            vectorizable_ops(l, &g, 2)
+                .iter()
+                .filter(|v| v.is_vectorizable())
+                .count()
+                >= 3
+        });
+        assert!(any_parallel, "{} has nothing to vectorize", s.name);
+    }
+}
+
+#[test]
+fn weights_are_dominated_by_hand_kernels() {
+    // The synthetic fillers must not outweigh the hand-written hot
+    // kernels, or the calibration story in DESIGN.md §4 is false.
+    for s in all_benchmarks() {
+        let weight = |l: &sv_ir::Loop| l.trip.count as u128 * l.invocations as u128;
+        let hand: u128 = s
+            .loops
+            .iter()
+            .filter(|l| !l.name.contains("synth"))
+            .map(&weight)
+            .sum();
+        let synth: u128 = s
+            .loops
+            .iter()
+            .filter(|l| l.name.contains("synth"))
+            .map(weight)
+            .sum();
+        assert!(
+            hand * 2 >= synth,
+            "{}: hand weight {hand} vs synthetic {synth}",
+            s.name
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! A downstream application: architecture autotuning.
+//!
+//! Given a workload, search the machine-parameter space for the cheapest
+//! configuration (by a crude area model) that reaches a target throughput
+//! under selective vectorization — the kind of hardware/software co-design
+//! loop the paper's backend cost model enables.
+//!
+//! ```text
+//! cargo run --release --example autotuner
+//! ```
+
+use selvec::core::{compile, Strategy};
+use selvec::ir::Loop;
+use selvec::machine::MachineConfig;
+use selvec::workloads::benchmark;
+
+/// Crude area cost: scalar units are cheap, vector datapaths and extra
+/// memory ports expensive.
+fn area(m: &MachineConfig) -> u32 {
+    m.issue_width
+        + m.int_units
+        + 2 * m.fp_units
+        + 4 * m.mem_units
+        + 6 * m.vector_units * m.vector_length / 2
+        + 3 * m.merge_units
+        + if m.non_pipelined_divide { 0 } else { 8 } // fully pipelined divider
+}
+
+fn cycles(loops: &[Loop], m: &MachineConfig) -> u64 {
+    loops
+        .iter()
+        .map(|l| compile(l, m, Strategy::Selective).unwrap().total_cycles(m))
+        .sum()
+}
+
+fn main() {
+    let suite = benchmark("swim");
+    let loops: Vec<Loop> = suite.loops[..6].to_vec();
+
+    let base = MachineConfig::paper_default();
+    let base_cycles = cycles(&loops, &base);
+    println!(
+        "workload: first 6 loops of {} — {} cycles on the paper machine (area {})\n",
+        suite.name,
+        base_cycles,
+        area(&base)
+    );
+
+    // Target: 25% faster than Table 1.
+    let target = base_cycles * 3 / 4;
+    println!("target: ≤ {target} cycles. sweeping machines...\n");
+
+    let mut best: Option<(u32, u64, MachineConfig)> = None;
+    let mut explored = 0u32;
+    for mem_units in [2u32, 3, 4] {
+        for fp_units in [2u32, 3, 4] {
+            for vector_units in [1u32, 2] {
+                for merge_units in [1u32, 2] {
+                    for pipelined_div in [false, true] {
+                        let mut m = base.clone();
+                        m.mem_units = mem_units;
+                        m.fp_units = fp_units;
+                        m.vector_units = vector_units;
+                        m.merge_units = merge_units;
+                        m.non_pipelined_divide = !pipelined_div;
+                        m.name = format!(
+                            "m{mem_units}f{fp_units}v{vector_units}g{merge_units}{}",
+                            if pipelined_div { "+pdiv" } else { "" }
+                        );
+                        explored += 1;
+                        let c = cycles(&loops, &m);
+                        if c <= target {
+                            let a = area(&m);
+                            if best.as_ref().is_none_or(|(ba, bc, _)| (a, c) < (*ba, *bc)) {
+                                best = Some((a, c, m));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((a, c, m)) => {
+            println!("explored {explored} machines; cheapest hitting the target:");
+            println!(
+                "  {}: area {a} (paper machine: {}), {c} cycles ({:.2}x faster)",
+                m.name,
+                area(&base),
+                base_cycles as f64 / c as f64
+            );
+            println!(
+                "  issue {} | int {} | fp {} | mem {} | vector {} | merge {} | pipelined divide: {}",
+                m.issue_width,
+                m.int_units,
+                m.fp_units,
+                m.mem_units,
+                m.vector_units,
+                m.merge_units,
+                !m.non_pipelined_divide
+            );
+        }
+        None => println!("no machine in the sweep reached the target"),
+    }
+}

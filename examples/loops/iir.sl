@@ -1,0 +1,8 @@
+# A first-order IIR filter: the recurrence keeps t sequential while the
+# input scaling is data parallel.
+loop iir 2048 x25 {
+    u = gain * x[i];
+    t = 0.9 * t + u;
+    y[i] = t;
+    energy += u * u;
+}

@@ -1,0 +1,70 @@
+//! Architecture exploration: sweep the machine description and watch the
+//! profitability of selective vectorization move — the backend cost-model
+//! advantage the paper argues for. More vector units push toward full
+//! vectorization; no merge unit punishes misaligned loops; free
+//! communication removes the transfer penalty.
+//!
+//! ```text
+//! cargo run --example machine_sweep
+//! ```
+
+use selvec::core::{compile, Strategy};
+use selvec::machine::{CommModel, MachineConfig};
+use selvec::workloads::benchmark;
+
+fn speedup(l: &selvec::ir::Loop, m: &MachineConfig) -> (f64, f64) {
+    let base = compile(l, m, Strategy::ModuloOnly).unwrap();
+    let full = compile(l, m, Strategy::Full).unwrap();
+    let sel = compile(l, m, Strategy::Selective).unwrap();
+    let b = base.total_cycles(m) as f64;
+    (b / full.total_cycles(m) as f64, b / sel.total_cycles(m) as f64)
+}
+
+fn main() {
+    let suite = benchmark("swim");
+    let looop = &suite.loops[0]; // calc1: a big balanced stencil
+
+    println!("loop `{}` ({} ops)\n", looop.name, looop.ops.len());
+    println!(
+        "{:<44} {:>8} {:>10}",
+        "machine variant", "full", "selective"
+    );
+
+    let base = MachineConfig::paper_default();
+    let mut variants: Vec<(String, MachineConfig)> = Vec::new();
+    variants.push(("paper Table 1".into(), base.clone()));
+
+    for vus in [2u32, 4] {
+        let mut m = base.clone();
+        m.vector_units = vus;
+        m.merge_units = vus;
+        variants.push((format!("{vus} vector + {vus} merge units"), m));
+    }
+    {
+        let mut m = base.clone();
+        m.mem_units = 4;
+        variants.push(("4 load/store units".into(), m));
+    }
+    {
+        let mut m = base.clone();
+        m.comm = CommModel::Free;
+        variants.push(("free scalar<->vector communication".into(), m));
+    }
+    {
+        let mut m = base.clone();
+        m.vector_length = 4;
+        variants.push(("vector length 4 (256-bit vectors)".into(), m));
+    }
+
+    for (name, m) in &variants {
+        let (f, s) = speedup(looop, m);
+        println!("{name:<44} {f:>7.2}x {s:>9.2}x");
+    }
+
+    println!(
+        "\nAs vector resources grow (or transfers get cheap), full vectorization\n\
+         catches up with selective — the paper's observation that selective\n\
+         vectorization matters most when scalar and vector throughput are\n\
+         comparable (short vectors, few vector units)."
+    );
+}

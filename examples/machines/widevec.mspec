@@ -1,0 +1,6 @@
+# A wider vector machine: two 256-bit vector pipes with alignment hardware.
+name = widevec
+vector_units = 2
+merge_units = 2
+vector_length = 4
+alignment = aligned

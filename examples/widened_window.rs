@@ -1,0 +1,82 @@
+//! The paper's §6 future-work extension in action: widened scheduling
+//! windows assign *whole iterations* to scalar or vector resources, so no
+//! scalar↔vector communication is ever needed — at the cost of guaranteed
+//! misalignment.
+//!
+//! ```text
+//! cargo run --example widened_window
+//! ```
+
+use selvec::core::{compile, Strategy};
+use selvec::ir::{LoopBuilder, ScalarType};
+use selvec::machine::MachineConfig;
+use selvec::sim::assert_equivalent;
+
+fn main() {
+    // A fully data-parallel saxpy-like kernel — the widened window's
+    // eligible case.
+    let mut b = LoopBuilder::new("triad");
+    b.trip(3000).invocations(1);
+    let x = b.array("x", ScalarType::F64, 3100);
+    let y = b.array("y", ScalarType::F64, 3100);
+    let z = b.array("z", ScalarType::F64, 3100);
+    let a = b.live_in("a", ScalarType::F64);
+    let lx = b.load(x, 1, 0);
+    let ly = b.load(y, 1, 0);
+    let ax = b.fmul_li(a, lx);
+    let s = b.fadd(ax, ly);
+    b.store(z, 1, 0, s);
+    let looop = b.finish();
+
+    let machine = MachineConfig::paper_default();
+    println!(
+        "triad on {} (VL {}, widened window covers {} iterations)\n",
+        machine.name,
+        machine.vector_length,
+        machine.vector_length + 1
+    );
+    println!(
+        "{:<20} {:>8} {:>12} {:>14}",
+        "technique", "II/iter", "cycles", "transfer ops"
+    );
+    for strategy in [
+        Strategy::ModuloOnly,
+        Strategy::Full,
+        Strategy::Selective,
+        Strategy::Widened,
+    ] {
+        let compiled = compile(&looop, &machine, strategy).unwrap();
+        assert_equivalent(&looop, &compiled);
+        // Count communication ops (loads/stores on iteration-private
+        // arrays) in the generated code.
+        let transfers: usize = compiled
+            .segments
+            .iter()
+            .map(|seg| {
+                seg.looop
+                    .ops
+                    .iter()
+                    .filter(|o| {
+                        o.mem
+                            .map(|r| seg.looop.array(r.array).iteration_private)
+                            .unwrap_or(false)
+                    })
+                    .count()
+            })
+            .sum();
+        println!(
+            "{:<20} {:>8.2} {:>12} {:>14}",
+            strategy.to_string(),
+            compiled.ii_per_original_iteration(),
+            compiled.total_cycles(&machine),
+            transfers
+        );
+    }
+
+    println!(
+        "\nThe widened window vectorizes 2 of every 3 iterations with zero\n\
+         transfer instructions; its vector references are unavoidably\n\
+         misaligned (the drawback §6 predicts), so it pays merge-unit time\n\
+         instead of communication."
+    );
+}

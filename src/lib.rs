@@ -1,0 +1,41 @@
+//! # selvec — selective vectorization for software pipelined loops
+//!
+//! A from-scratch Rust reproduction of *Exploiting Vector Parallelism in
+//! Software Pipelined Loops* (Larsen, Rabbah, Amarasinghe — MICRO 2005).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`ir`] — the low-level loop IR (operations, affine memory references,
+//!   reductions, loop metadata);
+//! * [`machine`] — the parametric VLIW machine model (paper Table 1);
+//! * [`analysis`] — loop dependence analysis, SCCs, vectorizability;
+//! * [`modsched`] — Rau's iterative modulo scheduler;
+//! * [`vectorize`] — traditional and full vectorization plus the shared
+//!   loop transformer;
+//! * [`core`] — the paper's contribution: the selective-vectorization
+//!   partitioner and the end-to-end compilation pipeline;
+//! * [`sim`] — functional and cycle-level simulation of compiled loops;
+//! * [`workloads`] — the SPEC-FP-substitute benchmark suites.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use selvec::core::{compile, Strategy};
+//! use selvec::machine::MachineConfig;
+//! use selvec::workloads::figure1_dot_product;
+//!
+//! let machine = MachineConfig::figure1();
+//! let looop = figure1_dot_product();
+//! let compiled = compile(&looop, &machine, Strategy::Selective).unwrap();
+//! // The paper's headline: selective vectorization reaches II = 1.0.
+//! assert_eq!(compiled.ii_per_original_iteration(), 1.0);
+//! ```
+
+pub use sv_analysis as analysis;
+pub use sv_core as core;
+pub use sv_ir as ir;
+pub use sv_machine as machine;
+pub use sv_modsched as modsched;
+pub use sv_sim as sim;
+pub use sv_vectorize as vectorize;
+pub use sv_workloads as workloads;

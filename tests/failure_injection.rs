@@ -1,0 +1,160 @@
+//! Failure injection: deliberately corrupt intermediate artifacts and
+//! assert the checking layers catch them. A validator that never fires is
+//! indistinguishable from no validator.
+
+use selvec::analysis::DepGraph;
+use selvec::core::{compile, Strategy};
+use selvec::ir::{LoopBuilder, OpKind, Operand, ScalarType};
+use selvec::machine::MachineConfig;
+use selvec::sim::{
+    execute_loop, execute_pipelined, validate_schedule, Memory, ValidationError,
+};
+use selvec::vectorize::transform;
+
+fn sample() -> selvec::ir::Loop {
+    let mut b = LoopBuilder::new("sample");
+    b.trip(40);
+    let x = b.array("x", ScalarType::F64, 64);
+    let y = b.array("y", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let m = b.fmul(lx, lx);
+    let a = b.fadd(m, lx);
+    b.store(y, 1, 0, a);
+    b.finish()
+}
+
+#[test]
+fn shifting_a_consumer_breaks_validation() {
+    let l = sample();
+    let m = MachineConfig::paper_default();
+    let c = compile(&l, &m, Strategy::ModuloOnly).unwrap();
+    let seg = &c.segments[0];
+    let g = DepGraph::build(&seg.looop);
+    let mut s = seg.schedule.clone();
+    // Pull every op to cycle 0: the multiply now issues before its load
+    // completes.
+    for t in s.times.iter_mut() {
+        *t = 0;
+    }
+    assert!(matches!(
+        validate_schedule(&seg.looop, &g, &m, &s),
+        Err(ValidationError::DependenceViolated { .. })
+            | Err(ValidationError::ResourceConflict { .. })
+    ));
+}
+
+#[test]
+fn duplicating_an_assignment_breaks_validation() {
+    let l = sample();
+    let m = MachineConfig::paper_default();
+    let c = compile(&l, &m, Strategy::ModuloOnly).unwrap();
+    let seg = &c.segments[0];
+    let g = DepGraph::build(&seg.looop);
+    let mut s = seg.schedule.clone();
+    // Give op 1 op 0's functional units and time: double booking.
+    s.assignments[1] = s.assignments[0].clone();
+    s.times[1] = s.times[0];
+    assert!(validate_schedule(&seg.looop, &g, &m, &s).is_err());
+}
+
+#[test]
+fn illegal_partition_is_rejected_by_the_transformer() {
+    // A distance-1 memory recurrence: vectorizing it must panic (the
+    // transformer asserts legality invariants).
+    let mut b = LoopBuilder::new("rec");
+    let a = b.array("a", ScalarType::F64, 64);
+    let la = b.load(a, 1, 0);
+    let n = b.fneg(la);
+    b.store(a, 1, 1, n);
+    let l = b.finish();
+    let m = MachineConfig::paper_default();
+    let result = std::panic::catch_unwind(|| {
+        // Vector consumer of a carried use at distance 1 (not a multiple
+        // of VL) trips the transformer's assertion.
+        let mut b2 = LoopBuilder::new("carried");
+        let x = b2.array("x", ScalarType::F64, 64);
+        let lx = b2.load(x, 1, 0);
+        let u = b2.bin(
+            OpKind::Add,
+            ScalarType::F64,
+            Operand::def(lx),
+            Operand::carried(lx, 1),
+        );
+        b2.store(x, 1, 8, u);
+        let l2 = b2.finish();
+        transform(&l2, &m, &vec![true; l2.ops().len()])
+    });
+    assert!(result.is_err(), "misaligned carried use must be rejected");
+    let _ = l;
+}
+
+#[test]
+fn non_unit_stride_vector_mem_is_rejected() {
+    let mut b = LoopBuilder::new("strided");
+    let x = b.array("x", ScalarType::F64, 64);
+    let y = b.array("y", ScalarType::F64, 64);
+    let lx = b.load(x, 2, 0);
+    b.store(y, 1, 0, lx);
+    let l = b.finish();
+    let m = MachineConfig::paper_default();
+    let result = std::panic::catch_unwind(|| transform(&l, &m, &vec![true; l.ops().len()]));
+    assert!(result.is_err(), "strided vector memory must be rejected");
+}
+
+#[test]
+fn corrupted_operand_changes_the_functional_result() {
+    // Swap the add's operands for a subtract: the interpreter must compute
+    // a different y — the equivalence harness is sensitive to real bugs.
+    let l = sample();
+    let mut broken = l.clone();
+    broken.ops[2].opcode.kind = OpKind::Sub;
+    let mut mem_good = Memory::for_arrays(&l.arrays);
+    let mut mem_bad = mem_good.clone();
+    execute_loop(&l, &mut mem_good, 0..40);
+    execute_loop(&broken, &mut mem_bad, 0..40);
+    let differs = (0..40).any(|e| !mem_good.array(1)[e].approx_eq(mem_bad.array(1)[e]));
+    assert!(differs);
+}
+
+#[test]
+fn pipelined_executor_detects_premature_reads() {
+    // Corrupt a schedule so the store issues in cycle 0, before the value
+    // it stores exists: the pipelined executor panics rather than
+    // fabricating a value.
+    let m = MachineConfig::paper_default();
+    let mut b = LoopBuilder::new("carrybreak");
+    let x = b.array("x", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let add = b.bin(
+        OpKind::Add,
+        ScalarType::F64,
+        Operand::def(lx),
+        Operand::carried(lx, 2),
+    );
+    let st = b.store(x, 1, 16, add);
+    let l2 = b.finish();
+    let g2 = DepGraph::build(&l2);
+    let sched = selvec::modsched::modulo_schedule(&l2, &g2, &m).unwrap();
+    assert!(sched.times[add.index()] > 0, "the add waits for the load");
+    let mut sched_wrong = sched.clone();
+    sched_wrong.times[st.index()] = 0;
+    let mut mem = Memory::for_arrays(&l2.arrays);
+    let result = std::panic::catch_unwind(move || {
+        execute_pipelined(&l2, &sched_wrong, &mut mem, 16)
+    });
+    assert!(result.is_err(), "premature read must panic");
+}
+
+#[test]
+fn verifier_rejects_mutated_loops() {
+    use selvec::ir::VerifyError;
+    let l = sample();
+    // Forward intra-iteration reference.
+    let mut bad = l.clone();
+    bad.ops[1].operands[0] = Operand::def(selvec::ir::OpId(3));
+    assert!(matches!(bad.verify(), Err(VerifyError::UseOfNonValue { .. })));
+    // Dangling array.
+    let mut bad = l.clone();
+    bad.arrays.pop();
+    assert!(matches!(bad.verify(), Err(VerifyError::DanglingArray { .. })));
+}

@@ -1,0 +1,60 @@
+//! Integration test: the paper's Figure 1 must reproduce exactly.
+
+use selvec::core::{compile, Strategy};
+use selvec::machine::MachineConfig;
+use selvec::sim::assert_equivalent;
+use selvec::workloads::figure1_dot_product;
+
+#[test]
+fn figure1_iis_match_paper_exactly() {
+    let machine = MachineConfig::figure1();
+    let looop = figure1_dot_product();
+    let expected = [
+        (Strategy::ModuloNoUnroll, 2.0), // Figure 1(c)
+        (Strategy::Traditional, 3.0),    // Figure 1(d): 2.0 vector + 1.0 scalar
+        (Strategy::Full, 1.5),           // Figure 1(e)
+        (Strategy::Selective, 1.0),      // Figure 1(f)
+    ];
+    for (strategy, ii) in expected {
+        let compiled = compile(&looop, &machine, strategy).expect("schedulable");
+        assert_eq!(
+            compiled.ii_per_original_iteration(),
+            ii,
+            "II mismatch under {strategy}"
+        );
+        assert_equivalent(&looop, &compiled);
+    }
+}
+
+#[test]
+fn figure1_selective_vectorizes_one_load_and_the_multiply() {
+    let machine = MachineConfig::figure1();
+    let looop = figure1_dot_product();
+    let compiled = compile(&looop, &machine, Strategy::Selective).unwrap();
+    let p = compiled.partition.expect("selective records its partition");
+    // The paper: vectorizing one load and the multiply fills all three
+    // issue slots each cycle with at most one vector op per cycle.
+    assert_eq!(p.cost, 2);
+    assert_eq!(p.partition.iter().filter(|&&v| v).count(), 2);
+    assert!(p.partition[2], "the multiply is in the vector partition");
+    assert!(!p.partition[3], "the reduction stays scalar");
+}
+
+#[test]
+fn figure1_total_cycle_ordering() {
+    let machine = MachineConfig::figure1();
+    let looop = figure1_dot_product();
+    let cycles: Vec<u64> = [
+        Strategy::Selective,
+        Strategy::Full,
+        Strategy::ModuloNoUnroll,
+        Strategy::Traditional,
+    ]
+    .iter()
+    .map(|&s| compile(&looop, &machine, s).unwrap().total_cycles(&machine))
+    .collect();
+    assert!(
+        cycles.windows(2).all(|w| w[0] < w[1]),
+        "expected strictly increasing cycles: {cycles:?}"
+    );
+}

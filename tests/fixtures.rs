@@ -1,0 +1,70 @@
+//! Data-driven tests over the textual loop fixtures in `examples/loops/`:
+//! each file must parse, compile under every strategy on both machines,
+//! and stay functionally equivalent to its source.
+
+use selvec::core::{compile, Strategy};
+use selvec::ir::{loop_from_source, parse_loop};
+use selvec::machine::MachineConfig;
+use selvec::sim::{assert_equivalent, has_register_state_across_cleanup};
+
+fn fixtures() -> Vec<(String, selvec::ir::Loop)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/loops");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("fixture directory") {
+        let path = entry.expect("entry").path();
+        let ext = path.extension().and_then(|e| e.to_str());
+        let text = match ext {
+            Some("svl") | Some("sl") => {
+                std::fs::read_to_string(&path).expect("readable fixture")
+            }
+            _ => continue,
+        };
+        // `.svl` is the low-level IR text; `.sl` the expression syntax.
+        let l = match ext {
+            Some("svl") => parse_loop(&text),
+            _ => loop_from_source(&text),
+        }
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        out.push((path.display().to_string(), l));
+    }
+    assert!(out.len() >= 5, "expected several fixtures, found {}", out.len());
+    out
+}
+
+#[test]
+fn all_fixtures_compile_and_stay_equivalent() {
+    for (name, src) in fixtures() {
+        let mut l = src.clone();
+        l.invocations = 1;
+        if has_register_state_across_cleanup(&l) {
+            l.trip.count &= !3;
+        }
+        for machine in [MachineConfig::paper_default(), MachineConfig::figure1()] {
+            for strategy in Strategy::ALL {
+                let compiled = compile(&l, &machine, strategy)
+                    .unwrap_or_else(|e| panic!("{name} under {strategy}: {e}"));
+                assert_equivalent(&l, &compiled);
+            }
+        }
+    }
+}
+
+#[test]
+fn fixtures_round_trip_through_text() {
+    for (name, l) in fixtures() {
+        let reparsed = parse_loop(&l.to_string())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(l, reparsed, "{name}");
+    }
+}
+
+#[test]
+fn all_workload_loops_round_trip_through_text() {
+    for suite in selvec::workloads::all_benchmarks() {
+        for l in &suite.loops {
+            let reparsed = parse_loop(&l.to_string())
+                .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+            assert_eq!(*l, reparsed, "{}", l.name);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests: random loops through the whole pipeline.
+
+use proptest::prelude::*;
+use selvec::analysis::{brute_force_mem_deps, mem_dependences, DepGraph, Distance};
+use selvec::core::{compile, partition_ops, SelectiveConfig, Strategy};
+use selvec::ir::{ArrayId, MemRef};
+use selvec::machine::MachineConfig;
+use selvec::modsched::{allocate_rotating, validate_assignment};
+use selvec::sim::{
+    assert_equivalent, has_register_state_across_cleanup, validate_schedule,
+};
+use selvec::workloads::{synth_loop, SynthProfile};
+
+fn random_loop(seed: u64) -> selvec::ir::Loop {
+    let mut l = synth_loop("prop", &SynthProfile::broad(), seed);
+    l.invocations = 1;
+    if has_register_state_across_cleanup(&l) {
+        l.trip.count = (l.trip.count & !3).max(4);
+    }
+    l
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy preserves the source loop's semantics.
+    #[test]
+    fn transforms_preserve_semantics(seed in any::<u64>()) {
+        let l = random_loop(seed);
+        let machine = MachineConfig::paper_default();
+        for strategy in Strategy::ALL {
+            let compiled = compile(&l, &machine, strategy).unwrap();
+            assert_equivalent(&l, &compiled);
+        }
+    }
+
+    /// Every schedule respects dependences and resources, and II is never
+    /// below its lower bounds.
+    #[test]
+    fn schedules_are_valid(seed in any::<u64>()) {
+        let l = random_loop(seed);
+        let machine = MachineConfig::paper_default();
+        for strategy in Strategy::ALL {
+            let compiled = compile(&l, &machine, strategy).unwrap();
+            for seg in &compiled.segments {
+                let g = DepGraph::build(&seg.looop);
+                validate_schedule(&seg.looop, &g, &machine, &seg.schedule).unwrap();
+                prop_assert!(seg.schedule.ii >= seg.schedule.resmii.max(seg.schedule.recmii));
+            }
+        }
+    }
+
+    /// The partitioner never returns a configuration costlier than either
+    /// of its seeds (all-scalar or full vectorization), and its cost
+    /// predicts the scheduled loop's ResMII.
+    #[test]
+    fn partitioner_cost_is_sane(seed in any::<u64>()) {
+        let l = random_loop(seed);
+        let machine = MachineConfig::paper_default();
+        let g = DepGraph::build(&l);
+        let r = partition_ops(&l, &g, &machine, &SelectiveConfig::default());
+        let sel = compile(&l, &machine, Strategy::Selective).unwrap();
+        let base = compile(&l, &machine, Strategy::ModuloOnly).unwrap();
+        let full = compile(&l, &machine, Strategy::Full).unwrap();
+        // The partitioner's bin high-water mark IS the transformed loop's
+        // greedy ResMII.
+        prop_assert_eq!(r.cost, sel.segments[0].schedule.resmii);
+        prop_assert!(
+            sel.segments[0].schedule.resmii <= base.segments[0].schedule.resmii
+        );
+        prop_assert!(
+            sel.segments[0].schedule.resmii <= full.segments[0].schedule.resmii
+        );
+    }
+
+    /// Subscript dependence testing agrees with brute-force enumeration of
+    /// the iteration space.
+    #[test]
+    fn dependence_tests_match_oracle(
+        s1 in -3i64..=3,
+        o1 in -4i64..=4,
+        w1 in 1u32..=2,
+        s2 in -3i64..=3,
+        o2 in -4i64..=4,
+        w2 in 1u32..=2,
+    ) {
+        let a = MemRef { array: ArrayId(0), stride: s1, offset: o1, width: w1 };
+        let b = MemRef { array: ArrayId(0), stride: s2, offset: o2, width: w2 };
+        let oracle = brute_force_mem_deps(&a, &b, 20);
+        let analytic = mem_dependences(&a, &b, 1 << 20);
+        let star = analytic.contains(&Distance::Star);
+        let exact: std::collections::BTreeSet<u32> = analytic
+            .iter()
+            .filter_map(|d| match d {
+                Distance::Exact(e) => Some(*e),
+                Distance::Far | Distance::Star => None,
+            })
+            .collect();
+        if star {
+            // Conservative answers may over-approximate, never miss.
+            prop_assert!(oracle.iter().all(|d| *d < 20));
+        } else {
+            // Every oracle hit must be reported exactly (the window 20 is
+            // below FAR_BOUND, so Far never hides a short distance); the
+            // analysis may additionally see dependences whose witness
+            // iteration lies outside the oracle's 20-iteration window.
+            let exact_in: std::collections::BTreeSet<u32> =
+                exact.into_iter().filter(|&d| d < 20).collect();
+            prop_assert!(
+                oracle.is_subset(&exact_in),
+                "missed: oracle {:?} vs exact {:?}",
+                oracle,
+                exact_in
+            );
+            // And for same strides the answers are exactly the oracle.
+            if s1 == s2 {
+                prop_assert_eq!(&exact_in, &oracle);
+            }
+        }
+    }
+
+    /// The textual format round-trips every loop shape the pipeline can
+    /// produce: random sources, their unrolled/vectorized forms, and the
+    /// distributed loops with their expansion temporaries.
+    #[test]
+    fn text_format_round_trips(seed in any::<u64>()) {
+        let l = random_loop(seed);
+        let machine = MachineConfig::paper_default();
+        let reparsed = selvec::ir::parse_loop(&l.to_string()).unwrap();
+        prop_assert_eq!(&l, &reparsed);
+        for strategy in Strategy::ALL {
+            let compiled = compile(&l, &machine, strategy).unwrap();
+            for seg in &compiled.segments {
+                let text = seg.looop.to_string();
+                let reparsed = selvec::ir::parse_loop(&text)
+                    .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+                prop_assert_eq!(&seg.looop, &reparsed);
+            }
+        }
+    }
+
+    /// Rotating-register allocation succeeds on the paper machine for
+    /// every random loop and never aliases two live values.
+    #[test]
+    fn register_allocation_is_conflict_free(seed in any::<u64>()) {
+        let l = random_loop(seed);
+        let machine = MachineConfig::paper_default();
+        for strategy in [Strategy::ModuloOnly, Strategy::Selective] {
+            let compiled = compile(&l, &machine, strategy).unwrap();
+            for seg in &compiled.segments {
+                let g = DepGraph::build(&seg.looop);
+                let a = allocate_rotating(&seg.looop, &g, &machine, &seg.schedule)
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+                prop_assert_eq!(
+                    validate_assignment(&seg.looop, &g, &machine, &seg.schedule, &a),
+                    None
+                );
+                // Usage respects the files.
+                for (slot, &class) in selvec::ir::RegClass::ALL.iter().enumerate() {
+                    prop_assert!(a.used[slot] <= machine.regs.size(class));
+                }
+            }
+        }
+    }
+
+    /// The loop parser never panics, whatever the input: it returns a
+    /// structured error instead.
+    #[test]
+    fn loop_parser_never_panics(text in ".{0,400}") {
+        let _ = selvec::ir::parse_loop(&text);
+    }
+
+    /// Mutations of valid loop text also never panic (they hit deeper
+    /// parser states than fully random text).
+    #[test]
+    fn mutated_loop_text_never_panics(seed in any::<u64>(), cut in 0usize..500, insert in ".{0,12}") {
+        let l = random_loop(seed);
+        let mut text = l.to_string();
+        let pos = cut.min(text.len());
+        while !text.is_char_boundary(pos.min(text.len())) && !text.is_empty() {
+            text.pop();
+        }
+        let pos = pos.min(text.len());
+        text.insert_str(pos, &insert);
+        let _ = selvec::ir::parse_loop(&text);
+    }
+
+    /// The machine-spec parser never panics either.
+    #[test]
+    fn machine_spec_parser_never_panics(text in ".{0,300}") {
+        let _ = MachineConfig::from_spec(&text);
+    }
+
+    /// Compilation is deterministic.
+    #[test]
+    fn pipeline_is_deterministic(seed in any::<u64>()) {
+        let l = random_loop(seed);
+        let machine = MachineConfig::paper_default();
+        let a = compile(&l, &machine, Strategy::Selective).unwrap();
+        let b = compile(&l, &machine, Strategy::Selective).unwrap();
+        prop_assert_eq!(a.partition.unwrap().partition, b.partition.unwrap().partition);
+        prop_assert_eq!(a.segments[0].schedule.times.clone(), b.segments[0].schedule.times.clone());
+    }
+}
