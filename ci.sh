@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, lints, and a differential-fuzz smoke
+# run. Everything is offline and deterministic; any failure fails the
+# script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast
+
+echo "ci: all gates passed"

@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks of the compilation algorithms themselves,
-//! checking the paper's §3.2 claim that partitioning time is small next to
-//! modulo scheduling, plus an ablation of the sum-of-squares tie-break.
+//! Micro-benchmarks of the compilation algorithms themselves, checking the
+//! paper's §3.2 claim that partitioning time is small next to modulo
+//! scheduling, plus an ablation of the sum-of-squares tie-break.
+//!
+//! Dependency-free harness (`harness = false`): each case is warmed up,
+//! then timed over enough iterations to smooth scheduler noise, reporting
+//! the per-iteration median of several batches. Run with
+//! `cargo bench -p sv-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 use sv_analysis::DepGraph;
 use sv_core::{partition_ops, SelectiveConfig};
 use sv_machine::MachineConfig;
@@ -26,65 +31,68 @@ fn sized_profile(loads: u32, arith: u32) -> SynthProfile {
     }
 }
 
-fn bench_partitioner(c: &mut Criterion) {
+/// Time `f` and print a per-call figure: 3 warmup calls, then the median
+/// of 5 batches sized to take roughly 50ms each.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    for _ in 0..3 {
+        f();
+    }
+    // Size a batch from a single timed probe.
+    let probe = Instant::now();
+    f();
+    let per_call = probe.elapsed().max(std::time::Duration::from_nanos(50));
+    let batch = (50_000_000u128 / per_call.as_nanos()).clamp(1, 100_000) as u32;
+    let mut per_iter: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_secs_f64() / f64::from(batch)
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!("{group}/{name:<18} {:>12.2} µs/iter  ({batch} iters/batch)", median * 1e6);
+}
+
+fn main() {
     let m = MachineConfig::paper_default();
-    let mut group = c.benchmark_group("partitioner");
+
     for (loads, arith) in [(4u32, 6u32), (8, 16), (12, 32)] {
         let l = synth_loop("bench", &sized_profile(loads, arith), 7);
         let g = DepGraph::build(&l);
         let n = l.ops.len();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| partition_ops(&l, &g, &m, &SelectiveConfig::default()))
+        bench("partitioner", &format!("{n}_ops"), || {
+            let _ = partition_ops(&l, &g, &m, &SelectiveConfig::default());
         });
     }
-    group.finish();
-}
 
-fn bench_modulo_scheduler(c: &mut Criterion) {
-    let m = MachineConfig::paper_default();
-    let mut group = c.benchmark_group("modulo_scheduler");
     for (loads, arith) in [(4u32, 6u32), (8, 16), (12, 32)] {
         let l = synth_loop("bench", &sized_profile(loads, arith), 7);
         // Schedule the transformed (unrolled) loop, as the pipeline does.
         let t = transform(&l, &m, &vec![false; l.ops.len()]);
         let g = DepGraph::build(&t.looop);
         let n = t.looop.ops.len();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| modulo_schedule(&t.looop, &g, &m).unwrap())
+        bench("modulo_scheduler", &format!("{n}_ops"), || {
+            let _ = modulo_schedule(&t.looop, &g, &m).unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_dependence_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dependence_analysis");
     for (loads, arith) in [(8u32, 16u32), (12, 32)] {
         let l = synth_loop("bench", &sized_profile(loads, arith), 7);
         let n = l.ops.len();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| DepGraph::build(&l))
+        bench("dependence_analysis", &format!("{n}_ops"), || {
+            let _ = DepGraph::build(&l);
         });
     }
-    group.finish();
-}
 
-fn bench_tiebreak_ablation(c: &mut Criterion) {
-    let m = MachineConfig::paper_default();
     let l = synth_loop("bench", &sized_profile(8, 16), 11);
     let g = DepGraph::build(&l);
-    let mut group = c.benchmark_group("ablation_squares_tiebreak");
     for (name, squares) in [("with_squares", true), ("without_squares", false)] {
         let cfg = SelectiveConfig { squares_tiebreak: squares, ..Default::default() };
-        group.bench_function(name, |b| b.iter(|| partition_ops(&l, &g, &m, &cfg)));
+        bench("ablation_squares_tiebreak", name, || {
+            let _ = partition_ops(&l, &g, &m, &cfg);
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_partitioner,
-    bench_modulo_scheduler,
-    bench_dependence_analysis,
-    bench_tiebreak_ablation
-);
-criterion_main!(benches);

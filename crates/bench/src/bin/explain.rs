@@ -5,7 +5,7 @@
 //! cargo run -p sv-bench --bin explain -- tomcatv
 //! ```
 
-use sv_bench::{evaluate_suite, EVALUATED};
+use sv_bench::{evaluate_suite_or_exit, EVALUATED};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::benchmark;
@@ -13,8 +13,14 @@ use sv_workloads::benchmark;
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".into());
     let m = MachineConfig::paper_default();
-    let suite = benchmark(&name);
-    let r = evaluate_suite(&suite, &m, &SelectiveConfig::default());
+    let suite = match benchmark(&name) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("explain: {e}");
+            std::process::exit(2);
+        }
+    };
+    let r = evaluate_suite_or_exit(&suite, &m, &SelectiveConfig::default());
     println!(
         "{:<24} {:>6} {:>14} {:>14} {:>14} {:>14}",
         "loop", "RL", "modulo", "traditional", "full", "selective"

@@ -156,7 +156,13 @@ fn main() -> ExitCode {
     };
     let looop = if let Some(spec) = &opts.workload {
         let (bench, loop_name) = spec.split_once('.').unwrap_or((spec.as_str(), ""));
-        let suite = sv_workloads::benchmark(bench);
+        let suite = match sv_workloads::benchmark(bench) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("svc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let Some(l) = suite
             .loops
             .iter()

@@ -2,7 +2,7 @@
 //! traditional, full and selective vectorization over the unrolled
 //! modulo-scheduling baseline, on the Table 1 machine.
 
-use sv_bench::{evaluate_suite, print_machine};
+use sv_bench::{evaluate_suite_or_exit, print_machine};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::all_benchmarks;
@@ -34,7 +34,7 @@ fn main() {
     let mut sel_max: f64 = 0.0;
     let suites = all_benchmarks();
     for suite in &suites {
-        let r = evaluate_suite(suite, &m, &cfg);
+        let r = evaluate_suite_or_exit(suite, &m, &cfg);
         let (t, f, s) = (
             r.speedup("traditional"),
             r.speedup("full"),

@@ -3,7 +3,7 @@
 //! tie or lose to the best competing technique (modulo scheduling,
 //! traditional, or full vectorization).
 
-use sv_bench::{evaluate_suite, print_machine, Table3Metric};
+use sv_bench::{evaluate_suite_or_exit, print_machine, Table3Metric};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::all_benchmarks;
@@ -20,7 +20,7 @@ fn main() {
     let cfg = SelectiveConfig::default();
     let mut totals = [0usize; 6];
     for suite in all_benchmarks() {
-        let r = evaluate_suite(&suite, &m, &cfg);
+        let r = evaluate_suite_or_exit(&suite, &m, &cfg);
         let res = r.table3_counts(Table3Metric::ResMii);
         let ii = r.table3_counts(Table3Metric::Ii);
         let n = r.resource_limited_loops();

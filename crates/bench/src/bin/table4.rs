@@ -3,7 +3,7 @@
 //! *ignored* (the transfers are still inserted before scheduling either
 //! way — only the cost analysis changes).
 
-use sv_bench::{evaluate_suite, print_machine};
+use sv_bench::{evaluate_suite_or_exit, print_machine};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::all_benchmarks;
@@ -30,8 +30,8 @@ fn main() {
     let ignored = SelectiveConfig { account_communication: false, ..Default::default() };
     let mut degraded = 0;
     for suite in all_benchmarks() {
-        let rc = evaluate_suite(&suite, &m, &considered).speedup("selective");
-        let ri = evaluate_suite(&suite, &m, &ignored).speedup("selective");
+        let rc = evaluate_suite_or_exit(&suite, &m, &considered).speedup("selective");
+        let ri = evaluate_suite_or_exit(&suite, &m, &ignored).speedup("selective");
         let paper = PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
         println!(
             "{:<14} {:>11.2} ({:>4.2}) {:>13.2} ({:>4.2})",

@@ -4,7 +4,7 @@
 //! plausible neighbours of Table 1 and reports the whole-suite selective
 //! speedup on each, plus where full vectorization lands.
 
-use sv_bench::evaluate_suite;
+use sv_bench::evaluate_suite_or_exit;
 use sv_core::SelectiveConfig;
 use sv_machine::{AlignmentPolicy, CommModel, MachineConfig};
 use sv_workloads::all_benchmarks;
@@ -18,7 +18,7 @@ fn sweep(name: &str, m: &MachineConfig) {
     let mut full = Vec::new();
     let mut sel = Vec::new();
     for suite in all_benchmarks() {
-        let r = evaluate_suite(&suite, m, &cfg);
+        let r = evaluate_suite_or_exit(&suite, m, &cfg);
         full.push(r.speedup("full"));
         sel.push(r.speedup("selective"));
     }

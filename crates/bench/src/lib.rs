@@ -71,50 +71,105 @@ fn outcome(c: &CompiledLoop, m: &MachineConfig) -> StrategyOutcome {
     }
 }
 
+/// A workload loop that failed to compile under one of the evaluated
+/// techniques.
+#[derive(Debug)]
+pub struct EvalError {
+    /// The loop's name.
+    pub looop: String,
+    /// The technique that failed.
+    pub strategy: Strategy,
+    /// The driver's diagnosis (boxed: `CompileError` carries loop dumps).
+    pub error: Box<sv_core::CompileError>,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed under {}: {}", self.looop, self.strategy, self.error)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
 /// Compile one loop under every evaluated technique.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any loop fails to schedule — workload loops always schedule.
-pub fn evaluate_loop(l: &Loop, m: &MachineConfig, cfg: &SelectiveConfig) -> LoopReport {
+/// Returns an [`EvalError`] naming the loop and technique if any
+/// compilation fails — workload loops normally always schedule.
+pub fn evaluate_loop(
+    l: &Loop,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+) -> Result<LoopReport, EvalError> {
     let mut outcomes = BTreeMap::new();
     let mut resource_limited = true;
     for (s, key) in EVALUATED {
-        let c = compile_with(l, m, s, cfg)
-            .unwrap_or_else(|e| panic!("{} failed under {s}: {e}", l.name));
+        let c = compile_with(l, m, s, cfg).map_err(|error| EvalError {
+            looop: l.name.clone(),
+            strategy: s,
+            error: Box::new(error),
+        })?;
         if s == Strategy::ModuloOnly {
             let sched = &c.segments[0].schedule;
             resource_limited = sched.resmii >= sched.recmii;
         }
         outcomes.insert(key, outcome(&c, m));
     }
-    LoopReport { name: l.name.clone(), resource_limited, outcomes }
+    Ok(LoopReport { name: l.name.clone(), resource_limited, outcomes })
 }
 
 /// Evaluate a whole suite, fanning the loops out across threads (loop
 /// compilations are independent).
+///
+/// # Errors
+///
+/// Returns the first loop's [`EvalError`] if any loop fails to compile.
 pub fn evaluate_suite(
     suite: &BenchmarkSuite,
     m: &MachineConfig,
     cfg: &SelectiveConfig,
-) -> SuiteReport {
+) -> Result<SuiteReport, EvalError> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(suite.loops.len().max(1));
     let chunk = suite.loops.len().div_ceil(threads.max(1)).max(1);
-    let mut loops: Vec<Vec<LoopReport>> = Vec::new();
+    let mut chunks: Vec<Result<Vec<LoopReport>, EvalError>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = suite
             .loops
             .chunks(chunk)
-            .map(|ls| scope.spawn(move || ls.iter().map(|l| evaluate_loop(l, m, cfg)).collect()))
+            .map(|ls| {
+                scope.spawn(move || {
+                    ls.iter()
+                        .map(|l| evaluate_loop(l, m, cfg))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
             .collect();
         for h in handles {
-            loops.push(h.join().expect("evaluation worker panicked"));
+            chunks.push(h.join().expect("evaluation worker panicked"));
         }
     });
-    SuiteReport { name: suite.name, loops: loops.into_iter().flatten().collect() }
+    let loops = chunks.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SuiteReport { name: suite.name, loops: loops.into_iter().flatten().collect() })
+}
+
+/// [`evaluate_suite`], printing the error and exiting on failure — the
+/// shared unhappy path of the table binaries.
+pub fn evaluate_suite_or_exit(
+    suite: &BenchmarkSuite,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+) -> SuiteReport {
+    match evaluate_suite(suite, m, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sv-bench: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 impl SuiteReport {
@@ -225,7 +280,7 @@ mod tests {
     #[test]
     fn tomcatv_selective_beats_baseline() {
         let m = MachineConfig::paper_default();
-        let r = evaluate_suite(&benchmark("tomcatv"), &m, &SelectiveConfig::default());
+        let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default()).unwrap();
         let sel = r.speedup("selective");
         let full = r.speedup("full");
         let trad = r.speedup("traditional");
@@ -237,7 +292,7 @@ mod tests {
     #[test]
     fn table3_counts_add_up() {
         let m = MachineConfig::paper_default();
-        let r = evaluate_suite(&benchmark("tomcatv"), &m, &SelectiveConfig::default());
+        let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default()).unwrap();
         let c = r.table3_counts(Table3Metric::ResMii);
         assert_eq!(c.total(), r.resource_limited_loops());
     }

@@ -1,0 +1,547 @@
+//! The hardened compilation driver.
+//!
+//! [`compile_checked`] runs the partition → transform → modulo-schedule
+//! pipeline with every internal failure mode surfaced as a typed
+//! [`CompileError`] carrying pass provenance (which pass, which loop, a
+//! re-parseable dump of the offending artifact) instead of an unwind:
+//!
+//! * the IR verifier runs on the input and, when
+//!   [`DriverConfig::verify_boundaries`] is set, on every transformed loop
+//!   at the pass boundary that produced it;
+//! * every modulo schedule is structurally validated (dependences,
+//!   resource occupancy, assignment coverage) before it is accepted;
+//! * the Kernighan–Lin partitioner and the scheduler's II search run under
+//!   deterministic step budgets ([`SelectiveConfig::max_moves`],
+//!   [`ScheduleConfig`]);
+//! * on budget exhaustion or pass failure the driver degrades gracefully —
+//!   Selective → Full → Traditional → ModuloOnly — recording each
+//!   [`Fallback`] and its reason in the [`CompilationReport`];
+//! * any residual panic in a pass is contained with `catch_unwind` and
+//!   reported as [`CompileError::Internal`].
+//!
+//! The historical [`crate::compile`] / [`crate::compile_with`] entry
+//! points are thin wrappers over this driver with default settings.
+
+use crate::partition::{partition_ops, SelectiveConfig};
+use crate::pipeline::{CompiledLoop, Segment, Strategy};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use sv_analysis::DepGraph;
+use sv_ir::{Loop, VerifyError};
+use sv_machine::MachineConfig;
+use sv_modsched::{
+    allocate_rotating, modulo_schedule_with, validate_schedule, Schedule, ScheduleConfig,
+    ScheduleError, ValidationError,
+};
+use sv_vectorize::{
+    full_vectorization_partition, try_traditional_vectorize, try_transform,
+    try_widened_window_transform, TransformError,
+};
+
+/// The pipeline pass a [`CompileError`] originated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Input verification, before any pass ran.
+    Input,
+    /// The Kernighan–Lin selective partitioner.
+    Partition,
+    /// A vectorizing loop transformation.
+    Transform,
+    /// The iterative modulo scheduler.
+    Schedule,
+    /// Pass-boundary verification/validation of a produced artifact.
+    Boundary,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pass::Input => "input",
+            Pass::Partition => "partition",
+            Pass::Transform => "transform",
+            Pass::Schedule => "schedule",
+            Pass::Boundary => "boundary",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A typed compilation failure with pass provenance.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The source loop failed IR verification before compilation started.
+    InvalidInput {
+        /// Loop name.
+        looop: String,
+        /// The verifier's complaint.
+        error: VerifyError,
+        /// `Display` dump of the loop (re-parseable).
+        dump: String,
+    },
+    /// A vectorizing transformation rejected its input or emitted an
+    /// invalid loop.
+    Transform {
+        /// The strategy being attempted.
+        strategy: Strategy,
+        /// Loop name.
+        looop: String,
+        /// The transformation's diagnosis (carries its own dump when the
+        /// output was invalid).
+        error: TransformError,
+    },
+    /// The modulo scheduler exhausted its II search window.
+    Schedule {
+        /// The strategy being attempted.
+        strategy: Strategy,
+        /// The loop (segment) that would not schedule.
+        looop: String,
+        /// The scheduler's diagnosis.
+        error: ScheduleError,
+    },
+    /// A deterministic step budget ran out before a pass converged.
+    BudgetExhausted {
+        /// The strategy being attempted.
+        strategy: Strategy,
+        /// The pass whose budget ran out.
+        pass: Pass,
+        /// Loop name.
+        looop: String,
+        /// Human-readable accounting (what budget, how much was spent).
+        detail: String,
+    },
+    /// A pass produced a loop the IR verifier rejects — caught at the
+    /// pass boundary.
+    BoundaryVerify {
+        /// The strategy being attempted.
+        strategy: Strategy,
+        /// The pass that produced the artifact.
+        pass: Pass,
+        /// Loop name.
+        looop: String,
+        /// The verifier's complaint.
+        error: VerifyError,
+        /// `Display` dump of the rejected loop (re-parseable).
+        dump: String,
+    },
+    /// A schedule failed structural validation (dependence latencies,
+    /// resource occupancy, assignment coverage) at the pass boundary.
+    BoundaryValidate {
+        /// The strategy being attempted.
+        strategy: Strategy,
+        /// The loop whose schedule is defective.
+        looop: String,
+        /// The validator's complaint.
+        error: ValidationError,
+        /// `Display` dump of the scheduled loop (re-parseable).
+        dump: String,
+    },
+    /// A pass panicked; the unwind was contained and its payload
+    /// preserved.
+    Internal {
+        /// The strategy being attempted.
+        strategy: Strategy,
+        /// Loop name.
+        looop: String,
+        /// The panic payload, if it was a string.
+        payload: String,
+        /// `Display` dump of the input loop (re-parseable).
+        dump: String,
+    },
+}
+
+impl CompileError {
+    /// The pass the error originated in.
+    pub fn pass(&self) -> Pass {
+        match self {
+            CompileError::InvalidInput { .. } => Pass::Input,
+            CompileError::Transform { .. } => Pass::Transform,
+            CompileError::Schedule { .. } => Pass::Schedule,
+            CompileError::BudgetExhausted { pass, .. } => *pass,
+            CompileError::BoundaryVerify { .. } | CompileError::BoundaryValidate { .. } => {
+                Pass::Boundary
+            }
+            CompileError::Internal { .. } => Pass::Boundary,
+        }
+    }
+
+    /// The name of the loop the error is about.
+    pub fn loop_name(&self) -> &str {
+        match self {
+            CompileError::InvalidInput { looop, .. }
+            | CompileError::Transform { looop, .. }
+            | CompileError::Schedule { looop, .. }
+            | CompileError::BudgetExhausted { looop, .. }
+            | CompileError::BoundaryVerify { looop, .. }
+            | CompileError::BoundaryValidate { looop, .. }
+            | CompileError::Internal { looop, .. } => looop,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidInput { looop, error, dump } => {
+                write!(f, "invalid input loop `{looop}`: {error}\n{dump}")
+            }
+            CompileError::Transform { strategy, looop, error } => {
+                write!(f, "[{strategy}/transform] `{looop}`: {error}")
+            }
+            CompileError::Schedule { strategy, looop, error } => {
+                write!(f, "[{strategy}/schedule] failed to compile `{looop}`: {error}")
+            }
+            CompileError::BudgetExhausted { strategy, pass, looop, detail } => {
+                write!(f, "[{strategy}/{pass}] `{looop}`: budget exhausted: {detail}")
+            }
+            CompileError::BoundaryVerify { strategy, pass, looop, error, dump } => write!(
+                f,
+                "[{strategy}/{pass}] `{looop}` failed boundary verification: {error}\n{dump}"
+            ),
+            CompileError::BoundaryValidate { strategy, looop, error, dump } => write!(
+                f,
+                "[{strategy}/schedule] `{looop}` schedule failed validation: {error}\n{dump}"
+            ),
+            CompileError::Internal { strategy, looop, payload, dump } => {
+                write!(f, "[{strategy}] internal error compiling `{looop}`: {payload}\n{dump}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Settings for the hardened driver.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// The technique to attempt first.
+    pub strategy: Strategy,
+    /// Selective-partitioner settings, including its move budget.
+    pub selective: SelectiveConfig,
+    /// Modulo-scheduler budgets (per-II operation budget, II slack).
+    pub schedule: ScheduleConfig,
+    /// Re-verify every transformed loop and validate every schedule at
+    /// the pass boundary that produced it.
+    pub verify_boundaries: bool,
+    /// Degrade Selective → Full → Traditional → ModuloOnly (and
+    /// Widened → ModuloOnly) when an attempt fails, instead of returning
+    /// its error.
+    pub degrade: bool,
+    /// Contain panics escaping a pass and report them as
+    /// [`CompileError::Internal`].
+    pub catch_panics: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        DriverConfig {
+            strategy: Strategy::Selective,
+            selective: SelectiveConfig::default(),
+            schedule: ScheduleConfig::default(),
+            verify_boundaries: true,
+            degrade: true,
+            catch_panics: true,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// A config attempting `strategy` first, defaults elsewhere.
+    pub fn for_strategy(strategy: Strategy) -> DriverConfig {
+        DriverConfig { strategy, ..DriverConfig::default() }
+    }
+}
+
+/// One graceful degradation step the driver took.
+#[derive(Debug, Clone)]
+pub struct Fallback {
+    /// The strategy abandoned.
+    pub from: Strategy,
+    /// The strategy tried next.
+    pub to: Strategy,
+    /// Why `from` was abandoned.
+    pub reason: CompileError,
+}
+
+impl fmt::Display for Fallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {}", self.from, self.to, self.reason)
+    }
+}
+
+/// What the driver did to produce a [`CompiledLoop`].
+#[derive(Debug, Clone)]
+pub struct CompilationReport {
+    /// The strategy the caller asked for.
+    pub requested: Strategy,
+    /// The strategy that produced the delivered code (differs from
+    /// `requested` exactly when `fallbacks` is non-empty).
+    pub delivered: Strategy,
+    /// Every degradation step taken, in order.
+    pub fallbacks: Vec<Fallback>,
+    /// Pass-boundary checks run (IR verifications + schedule validations)
+    /// across all attempts.
+    pub boundary_checks: u32,
+}
+
+impl CompilationReport {
+    /// True when the delivered code came from the requested strategy.
+    pub fn clean(&self) -> bool {
+        self.fallbacks.is_empty()
+    }
+}
+
+/// The degradation ladder: the strategy itself, then everything it may
+/// fall back to, in order.
+fn fallback_chain(s: Strategy) -> &'static [Strategy] {
+    match s {
+        Strategy::Selective => &[
+            Strategy::Selective,
+            Strategy::Full,
+            Strategy::Traditional,
+            Strategy::ModuloOnly,
+        ],
+        Strategy::Full => &[Strategy::Full, Strategy::Traditional, Strategy::ModuloOnly],
+        Strategy::Traditional => &[Strategy::Traditional, Strategy::ModuloOnly],
+        Strategy::Widened => &[Strategy::Widened, Strategy::ModuloOnly],
+        Strategy::ModuloOnly => &[Strategy::ModuloOnly],
+        Strategy::ModuloNoUnroll => &[Strategy::ModuloNoUnroll],
+    }
+}
+
+/// One strategy attempt with its boundary-check accounting.
+struct Attempt<'a> {
+    m: &'a MachineConfig,
+    cfg: &'a DriverConfig,
+    strategy: Strategy,
+    boundary_checks: u32,
+}
+
+impl Attempt<'_> {
+    /// Verify a pass-produced loop at the boundary.
+    fn verify_boundary(&mut self, looop: &Loop, pass: Pass) -> Result<(), CompileError> {
+        if !self.cfg.verify_boundaries {
+            return Ok(());
+        }
+        self.boundary_checks += 1;
+        looop.verify().map_err(|error| CompileError::BoundaryVerify {
+            strategy: self.strategy,
+            pass,
+            looop: looop.name.clone(),
+            error,
+            dump: looop.to_string(),
+        })
+    }
+
+    /// Schedule one loop under the budget, validating the result.
+    fn schedule_one(&mut self, looop: &Loop) -> Result<Schedule, CompileError> {
+        let g = DepGraph::build(looop);
+        let s = modulo_schedule_with(looop, &g, self.m, &self.cfg.schedule).map_err(
+            |error| CompileError::Schedule {
+                strategy: self.strategy,
+                looop: looop.name.clone(),
+                error,
+            },
+        )?;
+        if self.cfg.verify_boundaries {
+            self.boundary_checks += 1;
+            validate_schedule(looop, &g, self.m, &s).map_err(|error| {
+                CompileError::BoundaryValidate {
+                    strategy: self.strategy,
+                    looop: looop.name.clone(),
+                    error,
+                    dump: looop.to_string(),
+                }
+            })?;
+        }
+        Ok(s)
+    }
+
+    /// Build a segment from a main loop and the scalar form covering its
+    /// remainder iterations.
+    fn make_segment(&mut self, main: Loop, scalar_form: &Loop) -> Result<Segment, CompileError> {
+        let schedule = self.schedule_one(&main)?;
+        let g = DepGraph::build(&main);
+        let registers = allocate_rotating(&main, &g, self.m, &schedule).ok();
+        let cleanup = if needs_cleanup(&main) {
+            let mut c = scalar_form.clone();
+            c.name = format!("{}.cleanup", scalar_form.name);
+            let cs = self.schedule_one(&c)?;
+            Some((c, cs))
+        } else {
+            None
+        };
+        Ok(Segment { looop: main, schedule, registers, cleanup })
+    }
+
+    fn transform_err(&self, l: &Loop, error: TransformError) -> CompileError {
+        CompileError::Transform {
+            strategy: self.strategy,
+            looop: l.name.clone(),
+            error,
+        }
+    }
+
+    /// Run the whole attempt for this strategy.
+    fn run(&mut self, l: &Loop) -> Result<CompiledLoop, CompileError> {
+        let m = self.m;
+        let mut partition = None;
+        let segments = match self.strategy {
+            Strategy::ModuloNoUnroll => {
+                vec![self.make_segment(l.clone(), l)?]
+            }
+            Strategy::ModuloOnly => {
+                let t = try_transform(l, m, &vec![false; l.ops.len()])
+                    .map_err(|e| self.transform_err(l, e))?;
+                self.verify_boundary(&t.looop, Pass::Transform)?;
+                vec![self.make_segment(t.looop, l)?]
+            }
+            Strategy::Full => {
+                let g = DepGraph::build(l);
+                let part = full_vectorization_partition(l, &g, m.vector_length);
+                let t = try_transform(l, m, &part).map_err(|e| self.transform_err(l, e))?;
+                self.verify_boundary(&t.looop, Pass::Transform)?;
+                vec![self.make_segment(t.looop, l)?]
+            }
+            Strategy::Selective => {
+                let g = DepGraph::build(l);
+                let r = partition_ops(l, &g, m, &self.cfg.selective);
+                if r.budget_exhausted {
+                    return Err(CompileError::BudgetExhausted {
+                        strategy: self.strategy,
+                        pass: Pass::Partition,
+                        looop: l.name.clone(),
+                        detail: format!(
+                            "KL move budget {:?} spent after {} probes in {} passes",
+                            self.cfg.selective.max_moves, r.moves_evaluated, r.iterations
+                        ),
+                    });
+                }
+                let t = try_transform(l, m, &r.partition)
+                    .map_err(|e| self.transform_err(l, e))?;
+                self.verify_boundary(&t.looop, Pass::Transform)?;
+                partition = Some(r);
+                vec![self.make_segment(t.looop, l)?]
+            }
+            Strategy::Widened => {
+                let w = try_widened_window_transform(l, m, m.vector_length + 1)
+                    .map_err(|e| self.transform_err(l, e))?;
+                match w {
+                    Some(w) => {
+                        self.verify_boundary(&w, Pass::Transform)?;
+                        vec![self.make_segment(w, l)?]
+                    }
+                    // Ineligible loops run as the unrolled baseline.
+                    None => {
+                        let t = try_transform(l, m, &vec![false; l.ops.len()])
+                            .map_err(|e| self.transform_err(l, e))?;
+                        self.verify_boundary(&t.looop, Pass::Transform)?;
+                        vec![self.make_segment(t.looop, l)?]
+                    }
+                }
+            }
+            Strategy::Traditional => {
+                let d = try_traditional_vectorize(l, m)
+                    .map_err(|e| self.transform_err(l, e))?;
+                let mut segs = Vec::with_capacity(d.loops.len());
+                for dl in d.loops {
+                    let scalar_form = dl.scalar_form;
+                    let main = dl.vectorized.unwrap_or_else(|| scalar_form.clone());
+                    self.verify_boundary(&main, Pass::Transform)?;
+                    segs.push(self.make_segment(main, &scalar_form)?);
+                }
+                segs
+            }
+        };
+        Ok(CompiledLoop { strategy: self.strategy, source: l.clone(), segments, partition })
+    }
+}
+
+fn needs_cleanup(looop: &Loop) -> bool {
+    looop.iter_scale > 1
+        && !(looop.trip.compile_time_known
+            && looop.trip.count.is_multiple_of(u64::from(looop.iter_scale)))
+}
+
+/// Render a contained panic payload.
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Compile `l` for machine `m` under the hardened driver: typed errors,
+/// pass-boundary verification, deterministic budgets, graceful strategy
+/// degradation, and panic containment, per [`DriverConfig`].
+///
+/// # Errors
+///
+/// Returns the *last* attempt's [`CompileError`] when every strategy on
+/// the degradation ladder fails (or the first attempt's, when
+/// [`DriverConfig::degrade`] is off). Earlier failures are preserved as
+/// [`Fallback`] records — the driver never silently discards a reason.
+pub fn compile_checked(
+    l: &Loop,
+    m: &MachineConfig,
+    cfg: &DriverConfig,
+) -> Result<(CompiledLoop, CompilationReport), CompileError> {
+    if let Err(error) = l.verify() {
+        return Err(CompileError::InvalidInput {
+            looop: l.name.clone(),
+            error,
+            dump: l.to_string(),
+        });
+    }
+
+    let mut report = CompilationReport {
+        requested: cfg.strategy,
+        delivered: cfg.strategy,
+        fallbacks: Vec::new(),
+        boundary_checks: 0,
+    };
+
+    let chain = fallback_chain(cfg.strategy);
+    let mut last_err: Option<CompileError> = None;
+    for (i, &strategy) in chain.iter().enumerate() {
+        if i > 0 && !cfg.degrade {
+            break;
+        }
+        let mut attempt = Attempt { m, cfg, strategy, boundary_checks: 0 };
+        let result = if cfg.catch_panics {
+            match catch_unwind(AssertUnwindSafe(|| attempt.run(l))) {
+                Ok(r) => r,
+                Err(payload) => Err(CompileError::Internal {
+                    strategy,
+                    looop: l.name.clone(),
+                    payload: payload_string(payload),
+                    dump: l.to_string(),
+                }),
+            }
+        } else {
+            attempt.run(l)
+        };
+        report.boundary_checks += attempt.boundary_checks;
+        match result {
+            Ok(compiled) => {
+                report.delivered = strategy;
+                return Ok((compiled, report));
+            }
+            Err(e) => {
+                if cfg.degrade {
+                    if let Some(&next) = chain.get(i + 1) {
+                        report.fallbacks.push(Fallback {
+                            from: strategy,
+                            to: next,
+                            reason: e.clone(),
+                        });
+                    }
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.expect("chain is never empty"))
+}

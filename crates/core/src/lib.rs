@@ -28,10 +28,14 @@
 //! assert_eq!(sel.ii_per_original_iteration(), 1.0); // Figure 1(f)
 //! ```
 
+mod driver;
 mod partition;
 mod pipeline;
 
+pub use driver::{
+    compile_checked, CompilationReport, CompileError, DriverConfig, Fallback, Pass,
+};
 pub use partition::{
     partition_ops, partition_ops_with_legality, PartitionResult, SelectiveConfig,
 };
-pub use pipeline::{compile, compile_with, CompileError, CompiledLoop, Segment, Strategy};
+pub use pipeline::{compile, compile_with, CompiledLoop, Segment, Strategy};

@@ -37,6 +37,12 @@ pub struct SelectiveConfig {
     /// notes a few passes suffice and the cap exists for compile-time
     /// control).
     pub max_iterations: Option<u32>,
+    /// Hard deterministic budget on candidate-move probes across the whole
+    /// partitioning call (`None` = unlimited). Exhausting it abandons the
+    /// descent with the best configuration seen so far and flags
+    /// [`PartitionResult::budget_exhausted`], which the compilation driver
+    /// treats as grounds for strategy degradation.
+    pub max_moves: Option<u64>,
     /// §6 extension: break cost ties toward the configuration with the
     /// lower static register-pressure estimate, spreading values across
     /// both register files ("selective vectorization can reduce spilling
@@ -51,6 +57,7 @@ impl Default for SelectiveConfig {
             account_communication: true,
             squares_tiebreak: true,
             max_iterations: None,
+            max_moves: None,
             pressure_aware: false,
         }
     }
@@ -69,6 +76,10 @@ pub struct PartitionResult {
     pub iterations: u32,
     /// Candidate moves costed (incremental probes).
     pub moves_evaluated: u64,
+    /// The [`SelectiveConfig::max_moves`] budget ran out before the
+    /// descent converged; the partition is the best seen, not a local
+    /// minimum.
+    pub budget_exhausted: bool,
 }
 
 /// Everything the cost model bills for one operation in one partition.
@@ -351,22 +362,27 @@ pub fn partition_ops_with_legality(
     // and keep the cheaper result. The second start removes the rare local
     // minimum where full vectorization would beat the all-scalar descent.
     let scalar_start = vec![false; l.ops.len()];
-    let mut best = kl_descend(&model, cfg, &movable, scalar_start);
+    let mut best = kl_descend(&model, cfg, &movable, scalar_start, cfg.max_moves);
     if movable.iter().any(|&v| v) {
+        // The second descent spends whatever the first left of the budget.
+        let remaining = cfg.max_moves.map(|cap| cap.saturating_sub(best.moves_evaluated));
         let full_start = movable.clone();
-        let alt = kl_descend(&model, cfg, &movable, full_start);
+        let alt = kl_descend(&model, cfg, &movable, full_start, remaining);
+        let budget_exhausted = best.budget_exhausted || alt.budget_exhausted;
         best = if (alt.cost, alt.partition.iter().filter(|&&v| v).count())
             < (best.cost, best.partition.iter().filter(|&&v| v).count())
         {
             PartitionResult {
                 iterations: best.iterations + alt.iterations,
                 moves_evaluated: best.moves_evaluated + alt.moves_evaluated,
+                budget_exhausted,
                 ..alt
             }
         } else {
             PartitionResult {
                 iterations: best.iterations + alt.iterations,
                 moves_evaluated: best.moves_evaluated + alt.moves_evaluated,
+                budget_exhausted,
                 ..best
             }
         };
@@ -374,15 +390,18 @@ pub fn partition_ops_with_legality(
     best
 }
 
-/// One full Kernighan–Lin descent (Figure 2 lines 1–20) from `start`.
+/// One full Kernighan–Lin descent (Figure 2 lines 1–20) from `start`,
+/// probing at most `move_cap` candidate moves.
 fn kl_descend(
     model: &CostModel<'_>,
     cfg: &SelectiveConfig,
     movable: &[bool],
     start: Vec<bool>,
+    move_cap: Option<u64>,
 ) -> PartitionResult {
     let n = movable.len();
     let mut moves_evaluated = 0u64;
+    let mut budget_exhausted = false;
     let mut part = start;
     let mut packed = bin_pack(model, &part);
     let mut best_part = part.clone();
@@ -390,7 +409,7 @@ fn kl_descend(
 
     let mut iterations = 0u32;
     let mut last_cost = u32::MAX;
-    while last_cost != best_cost {
+    'passes: while last_cost != best_cost {
         if let Some(cap) = cfg.max_iterations {
             if iterations >= cap {
                 break;
@@ -408,6 +427,10 @@ fn kl_descend(
             for i in 0..n {
                 if !movable[i] || locked[i] {
                     continue;
+                }
+                if move_cap.is_some_and(|cap| moves_evaluated >= cap) {
+                    budget_exhausted = true;
+                    break 'passes;
                 }
                 moves_evaluated += 1;
                 let cost = probe_switch(model, &mut packed, &mut part, i);
@@ -446,7 +469,13 @@ fn kl_descend(
         packed = bin_pack(model, &part);
     }
 
-    PartitionResult { partition: best_part, cost: best_cost, iterations, moves_evaluated }
+    PartitionResult {
+        partition: best_part,
+        cost: best_cost,
+        iterations,
+        moves_evaluated,
+        budget_exhausted,
+    }
 }
 
 /// TEST-REPARTITION (lines 29–32): checkpoint the bins, release the op's

@@ -1,15 +1,11 @@
 //! End-to-end compilation pipeline: partition → transform → modulo
 //! schedule, for all four techniques the paper compares.
 
-use crate::partition::{partition_ops, PartitionResult, SelectiveConfig};
-use sv_analysis::DepGraph;
+use crate::driver::{compile_checked, CompileError, DriverConfig};
+use crate::partition::{PartitionResult, SelectiveConfig};
 use sv_ir::Loop;
 use sv_machine::MachineConfig;
-use sv_modsched::{allocate_rotating, modulo_schedule, RegisterAssignment, Schedule, ScheduleError};
-use sv_vectorize::{
-    full_vectorization_partition, traditional_vectorize, transform,
-    widened_window_transform,
-};
+use sv_modsched::{RegisterAssignment, Schedule};
 use std::fmt;
 
 /// The parallelization technique applied before modulo scheduling.
@@ -152,30 +148,19 @@ impl CompiledLoop {
     }
 }
 
-/// Compilation failure (scheduling never converged).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CompileError {
-    /// Loop that failed.
-    pub looop: String,
-    /// Underlying scheduling error.
-    pub error: ScheduleError,
-}
-
-impl fmt::Display for CompileError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "failed to compile `{}`: {}", self.looop, self.error)
-    }
-}
-
-impl std::error::Error for CompileError {}
-
 /// Compile `l` for machine `m` with the given strategy, using default
 /// selective-vectorization settings.
 ///
+/// A thin wrapper over [`compile_checked`] with a default
+/// [`DriverConfig`]: boundary verification, budgets, graceful strategy
+/// degradation and panic containment are all active; only the
+/// [`crate::CompilationReport`] is discarded.
+///
 /// # Errors
 ///
-/// Returns [`CompileError`] when the modulo scheduler cannot place some
-/// segment within its II window (pathological inputs only).
+/// Returns [`CompileError`] when the loop cannot be compiled by the
+/// requested strategy or anything on its degradation ladder
+/// (pathological inputs only).
 pub fn compile(
     l: &Loop,
     m: &MachineConfig,
@@ -186,84 +171,22 @@ pub fn compile(
 
 /// [`compile`] with explicit selective-vectorization settings (Table 4's
 /// communication ablation, the tie-break ablation, iteration caps).
+///
+/// # Errors
+///
+/// As [`compile`].
 pub fn compile_with(
     l: &Loop,
     m: &MachineConfig,
     strategy: Strategy,
     cfg: &SelectiveConfig,
 ) -> Result<CompiledLoop, CompileError> {
-    let schedule_one = |looop: &Loop| -> Result<Schedule, CompileError> {
-        let g = DepGraph::build(looop);
-        modulo_schedule(looop, &g, m)
-            .map_err(|error| CompileError { looop: looop.name.clone(), error })
+    let dcfg = DriverConfig {
+        strategy,
+        selective: cfg.clone(),
+        ..DriverConfig::default()
     };
-    let needs_cleanup = |looop: &Loop| -> bool {
-        looop.iter_scale > 1
-            && !(looop.trip.compile_time_known
-                && looop.trip.count.is_multiple_of(u64::from(looop.iter_scale)))
-    };
-    // Build a segment from a main loop and the scalar loop that covers its
-    // remainder iterations.
-    let make_segment = |main: Loop, scalar_form: &Loop| -> Result<Segment, CompileError> {
-        let schedule = schedule_one(&main)?;
-        let g = DepGraph::build(&main);
-        let registers = allocate_rotating(&main, &g, m, &schedule).ok();
-        let cleanup = if needs_cleanup(&main) {
-            let mut c = scalar_form.clone();
-            c.name = format!("{}.cleanup", scalar_form.name);
-            let cs = schedule_one(&c)?;
-            Some((c, cs))
-        } else {
-            None
-        };
-        Ok(Segment { looop: main, schedule, registers, cleanup })
-    };
-
-    let mut partition = None;
-    let segments = match strategy {
-        Strategy::ModuloNoUnroll => {
-            vec![make_segment(l.clone(), l)?]
-        }
-        Strategy::ModuloOnly => {
-            let t = transform(l, m, &vec![false; l.ops.len()]);
-            vec![make_segment(t.looop, l)?]
-        }
-        Strategy::Full => {
-            let g = DepGraph::build(l);
-            let part = full_vectorization_partition(l, &g, m.vector_length);
-            let t = transform(l, m, &part);
-            vec![make_segment(t.looop, l)?]
-        }
-        Strategy::Selective => {
-            let g = DepGraph::build(l);
-            let r = partition_ops(l, &g, m, cfg);
-            let t = transform(l, m, &r.partition);
-            partition = Some(r);
-            vec![make_segment(t.looop, l)?]
-        }
-        Strategy::Widened => {
-            match widened_window_transform(l, m, m.vector_length + 1) {
-                Some(w) => vec![make_segment(w, l)?],
-                // Ineligible loops run as the unrolled baseline.
-                None => {
-                    let t = transform(l, m, &vec![false; l.ops.len()]);
-                    vec![make_segment(t.looop, l)?]
-                }
-            }
-        }
-        Strategy::Traditional => {
-            let d = traditional_vectorize(l, m);
-            let mut segs = Vec::with_capacity(d.loops.len());
-            for dl in d.loops {
-                let scalar_form = dl.scalar_form;
-                let main = dl.vectorized.unwrap_or_else(|| scalar_form.clone());
-                segs.push(make_segment(main, &scalar_form)?);
-            }
-            segs
-        }
-    };
-
-    Ok(CompiledLoop { strategy, source: l.clone(), segments, partition })
+    compile_checked(l, m, &dcfg).map(|(compiled, _report)| compiled)
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use crate::mem::{ArrayDecl, ArrayId, MemRef};
 use crate::op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
 use crate::program::{LiveIn, LiveInId, LiveOut, Loop, TripCount};
 use crate::types::ScalarType;
+use crate::verify::VerifyError;
 
 /// Builder for [`Loop`]s in scalar source form.
 ///
@@ -287,12 +288,25 @@ impl LoopBuilder {
     /// # Panics
     ///
     /// Panics if the built loop fails verification — a builder bug in the
-    /// caller.
+    /// caller. [`LoopBuilder::try_finish`] reports the same condition as
+    /// an error.
     pub fn finish(self) -> Loop {
-        if let Err(e) = self.looop.verify() {
-            panic!("LoopBuilder produced an invalid loop `{}`: {e}", self.looop.name);
+        let name = self.looop.name.clone();
+        match self.try_finish() {
+            Ok(l) => l,
+            Err(e) => panic!("LoopBuilder produced an invalid loop `{name}`: {e}"),
         }
-        self.looop
+    }
+
+    /// Finish, verifying the loop and returning the verifier's complaint
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VerifyError`] in the built loop.
+    pub fn try_finish(self) -> Result<Loop, VerifyError> {
+        self.looop.verify()?;
+        Ok(self.looop)
     }
 
     /// Finish without verifying — for callers that patch operands

@@ -45,10 +45,12 @@ mod mii;
 mod pressure;
 mod regalloc;
 mod sched;
+mod validate;
 
 pub use binpack::{Bins, Placement};
 pub use emit::{emit_flat, FlatListing, Row};
 pub use mii::{compute_mii, compute_recmii, compute_resmii, edge_delay};
 pub use pressure::{max_live, mve_factor};
 pub use regalloc::{allocate_rotating, validate_assignment, AllocError, RegisterAssignment};
-pub use sched::{modulo_schedule, Schedule, ScheduleError};
+pub use sched::{modulo_schedule, modulo_schedule_with, Schedule, ScheduleConfig, ScheduleError};
+pub use validate::{validate_schedule, ValidationError};

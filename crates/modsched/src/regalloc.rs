@@ -289,7 +289,8 @@ mod tests {
                 let g = DepGraph::build(l);
                 let s = modulo_schedule(l, &g, &m).unwrap();
                 let a = allocate_rotating(l, &g, &m, &s)
-                    .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+                    .map_err(|e| format!("{}: {e}", l.name))
+                    .unwrap();
                 assert_eq!(validate_assignment(l, &g, &m, &s, &a), None, "{}", l.name);
             }
         }

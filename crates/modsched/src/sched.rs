@@ -14,6 +14,25 @@ const BUDGET_RATIO: usize = 16;
 /// How far past MII the scheduler escalates before failing.
 const MAX_II_SLACK: u32 = 256;
 
+/// Deterministic work budgets for the scheduler's II search, exposed so a
+/// driver can bound compile time per loop (and degrade to a cheaper
+/// strategy on exhaustion) instead of inheriting the generous built-in
+/// limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleConfig {
+    /// Scheduling steps per operation before one II attempt is abandoned.
+    pub budget_ratio: usize,
+    /// How far past MII the II search escalates before failing with
+    /// [`ScheduleError::BudgetExhausted`].
+    pub max_ii_slack: u32,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> ScheduleConfig {
+        ScheduleConfig { budget_ratio: BUDGET_RATIO, max_ii_slack: MAX_II_SLACK }
+    }
+}
+
 /// A modulo schedule for one loop.
 #[derive(Debug, Clone)]
 pub struct Schedule {
@@ -94,14 +113,30 @@ pub fn modulo_schedule(
     g: &DepGraph,
     m: &MachineConfig,
 ) -> Result<Schedule, ScheduleError> {
+    modulo_schedule_with(l, g, m, &ScheduleConfig::default())
+}
+
+/// [`modulo_schedule`] under explicit [`ScheduleConfig`] work budgets.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::BudgetExhausted`] when no II within
+/// `mii + cfg.max_ii_slack` admits a schedule under `cfg.budget_ratio`
+/// steps per operation.
+pub fn modulo_schedule_with(
+    l: &Loop,
+    g: &DepGraph,
+    m: &MachineConfig,
+    cfg: &ScheduleConfig,
+) -> Result<Schedule, ScheduleError> {
     let resmii = compute_resmii(l, m);
     let recmii = compute_recmii(l, g, m);
     let mii = compute_mii(l, g, m);
     let mut first_fit: Option<Schedule> = None;
     let mut pressure_retries = 0u32;
 
-    for ii in mii..=mii.saturating_add(MAX_II_SLACK) {
-        let Some((times, assignments)) = try_ii(l, g, m, ii) else {
+    for ii in mii..=mii.saturating_add(cfg.max_ii_slack) {
+        let Some((times, assignments)) = try_ii(l, g, m, ii, cfg.budget_ratio) else {
             continue;
         };
         let length = times.iter().copied().max().unwrap_or(0) + 1;
@@ -140,7 +175,7 @@ pub fn modulo_schedule(
     }
     first_fit.ok_or(ScheduleError::BudgetExhausted {
         mii,
-        tried_up_to: mii.saturating_add(MAX_II_SLACK),
+        tried_up_to: mii.saturating_add(cfg.max_ii_slack),
     })
 }
 
@@ -198,7 +233,13 @@ impl Mrt {
 
 type Assignments = Vec<Vec<(ResourceInstance, u32)>>;
 
-fn try_ii(l: &Loop, g: &DepGraph, m: &MachineConfig, ii: u32) -> Option<(Vec<u32>, Assignments)> {
+fn try_ii(
+    l: &Loop,
+    g: &DepGraph,
+    m: &MachineConfig,
+    ii: u32,
+    budget_ratio: usize,
+) -> Option<(Vec<u32>, Assignments)> {
     let n = l.ops.len();
     let pool = m.resource_pool();
     let mut mrt = Mrt::new(ii, pool.len());
@@ -229,7 +270,7 @@ fn try_ii(l: &Loop, g: &DepGraph, m: &MachineConfig, ii: u32) -> Option<(Vec<u32
     let mut sched: Vec<Option<u32>> = vec![None; n];
     let mut prev: Vec<Option<u32>> = vec![None; n];
     let mut assignments: Assignments = vec![Vec::new(); n];
-    let mut budget = BUDGET_RATIO * n.max(4);
+    let mut budget = budget_ratio * n.max(4);
 
     while let Some(op) = (0..n)
         .filter(|&i| sched[i].is_none())

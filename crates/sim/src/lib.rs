@@ -52,8 +52,12 @@ pub use interp::{execute_loop, LiveOutValue};
 pub use flat_exec::execute_flat;
 pub use pipeline_exec::execute_pipelined;
 pub use memory::{Memory, Scalar};
-pub use player::{play_schedule, validate_schedule, PlaybackReport, ValidationError};
+pub use player::{play_schedule, PlaybackReport};
+// Structural schedule validation moved down into `sv-modsched` so the
+// `sv-core` driver can run it at pass boundaries; re-exported here for
+// back-compatibility.
+pub use sv_modsched::{validate_schedule, ValidationError};
 pub use run::{
-    assert_equivalent, has_register_state_across_cleanup, run_compiled, run_source,
-    RunResult,
+    assert_equivalent, check_equivalent, has_register_state_across_cleanup,
+    run_compiled, run_source, EquivalenceError, RunResult,
 };

@@ -1,126 +1,11 @@
-//! Cycle-level validation and playback of modulo schedules.
+//! Cycle-level playback of modulo schedules. (Structural schedule
+//! validation lives in `sv_modsched::validate_schedule`, re-exported from
+//! this crate's root.)
 
 use std::collections::HashMap;
-use sv_analysis::DepGraph;
-use sv_ir::{Loop, OpId};
-use sv_machine::{MachineConfig, ResourceClass};
-use sv_modsched::{edge_delay, Schedule};
-use std::fmt;
-
-/// A schedule defect found by [`validate_schedule`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum ValidationError {
-    /// A dependence `src → dst` is not satisfied by the issue times.
-    DependenceViolated {
-        /// Producer.
-        src: OpId,
-        /// Consumer.
-        dst: OpId,
-        /// Required separation in cycles.
-        needed: i64,
-        /// Actual separation.
-        actual: i64,
-    },
-    /// A resource instance is reserved by two operations in the same
-    /// kernel row.
-    ResourceConflict {
-        /// Human-readable instance name.
-        instance: String,
-        /// Kernel row (cycle mod II).
-        row: u32,
-    },
-    /// An operation's assignment does not cover its resource requirements.
-    AssignmentMismatch {
-        /// The offending operation.
-        op: OpId,
-    },
-}
-
-impl fmt::Display for ValidationError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ValidationError::DependenceViolated { src, dst, needed, actual } => write!(
-                f,
-                "dependence {src}→{dst} violated: needs {needed} cycles, has {actual}"
-            ),
-            ValidationError::ResourceConflict { instance, row } => {
-                write!(f, "resource {instance} doubly reserved in kernel row {row}")
-            }
-            ValidationError::AssignmentMismatch { op } => {
-                write!(f, "{op} assignment does not match its requirements")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ValidationError {}
-
-/// Check that a modulo schedule respects every dependence edge
-/// (`σ(dst) + II·distance ≥ σ(src) + delay`) and never oversubscribes a
-/// resource instance in any kernel row, and that each operation's
-/// functional-unit assignment covers exactly its opcode's requirements.
-///
-/// # Errors
-///
-/// Returns the first defect found.
-pub fn validate_schedule(
-    l: &Loop,
-    g: &DepGraph,
-    m: &MachineConfig,
-    s: &Schedule,
-) -> Result<(), ValidationError> {
-    for e in g.edges() {
-        if e.src == e.dst {
-            continue;
-        }
-        let needed = edge_delay(e, l, m);
-        let actual = i64::from(s.times[e.dst.index()])
-            + i64::from(s.ii) * i64::from(e.distance)
-            - i64::from(s.times[e.src.index()]);
-        if actual < needed {
-            return Err(ValidationError::DependenceViolated {
-                src: e.src,
-                dst: e.dst,
-                needed,
-                actual,
-            });
-        }
-    }
-
-    // Per-(row, instance) occupancy.
-    let pool = m.resource_pool();
-    let mut used: HashMap<(u32, usize), OpId> = HashMap::new();
-    for (i, placement) in s.assignments.iter().enumerate() {
-        let op = OpId(i as u32);
-        // The multiset of classes must match the requirements.
-        let mut required: Vec<(ResourceClass, u32)> = m
-            .requirements(l.ops[i].opcode)
-            .iter()
-            .map(|r| (r.class, r.cycles))
-            .collect();
-        for (inst, cycles) in placement {
-            let pos = required
-                .iter()
-                .position(|&(c, cy)| c == inst.class && cy == *cycles)
-                .ok_or(ValidationError::AssignmentMismatch { op })?;
-            required.swap_remove(pos);
-            for j in 0..*cycles {
-                let row = (s.times[i] + j) % s.ii;
-                let key = (row, pool.dense_id(*inst));
-                if used.insert(key, op).is_some() {
-                    return Err(ValidationError::ResourceConflict {
-                        instance: inst.to_string(),
-                        row,
-                    });
-                }
-            }
-        }
-        if !required.is_empty() {
-            return Err(ValidationError::AssignmentMismatch { op });
-        }
-    }
-    Ok(())
-}
+use sv_ir::Loop;
+use sv_machine::MachineConfig;
+use sv_modsched::Schedule;
 
 /// The outcome of playing a software pipeline cycle by cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -201,8 +86,9 @@ pub fn play_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sv_analysis::DepGraph;
     use sv_ir::{LoopBuilder, ScalarType};
-    use sv_modsched::modulo_schedule;
+    use sv_modsched::{modulo_schedule, validate_schedule, ValidationError};
 
     fn compile_one(l: &Loop, m: &MachineConfig) -> (DepGraph, Schedule) {
         let g = DepGraph::build(l);

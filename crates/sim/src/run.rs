@@ -123,41 +123,123 @@ pub fn has_register_state_across_cleanup(l: &Loop) -> bool {
     })
 }
 
-/// Functionally execute `src` and `compiled` and assert they agree on
+/// A semantic divergence between a source loop and its compiled plan,
+/// found by [`check_equivalent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivalenceError {
+    /// A shared array differs elementwise (or in length).
+    ArrayMismatch {
+        /// Array name.
+        array: String,
+        /// First differing element (`usize::MAX` for a length mismatch).
+        element: usize,
+        /// The source loop's value, `Debug`-rendered.
+        source: String,
+        /// The compiled plan's value, `Debug`-rendered.
+        compiled: String,
+    },
+    /// The two executions produced different live-out name sets.
+    LiveOutSetMismatch {
+        /// The source's live-out names.
+        source: Vec<String>,
+        /// The compiled plan's live-out names.
+        compiled: Vec<String>,
+    },
+    /// A live-out value differs.
+    LiveOutMismatch {
+        /// Live-out name.
+        name: String,
+        /// The source loop's value, `Debug`-rendered.
+        source: String,
+        /// The compiled plan's value, `Debug`-rendered.
+        compiled: String,
+    },
+}
+
+impl std::fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivalenceError::ArrayMismatch { array, element, source, compiled } => {
+                if *element == usize::MAX {
+                    write!(f, "array {array} length mismatch: {source} vs {compiled}")
+                } else {
+                    write!(
+                        f,
+                        "array {array}[{element}] mismatch: source {source} vs compiled {compiled}"
+                    )
+                }
+            }
+            EquivalenceError::LiveOutSetMismatch { source, compiled } => {
+                write!(f, "live-out sets differ: source {source:?} vs compiled {compiled:?}")
+            }
+            EquivalenceError::LiveOutMismatch { name, source, compiled } => {
+                write!(f, "live-out {name} mismatch: source {source} vs compiled {compiled}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+/// Functionally execute `src` and `compiled` and check they agree on
 /// every shared array (elementwise, with reassociation-tolerant float
 /// comparison) and on every live-out value.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics with a descriptive message on the first mismatch.
-pub fn assert_equivalent(src: &Loop, compiled: &CompiledLoop) {
+/// Returns the first divergence found.
+pub fn check_equivalent(src: &Loop, compiled: &CompiledLoop) -> Result<(), EquivalenceError> {
     let a = run_source(src);
     let b = run_compiled(compiled);
     for (idx, decl) in src.arrays.iter().enumerate() {
         let (xa, xb) = (a.memory.array(idx as u32), b.memory.array(idx as u32));
-        assert_eq!(xa.len(), xb.len(), "array {} length", decl.name);
+        if xa.len() != xb.len() {
+            return Err(EquivalenceError::ArrayMismatch {
+                array: decl.name.clone(),
+                element: usize::MAX,
+                source: xa.len().to_string(),
+                compiled: xb.len().to_string(),
+            });
+        }
         for (e, (va, vb)) in xa.iter().zip(xb).enumerate() {
-            assert!(
-                va.approx_eq(*vb),
-                "array {}[{e}] mismatch under {}: source {va:?} vs compiled {vb:?}",
-                decl.name,
-                compiled.strategy,
-            );
+            if !va.approx_eq(*vb) {
+                return Err(EquivalenceError::ArrayMismatch {
+                    array: decl.name.clone(),
+                    element: e,
+                    source: format!("{va:?}"),
+                    compiled: format!("{vb:?}"),
+                });
+            }
         }
     }
-    assert_eq!(
-        a.live_outs.keys().collect::<Vec<_>>(),
-        b.live_outs.keys().collect::<Vec<_>>(),
-        "live-out sets under {}",
-        compiled.strategy
-    );
+    if a.live_outs.keys().ne(b.live_outs.keys()) {
+        return Err(EquivalenceError::LiveOutSetMismatch {
+            source: a.live_outs.keys().cloned().collect(),
+            compiled: b.live_outs.keys().cloned().collect(),
+        });
+    }
     for (name, va) in &a.live_outs {
         let vb = b.live_outs[name];
-        assert!(
-            va.approx_eq(vb),
-            "live-out {name} mismatch under {}: source {va:?} vs compiled {vb:?}",
-            compiled.strategy
-        );
+        if !va.approx_eq(vb) {
+            return Err(EquivalenceError::LiveOutMismatch {
+                name: name.clone(),
+                source: format!("{va:?}"),
+                compiled: format!("{vb:?}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// [`check_equivalent`], panicking on the first mismatch — the historical
+/// test-harness entry point.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first divergence.
+pub fn assert_equivalent(src: &Loop, compiled: &CompiledLoop) {
+    if let Err(e) = check_equivalent(src, compiled) {
+        std::panic::panic_any(format!("{e} under {}", compiled.strategy));
     }
 }
 

@@ -1,0 +1,93 @@
+//! Typed failure modes for the vectorizing transformations.
+//!
+//! Every reachable failure of [`crate::try_transform`],
+//! [`crate::try_widened_window_transform`] and
+//! [`crate::try_traditional_vectorize`] is one of these variants, so the
+//! compilation driver in `sv-core` can attach pass provenance and degrade
+//! gracefully instead of unwinding. The panicking wrappers
+//! ([`crate::transform`] &c.) raise the `Display` form of the same value.
+
+use std::fmt;
+use sv_ir::{OpId, VerifyError};
+
+/// Why a vectorizing transformation could not produce a valid loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The partition vector's length does not match the loop's op count.
+    PartitionMismatch {
+        /// Ops in the loop.
+        expected: usize,
+        /// Entries in the partition.
+        got: usize,
+    },
+    /// The machine's vector length cannot support vectorization.
+    VectorLengthTooSmall {
+        /// The offending vector length.
+        vl: u32,
+    },
+    /// A memory operation in the vector partition is not unit stride.
+    NotUnitStride {
+        /// The offending operation.
+        op: OpId,
+        /// Its stride.
+        stride: i64,
+    },
+    /// A carried use feeding a vector consumer has a distance that is not
+    /// a multiple of the vector length, so lanes would cross iterations.
+    MisalignedCarriedUse {
+        /// The vector-partition consumer.
+        consumer: OpId,
+        /// The producer of the carried value.
+        producer: OpId,
+        /// The carried distance.
+        distance: u32,
+        /// The vector length it must divide by.
+        vl: u32,
+    },
+    /// The partitioned operations form a distance-0 dependence cycle
+    /// (through inserted communication), so no emission order exists.
+    DependenceCycle,
+    /// The transformation emitted a loop the IR verifier rejects — an
+    /// internal bug; `dump` carries the offending loop's textual form.
+    InvalidOutput {
+        /// Which transformation produced the loop.
+        transform: &'static str,
+        /// The verifier's complaint.
+        error: VerifyError,
+        /// `Display` dump of the rejected loop (re-parseable).
+        dump: String,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::PartitionMismatch { expected, got } => write!(
+                f,
+                "partition/loop mismatch: loop has {expected} ops, partition has {got}"
+            ),
+            TransformError::VectorLengthTooSmall { vl } => {
+                write!(f, "vector length must be >= 2, machine has {vl}")
+            }
+            TransformError::NotUnitStride { op, stride } => write!(
+                f,
+                "vector memory op {op} must be unit stride, has stride {stride}"
+            ),
+            TransformError::MisalignedCarriedUse { consumer, producer, distance, vl } => {
+                write!(
+                    f,
+                    "vector consumer {consumer} carried use of {producer} at \
+                     distance {distance} must align with vl {vl}"
+                )
+            }
+            TransformError::DependenceCycle => {
+                write!(f, "distance-0 dependence cycle in transform")
+            }
+            TransformError::InvalidOutput { transform, error, dump } => {
+                write!(f, "{transform} transform produced an invalid loop: {error}\n{dump}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}

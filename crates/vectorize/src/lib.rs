@@ -29,14 +29,22 @@
 //! * [`traditional_vectorize`] — Allen–Kennedy loop distribution with
 //!   typed greedy fusion and scalar expansion through memory.
 
+//!
+//! Each transformation comes in two flavours: a panicking one (the
+//! historical API, still what the tests' failure-injection harness
+//! exercises) and a fallible `try_*` twin returning a [`TransformError`],
+//! which the `sv-core` compilation driver uses to degrade gracefully.
+
+mod error;
 mod full;
 mod neighbor;
 mod traditional;
 mod transform;
 mod widened;
 
+pub use error::TransformError;
 pub use full::full_vectorization_partition;
 pub use neighbor::apply_neighbor_rule;
-pub use traditional::{traditional_vectorize, DistributedLoops};
-pub use transform::{transform, Transformed};
-pub use widened::widened_window_transform;
+pub use traditional::{traditional_vectorize, try_traditional_vectorize, DistributedLoops};
+pub use transform::{transform, try_transform, Transformed};
+pub use widened::{try_widened_window_transform, widened_window_transform};

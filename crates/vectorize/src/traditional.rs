@@ -10,8 +10,9 @@
 //! extra stores and loads compete for the machine's memory units, which is
 //! a large part of why distribution loses on ILP machines.
 
+use crate::error::TransformError;
 use crate::neighbor::apply_neighbor_rule;
-use crate::transform::transform;
+use crate::transform::try_transform;
 use sv_analysis::{strongly_connected_components, vectorizable_ops, DepGraph};
 use sv_ir::{
     ArrayDecl, ArrayFill, ArrayId, CarriedInit, Loop, MemRef, OpId, OpKind, Opcode,
@@ -75,6 +76,24 @@ pub struct DistributedLoops {
 /// assert_eq!(d.expansion_arrays, 1);
 /// ```
 pub fn traditional_vectorize(src: &Loop, m: &MachineConfig) -> DistributedLoops {
+    match try_traditional_vectorize(src, m) {
+        Ok(d) => d,
+        Err(e) => std::panic::panic_any(e.to_string()),
+    }
+}
+
+/// Fallible [`traditional_vectorize`]: distribution failures surface as a
+/// [`TransformError`] instead of an unwind.
+///
+/// # Errors
+///
+/// Returns an error when a distributed loop fails IR verification or the
+/// per-loop vectorization of a vector loop fails (both internal bugs,
+/// reported with a dump of the offending loop).
+pub fn try_traditional_vectorize(
+    src: &Loop,
+    m: &MachineConfig,
+) -> Result<DistributedLoops, TransformError> {
     let g = DepGraph::build(src);
     let sccs = strongly_connected_components(&g);
     let statuses = vectorizable_ops(src, &g, m.vector_length);
@@ -254,25 +273,28 @@ pub fn traditional_vectorize(src: &Loop, m: &MachineConfig) -> DistributedLoops 
         }
 
         if let Err(e) = l.verify() {
-            panic!("traditional vectorizer built an invalid loop: {e}\n{l}");
+            return Err(TransformError::InvalidOutput {
+                transform: "traditional",
+                error: e,
+                dump: l.to_string(),
+            });
         }
         out_loops.push(l);
     }
 
     // Vectorize the vector loops, keeping the scalar form for cleanup.
-    let loops: Vec<DistLoop> = out_loops
-        .into_iter()
-        .enumerate()
-        .map(|(li, l)| {
-            let vectorized = loop_types[li].then(|| {
-                let all = vec![true; l.ops.len()];
-                transform(&l, m, &all).looop
-            });
-            DistLoop { scalar_form: l, vectorized }
-        })
-        .collect();
+    let mut loops: Vec<DistLoop> = Vec::with_capacity(out_loops.len());
+    for (li, l) in out_loops.into_iter().enumerate() {
+        let vectorized = if loop_types[li] {
+            let all = vec![true; l.ops.len()];
+            Some(try_transform(&l, m, &all)?.looop)
+        } else {
+            None
+        };
+        loops.push(DistLoop { scalar_form: l, vectorized });
+    }
 
-    DistributedLoops { loops, expansion_arrays: producers.len() }
+    Ok(DistributedLoops { loops, expansion_arrays: producers.len() })
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Partition-driven loop transformation (paper §3.3).
 
+use crate::error::TransformError;
 use std::collections::{BTreeSet, HashMap};
 use sv_ir::{
     ArrayDecl, CarriedInit, Loop, MemRef, OpId, OpKind, Opcode, Operand, Operation,
@@ -132,10 +133,75 @@ struct Builder<'a> {
 /// # Panics
 ///
 /// Panics when the partition violates legality or indexes a different loop.
+/// [`try_transform`] reports the same conditions as a [`TransformError`]
+/// instead.
 pub fn transform(src: &Loop, m: &MachineConfig, part: &[bool]) -> Transformed {
-    assert_eq!(part.len(), src.ops.len(), "partition/loop mismatch");
+    match try_transform(src, m, part) {
+        Ok(t) => t,
+        Err(e) => std::panic::panic_any(e.to_string()),
+    }
+}
+
+/// Structural preconditions mirroring the transformer's internal
+/// invariants, checked up front so an illegal partition surfaces as a
+/// typed error rather than an unwind.
+fn check_partition(src: &Loop, m: &MachineConfig, part: &[bool]) -> Result<(), TransformError> {
+    if part.len() != src.ops.len() {
+        return Err(TransformError::PartitionMismatch {
+            expected: src.ops.len(),
+            got: part.len(),
+        });
+    }
     let k = m.vector_length;
-    assert!(k >= 2, "vector length must be >= 2");
+    if k < 2 {
+        return Err(TransformError::VectorLengthTooSmall { vl: k });
+    }
+    for (i, op) in src.ops.iter().enumerate() {
+        if !part[i] {
+            continue;
+        }
+        if let Some(r) = &op.mem {
+            if r.stride != 1 {
+                return Err(TransformError::NotUnitStride { op: op.id, stride: r.stride });
+            }
+        }
+        for (slot, o) in op.operands.iter().enumerate() {
+            if let Operand::Def { op: p, distance: d } = *o {
+                // A reduction's accumulator self-reference becomes the
+                // vector partial-sum recurrence; everything else must keep
+                // whole vector iterations apart.
+                if p.index() == i && op.is_reduction && slot == 0 {
+                    continue;
+                }
+                if d % k != 0 {
+                    return Err(TransformError::MisalignedCarriedUse {
+                        consumer: op.id,
+                        producer: p,
+                        distance: d,
+                        vl: k,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fallible [`transform`]: the same transformation, with illegal
+/// partitions and invalid outputs reported as a [`TransformError`].
+///
+/// # Errors
+///
+/// Returns an error when the partition does not match the loop, violates
+/// a legality invariant (stride, carried-use alignment), or the emitted
+/// loop fails IR verification (an internal bug, reported with a dump).
+pub fn try_transform(
+    src: &Loop,
+    m: &MachineConfig,
+    part: &[bool],
+) -> Result<Transformed, TransformError> {
+    check_partition(src, m, part)?;
+    let k = m.vector_length;
 
     let mut b = Builder {
         src,
@@ -152,7 +218,7 @@ pub fn transform(src: &Loop, m: &MachineConfig, part: &[bool]) -> Transformed {
 
     b.create_source_nodes();
     b.fill_operands();
-    let (looop, id_of, transfer_ops, merge_ops) = b.emit();
+    let (looop, id_of, transfer_ops, merge_ops) = b.emit()?;
 
     let vector_value_of = (0..src.ops.len())
         .map(|i| {
@@ -173,7 +239,7 @@ pub fn transform(src: &Loop, m: &MachineConfig, part: &[bool]) -> Transformed {
         })
         .collect();
 
-    Transformed { looop, vector_value_of, scalar_copies, transfer_ops, merge_ops }
+    Ok(Transformed { looop, vector_value_of, scalar_copies, transfer_ops, merge_ops })
 }
 
 fn b_value(b: &Builder<'_>, i: usize) -> Option<Key> {
@@ -586,7 +652,7 @@ impl<'a> Builder<'a> {
 
     /// Kahn topological sort on distance-0 edges — register dataflow plus
     /// intra-iteration memory dependences — then emit the loop.
-    fn emit(&self) -> (Loop, HashMap<Key, OpId>, usize, usize) {
+    fn emit(&self) -> Result<(Loop, HashMap<Key, OpId>, usize, usize), TransformError> {
         let n = self.nodes.len();
         let mut indegree = vec![0usize; n];
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -658,7 +724,9 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        assert_eq!(order.len(), n, "distance-0 dependence cycle in transform");
+        if order.len() != n {
+            return Err(TransformError::DependenceCycle);
+        }
 
         let mut looop = Loop::new(format!("{}.x{}", self.src.name, self.k));
         looop.arrays = self.arrays.clone();
@@ -726,7 +794,11 @@ impl<'a> Builder<'a> {
         }
 
         if let Err(e) = looop.verify() {
-            panic!("transform produced an invalid loop: {e}\n{looop}");
+            return Err(TransformError::InvalidOutput {
+                transform: "selective",
+                error: e,
+                dump: looop.to_string(),
+            });
         }
 
         let transfer_ops = self
@@ -744,7 +816,7 @@ impl<'a> Builder<'a> {
             .iter()
             .filter(|nd| matches!(nd.key, Key::MergeLoad(_) | Key::MergeStore(_)))
             .count();
-        (looop, id_of, transfer_ops, merge_ops)
+        Ok((looop, id_of, transfer_ops, merge_ops))
     }
 }
 

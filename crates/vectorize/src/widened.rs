@@ -16,6 +16,7 @@
 //! carried register operands, and no carried memory dependence of
 //! distance < `u`.
 
+use crate::error::TransformError;
 use sv_analysis::{vectorizable_ops, DepGraph};
 use sv_ir::{
     CarriedInit, Loop, MemRef, OpId, OpKind, Opcode, Operand, Operation, VectorForm,
@@ -36,6 +37,25 @@ pub fn widened_window_transform(
     m: &MachineConfig,
     unroll: u32,
 ) -> Option<Loop> {
+    match try_widened_window_transform(src, m, unroll) {
+        Ok(r) => r,
+        Err(e) => std::panic::panic_any(e.to_string()),
+    }
+}
+
+/// Fallible [`widened_window_transform`]: `Ok(None)` when the loop is
+/// ineligible, `Err` when the emitted loop fails IR verification (an
+/// internal bug, reported with a dump).
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidOutput`] if the transformed loop does
+/// not verify.
+pub fn try_widened_window_transform(
+    src: &Loop,
+    m: &MachineConfig,
+    unroll: u32,
+) -> Result<Option<Loop>, TransformError> {
     let k = m.vector_length;
     assert!(unroll > k, "window must exceed the vector length");
     let g = DepGraph::build(src);
@@ -43,15 +63,15 @@ pub fn widened_window_transform(
     // Eligibility: fully data parallel at window granularity.
     let statuses = vectorizable_ops(src, &g, k);
     if !statuses.iter().all(|s| s.is_vectorizable()) {
-        return None;
+        return Ok(None);
     }
     for op in &src.ops {
         if op.def_uses().any(|(_, d)| d >= 1) {
-            return None; // carried register state crosses window lanes
+            return Ok(None); // carried register state crosses window lanes
         }
     }
     if g.edges().iter().any(|e| e.is_mem && (e.star || (1..unroll).contains(&e.distance))) {
-        return None; // a carried memory dependence shorter than the window
+        return Ok(None); // a carried memory dependence shorter than the window
     }
 
     let mut out = Loop::new(format!("{}.w{unroll}", src.name));
@@ -190,9 +210,13 @@ pub fn widened_window_transform(
     }
 
     if let Err(e) = out.verify() {
-        panic!("widened-window transform produced an invalid loop: {e}\n{out}");
+        return Err(TransformError::InvalidOutput {
+            transform: "widened-window",
+            error: e,
+            dump: out.to_string(),
+        });
     }
-    Some(out)
+    Ok(Some(out))
 }
 
 fn map_vec(o: &Operand, vec_id: &[OpId]) -> Operand {

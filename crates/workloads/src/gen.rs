@@ -4,8 +4,7 @@
 //! loop counts and as the random-loop source for property tests. Given the
 //! same profile and seed, the generator is fully deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use sv_ir::{Loop, LoopBuilder, OpId, OpKind, Operand, ScalarType};
 
 /// Distribution parameters for one family of synthetic loops.
@@ -59,12 +58,12 @@ impl SynthProfile {
     }
 }
 
-fn range_u32(rng: &mut StdRng, (lo, hi): (u32, u32)) -> u32 {
-    rng.gen_range(lo..=hi)
+fn range_u32(rng: &mut SmallRng, (lo, hi): (u32, u32)) -> u32 {
+    rng.range_u32(lo, hi)
 }
 
-fn range_u64(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
-    rng.gen_range(lo..=hi)
+fn range_u64(rng: &mut SmallRng, (lo, hi): (u64, u64)) -> u64 {
+    rng.range_u64(lo, hi)
 }
 
 /// Generate one synthetic loop named `name` from `profile` and `seed`.
@@ -73,7 +72,7 @@ fn range_u64(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
 /// (store, reduction or live-out), and never reads out of bounds for trips
 /// within the profile's range.
 pub fn synth_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed);
     let mut b = LoopBuilder::new(name);
     let trip = range_u64(&mut rng, profile.trip);
     b.trip(trip).invocations(range_u64(&mut rng, profile.invocations));
@@ -98,12 +97,12 @@ pub fn synth_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
     let mut values: Vec<OpId> = Vec::new();
     for i in 0..n_loads {
         let arr = inputs[(i as usize) % inputs.len()];
-        let stride = if rng.gen_bool(profile.nonunit_prob) {
-            *[0, 2, 3].get(rng.gen_range(0..3)).unwrap()
+        let stride = if rng.chance(profile.nonunit_prob) {
+            [0, 2, 3][rng.index(3)]
         } else {
             1
         };
-        let offset = rng.gen_range(0..4);
+        let offset = rng.range_u64(0, 3) as i64;
         values.push(b.load(arr, stride, offset));
     }
 
@@ -121,19 +120,19 @@ pub fn synth_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
     for _ in 0..n_arith {
         // Long-latency non-pipelined kinds (divide, square root) are gated
         // by `div_prob`; they dominate any loop they appear in.
-        let kind = if rng.gen_bool(profile.div_prob) {
-            if rng.gen_bool(0.5) {
+        let kind = if rng.chance(profile.div_prob) {
+            if rng.chance(0.5) {
                 OpKind::Div
             } else {
                 OpKind::Sqrt
             }
         } else {
-            arith_kinds[rng.gen_range(0..arith_kinds.len())]
+            arith_kinds[rng.index(arith_kinds.len())]
         };
-        let a = values[rng.gen_range(0..values.len())];
+        let a = values[rng.index(values.len())];
         let id = if kind.arity() == 2 {
-            let bnd = values[rng.gen_range(0..values.len())];
-            if rng.gen_bool(profile.carried_prob) {
+            let bnd = values[rng.index(values.len())];
+            if rng.chance(profile.carried_prob) {
                 // Carried use at distance 2 (one vector length) stays
                 // vectorizable for vl = 2.
                 b.bin(kind, ScalarType::F64, Operand::def(a), Operand::carried(bnd, 2))
@@ -146,23 +145,23 @@ pub fn synth_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
         values.push(id);
     }
 
-    if rng.gen_bool(profile.recurrence_prob) {
-        let v = values[rng.gen_range(0..values.len())];
-        let kind = if rng.gen_bool(0.5) { OpKind::Mul } else { OpKind::Add };
+    if rng.chance(profile.recurrence_prob) {
+        let v = values[rng.index(values.len())];
+        let kind = if rng.chance(0.5) { OpKind::Mul } else { OpKind::Add };
         let r = b.recurrence(kind, ScalarType::F64, v);
         values.push(r);
     }
 
     let mut effects = 0;
-    if rng.gen_bool(profile.reduction_prob) {
-        let v = values[rng.gen_range(0..values.len())];
+    if rng.chance(profile.reduction_prob) {
+        let v = values[rng.index(values.len())];
         b.reduce_add(v);
         effects += 1;
     }
     for (i, &arr) in outputs.iter().enumerate().take(n_stores as usize) {
-        let v = values[rng.gen_range(0..values.len())];
-        let offset = rng.gen_range(0..4);
-        let stride = if rng.gen_bool(profile.nonunit_prob) { 2 } else { 1 };
+        let v = values[rng.index(values.len())];
+        let offset = rng.range_u64(0, 3) as i64;
+        let stride = if rng.chance(profile.nonunit_prob) { 2 } else { 1 };
         b.store(arr, stride, offset, v);
         let _ = i;
         effects += 1;

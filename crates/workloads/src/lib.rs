@@ -29,8 +29,10 @@
 
 mod gen;
 mod kernels;
+pub mod rng;
 mod suite;
 
 pub use gen::{synth_loop, SynthProfile};
 pub use kernels::figure1_dot_product;
-pub use suite::{all_benchmarks, benchmark, BenchmarkSuite};
+pub use rng::SmallRng;
+pub use suite::{all_benchmarks, benchmark, benchmark_names, BenchmarkSuite, UnknownBenchmark};

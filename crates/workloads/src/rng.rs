@@ -1,0 +1,114 @@
+//! A tiny, dependency-free, deterministic PRNG.
+//!
+//! The synthetic-loop generator, the property tests and the differential
+//! fuzzer all need *reproducible* pseudo-random streams, and the build must
+//! work in offline/vendored environments — so instead of the `rand` crate
+//! this module provides a fixed SplitMix64 generator. The algorithm is
+//! stable by construction: a given seed produces the same stream on every
+//! platform and every release, which keeps seeded suites and fuzz repros
+//! valid forever.
+
+/// SplitMix64-based generator. Passes BigCrush as a 64-bit mixer; more
+/// than adequate for shaping synthetic loop distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seed the generator. Distinct seeds yield uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let width = hi - lo + 1; // hi = u64::MAX is not used by callers
+        if width == 0 {
+            return self.next_u64();
+        }
+        // Modulo bias is ≤ width/2^64 — irrelevant at generator widths.
+        lo + self.next_u64() % width
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform index into a collection of length `n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index into an empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_bounded() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range_u32(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The generator's exact stream is load-bearing: seeded benchmark
+        // suites and recorded fuzz repros depend on it never changing.
+        let mut r = SmallRng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(r.next_u64(), 0x06c45d188009454f);
+    }
+}

@@ -182,17 +182,45 @@ pub fn all_benchmarks() -> Vec<BenchmarkSuite> {
     specs().iter().map(build).collect()
 }
 
+/// Every suite name, in the paper's table order.
+pub fn benchmark_names() -> Vec<&'static str> {
+    specs().iter().map(|s| s.name).collect()
+}
+
+/// A benchmark lookup that matched no suite; lists what would have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every known suite name, in the paper's table order.
+    pub known: Vec<&'static str>,
+}
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark `{}`; known suites: {}",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
 /// One suite by (full or suffix) name, e.g. `"tomcatv"`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when no suite matches.
-pub fn benchmark(name: &str) -> BenchmarkSuite {
+/// Returns [`UnknownBenchmark`] — carrying every valid name — when no
+/// suite matches.
+pub fn benchmark(name: &str) -> Result<BenchmarkSuite, UnknownBenchmark> {
     specs()
         .iter()
         .find(|s| s.name == name || s.name.ends_with(name))
         .map(build)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))
+        .ok_or_else(|| UnknownBenchmark { name: name.to_string(), known: benchmark_names() })
 }
 
 #[cfg(test)]
@@ -233,20 +261,25 @@ mod tests {
 
     #[test]
     fn benchmark_lookup_by_suffix() {
-        assert_eq!(benchmark("tomcatv").name, "101.tomcatv");
-        assert_eq!(benchmark("171.swim").name, "171.swim");
+        assert_eq!(benchmark("tomcatv").unwrap().name, "101.tomcatv");
+        assert_eq!(benchmark("171.swim").unwrap().name, "171.swim");
     }
 
     #[test]
-    #[should_panic(expected = "unknown benchmark")]
-    fn benchmark_lookup_rejects_unknown() {
-        benchmark("nope");
+    fn benchmark_lookup_rejects_unknown_and_lists_names() {
+        let e = benchmark("nope").unwrap_err();
+        assert_eq!(e.name, "nope");
+        assert_eq!(e.known.len(), 9);
+        let msg = e.to_string();
+        assert!(msg.contains("unknown benchmark `nope`"), "{msg}");
+        assert!(msg.contains("101.tomcatv"), "{msg}");
+        assert!(msg.contains("301.apsi"), "{msg}");
     }
 
     #[test]
     fn suites_are_deterministic() {
-        let a = benchmark("wave5");
-        let b = benchmark("wave5");
+        let a = benchmark("wave5").unwrap();
+        let b = benchmark("wave5").unwrap();
         assert_eq!(a.loops, b.loops);
     }
 }

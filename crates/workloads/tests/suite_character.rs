@@ -6,7 +6,7 @@ use sv_workloads::{all_benchmarks, benchmark};
 
 #[test]
 fn turb3d_loops_have_low_trip_counts() {
-    let s = benchmark("turb3d");
+    let s = benchmark("turb3d").unwrap();
     // The paper's turb3d effect (selective ≈ 1) requires short pipelines
     // to dominate: every loop trips at most a few dozen iterations.
     for l in &s.loops {
@@ -18,7 +18,7 @@ fn turb3d_loops_have_low_trip_counts() {
 
 #[test]
 fn nasa7_is_reduction_and_recurrence_heavy() {
-    let s = benchmark("nasa7");
+    let s = benchmark("nasa7").unwrap();
     let sequential = s
         .loops
         .iter()
@@ -36,7 +36,7 @@ fn nasa7_is_reduction_and_recurrence_heavy() {
 
 #[test]
 fn tomcatv_mixes_parallel_and_sequential_work() {
-    let s = benchmark("tomcatv");
+    let s = benchmark("tomcatv").unwrap();
     let stats: Vec<_> = s.loops.iter().map(|l| l.stats()).collect();
     // The residual loop is big and mixed: data-parallel body plus in-loop
     // max reductions.
@@ -49,7 +49,7 @@ fn tomcatv_mixes_parallel_and_sequential_work() {
 
 #[test]
 fn swim_stencils_are_fully_parallel() {
-    let s = benchmark("swim");
+    let s = benchmark("swim").unwrap();
     for l in s.loops.iter().take(3) {
         let st = l.stats();
         assert_eq!(st.carried_uses, 0, "{}", l.name);

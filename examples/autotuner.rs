@@ -34,7 +34,7 @@ fn cycles(loops: &[Loop], m: &MachineConfig) -> u64 {
 }
 
 fn main() {
-    let suite = benchmark("swim");
+    let suite = benchmark("swim").unwrap();
     let loops: Vec<Loop> = suite.loops[..6].to_vec();
 
     let base = MachineConfig::paper_default();

@@ -21,7 +21,7 @@ fn speedup(l: &selvec::ir::Loop, m: &MachineConfig) -> (f64, f64) {
 }
 
 fn main() {
-    let suite = benchmark("swim");
+    let suite = benchmark("swim").unwrap();
     let looop = &suite.loops[0]; // calc1: a big balanced stencil
 
     println!("loop `{}` ({} ops)\n", looop.name, looop.ops.len());

@@ -13,7 +13,7 @@ use selvec::sim::assert_equivalent;
 use selvec::workloads::benchmark;
 
 fn main() {
-    let suite = benchmark("tomcatv");
+    let suite = benchmark("tomcatv").unwrap();
     let looop = &suite.loops[0]; // the 9-point residual stencil
     println!("{looop}");
 

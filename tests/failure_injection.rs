@@ -3,13 +3,15 @@
 //! indistinguishable from no validator.
 
 use selvec::analysis::DepGraph;
-use selvec::core::{compile, Strategy};
+use selvec::core::{
+    compile, compile_checked, CompileError, DriverConfig, Pass, SelectiveConfig, Strategy,
+};
 use selvec::ir::{LoopBuilder, OpKind, Operand, ScalarType};
 use selvec::machine::MachineConfig;
 use selvec::sim::{
     execute_loop, execute_pipelined, validate_schedule, Memory, ValidationError,
 };
-use selvec::vectorize::transform;
+use selvec::vectorize::{transform, try_transform, TransformError};
 
 fn sample() -> selvec::ir::Loop {
     let mut b = LoopBuilder::new("sample");
@@ -57,35 +59,38 @@ fn duplicating_an_assignment_breaks_validation() {
     assert!(validate_schedule(&seg.looop, &g, &m, &s).is_err());
 }
 
+/// A loop whose only legal form keeps the carried-use consumer scalar:
+/// vectorizing everything is a corrupted partition.
+fn misaligned_carried() -> selvec::ir::Loop {
+    let mut b = LoopBuilder::new("carried");
+    let x = b.array("x", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let u = b.bin(
+        OpKind::Add,
+        ScalarType::F64,
+        Operand::def(lx),
+        Operand::carried(lx, 1),
+    );
+    b.store(x, 1, 8, u);
+    b.finish()
+}
+
 #[test]
 fn illegal_partition_is_rejected_by_the_transformer() {
-    // A distance-1 memory recurrence: vectorizing it must panic (the
-    // transformer asserts legality invariants).
-    let mut b = LoopBuilder::new("rec");
-    let a = b.array("a", ScalarType::F64, 64);
-    let la = b.load(a, 1, 0);
-    let n = b.fneg(la);
-    b.store(a, 1, 1, n);
-    let l = b.finish();
+    // Vector consumer of a carried use at distance 1 (not a multiple of
+    // VL): the transformer must diagnose it as a typed error...
+    let l2 = misaligned_carried();
     let m = MachineConfig::paper_default();
-    let result = std::panic::catch_unwind(|| {
-        // Vector consumer of a carried use at distance 1 (not a multiple
-        // of VL) trips the transformer's assertion.
-        let mut b2 = LoopBuilder::new("carried");
-        let x = b2.array("x", ScalarType::F64, 64);
-        let lx = b2.load(x, 1, 0);
-        let u = b2.bin(
-            OpKind::Add,
-            ScalarType::F64,
-            Operand::def(lx),
-            Operand::carried(lx, 1),
-        );
-        b2.store(x, 1, 8, u);
-        let l2 = b2.finish();
-        transform(&l2, &m, &vec![true; l2.ops().len()])
-    });
+    let err = try_transform(&l2, &m, &vec![true; l2.ops().len()])
+        .expect_err("misaligned carried use must be rejected");
+    assert!(
+        matches!(err, TransformError::MisalignedCarriedUse { distance: 1, .. }),
+        "{err}"
+    );
+    // ...and the legacy panicking wrapper must preserve the diagnosis.
+    let result =
+        std::panic::catch_unwind(|| transform(&l2, &m, &vec![true; l2.ops().len()]));
     assert!(result.is_err(), "misaligned carried use must be rejected");
-    let _ = l;
 }
 
 #[test]
@@ -97,8 +102,77 @@ fn non_unit_stride_vector_mem_is_rejected() {
     b.store(y, 1, 0, lx);
     let l = b.finish();
     let m = MachineConfig::paper_default();
+    let err = try_transform(&l, &m, &vec![true; l.ops().len()])
+        .expect_err("strided vector memory must be rejected");
+    assert!(matches!(err, TransformError::NotUnitStride { stride: 2, .. }), "{err}");
     let result = std::panic::catch_unwind(|| transform(&l, &m, &vec![true; l.ops().len()]));
     assert!(result.is_err(), "strided vector memory must be rejected");
+}
+
+#[test]
+fn kl_budget_exhaustion_falls_back_selective_to_full() {
+    // A one-probe KL budget cannot cover sample()'s movable ops: the
+    // driver must abandon Selective, record why, and deliver Full.
+    let l = sample();
+    let m = MachineConfig::paper_default();
+    let cfg = DriverConfig {
+        strategy: Strategy::Selective,
+        selective: SelectiveConfig { max_moves: Some(1), ..SelectiveConfig::default() },
+        ..DriverConfig::default()
+    };
+    let (compiled, report) = compile_checked(&l, &m, &cfg).expect("degradation must succeed");
+    assert!(!report.clean());
+    assert_eq!(report.requested, Strategy::Selective);
+    assert_eq!(report.delivered, Strategy::Full);
+    assert_eq!(compiled.strategy, Strategy::Full);
+    let fb = &report.fallbacks[0];
+    assert_eq!(fb.from, Strategy::Selective);
+    assert_eq!(fb.to, Strategy::Full);
+    assert!(
+        matches!(
+            fb.reason,
+            CompileError::BudgetExhausted { pass: Pass::Partition, strategy: Strategy::Selective, .. }
+        ),
+        "{}",
+        fb.reason
+    );
+    assert_eq!(fb.reason.pass(), Pass::Partition);
+    assert_eq!(fb.reason.loop_name(), "sample");
+    assert!(fb.reason.to_string().contains("budget exhausted"), "{}", fb.reason);
+}
+
+#[test]
+fn degradation_disabled_returns_the_budget_error_directly() {
+    let l = sample();
+    let m = MachineConfig::paper_default();
+    let cfg = DriverConfig {
+        strategy: Strategy::Selective,
+        selective: SelectiveConfig { max_moves: Some(1), ..SelectiveConfig::default() },
+        degrade: false,
+        ..DriverConfig::default()
+    };
+    let err = compile_checked(&l, &m, &cfg).expect_err("no ladder, so the error surfaces");
+    assert_eq!(err.pass(), Pass::Partition);
+    // Provenance is part of the rendered message: strategy/pass prefix.
+    assert!(err.to_string().starts_with("[selective/partition]"), "{err}");
+}
+
+#[test]
+fn corrupted_loop_surfaces_typed_error_with_input_provenance() {
+    // Corrupt the IR the way a buggy upstream pass would (a forward
+    // intra-iteration reference) and push it through the hardened driver:
+    // a typed CompileError with provenance and a dump, not a panic.
+    let mut bad = sample();
+    bad.ops[1].operands[0] = Operand::def(selvec::ir::OpId(3));
+    let m = MachineConfig::paper_default();
+    let err = compile_checked(&bad, &m, &DriverConfig::default())
+        .expect_err("corrupted IR must be rejected");
+    assert_eq!(err.pass(), Pass::Input);
+    assert_eq!(err.loop_name(), "sample");
+    let CompileError::InvalidInput { dump, .. } = &err else {
+        panic!("expected InvalidInput, got {err}");
+    };
+    assert!(dump.contains("sample"), "dump names the loop:\n{dump}");
 }
 
 #[test]
