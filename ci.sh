@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# CI gate: build, full test suite, lints, and a differential-fuzz smoke
-# run. Everything is offline and deterministic; any failure fails the
-# script.
+# CI gate: build, full test suite, lints, a differential-fuzz smoke run
+# sharded across the machine's cores, and a serial-vs-parallel harness
+# determinism check. Everything is offline and deterministic; any failure
+# fails the script.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 1)"
 
 cargo build --release --workspace
 cargo test --workspace
 cargo clippy --workspace --all-targets -- -D warnings
-cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast
+cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast --jobs "$JOBS"
+
+# The harness determinism contract: sharding compilations over workers
+# must not change a single output byte.
+OUT="target/ci-determinism"
+mkdir -p "$OUT"
+cargo run --release -q -p sv-bench --bin table2 -- --jobs 1 > "$OUT/table2.serial.txt"
+cargo run --release -q -p sv-bench --bin table2 -- --jobs 4 > "$OUT/table2.jobs4.txt"
+diff -u "$OUT/table2.serial.txt" "$OUT/table2.jobs4.txt"
+echo "ci: table2 byte-identical at --jobs 1 vs --jobs 4"
 
 echo "ci: all gates passed"

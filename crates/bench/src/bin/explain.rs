@@ -5,13 +5,15 @@
 //! cargo run -p sv-bench --bin explain -- tomcatv
 //! ```
 
-use sv_bench::{evaluate_suite_or_exit, EVALUATED};
+use sv_bench::{evaluate_suite_or_exit, take_jobs_flag, EVALUATED};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::benchmark;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
+    let name = args.first().cloned().unwrap_or_else(|| "tomcatv".into());
     let m = MachineConfig::paper_default();
     let suite = match benchmark(&name) {
         Ok(s) => s,
@@ -20,7 +22,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let r = evaluate_suite_or_exit(&suite, &m, &SelectiveConfig::default());
+    let r = evaluate_suite_or_exit(&suite, &m, &SelectiveConfig::default(), jobs);
     println!(
         "{:<24} {:>6} {:>14} {:>14} {:>14} {:>14}",
         "loop", "RL", "modulo", "traditional", "full", "selective"

@@ -11,12 +11,17 @@
 //! ```text
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..500
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast
+//! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..500 --jobs 8
 //! ```
 //!
 //! Everything is pure function of the seed range: a reported seed
-//! reproduces exactly, on any machine.
+//! reproduces exactly, on any machine. `--jobs N` shards the seeds over N
+//! worker threads in 100-seed blocks, merging results back in seed order,
+//! so the output (failures, progress lines, summary) is byte-identical to
+//! the serial run for any worker count.
 
 use std::process::ExitCode;
+use sv_core::parallel::{default_jobs, parse_jobs, run_ordered};
 use sv_core::{compile_checked, DriverConfig, Strategy};
 use sv_ir::{parse_loop, Loop, OpId, Operand};
 use sv_machine::MachineConfig;
@@ -206,10 +211,11 @@ struct Opts {
     start: u64,
     end: u64,
     fail_fast: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Opts, String> {
-    let mut opts = Opts { start: 0, end: 200, fail_fast: false };
+    let mut opts = Opts { start: 0, end: 200, fail_fast: false, jobs: default_jobs() };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -222,6 +228,10 @@ fn parse_args() -> Result<Opts, String> {
                 opts.end = hi.parse().map_err(|e| format!("bad seed end `{hi}`: {e}"))?;
             }
             "--fail-fast" => opts.fail_fast = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a positive worker count")?;
+                opts.jobs = parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -255,46 +265,65 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("fuzz: {e}");
-            eprintln!("usage: fuzz [--seeds A..B] [--fail-fast]");
+            eprintln!("usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N]");
             return ExitCode::from(2);
         }
     };
 
     let profiles = profiles();
     let machines = machines();
+    let per_seed = (profiles.len() * machines.len() * Strategy::ALL.len()) as u64;
     let mut cases = 0u64;
     let mut failures = 0u64;
 
-    for seed in opts.start..opts.end {
-        for (pname, profile) in &profiles {
-            let l = fuzz_loop(&format!("fuzz.{pname}.{seed}"), profile, seed);
-            for (mname, m) in &machines {
-                for strategy in Strategy::ALL {
-                    cases += 1;
-                    if let Some(what) = run_case(&l, m, strategy) {
-                        failures += 1;
-                        let f = Failure {
-                            seed,
-                            profile: pname,
-                            machine: mname,
-                            strategy,
-                            what,
-                        };
-                        report_failure(&f, &l, m);
-                        if opts.fail_fast {
-                            println!("fuzz: stopping at first failure (--fail-fast)");
-                            return ExitCode::FAILURE;
+    // Shard seeds across workers in 100-seed blocks (the progress cadence)
+    // and merge each block back in seed order: every printed byte — the
+    // failure reports, their order, the progress lines — is identical to
+    // the serial run. Shrinking happens on the merge (main) thread.
+    let seeds: Vec<u64> = (opts.start..opts.end).collect();
+    for block in seeds.chunks(100) {
+        let block_failures: Vec<Vec<(Failure, Loop)>> =
+            run_ordered(block, opts.jobs, |_, &seed| {
+                let mut found = Vec::new();
+                for (pname, profile) in &profiles {
+                    let l = fuzz_loop(&format!("fuzz.{pname}.{seed}"), profile, seed);
+                    for (mname, m) in &machines {
+                        for strategy in Strategy::ALL {
+                            if let Some(what) = run_case(&l, m, strategy) {
+                                found.push((
+                                    Failure {
+                                        seed,
+                                        profile: pname,
+                                        machine: mname,
+                                        strategy,
+                                        what,
+                                    },
+                                    l.clone(),
+                                ));
+                            }
                         }
                     }
                 }
+                found
+            });
+        for (seed, fs) in block.iter().zip(block_failures) {
+            cases += per_seed;
+            for (f, l) in &fs {
+                failures += 1;
+                let m = &machines.iter().find(|(n, _)| *n == f.machine).expect("known").1;
+                report_failure(f, l, m);
+                if opts.fail_fast {
+                    println!("fuzz: stopping at first failure (--fail-fast)");
+                    return ExitCode::FAILURE;
+                }
             }
-        }
-        let done = seed - opts.start + 1;
-        if done % 100 == 0 {
-            println!(
-                "fuzz: {done}/{} seeds, {cases} cases, {failures} failures",
-                opts.end - opts.start
-            );
+            let done = seed - opts.start + 1;
+            if done % 100 == 0 {
+                println!(
+                    "fuzz: {done}/{} seeds, {cases} cases, {failures} failures",
+                    opts.end - opts.start
+                );
+            }
         }
     }
 

@@ -17,7 +17,7 @@
 //! substitute suites (`BENCH.LOOP`, e.g. `swim.calc1`).
 
 use std::process::ExitCode;
-use sv_core::{compile, CompiledLoop, Strategy};
+use sv_core::{compile, compile_checked, CompiledLoop, DriverConfig, Strategy};
 use sv_ir::{parse_loop, Loop};
 use sv_machine::{AlignmentPolicy, CommModel, MachineConfig};
 use sv_modsched::emit_flat;
@@ -30,14 +30,16 @@ struct Options {
     strategy: Option<Strategy>,
     emit: bool,
     run: bool,
+    stats: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: svc LOOP.svl [--machine paper|figure1] [--strategy NAME]\n\
-         \x20          [--vl N] [--aligned] [--free-comm] [--emit] [--run]\n\
+         \x20          [--vl N] [--aligned] [--free-comm] [--emit] [--run] [--stats]\n\
          \x20     svc --workload BENCH.LOOP [...same options]\n\
-         strategies: modulo-no-unroll, modulo, traditional, full, selective, widened"
+         strategies: modulo-no-unroll, modulo, traditional, full, selective, widened\n\
+         --stats prints per-pass timings/counters and one JSON line per compilation"
     );
     ExitCode::from(2)
 }
@@ -50,6 +52,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut strategy = None;
     let mut emit = false;
     let mut run = false;
+    let mut stats = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--machine" => {
@@ -93,6 +96,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--free-comm" => machine.comm = CommModel::Free,
             "--emit" => emit = true,
             "--run" => run = true,
+            "--stats" => stats = true,
             "--help" | "-h" => return Err(usage()),
             other if path.is_none() && !other.starts_with('-') => {
                 path = Some(other.to_string())
@@ -110,6 +114,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         strategy,
         emit,
         run,
+        stats,
     })
 }
 
@@ -208,11 +213,33 @@ fn main() -> ExitCode {
         None => Strategy::ALL.to_vec(),
     };
     for s in strategies {
-        match compile(&looop, &opts.machine, s) {
-            Ok(c) => report(&looop, &opts.machine, &c, opts.emit, opts.run),
-            Err(e) => {
-                eprintln!("svc: {e}");
-                return ExitCode::FAILURE;
+        if opts.stats {
+            // The hardened driver records PassStats; print them under the
+            // schedule summary plus the machine-readable JSON line.
+            let dcfg = DriverConfig::for_strategy(s);
+            match compile_checked(&looop, &opts.machine, &dcfg) {
+                Ok((c, rep)) => {
+                    report(&looop, &opts.machine, &c, opts.emit, opts.run);
+                    if !rep.clean() {
+                        println!("  degraded to {} ({} fallbacks)", rep.delivered, rep.fallbacks.len());
+                    }
+                    for line in rep.stats.to_string().lines() {
+                        println!("  {line}");
+                    }
+                    println!("{}", rep.stats_json_line(&looop.name, &opts.machine.name));
+                }
+                Err(e) => {
+                    eprintln!("svc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match compile(&looop, &opts.machine, s) {
+                Ok(c) => report(&looop, &opts.machine, &c, opts.emit, opts.run),
+                Err(e) => {
+                    eprintln!("svc: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

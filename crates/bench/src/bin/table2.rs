@@ -1,56 +1,18 @@
 //! Regenerates the paper's Table 2: whole-benchmark speedup of
 //! traditional, full and selective vectorization over the unrolled
 //! modulo-scheduling baseline, on the Table 1 machine.
+//!
+//! `--jobs N` shards the compilations over N workers; the output is
+//! byte-identical for every worker count.
 
-use sv_bench::{evaluate_suite_or_exit, print_machine};
-use sv_core::SelectiveConfig;
-use sv_machine::MachineConfig;
-use sv_workloads::all_benchmarks;
-
-/// The paper's measured speedups, printed alongside ours for comparison.
-const PAPER: [(&str, f64, f64, f64); 9] = [
-    ("093.nasa7", 0.18, 0.76, 1.04),
-    ("101.tomcatv", 0.71, 0.99, 1.38),
-    ("103.su2cor", 0.63, 0.94, 1.15),
-    ("104.hydro2d", 0.94, 1.00, 1.03),
-    ("125.turb3d", 0.38, 0.93, 0.95),
-    ("146.wave5", 0.76, 0.96, 1.03),
-    ("171.swim", 1.01, 1.00, 1.17),
-    ("172.mgrid", 0.53, 0.99, 1.26),
-    ("301.apsi", 0.51, 0.97, 1.02),
-];
+use sv_bench::{table2_text, take_jobs_flag};
 
 fn main() {
-    let m = MachineConfig::paper_default();
-    print_machine(&m);
-    println!();
-    println!("Table 2: speedup vs modulo scheduling (paper values in parentheses)");
-    println!(
-        "{:<14} {:>18} {:>18} {:>18}",
-        "benchmark", "traditional", "full", "selective"
-    );
-    let cfg = SelectiveConfig::default();
-    let mut sel_product = 1.0f64;
-    let mut sel_max: f64 = 0.0;
-    let suites = all_benchmarks();
-    for suite in &suites {
-        let r = evaluate_suite_or_exit(suite, &m, &cfg);
-        let (t, f, s) = (
-            r.speedup("traditional"),
-            r.speedup("full"),
-            r.speedup("selective"),
-        );
-        let paper = PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
-        println!(
-            "{:<14} {:>9.2} ({:>5.2}) {:>10.2} ({:>4.2}) {:>10.2} ({:>4.2})",
-            suite.name, t, paper.1, f, paper.2, s, paper.3
-        );
-        sel_product *= s;
-        sel_max = sel_max.max(s);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
+    if let Some(a) = args.first() {
+        eprintln!("table2: unknown argument `{a}` (only --jobs N is accepted)");
+        std::process::exit(2);
     }
-    let geo = sel_product.powf(1.0 / suites.len() as f64);
-    println!();
-    println!(
-        "selective: geometric-mean speedup {geo:.2} (paper arithmetic mean 1.11), max {sel_max:.2} (paper 1.38)"
-    );
+    print!("{}", table2_text(jobs));
 }

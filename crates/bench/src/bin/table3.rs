@@ -3,12 +3,14 @@
 //! tie or lose to the best competing technique (modulo scheduling,
 //! traditional, or full vectorization).
 
-use sv_bench::{evaluate_suite_or_exit, print_machine, Table3Metric};
+use sv_bench::{evaluate_suite_or_exit, print_machine, take_jobs_flag, Table3Metric};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::all_benchmarks;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
     let m = MachineConfig::paper_default();
     print_machine(&m);
     println!();
@@ -20,7 +22,7 @@ fn main() {
     let cfg = SelectiveConfig::default();
     let mut totals = [0usize; 6];
     for suite in all_benchmarks() {
-        let r = evaluate_suite_or_exit(&suite, &m, &cfg);
+        let r = evaluate_suite_or_exit(&suite, &m, &cfg, jobs);
         let res = r.table3_counts(Table3Metric::ResMii);
         let ii = r.table3_counts(Table3Metric::Ii);
         let n = r.resource_limited_loops();

@@ -3,7 +3,7 @@
 //! *ignored* (the transfers are still inserted before scheduling either
 //! way — only the cost analysis changes).
 
-use sv_bench::{evaluate_suite_or_exit, print_machine};
+use sv_bench::{evaluate_suite_or_exit, print_machine, take_jobs_flag};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::all_benchmarks;
@@ -21,6 +21,8 @@ const PAPER: [(&str, f64, f64); 9] = [
 ];
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
     let m = MachineConfig::paper_default();
     print_machine(&m);
     println!();
@@ -30,8 +32,8 @@ fn main() {
     let ignored = SelectiveConfig { account_communication: false, ..Default::default() };
     let mut degraded = 0;
     for suite in all_benchmarks() {
-        let rc = evaluate_suite_or_exit(&suite, &m, &considered).speedup("selective");
-        let ri = evaluate_suite_or_exit(&suite, &m, &ignored).speedup("selective");
+        let rc = evaluate_suite_or_exit(&suite, &m, &considered, jobs).speedup("selective");
+        let ri = evaluate_suite_or_exit(&suite, &m, &ignored, jobs).speedup("selective");
         let paper = PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
         println!(
             "{:<14} {:>11.2} ({:>4.2}) {:>13.2} ({:>4.2})",

@@ -3,7 +3,7 @@
 //! compile-time aligned (merge-free) — the best case for static alignment
 //! analysis.
 
-use sv_bench::{evaluate_suite_or_exit, print_machine};
+use sv_bench::{evaluate_suite_or_exit, print_machine, take_jobs_flag};
 use sv_core::SelectiveConfig;
 use sv_machine::{AlignmentPolicy, MachineConfig};
 use sv_workloads::all_benchmarks;
@@ -21,6 +21,8 @@ const PAPER: [(&str, f64, f64); 9] = [
 ];
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
     let misaligned = MachineConfig::paper_default();
     let mut aligned = MachineConfig::paper_default();
     aligned.alignment = AlignmentPolicy::AssumeAligned;
@@ -30,8 +32,8 @@ fn main() {
     println!("{:<14} {:>20} {:>20}", "benchmark", "misaligned", "aligned");
     let cfg = SelectiveConfig::default();
     for suite in all_benchmarks() {
-        let rm = evaluate_suite_or_exit(&suite, &misaligned, &cfg).speedup("selective");
-        let ra = evaluate_suite_or_exit(&suite, &aligned, &cfg).speedup("selective");
+        let rm = evaluate_suite_or_exit(&suite, &misaligned, &cfg, jobs).speedup("selective");
+        let ra = evaluate_suite_or_exit(&suite, &aligned, &cfg, jobs).speedup("selective");
         let paper = PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
         println!(
             "{:<14} {:>11.2} ({:>4.2}) {:>13.2} ({:>4.2})",

@@ -3,12 +3,14 @@
 //! release/reserve cost probes stay accurate. This table compares the
 //! partitioner with and without it, plus a 1-pass iteration cap.
 
-use sv_bench::{evaluate_suite_or_exit, print_machine};
+use sv_bench::{evaluate_suite_or_exit, print_machine, take_jobs_flag};
 use sv_core::SelectiveConfig;
 use sv_machine::MachineConfig;
 use sv_workloads::all_benchmarks;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
     let m = MachineConfig::paper_default();
     print_machine(&m);
     println!();
@@ -22,9 +24,9 @@ fn main() {
     let one_pass = SelectiveConfig { max_iterations: Some(1), ..Default::default() };
     let mut sums = [0.0f64; 3];
     for suite in all_benchmarks() {
-        let d = evaluate_suite_or_exit(&suite, &m, &default).speedup("selective");
-        let n = evaluate_suite_or_exit(&suite, &m, &no_squares).speedup("selective");
-        let o = evaluate_suite_or_exit(&suite, &m, &one_pass).speedup("selective");
+        let d = evaluate_suite_or_exit(&suite, &m, &default, jobs).speedup("selective");
+        let n = evaluate_suite_or_exit(&suite, &m, &no_squares, jobs).speedup("selective");
+        let o = evaluate_suite_or_exit(&suite, &m, &one_pass, jobs).speedup("selective");
         println!("{:<14} {:>10.3} {:>12.3} {:>10.3}", suite.name, d, n, o);
         sums[0] += d;
         sums[1] += n;

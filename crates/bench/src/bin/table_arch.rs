@@ -4,7 +4,7 @@
 //! plausible neighbours of Table 1 and reports the whole-suite selective
 //! speedup on each, plus where full vectorization lands.
 
-use sv_bench::evaluate_suite_or_exit;
+use sv_bench::{evaluate_suite_or_exit, take_jobs_flag};
 use sv_core::SelectiveConfig;
 use sv_machine::{AlignmentPolicy, CommModel, MachineConfig};
 use sv_workloads::all_benchmarks;
@@ -13,12 +13,12 @@ fn geo_mean(xs: &[f64]) -> f64 {
     xs.iter().product::<f64>().powf(1.0 / xs.len() as f64)
 }
 
-fn sweep(name: &str, m: &MachineConfig) {
+fn sweep(name: &str, m: &MachineConfig, jobs: usize) {
     let cfg = SelectiveConfig::default();
     let mut full = Vec::new();
     let mut sel = Vec::new();
     for suite in all_benchmarks() {
-        let r = evaluate_suite_or_exit(&suite, m, &cfg);
+        let r = evaluate_suite_or_exit(&suite, m, &cfg, jobs);
         full.push(r.speedup("full"));
         sel.push(r.speedup("selective"));
     }
@@ -30,38 +30,40 @@ fn sweep(name: &str, m: &MachineConfig) {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
     println!("Whole-suite geometric-mean speedup vs modulo scheduling");
     println!("{:<44} {:>8} {:>11}", "machine", "full", "selective");
 
     let base = MachineConfig::paper_default();
-    sweep("paper Table 1", &base);
+    sweep("paper Table 1", &base, jobs);
 
     let mut m = base.clone();
     m.vector_units = 2;
     m.merge_units = 2;
-    sweep("2 vector + 2 merge units", &m);
+    sweep("2 vector + 2 merge units", &m, jobs);
 
     let mut m = base.clone();
     m.mem_units = 4;
-    sweep("4 load/store units", &m);
+    sweep("4 load/store units", &m, jobs);
 
     let mut m = base.clone();
     m.issue_width = 8;
     m.int_units = 6;
     m.fp_units = 4;
-    sweep("8-issue, 4 FP units", &m);
+    sweep("8-issue, 4 FP units", &m, jobs);
 
     let mut m = base.clone();
     m.comm = CommModel::Free;
-    sweep("free scalar<->vector communication", &m);
+    sweep("free scalar<->vector communication", &m, jobs);
 
     let mut m = base.clone();
     m.alignment = AlignmentPolicy::AssumeAligned;
-    sweep("all vector memory aligned", &m);
+    sweep("all vector memory aligned", &m, jobs);
 
     let mut m = base.clone();
     m.vector_length = 4;
-    sweep("vector length 4 (256-bit)", &m);
+    sweep("vector length 4 (256-bit)", &m, jobs);
 
     println!(
         "\nselective vectorization stays ahead of full vectorization on every\n\

@@ -18,10 +18,14 @@
 //! cycles relative to the unrolled modulo-scheduling baseline).
 
 use std::collections::BTreeMap;
-use sv_core::{compile_with, CompiledLoop, SelectiveConfig, Strategy};
+use std::fmt::Write as _;
+use sv_core::parallel::{default_jobs, parse_jobs, run_ordered};
+use sv_core::{
+    compile_checked, CompilationReport, CompiledLoop, DriverConfig, SelectiveConfig, Strategy,
+};
 use sv_ir::Loop;
 use sv_machine::MachineConfig;
-use sv_workloads::BenchmarkSuite;
+use sv_workloads::{all_benchmarks, BenchmarkSuite};
 
 /// One technique's result on one loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +48,9 @@ pub struct LoopReport {
     pub resource_limited: bool,
     /// Outcome per strategy.
     pub outcomes: BTreeMap<&'static str, StrategyOutcome>,
+    /// The driver's [`CompilationReport`] per strategy — fallback
+    /// provenance and [`sv_core::PassStats`] (the `--stats` dumps).
+    pub reports: BTreeMap<&'static str, CompilationReport>,
 }
 
 /// The strategies evaluated by the tables, with stable keys.
@@ -91,7 +98,28 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Compile one loop under every evaluated technique.
+/// Compile one (loop, strategy) job through the hardened driver — the
+/// unit of work the parallel harness shards. Returns the priced outcome,
+/// the driver's report, and whether the produced baseline schedule was
+/// resource-limited (meaningful for [`Strategy::ModuloOnly`] only).
+fn compile_job(
+    l: &Loop,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+    s: Strategy,
+) -> Result<(StrategyOutcome, CompilationReport, bool), EvalError> {
+    let dcfg = DriverConfig { strategy: s, selective: cfg.clone(), ..DriverConfig::default() };
+    let (c, report) = compile_checked(l, m, &dcfg).map_err(|error| EvalError {
+        looop: l.name.clone(),
+        strategy: s,
+        error: Box::new(error),
+    })?;
+    let sched = &c.segments[0].schedule;
+    let resource_limited = sched.resmii >= sched.recmii;
+    Ok((outcome(&c, m), report, resource_limited))
+}
+
+/// Compile one loop under every evaluated technique (serially).
 ///
 /// # Errors
 ///
@@ -103,57 +131,64 @@ pub fn evaluate_loop(
     cfg: &SelectiveConfig,
 ) -> Result<LoopReport, EvalError> {
     let mut outcomes = BTreeMap::new();
+    let mut reports = BTreeMap::new();
     let mut resource_limited = true;
     for (s, key) in EVALUATED {
-        let c = compile_with(l, m, s, cfg).map_err(|error| EvalError {
-            looop: l.name.clone(),
-            strategy: s,
-            error: Box::new(error),
-        })?;
+        let (o, report, rl) = compile_job(l, m, cfg, s)?;
         if s == Strategy::ModuloOnly {
-            let sched = &c.segments[0].schedule;
-            resource_limited = sched.resmii >= sched.recmii;
+            resource_limited = rl;
         }
-        outcomes.insert(key, outcome(&c, m));
+        outcomes.insert(key, o);
+        reports.insert(key, report);
     }
-    Ok(LoopReport { name: l.name.clone(), resource_limited, outcomes })
+    Ok(LoopReport { name: l.name.clone(), resource_limited, outcomes, reports })
 }
 
-/// Evaluate a whole suite, fanning the loops out across threads (loop
-/// compilations are independent).
+/// Evaluate a whole suite on `jobs` worker threads.
+///
+/// The job list is the flattened (loop × strategy) cross product in the
+/// exact order the serial path visits it, fanned out through
+/// [`run_ordered`] and merged back in job order — so the report (and the
+/// first error, if any) is identical for every `jobs` value, including
+/// `jobs == 1` (which runs inline on the calling thread).
 ///
 /// # Errors
 ///
-/// Returns the first loop's [`EvalError`] if any loop fails to compile.
+/// Returns the first job's [`EvalError`] (in serial visit order) if any
+/// compilation fails.
 pub fn evaluate_suite(
     suite: &BenchmarkSuite,
     m: &MachineConfig,
     cfg: &SelectiveConfig,
+    jobs: usize,
 ) -> Result<SuiteReport, EvalError> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(suite.loops.len().max(1));
-    let chunk = suite.loops.len().div_ceil(threads.max(1)).max(1);
-    let mut chunks: Vec<Result<Vec<LoopReport>, EvalError>> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = suite
-            .loops
-            .chunks(chunk)
-            .map(|ls| {
-                scope.spawn(move || {
-                    ls.iter()
-                        .map(|l| evaluate_loop(l, m, cfg))
-                        .collect::<Result<Vec<_>, _>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            chunks.push(h.join().expect("evaluation worker panicked"));
-        }
+    let job_list: Vec<(usize, Strategy)> = suite
+        .loops
+        .iter()
+        .enumerate()
+        .flat_map(|(li, _)| EVALUATED.iter().map(move |&(s, _)| (li, s)))
+        .collect();
+    let results = run_ordered(&job_list, jobs, |_, &(li, s)| {
+        compile_job(&suite.loops[li], m, cfg, s)
     });
-    let loops = chunks.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(SuiteReport { name: suite.name, loops: loops.into_iter().flatten().collect() })
+
+    let mut results = results.into_iter();
+    let mut loops = Vec::with_capacity(suite.loops.len());
+    for l in &suite.loops {
+        let mut outcomes = BTreeMap::new();
+        let mut reports = BTreeMap::new();
+        let mut resource_limited = true;
+        for (s, key) in EVALUATED {
+            let (o, report, rl) = results.next().expect("one result per job")?;
+            if s == Strategy::ModuloOnly {
+                resource_limited = rl;
+            }
+            outcomes.insert(key, o);
+            reports.insert(key, report);
+        }
+        loops.push(LoopReport { name: l.name.clone(), resource_limited, outcomes, reports });
+    }
+    Ok(SuiteReport { name: suite.name, loops })
 }
 
 /// [`evaluate_suite`], printing the error and exiting on failure — the
@@ -162,12 +197,37 @@ pub fn evaluate_suite_or_exit(
     suite: &BenchmarkSuite,
     m: &MachineConfig,
     cfg: &SelectiveConfig,
+    jobs: usize,
 ) -> SuiteReport {
-    match evaluate_suite(suite, m, cfg) {
+    match evaluate_suite(suite, m, cfg, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sv-bench: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// Extract a `--jobs N` flag from a pre-collected argv (mutating it), or
+/// fall back to [`default_jobs`] (the `SV_JOBS` environment variable, then
+/// the machine's available parallelism). Exits with status 2 on a
+/// malformed value — the shared flag handling of every table binary.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> usize {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return default_jobs();
+    };
+    if i + 1 >= args.len() {
+        eprintln!("sv-bench: --jobs needs a positive worker count");
+        std::process::exit(2);
+    }
+    match parse_jobs(&args[i + 1]) {
+        Ok(n) => {
+            args.drain(i..=i + 1);
+            n
+        }
+        Err(e) => {
+            eprintln!("sv-bench: --jobs: {e}");
+            std::process::exit(2);
         }
     }
 }
@@ -244,10 +304,13 @@ impl Counts {
     }
 }
 
-/// Print the paper's Table 1 (the machine description used for a run).
-pub fn print_machine(m: &MachineConfig) {
-    println!("machine `{}`:", m.name);
-    println!(
+/// The paper's Table 1 (the machine description used for a run), one
+/// trailing-newline-terminated block.
+pub fn machine_text(m: &MachineConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine `{}`:", m.name);
+    let _ = writeln!(
+        out,
         "  issue {} | int {} | fp {} | mem {} | branch {} | vector {} | merge {} | VL {}",
         m.issue_width,
         m.int_units,
@@ -258,7 +321,8 @@ pub fn print_machine(m: &MachineConfig) {
         m.merge_units,
         m.vector_length
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  latencies: int {}/{}/{} fp {}/{}/{} load {} branch {}",
         m.lat.int_alu,
         m.lat.int_mul,
@@ -269,7 +333,69 @@ pub fn print_machine(m: &MachineConfig) {
         m.lat.load,
         m.lat.branch
     );
-    println!("  comm {:?} | alignment {:?}", m.comm, m.alignment);
+    let _ = writeln!(out, "  comm {:?} | alignment {:?}", m.comm, m.alignment);
+    out
+}
+
+/// Print the paper's Table 1 (the machine description used for a run).
+pub fn print_machine(m: &MachineConfig) {
+    print!("{}", machine_text(m));
+}
+
+/// The paper's measured Table 2 speedups, printed alongside ours.
+pub const TABLE2_PAPER: [(&str, f64, f64, f64); 9] = [
+    ("093.nasa7", 0.18, 0.76, 1.04),
+    ("101.tomcatv", 0.71, 0.99, 1.38),
+    ("103.su2cor", 0.63, 0.94, 1.15),
+    ("104.hydro2d", 0.94, 1.00, 1.03),
+    ("125.turb3d", 0.38, 0.93, 0.95),
+    ("146.wave5", 0.76, 0.96, 1.03),
+    ("171.swim", 1.01, 1.00, 1.17),
+    ("172.mgrid", 0.53, 0.99, 1.26),
+    ("301.apsi", 0.51, 0.97, 1.02),
+];
+
+/// Render the paper's Table 2 (whole-suite speedups vs modulo scheduling
+/// on the Table 1 machine) as the exact text the `table2` binary prints.
+///
+/// The output is a pure function of the workloads and the machine model —
+/// `jobs` only shards the compilations, so every worker count produces
+/// byte-identical text (the determinism contract of the harness, asserted
+/// by the `table2_determinism` integration test and `ci.sh`).
+pub fn table2_text(jobs: usize) -> String {
+    let m = MachineConfig::paper_default();
+    let cfg = SelectiveConfig::default();
+    let mut out = machine_text(&m);
+    out.push('\n');
+    out.push_str("Table 2: speedup vs modulo scheduling (paper values in parentheses)\n");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>18} {:>18} {:>18}",
+        "benchmark", "traditional", "full", "selective"
+    );
+    let mut sel_product = 1.0f64;
+    let mut sel_max: f64 = 0.0;
+    let suites = all_benchmarks();
+    for suite in &suites {
+        let r = evaluate_suite_or_exit(suite, &m, &cfg, jobs);
+        let (t, f, s) =
+            (r.speedup("traditional"), r.speedup("full"), r.speedup("selective"));
+        let paper = TABLE2_PAPER.iter().find(|p| p.0 == suite.name).expect("known suite");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>9.2} ({:>5.2}) {:>10.2} ({:>4.2}) {:>10.2} ({:>4.2})",
+            suite.name, t, paper.1, f, paper.2, s, paper.3
+        );
+        sel_product *= s;
+        sel_max = sel_max.max(s);
+    }
+    let geo = sel_product.powf(1.0 / suites.len() as f64);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "selective: geometric-mean speedup {geo:.2} (paper arithmetic mean 1.11), max {sel_max:.2} (paper 1.38)"
+    );
+    out
 }
 
 #[cfg(test)]
@@ -280,7 +406,8 @@ mod tests {
     #[test]
     fn tomcatv_selective_beats_baseline() {
         let m = MachineConfig::paper_default();
-        let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default()).unwrap();
+        let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default(), 1)
+            .unwrap();
         let sel = r.speedup("selective");
         let full = r.speedup("full");
         let trad = r.speedup("traditional");
@@ -292,8 +419,48 @@ mod tests {
     #[test]
     fn table3_counts_add_up() {
         let m = MachineConfig::paper_default();
-        let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default()).unwrap();
+        let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default(), 1)
+            .unwrap();
         let c = r.table3_counts(Table3Metric::ResMii);
         assert_eq!(c.total(), r.resource_limited_loops());
+    }
+
+    #[test]
+    fn parallel_suite_report_matches_serial() {
+        let m = MachineConfig::paper_default();
+        let suite = benchmark("swim").unwrap();
+        let cfg = SelectiveConfig::default();
+        let serial = evaluate_suite(&suite, &m, &cfg, 1).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = evaluate_suite(&suite, &m, &cfg, jobs).unwrap();
+            assert_eq!(par.loops.len(), serial.loops.len());
+            for (a, b) in serial.loops.iter().zip(&par.loops) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.resource_limited, b.resource_limited);
+                assert_eq!(a.outcomes, b.outcomes, "jobs={jobs} loop={}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_reports_carry_pass_stats() {
+        let m = MachineConfig::paper_default();
+        let suite = benchmark("swim").unwrap();
+        let r = evaluate_suite(&suite, &m, &SelectiveConfig::default(), 2).unwrap();
+        let l = &r.loops[0];
+        let sel = &l.reports["selective"];
+        assert!(sel.stats.schedules > 0);
+        assert!(sel.stats.kl_probes > 0, "selective report carries KL effort");
+        assert_eq!(l.reports["modulo"].stats.kl_probes, 0);
+    }
+
+    #[test]
+    fn take_jobs_flag_extracts_and_defaults() {
+        let mut args = vec!["--jobs".to_string(), "3".to_string(), "x".to_string()];
+        assert_eq!(take_jobs_flag(&mut args), 3);
+        assert_eq!(args, vec!["x".to_string()]);
+        let mut none = vec!["y".to_string()];
+        assert!(take_jobs_flag(&mut none) >= 1);
+        assert_eq!(none, vec!["y".to_string()]);
     }
 }

@@ -1,0 +1,17 @@
+//! The harness determinism contract: sharding compilations over worker
+//! threads must not change a single output byte.
+
+use sv_bench::table2_text;
+
+/// Table 2 rendered at `--jobs 1`, `4` and `8` is byte-for-byte
+/// identical — the merge step reassembles results in job order, so worker
+/// count (and scheduling nondeterminism between workers) is invisible.
+#[test]
+fn table2_is_byte_identical_across_job_counts() {
+    let serial = table2_text(1);
+    assert!(serial.contains("Table 2"), "sanity: rendered a table:\n{serial}");
+    for jobs in [4, 8] {
+        let par = table2_text(jobs);
+        assert_eq!(serial, par, "table2 output diverged at jobs={jobs}");
+    }
+}

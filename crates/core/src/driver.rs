@@ -268,6 +268,72 @@ impl fmt::Display for Fallback {
     }
 }
 
+/// Pass-level statistics collected while producing the delivered code:
+/// wall time per pass, the Kernighan–Lin partitioner's search effort, the
+/// modulo scheduler's II search trace, and the register-pressure
+/// high-water marks. Carried on every [`CompilationReport`] and dumped as
+/// one JSON line per compilation by
+/// [`CompilationReport::stats_json_line`] for perf-trajectory tracking.
+///
+/// Counters are exact and deterministic; the `*_ns` wall times are, of
+/// course, whatever the clock said.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Wall time in the Kernighan–Lin partitioner (nanoseconds).
+    pub partition_ns: u64,
+    /// Wall time in the vectorizing loop transformation (nanoseconds).
+    pub transform_ns: u64,
+    /// Wall time in modulo scheduling, schedule validation and rotating
+    /// register allocation (nanoseconds).
+    pub schedule_ns: u64,
+    /// Wall time of the whole delivered attempt (nanoseconds).
+    pub total_ns: u64,
+    /// Kernighan–Lin passes executed.
+    pub kl_passes: u32,
+    /// Candidate-move probes costed incrementally by the partitioner.
+    pub kl_probes: u64,
+    /// Moves the partitioner committed (op flipped and locked).
+    pub kl_moves: u64,
+    /// Complete bin-packings the partitioner performed.
+    pub bin_packs: u64,
+    /// Modulo schedules produced (main loops + cleanup loops).
+    pub schedules: u32,
+    /// Every II value the scheduler attempted, across all schedules, in
+    /// order — the length is the total II search effort.
+    pub iis_tried: Vec<u32>,
+    /// Element-wise maximum MaxLive over all produced schedules, per
+    /// register class in `RegClass::ALL` order.
+    pub max_live: [u32; 4],
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1.0e6;
+        writeln!(
+            f,
+            "partition {:>8.3} ms  (KL passes {}, probes {}, moves {}, bin-packs {})",
+            ms(self.partition_ns),
+            self.kl_passes,
+            self.kl_probes,
+            self.kl_moves,
+            self.bin_packs
+        )?;
+        writeln!(f, "transform {:>8.3} ms", ms(self.transform_ns))?;
+        writeln!(
+            f,
+            "schedule  {:>8.3} ms  ({} schedules, IIs tried {:?}, max-live {}/{}/{}/{})",
+            ms(self.schedule_ns),
+            self.schedules,
+            self.iis_tried,
+            self.max_live[0],
+            self.max_live[1],
+            self.max_live[2],
+            self.max_live[3]
+        )?;
+        write!(f, "total     {:>8.3} ms", ms(self.total_ns))
+    }
+}
+
 /// What the driver did to produce a [`CompiledLoop`].
 #[derive(Debug, Clone)]
 pub struct CompilationReport {
@@ -281,12 +347,78 @@ pub struct CompilationReport {
     /// Pass-boundary checks run (IR verifications + schedule validations)
     /// across all attempts.
     pub boundary_checks: u32,
+    /// Pass-level statistics of the delivered attempt.
+    pub stats: PassStats,
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl CompilationReport {
     /// True when the delivered code came from the requested strategy.
     pub fn clean(&self) -> bool {
         self.fallbacks.is_empty()
+    }
+
+    /// Render this compilation's statistics as one self-contained JSON
+    /// line (the `--stats` dump format): identification, fallback
+    /// provenance, and every [`PassStats`] counter.
+    pub fn stats_json_line(&self, looop: &str, machine: &str) -> String {
+        let s = &self.stats;
+        let fallbacks: Vec<String> = self
+            .fallbacks
+            .iter()
+            .map(|fb| {
+                format!(
+                    "{{\"from\":\"{}\",\"to\":\"{}\",\"pass\":\"{}\"}}",
+                    json_escape(&fb.from.to_string()),
+                    json_escape(&fb.to.to_string()),
+                    json_escape(&fb.reason.pass().to_string())
+                )
+            })
+            .collect();
+        let iis: Vec<String> = s.iis_tried.iter().map(|ii| ii.to_string()).collect();
+        format!(
+            "{{\"loop\":\"{}\",\"machine\":\"{}\",\"requested\":\"{}\",\"delivered\":\"{}\",\
+             \"fallbacks\":[{}],\"boundary_checks\":{},\"partition_ns\":{},\"transform_ns\":{},\
+             \"schedule_ns\":{},\"total_ns\":{},\"kl_passes\":{},\"kl_probes\":{},\
+             \"kl_moves\":{},\"bin_packs\":{},\"schedules\":{},\"iis_tried\":[{}],\
+             \"max_live\":[{},{},{},{}]}}",
+            json_escape(looop),
+            json_escape(machine),
+            self.requested,
+            self.delivered,
+            fallbacks.join(","),
+            self.boundary_checks,
+            s.partition_ns,
+            s.transform_ns,
+            s.schedule_ns,
+            s.total_ns,
+            s.kl_passes,
+            s.kl_probes,
+            s.kl_moves,
+            s.bin_packs,
+            s.schedules,
+            iis.join(","),
+            s.max_live[0],
+            s.max_live[1],
+            s.max_live[2],
+            s.max_live[3],
+        )
     }
 }
 
@@ -308,12 +440,14 @@ fn fallback_chain(s: Strategy) -> &'static [Strategy] {
     }
 }
 
-/// One strategy attempt with its boundary-check accounting.
+/// One strategy attempt with its boundary-check accounting and pass-level
+/// statistics.
 struct Attempt<'a> {
     m: &'a MachineConfig,
     cfg: &'a DriverConfig,
     strategy: Strategy,
     boundary_checks: u32,
+    stats: PassStats,
 }
 
 impl Attempt<'_> {
@@ -332,8 +466,23 @@ impl Attempt<'_> {
         })
     }
 
-    /// Schedule one loop under the budget, validating the result.
+    /// Schedule one loop under the budget, validating the result, with
+    /// the pass timed and the scheduler's search effort recorded.
     fn schedule_one(&mut self, looop: &Loop) -> Result<Schedule, CompileError> {
+        let t0 = std::time::Instant::now();
+        let r = self.schedule_one_inner(looop);
+        self.stats.schedule_ns += t0.elapsed().as_nanos() as u64;
+        if let Ok(s) = &r {
+            self.stats.schedules += 1;
+            self.stats.iis_tried.extend_from_slice(&s.iis_tried);
+            for (slot, &ml) in s.max_live.iter().enumerate() {
+                self.stats.max_live[slot] = self.stats.max_live[slot].max(ml);
+            }
+        }
+        r
+    }
+
+    fn schedule_one_inner(&mut self, looop: &Loop) -> Result<Schedule, CompileError> {
         let g = DepGraph::build(looop);
         let s = modulo_schedule_with(looop, &g, self.m, &self.cfg.schedule).map_err(
             |error| CompileError::Schedule {
@@ -360,8 +509,10 @@ impl Attempt<'_> {
     /// remainder iterations.
     fn make_segment(&mut self, main: Loop, scalar_form: &Loop) -> Result<Segment, CompileError> {
         let schedule = self.schedule_one(&main)?;
+        let t0 = std::time::Instant::now();
         let g = DepGraph::build(&main);
         let registers = allocate_rotating(&main, &g, self.m, &schedule).ok();
+        self.stats.schedule_ns += t0.elapsed().as_nanos() as u64;
         let cleanup = if needs_cleanup(&main) {
             let mut c = scalar_form.clone();
             c.name = format!("{}.cleanup", scalar_form.name);
@@ -390,21 +541,32 @@ impl Attempt<'_> {
                 vec![self.make_segment(l.clone(), l)?]
             }
             Strategy::ModuloOnly => {
-                let t = try_transform(l, m, &vec![false; l.ops.len()])
-                    .map_err(|e| self.transform_err(l, e))?;
+                let t0 = std::time::Instant::now();
+                let tr = try_transform(l, m, &vec![false; l.ops.len()]);
+                self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                let t = tr.map_err(|e| self.transform_err(l, e))?;
                 self.verify_boundary(&t.looop, Pass::Transform)?;
                 vec![self.make_segment(t.looop, l)?]
             }
             Strategy::Full => {
+                let t0 = std::time::Instant::now();
                 let g = DepGraph::build(l);
                 let part = full_vectorization_partition(l, &g, m.vector_length);
-                let t = try_transform(l, m, &part).map_err(|e| self.transform_err(l, e))?;
+                let tr = try_transform(l, m, &part);
+                self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                let t = tr.map_err(|e| self.transform_err(l, e))?;
                 self.verify_boundary(&t.looop, Pass::Transform)?;
                 vec![self.make_segment(t.looop, l)?]
             }
             Strategy::Selective => {
+                let t0 = std::time::Instant::now();
                 let g = DepGraph::build(l);
                 let r = partition_ops(l, &g, m, &self.cfg.selective);
+                self.stats.partition_ns += t0.elapsed().as_nanos() as u64;
+                self.stats.kl_passes = r.iterations;
+                self.stats.kl_probes = r.moves_evaluated;
+                self.stats.kl_moves = r.moves_committed;
+                self.stats.bin_packs = r.bin_packs;
                 if r.budget_exhausted {
                     return Err(CompileError::BudgetExhausted {
                         strategy: self.strategy,
@@ -416,15 +578,19 @@ impl Attempt<'_> {
                         ),
                     });
                 }
-                let t = try_transform(l, m, &r.partition)
-                    .map_err(|e| self.transform_err(l, e))?;
+                let t0 = std::time::Instant::now();
+                let tr = try_transform(l, m, &r.partition);
+                self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                let t = tr.map_err(|e| self.transform_err(l, e))?;
                 self.verify_boundary(&t.looop, Pass::Transform)?;
                 partition = Some(r);
                 vec![self.make_segment(t.looop, l)?]
             }
             Strategy::Widened => {
-                let w = try_widened_window_transform(l, m, m.vector_length + 1)
-                    .map_err(|e| self.transform_err(l, e))?;
+                let t0 = std::time::Instant::now();
+                let w = try_widened_window_transform(l, m, m.vector_length + 1);
+                self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                let w = w.map_err(|e| self.transform_err(l, e))?;
                 match w {
                     Some(w) => {
                         self.verify_boundary(&w, Pass::Transform)?;
@@ -432,16 +598,20 @@ impl Attempt<'_> {
                     }
                     // Ineligible loops run as the unrolled baseline.
                     None => {
-                        let t = try_transform(l, m, &vec![false; l.ops.len()])
-                            .map_err(|e| self.transform_err(l, e))?;
+                        let t0 = std::time::Instant::now();
+                        let tr = try_transform(l, m, &vec![false; l.ops.len()]);
+                        self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                        let t = tr.map_err(|e| self.transform_err(l, e))?;
                         self.verify_boundary(&t.looop, Pass::Transform)?;
                         vec![self.make_segment(t.looop, l)?]
                     }
                 }
             }
             Strategy::Traditional => {
-                let d = try_traditional_vectorize(l, m)
-                    .map_err(|e| self.transform_err(l, e))?;
+                let t0 = std::time::Instant::now();
+                let d = try_traditional_vectorize(l, m);
+                self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                let d = d.map_err(|e| self.transform_err(l, e))?;
                 let mut segs = Vec::with_capacity(d.loops.len());
                 for dl in d.loops {
                     let scalar_form = dl.scalar_form;
@@ -477,6 +647,10 @@ fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
 /// pass-boundary verification, deterministic budgets, graceful strategy
 /// degradation, and panic containment, per [`DriverConfig`].
 ///
+/// The returned [`CompilationReport`] carries the [`PassStats`] of the
+/// delivered attempt: per-pass wall time, partitioner search effort,
+/// scheduler II trace and register-pressure high-water marks.
+///
 /// # Errors
 ///
 /// Returns the *last* attempt's [`CompileError`] when every strategy on
@@ -501,6 +675,7 @@ pub fn compile_checked(
         delivered: cfg.strategy,
         fallbacks: Vec::new(),
         boundary_checks: 0,
+        stats: PassStats::default(),
     };
 
     let chain = fallback_chain(cfg.strategy);
@@ -509,7 +684,9 @@ pub fn compile_checked(
         if i > 0 && !cfg.degrade {
             break;
         }
-        let mut attempt = Attempt { m, cfg, strategy, boundary_checks: 0 };
+        let mut attempt =
+            Attempt { m, cfg, strategy, boundary_checks: 0, stats: PassStats::default() };
+        let attempt_start = std::time::Instant::now();
         let result = if cfg.catch_panics {
             match catch_unwind(AssertUnwindSafe(|| attempt.run(l))) {
                 Ok(r) => r,
@@ -527,6 +704,8 @@ pub fn compile_checked(
         match result {
             Ok(compiled) => {
                 report.delivered = strategy;
+                attempt.stats.total_ns = attempt_start.elapsed().as_nanos() as u64;
+                report.stats = attempt.stats;
                 return Ok((compiled, report));
             }
             Err(e) => {
@@ -544,4 +723,98 @@ pub fn compile_checked(
         }
     }
     Err(last_err.expect("chain is never empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_ir::{LoopBuilder, ScalarType};
+
+    fn figure1_dot() -> Loop {
+        let mut b = LoopBuilder::new("dot");
+        b.trip(100);
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let mu = b.fmul(lx, ly);
+        b.reduce_add(mu);
+        b.finish()
+    }
+
+    #[test]
+    fn pass_stats_populated_for_selective() {
+        let l = figure1_dot();
+        let m = MachineConfig::figure1();
+        let (c, report) = compile_checked(&l, &m, &DriverConfig::default()).unwrap();
+        let s = &report.stats;
+        // Partitioner counters: the KL descent probed and packed.
+        assert!(s.kl_passes > 0, "kl_passes = {}", s.kl_passes);
+        assert!(s.kl_probes > 0, "kl_probes = {}", s.kl_probes);
+        assert!(s.bin_packs > 0, "bin_packs = {}", s.bin_packs);
+        // Scheduler counters: every segment (main + cleanup) scheduled,
+        // and the achieved II appears in the II search trace.
+        let pieces: u32 = c
+            .segments
+            .iter()
+            .map(|seg| 1 + u32::from(seg.cleanup.is_some()))
+            .sum();
+        assert_eq!(s.schedules, pieces);
+        assert!(s.iis_tried.contains(&c.segments[0].schedule.ii));
+        assert!(s.max_live.iter().any(|&x| x > 0), "max_live = {:?}", s.max_live);
+        // Per-pass wall times were measured.
+        assert!(s.total_ns > 0);
+        assert!(s.total_ns >= s.partition_ns);
+        // The counters mirror the recorded partition exactly.
+        let p = c.partition.as_ref().expect("selective records a partition");
+        assert_eq!(s.kl_passes, p.iterations);
+        assert_eq!(s.kl_probes, p.moves_evaluated);
+        assert_eq!(s.kl_moves, p.moves_committed);
+        assert_eq!(s.bin_packs, p.bin_packs);
+    }
+
+    #[test]
+    fn stats_json_line_is_one_well_formed_line() {
+        let l = figure1_dot();
+        let m = MachineConfig::figure1();
+        let (_, report) = compile_checked(&l, &m, &DriverConfig::default()).unwrap();
+        let j = report.stats_json_line("fig1.dot", "figure1");
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(!j.contains('\n'), "stats line must be a single line: {j}");
+        for key in [
+            "\"loop\":\"fig1.dot\"",
+            "\"machine\":\"figure1\"",
+            "\"requested\":\"selective\"",
+            "\"delivered\":\"selective\"",
+            "\"fallbacks\":[]",
+            "\"kl_probes\":",
+            "\"bin_packs\":",
+            "\"iis_tried\":[",
+            "\"max_live\":[",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the workspace).
+        let braces =
+            j.chars().filter(|&c| c == '{').count() - j.chars().filter(|&c| c == '}').count();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        let j = json_escape("a\"b\\c\nd\u{1}");
+        assert_eq!(j, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn modulo_only_has_no_partition_stats() {
+        let l = figure1_dot();
+        let m = MachineConfig::figure1();
+        let cfg = DriverConfig::for_strategy(Strategy::ModuloOnly);
+        let (_, report) = compile_checked(&l, &m, &cfg).unwrap();
+        assert_eq!(report.stats.kl_probes, 0);
+        assert_eq!(report.stats.partition_ns, 0);
+        assert!(report.stats.schedules > 0);
+    }
 }

@@ -29,11 +29,13 @@
 //! ```
 
 mod driver;
+pub mod parallel;
 mod partition;
 mod pipeline;
 
 pub use driver::{
     compile_checked, CompilationReport, CompileError, DriverConfig, Fallback, Pass,
+    PassStats,
 };
 pub use partition::{
     partition_ops, partition_ops_with_legality, PartitionResult, SelectiveConfig,

@@ -1,0 +1,177 @@
+//! A deterministic sharded work pool for independent compilations.
+//!
+//! Every experiment harness in this workspace — the table binaries, the
+//! differential fuzzer, the integration tests — runs `compile_checked`
+//! over a long list of independent `(suite, loop, strategy, machine)`
+//! jobs. [`run_ordered`] fans such a job list out across `N` worker
+//! threads and merges the results back **in job order**, so the caller
+//! observes exactly the sequence the serial loop would have produced:
+//! the parallel path is byte-for-byte output-compatible with the serial
+//! one, and `--jobs 1` *is* the serial one (jobs run inline, no threads
+//! are spawned).
+//!
+//! Only `std::thread` and channels are used; the pool is a plain atomic
+//! work-index shared by the workers (dynamic self-scheduling), so a slow
+//! job never idles the other workers the way fixed chunking would.
+//!
+//! ```
+//! use sv_core::parallel::run_ordered;
+//!
+//! let squares = run_ordered(&[1u64, 2, 3, 4], 8, |_idx, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The worker-thread count to use when the caller does not say: the
+/// `SV_JOBS` environment variable when set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("SV_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Parse the operand of a `--jobs` flag.
+///
+/// # Errors
+///
+/// Returns a human-readable message when `v` is not a positive integer.
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("bad --jobs `{v}`: expected a positive integer")),
+    }
+}
+
+/// Run `f` over every item of `items` on up to `workers` threads and
+/// return the outputs in item order.
+///
+/// `f` receives `(index, &item)`. Results are merged by index, so the
+/// output vector is identical to `items.iter().enumerate().map(...)` no
+/// matter how the jobs interleave at runtime. With `workers <= 1` (or
+/// fewer than two items) everything runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// A panic inside `f` is re-raised on the calling thread (after the
+/// remaining workers drain), preserving `should_panic`-style test
+/// behavior across the pool boundary.
+pub fn run_ordered<I, O, F>(items: &[I], workers: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let threads = workers.min(items.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    // A send can only fail if the receiver is gone, which
+                    // means the main thread is already unwinding.
+                    if tx.send((i, f(i, item))).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                // Keep the first panic; let remaining workers finish
+                // (they already stopped producing — the channel is gone).
+                panic_payload.get_or_insert(p);
+            }
+        }
+    });
+    if let Some(p) = panic_payload {
+        resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [1, 2, 4, 8, 300] {
+            let out = run_ordered(&items, workers, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3 + 1
+            });
+            let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        // The core determinism contract: any worker count produces the
+        // byte-identical result of the inline path.
+        let items: Vec<u64> = (0..64).map(|i| i * 17 + 3).collect();
+        let serial = run_ordered(&items, 1, |i, &x| format!("{i}:{}", x % 7));
+        for workers in [2, 4, 8] {
+            let par = run_ordered(&items, workers, |i, &x| format!("{i}:{}", x % 7));
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_ordered(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(run_ordered(&[9u32], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            run_ordered(&items, 4, |_, &x| {
+                assert!(x != 11, "job 11 exploded");
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("1").unwrap(), 1);
+        assert_eq!(parse_jobs(" 16 ").unwrap(), 16);
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("-2").is_err());
+        assert!(parse_jobs("lots").is_err());
+    }
+}

@@ -76,6 +76,12 @@ pub struct PartitionResult {
     pub iterations: u32,
     /// Candidate moves costed (incremental probes).
     pub moves_evaluated: u64,
+    /// Moves actually committed (an op flipped and locked).
+    pub moves_committed: u64,
+    /// Complete bin-packings performed (initial packs, post-commit packs
+    /// and per-pass restarts — the probes are incremental and not
+    /// counted here).
+    pub bin_packs: u64,
     /// The [`SelectiveConfig::max_moves`] budget ran out before the
     /// descent converged; the partition is the best seen, not a local
     /// minimum.
@@ -128,19 +134,6 @@ impl<'a> CostModel<'a> {
             }
         }
         let pool = m.resource_pool();
-        let misaligned_of = |op: &sv_ir::Operation| -> bool {
-            let Some(r) = &op.mem else { return false };
-            match m.alignment {
-                AlignmentPolicy::AssumeAligned => false,
-                AlignmentPolicy::AssumeMisaligned => true,
-                AlignmentPolicy::UseStatic => {
-                    let a = &l.arrays[r.array.0 as usize];
-                    let vec_bytes = u64::from(m.vector_length) * a.ty.size_bytes();
-                    !(a.base_align.is_multiple_of(vec_bytes)
-                        && r.offset.rem_euclid(i64::from(m.vector_length)) == 0)
-                }
-            }
-        };
         let scalar_reqs: Vec<_> = l.ops.iter().map(|o| m.requirements(o.opcode)).collect();
         let vector_reqs: Vec<_> = l
             .ops
@@ -148,7 +141,7 @@ impl<'a> CostModel<'a> {
             .map(|o| {
                 let vopc = o.opcode.with_form(VectorForm::Vector);
                 let mut reqs = m.requirements(vopc);
-                if o.opcode.kind.is_mem() && misaligned_of(o) {
+                if o.opcode.kind.is_mem() && op_misaligned(l, m, o) {
                     reqs.extend(
                         m.requirements(sv_ir::Opcode::vector(OpKind::Merge, o.opcode.ty)),
                     );
@@ -233,6 +226,23 @@ impl<'a> CostModel<'a> {
 
 fn merge_into(into: &mut sv_modsched::Placement, from: sv_modsched::Placement) {
     into.extend(from);
+}
+
+/// Whether the vector form of a memory operation would need realignment
+/// merges under the machine's active alignment policy — the single
+/// definition shared by the cost model and the legality screen.
+fn op_misaligned(l: &Loop, m: &MachineConfig, op: &sv_ir::Operation) -> bool {
+    let Some(r) = &op.mem else { return false };
+    match m.alignment {
+        AlignmentPolicy::AssumeAligned => false,
+        AlignmentPolicy::AssumeMisaligned => true,
+        AlignmentPolicy::UseStatic => {
+            let a = &l.arrays[r.array.0 as usize];
+            let vec_bytes = u64::from(m.vector_length) * a.ty.size_bytes();
+            !(a.base_align.is_multiple_of(vec_bytes)
+                && r.offset.rem_euclid(i64::from(m.vector_length)) == 0)
+        }
+    }
 }
 
 /// Static register-pressure imbalance estimate for a configuration: the
@@ -339,13 +349,17 @@ pub fn partition_ops_with_legality(
     // An op is movable when it is legally vectorizable AND the machine can
     // actually execute its vector form (and the realignment merge it would
     // need): a machine without vector or merge units pins everything
-    // scalar instead of panicking in the bin packer.
+    // scalar instead of panicking in the bin packer. Merge capacity is
+    // only demanded when the op can actually be misaligned under the
+    // active alignment policy — a merge-less machine with
+    // `AssumeAligned` (or statically aligned refs) still vectorizes its
+    // memory operations.
     let pool = m.resource_pool();
     let machine_supports = |i: usize| -> bool {
         let op = &l.ops[i];
         let vopc = op.opcode.with_form(VectorForm::Vector);
         let mut reqs = m.requirements(vopc);
-        if op.opcode.kind.is_mem() {
+        if op.opcode.kind.is_mem() && op_misaligned(l, m, op) {
             reqs.extend(m.requirements(sv_ir::Opcode::vector(OpKind::Merge, op.opcode.ty)));
         }
         reqs.iter().all(|r| pool.capacity(r.class) > 0)
@@ -369,22 +383,24 @@ pub fn partition_ops_with_legality(
         let full_start = movable.clone();
         let alt = kl_descend(&model, cfg, &movable, full_start, remaining);
         let budget_exhausted = best.budget_exhausted || alt.budget_exhausted;
-        best = if (alt.cost, alt.partition.iter().filter(|&&v| v).count())
+        let iterations = best.iterations + alt.iterations;
+        let moves_evaluated = best.moves_evaluated + alt.moves_evaluated;
+        let moves_committed = best.moves_committed + alt.moves_committed;
+        let bin_packs = best.bin_packs + alt.bin_packs;
+        let winner = if (alt.cost, alt.partition.iter().filter(|&&v| v).count())
             < (best.cost, best.partition.iter().filter(|&&v| v).count())
         {
-            PartitionResult {
-                iterations: best.iterations + alt.iterations,
-                moves_evaluated: best.moves_evaluated + alt.moves_evaluated,
-                budget_exhausted,
-                ..alt
-            }
+            alt
         } else {
-            PartitionResult {
-                iterations: best.iterations + alt.iterations,
-                moves_evaluated: best.moves_evaluated + alt.moves_evaluated,
-                budget_exhausted,
-                ..best
-            }
+            best
+        };
+        best = PartitionResult {
+            iterations,
+            moves_evaluated,
+            moves_committed,
+            bin_packs,
+            budget_exhausted,
+            ..winner
         };
     }
     best
@@ -401,6 +417,8 @@ fn kl_descend(
 ) -> PartitionResult {
     let n = movable.len();
     let mut moves_evaluated = 0u64;
+    let mut moves_committed = 0u64;
+    let mut bin_packs = 1u64;
     let mut budget_exhausted = false;
     let mut part = start;
     let mut packed = bin_pack(model, &part);
@@ -456,6 +474,8 @@ fn kl_descend(
             // SWITCH-OP + fresh BIN-PACK (lines 12–14).
             part[op] = !part[op];
             locked[op] = true;
+            moves_committed += 1;
+            bin_packs += 1;
             packed = bin_pack(model, &part);
             let cost = packed.bins.high_water_mark();
             if cost < best_cost {
@@ -466,6 +486,7 @@ fn kl_descend(
 
         // Line 19: restart from the best configuration.
         part = best_part.clone();
+        bin_packs += 1;
         packed = bin_pack(model, &part);
     }
 
@@ -474,6 +495,8 @@ fn kl_descend(
         cost: best_cost,
         iterations,
         moves_evaluated,
+        moves_committed,
+        bin_packs,
         budget_exhausted,
     }
 }
@@ -620,6 +643,62 @@ mod tests {
             scalar_cost
         );
         assert!(r.partition.iter().any(|&v| v));
+    }
+
+    #[test]
+    fn mergeless_machine_vectorizes_aligned_memory() {
+        // Regression: machine_supports used to charge vector-Merge
+        // capability for *every* memory op, so a machine with vector
+        // units but no merge unit pinned all loads/stores scalar even
+        // under AssumeAligned, where the transformer never emits a
+        // merge. Mem-bound loop: 5 memory ops on 2 memory units.
+        let mut b = LoopBuilder::new("memsum");
+        let x = b.array("x", ScalarType::F64, 256);
+        let y = b.array("y", ScalarType::F64, 256);
+        let z = b.array("z", ScalarType::F64, 256);
+        let w = b.array("w", ScalarType::F64, 256);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let lz = b.load(z, 1, 0);
+        let lw = b.load(w, 1, 0);
+        let s1 = b.fadd(lx, ly);
+        let s2 = b.fadd(lz, lw);
+        let s3 = b.fadd(s1, s2);
+        b.store(x, 1, 0, s3);
+        let l = b.finish();
+
+        let mut m = MachineConfig::paper_default();
+        m.merge_units = 0;
+        m.alignment = AlignmentPolicy::AssumeAligned;
+        let r = run(&l, &m);
+        let vectorized_mem = l
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(i, op)| op.opcode.kind.is_mem() && r.partition[*i])
+            .count();
+        assert!(
+            vectorized_mem > 0,
+            "no memory op vectorized on the merge-less aligned machine: {:?} (cost {})",
+            r.partition,
+            r.cost
+        );
+
+        // The guard the old over-restriction was protecting still holds:
+        // when merges *are* required (assume-misaligned) and there is no
+        // merge unit, memory ops must stay scalar.
+        let mut mm = MachineConfig::paper_default();
+        mm.merge_units = 0;
+        mm.alignment = sv_machine::AlignmentPolicy::AssumeMisaligned;
+        let rm = run(&l, &mm);
+        for (i, op) in l.ops.iter().enumerate() {
+            if op.opcode.kind.is_mem() {
+                assert!(
+                    !rm.partition[i],
+                    "memory op {i} vectorized without a merge unit under AssumeMisaligned"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub struct Schedule {
     pub mve_factor: u32,
     /// Whether the pressure estimate fits the machine's register files.
     pub register_pressure_ok: bool,
+    /// Every II value the search attempted (in order, successful last) —
+    /// the search-effort counter surfaced by the driver's `PassStats`.
+    pub iis_tried: Vec<u32>,
 }
 
 impl Schedule {
@@ -134,8 +137,10 @@ pub fn modulo_schedule_with(
     let mii = compute_mii(l, g, m);
     let mut first_fit: Option<Schedule> = None;
     let mut pressure_retries = 0u32;
+    let mut iis_tried: Vec<u32> = Vec::new();
 
     for ii in mii..=mii.saturating_add(cfg.max_ii_slack) {
+        iis_tried.push(ii);
         let Some((times, assignments)) = try_ii(l, g, m, ii, cfg.budget_ratio) else {
             continue;
         };
@@ -161,6 +166,7 @@ pub fn modulo_schedule_with(
             max_live: pressure,
             mve_factor: mve,
             register_pressure_ok: ok,
+            iis_tried: iis_tried.clone(),
         };
         if ok {
             return Ok(sched);
@@ -173,10 +179,15 @@ pub fn modulo_schedule_with(
             break;
         }
     }
-    first_fit.ok_or(ScheduleError::BudgetExhausted {
-        mii,
-        tried_up_to: mii.saturating_add(cfg.max_ii_slack),
-    })
+    first_fit
+        .map(|mut s| {
+            s.iis_tried = iis_tried;
+            s
+        })
+        .ok_or(ScheduleError::BudgetExhausted {
+            mii,
+            tried_up_to: mii.saturating_add(cfg.max_ii_slack),
+        })
 }
 
 /// Cell occupancy in the modulo reservation table.

@@ -1,6 +1,6 @@
 //! Whole-plan functional execution and equivalence checking.
 
-use crate::interp::{execute_loop, LiveOutValue};
+use crate::interp::{apply_binary, execute_loop, LiveOutValue};
 use crate::memory::{Memory, Scalar};
 use std::collections::BTreeMap;
 use sv_core::CompiledLoop;
@@ -22,10 +22,16 @@ fn combine_liveouts(acc: &mut BTreeMap<String, Scalar>, outs: Vec<LiveOutValue>,
         match (acc.get(&o.name).copied(), o.combine) {
             (Some(prev), Some(kind)) => {
                 let merged = match kind {
-                    OpKind::Add => Scalar::F(prev.as_f64() + o.value.as_f64()),
-                    OpKind::Mul => Scalar::F(prev.as_f64() * o.value.as_f64()),
-                    OpKind::Min => Scalar::F(prev.as_f64().min(o.value.as_f64())),
-                    OpKind::Max => Scalar::F(prev.as_f64().max(o.value.as_f64())),
+                    OpKind::Add | OpKind::Mul | OpKind::Min | OpKind::Max => {
+                        // Merge in the value's own scalar type: an
+                        // integer-typed reduction split across segments
+                        // and cleanups must not be coerced to float.
+                        let ty = match (prev, o.value) {
+                            (Scalar::I(_), Scalar::I(_)) => ScalarType::I64,
+                            _ => ScalarType::F64,
+                        };
+                        apply_binary(kind, ty, prev, o.value)
+                    }
                     _ => o.value,
                 };
                 acc.insert(o.name, merged);
@@ -338,6 +344,55 @@ mod tests {
         for s in Strategy::ALL {
             let c = compile(&l, &m, s).unwrap();
             assert_equivalent(&l, &c);
+        }
+    }
+
+    #[test]
+    fn integer_reduction_keeps_integer_type_across_segments() {
+        // Regression: combine_liveouts used to rebuild every merged
+        // reduction as Scalar::F, silently coercing integer-typed
+        // reductions to float whenever a plan had several pieces (main
+        // segment + cleanup). The odd trip forces exactly that split.
+        let mut b = LoopBuilder::new("isum");
+        b.trip(101);
+        let x = b.array("x", ScalarType::I64, 128);
+        let lx = b.load(x, 1, 0);
+        b.reduce(OpKind::Add, ScalarType::I64, lx);
+        let l = b.finish();
+        let src = run_source(&l);
+        let (name, v) = src.live_outs.iter().next().expect("one live-out");
+        assert!(matches!(v, Scalar::I(_)), "source live-out {v:?}");
+        let m = MachineConfig::paper_default();
+        for s in Strategy::ALL {
+            let c = compile(&l, &m, s).unwrap();
+            let r = run_compiled(&c);
+            let rv = r.live_outs[name];
+            assert!(
+                matches!(rv, Scalar::I(_)),
+                "{s}: integer reduction coerced to {rv:?}"
+            );
+            assert_eq!(rv.as_i64(), v.as_i64(), "{s}: wrong sum");
+            assert_equivalent(&l, &c);
+        }
+    }
+
+    #[test]
+    fn integer_min_max_mul_reductions_keep_type() {
+        for kind in [OpKind::Min, OpKind::Max, OpKind::Mul] {
+            let mut b = LoopBuilder::new("ired");
+            b.trip(33); // odd: main + cleanup pieces must merge
+            let x = b.array("x", ScalarType::I64, 64);
+            let lx = b.load(x, 1, 0);
+            b.reduce(kind, ScalarType::I64, lx);
+            let l = b.finish();
+            let src = run_source(&l);
+            let (name, v) = src.live_outs.iter().next().expect("one live-out");
+            let m = MachineConfig::paper_default();
+            let c = compile(&l, &m, Strategy::Selective).unwrap();
+            let r = run_compiled(&c);
+            let rv = r.live_outs[name];
+            assert!(matches!(rv, Scalar::I(_)), "{kind:?}: got {rv:?}");
+            assert_eq!(rv.as_i64(), v.as_i64(), "{kind:?}");
         }
     }
 

@@ -3,6 +3,7 @@
 //! scalar source loop, and every produced schedule validates.
 
 use selvec::analysis::DepGraph;
+use selvec::core::parallel::{default_jobs, run_ordered};
 use selvec::core::{compile, Strategy};
 use selvec::machine::MachineConfig;
 use selvec::modsched::emit_flat;
@@ -23,59 +24,67 @@ fn clamped(l: &selvec::ir::Loop) -> selvec::ir::Loop {
     l
 }
 
+/// Every workload loop, clamped — the independent unit the sweep tests
+/// fan out over the work pool (an assertion failure in a worker
+/// propagates as the usual test panic).
+fn all_clamped_loops() -> Vec<selvec::ir::Loop> {
+    all_benchmarks()
+        .iter()
+        .flat_map(|s| s.loops.iter().map(clamped))
+        .collect()
+}
+
 #[test]
 fn all_workloads_equivalent_under_all_strategies() {
     let machines = [MachineConfig::paper_default(), MachineConfig::figure1()];
-    let mut checked = 0u32;
-    for suite in all_benchmarks() {
-        for src in &suite.loops {
-            let mut l = clamped(src);
-            // Register-carried state does not flow into cleanup loops in
-            // this simulator (see sv-sim docs); use a remainder-free trip
-            // for those loops.
-            if has_register_state_across_cleanup(&l) {
-                l.trip.count &= !3; // multiple of 4 covers VL 2 (and 4)
-                if l.trip.count == 0 {
-                    l.trip.count = 4;
-                }
-            }
-            for machine in &machines {
-                for strategy in Strategy::ALL {
-                    let compiled = compile(&l, machine, strategy)
-                        .unwrap_or_else(|e| panic!("{}: {e}", l.name));
-                    assert_equivalent(&l, &compiled);
-                    checked += 1;
-                }
+    let loops = all_clamped_loops();
+    let counts = run_ordered(&loops, default_jobs(), |_, src| {
+        let mut l = src.clone();
+        // Register-carried state does not flow into cleanup loops in
+        // this simulator (see sv-sim docs); use a remainder-free trip
+        // for those loops.
+        if has_register_state_across_cleanup(&l) {
+            l.trip.count &= !3; // multiple of 4 covers VL 2 (and 4)
+            if l.trip.count == 0 {
+                l.trip.count = 4;
             }
         }
-    }
+        let mut checked = 0u32;
+        for machine in &machines {
+            for strategy in Strategy::ALL {
+                let compiled = compile(&l, machine, strategy)
+                    .unwrap_or_else(|e| panic!("{}: {e}", l.name));
+                assert_equivalent(&l, &compiled);
+                checked += 1;
+            }
+        }
+        checked
+    });
     // 377 loops (Table 3 counts summed) × 2 machines × 6 strategies.
-    assert_eq!(checked, 377 * 2 * 6);
+    assert_eq!(counts.iter().sum::<u32>(), 377 * 2 * 6);
 }
 
 #[test]
 fn all_workload_schedules_validate() {
     let machine = MachineConfig::paper_default();
-    for suite in all_benchmarks() {
-        for src in &suite.loops {
-            let l = clamped(src);
-            for strategy in Strategy::ALL {
-                let compiled = compile(&l, &machine, strategy).unwrap();
-                for seg in &compiled.segments {
-                    let g = DepGraph::build(&seg.looop);
-                    validate_schedule(&seg.looop, &g, &machine, &seg.schedule)
-                        .unwrap_or_else(|e| {
-                            panic!("{} under {strategy}: {e}", seg.looop.name)
-                        });
-                    if let Some((cl, cs)) = &seg.cleanup {
-                        let g = DepGraph::build(cl);
-                        validate_schedule(cl, &g, &machine, cs)
-                            .unwrap_or_else(|e| panic!("{}: {e}", cl.name));
-                    }
+    let loops = all_clamped_loops();
+    run_ordered(&loops, default_jobs(), |_, l| {
+        for strategy in Strategy::ALL {
+            let compiled = compile(l, &machine, strategy).unwrap();
+            for seg in &compiled.segments {
+                let g = DepGraph::build(&seg.looop);
+                validate_schedule(&seg.looop, &g, &machine, &seg.schedule)
+                    .unwrap_or_else(|e| {
+                        panic!("{} under {strategy}: {e}", seg.looop.name)
+                    });
+                if let Some((cl, cs)) = &seg.cleanup {
+                    let g = DepGraph::build(cl);
+                    validate_schedule(cl, &g, &machine, cs)
+                        .unwrap_or_else(|e| panic!("{}: {e}", cl.name));
                 }
             }
         }
-    }
+    });
 }
 
 /// Execute every selective-compiled segment *as a pipeline* (each op
@@ -86,42 +95,41 @@ fn all_workload_schedules_validate() {
 #[test]
 fn pipelined_execution_matches_in_order_execution() {
     let machine = MachineConfig::paper_default();
-    for suite in all_benchmarks() {
-        for src in &suite.loops {
-            let mut l = clamped(src);
-            l.trip.count = l.trip.count.clamp(8, 64);
-            for strategy in [Strategy::ModuloOnly, Strategy::Selective] {
-                let compiled = compile(&l, &machine, strategy).unwrap();
-                for seg in &compiled.segments {
-                    let n = seg.looop.executed_iterations();
-                    let mut mem_a = Memory::for_arrays(&seg.looop.arrays);
-                    let mut mem_b = mem_a.clone();
-                    let outs_a = execute_loop(&seg.looop, &mut mem_a, 0..n);
-                    let outs_b =
-                        execute_pipelined(&seg.looop, &seg.schedule, &mut mem_b, n);
-                    for i in 0..seg.looop.arrays.len() as u32 {
-                        for (e, (va, vb)) in
-                            mem_a.array(i).iter().zip(mem_b.array(i)).enumerate()
-                        {
-                            assert!(
-                                va.approx_eq(*vb),
-                                "{} under {strategy}: array {i}[{e}]",
-                                seg.looop.name
-                            );
-                        }
-                    }
-                    for (a, b) in outs_a.iter().zip(&outs_b) {
+    let loops = all_clamped_loops();
+    run_ordered(&loops, default_jobs(), |_, src| {
+        let mut l = src.clone();
+        l.trip.count = l.trip.count.clamp(8, 64);
+        for strategy in [Strategy::ModuloOnly, Strategy::Selective] {
+            let compiled = compile(&l, &machine, strategy).unwrap();
+            for seg in &compiled.segments {
+                let n = seg.looop.executed_iterations();
+                let mut mem_a = Memory::for_arrays(&seg.looop.arrays);
+                let mut mem_b = mem_a.clone();
+                let outs_a = execute_loop(&seg.looop, &mut mem_a, 0..n);
+                let outs_b =
+                    execute_pipelined(&seg.looop, &seg.schedule, &mut mem_b, n);
+                for i in 0..seg.looop.arrays.len() as u32 {
+                    for (e, (va, vb)) in
+                        mem_a.array(i).iter().zip(mem_b.array(i)).enumerate()
+                    {
                         assert!(
-                            a.value.approx_eq(b.value),
-                            "{} under {strategy}: live-out {}",
-                            seg.looop.name,
-                            a.name
+                            va.approx_eq(*vb),
+                            "{} under {strategy}: array {i}[{e}]",
+                            seg.looop.name
                         );
                     }
                 }
+                for (a, b) in outs_a.iter().zip(&outs_b) {
+                    assert!(
+                        a.value.approx_eq(b.value),
+                        "{} under {strategy}: live-out {}",
+                        seg.looop.name,
+                        a.name
+                    );
+                }
             }
         }
-    }
+    });
 }
 
 /// The emitted flat prologue/kernel/epilogue layout, executed as written,
@@ -156,22 +164,23 @@ fn flat_layouts_execute_correctly() {
 #[test]
 fn schedules_meet_their_lower_bounds() {
     let machine = MachineConfig::paper_default();
-    let mut at_mii = 0usize;
-    let mut total = 0usize;
-    for suite in all_benchmarks() {
-        for src in &suite.loops {
-            let l = clamped(src);
-            let compiled = compile(&l, &machine, Strategy::Selective).unwrap();
-            for seg in &compiled.segments {
-                let s = &seg.schedule;
-                assert!(s.ii >= s.resmii.max(s.recmii));
-                total += 1;
-                if s.ii == s.resmii.max(s.recmii) {
-                    at_mii += 1;
-                }
+    let loops = all_clamped_loops();
+    let tallies = run_ordered(&loops, default_jobs(), |_, l| {
+        let mut at_mii = 0usize;
+        let mut total = 0usize;
+        let compiled = compile(l, &machine, Strategy::Selective).unwrap();
+        for seg in &compiled.segments {
+            let s = &seg.schedule;
+            assert!(s.ii >= s.resmii.max(s.recmii));
+            total += 1;
+            if s.ii == s.resmii.max(s.recmii) {
+                at_mii += 1;
             }
         }
-    }
+        (at_mii, total)
+    });
+    let at_mii: usize = tallies.iter().map(|t| t.0).sum();
+    let total: usize = tallies.iter().map(|t| t.1).sum();
     // Iterative modulo scheduling reaches MII nearly always (Rau reports
     // > 96%); require a strong majority here.
     assert!(

@@ -6,8 +6,12 @@ use selvec::workloads::all_benchmarks;
 use sv_bench_shape::*;
 
 /// A tiny local re-implementation of the harness aggregation so the root
-/// tests don't depend on the bench crate's internals.
+/// tests don't depend on the bench crate's internals. Loop compilations
+/// are independent, so they fan out over the deterministic work pool —
+/// the in-order merge makes the sums (and thus the asserted ratios)
+/// identical to a serial walk.
 mod sv_bench_shape {
+    use selvec::core::parallel::{default_jobs, run_ordered};
     use selvec::core::{compile_with, SelectiveConfig, Strategy};
     use selvec::machine::MachineConfig;
     use selvec::workloads::BenchmarkSuite;
@@ -18,14 +22,14 @@ mod sv_bench_shape {
         cfg: &SelectiveConfig,
         strategy: Strategy,
     ) -> f64 {
-        let mut base = 0u64;
-        let mut s = 0u64;
-        for l in &suite.loops {
-            base += compile_with(l, m, Strategy::ModuloOnly, cfg)
-                .unwrap()
-                .total_cycles(m);
-            s += compile_with(l, m, strategy, cfg).unwrap().total_cycles(m);
-        }
+        let cycles = run_ordered(&suite.loops, default_jobs(), |_, l| {
+            let base =
+                compile_with(l, m, Strategy::ModuloOnly, cfg).unwrap().total_cycles(m);
+            let s = compile_with(l, m, strategy, cfg).unwrap().total_cycles(m);
+            (base, s)
+        });
+        let base: u64 = cycles.iter().map(|c| c.0).sum();
+        let s: u64 = cycles.iter().map(|c| c.1).sum();
         base as f64 / s as f64
     }
 
