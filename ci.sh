@@ -13,6 +13,17 @@ cargo test --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast --jobs "$JOBS"
 
+# Engine self-check: every compiled case executed on both the fast
+# pre-decoded engine and the reference interpreters must agree bit for
+# bit.
+cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck --fail-fast --jobs "$JOBS"
+
+# Simulator performance gate: a fresh simbench run must stay within 25%
+# of the committed BENCH_sim.json baseline (per-engine suite medians).
+mkdir -p target/ci-bench
+cargo run --release -p sv-bench --bin simbench -- --out target/ci-bench/BENCH_sim.json --check BENCH_sim.json
+echo "ci: simbench within tolerance of committed baseline"
+
 # The harness determinism contract: sharding compilations over workers
 # must not change a single output byte.
 OUT="target/ci-determinism"

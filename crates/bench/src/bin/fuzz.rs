@@ -12,7 +12,13 @@
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..500
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..500 --jobs 8
+//! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck
 //! ```
+//!
+//! `--oracle-selfcheck` additionally executes every compiled case on both
+//! the pre-decoded fast engine and the retained reference interpreters
+//! (`sv_sim::reference`) and fails on any bit-level disagreement between
+//! them, shrinking the diverging loop like any other failure.
 //!
 //! Everything is pure function of the seed range: a reported seed
 //! reproduces exactly, on any machine. `--jobs N` shards the seeds over N
@@ -25,7 +31,7 @@ use sv_core::parallel::{default_jobs, parse_jobs, run_ordered};
 use sv_core::{compile_checked, DriverConfig, Strategy};
 use sv_ir::{parse_loop, Loop, OpId, Operand};
 use sv_machine::MachineConfig;
-use sv_sim::{check_equivalent, has_register_state_across_cleanup};
+use sv_sim::{check_equivalent, has_register_state_across_cleanup, oracle_selfcheck};
 use sv_workloads::{synth_loop, SynthProfile};
 
 /// One divergence or compile failure, before shrinking.
@@ -89,8 +95,11 @@ fn fuzz_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
 }
 
 /// Compile + differentially execute one (loop, machine, strategy) case.
-/// Returns a description of the failure, if any.
-fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy) -> Option<String> {
+/// With `selfcheck`, additionally runs the fast execution engine against
+/// the retained reference interpreters ([`oracle_selfcheck`]) and treats
+/// any bit-level disagreement between them as a failure. Returns a
+/// description of the failure, if any.
+fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy, selfcheck: bool) -> Option<String> {
     let cfg = DriverConfig::for_strategy(strategy);
     match compile_checked(l, m, &cfg) {
         Err(e) => Some(format!("compile error: {e}")),
@@ -99,7 +108,15 @@ fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy) -> Option<String> {
             if !report.clean() {
                 prefix = format!("(degraded to {}) ", report.delivered);
             }
-            check_equivalent(l, &compiled).err().map(|e| format!("{prefix}divergence: {e}"))
+            if let Err(e) = check_equivalent(l, &compiled) {
+                return Some(format!("{prefix}divergence: {e}"));
+            }
+            if selfcheck {
+                if let Err(e) = oracle_selfcheck(l, &compiled) {
+                    return Some(format!("{prefix}engine self-check divergence: {e}"));
+                }
+            }
+            None
         }
     }
 }
@@ -149,14 +166,14 @@ fn remove_op(l: &Loop, i: usize) -> Option<Loop> {
 /// trip count, keeping every step that still fails the same
 /// (machine, strategy) case. Each accepted step is round-tripped through
 /// the textual format so the printed repro is guaranteed to reproduce.
-fn shrink(l: &Loop, m: &MachineConfig, strategy: Strategy) -> Loop {
+fn shrink(l: &Loop, m: &MachineConfig, strategy: Strategy, selfcheck: bool) -> Loop {
     let keeps_failing = |cand: &Loop| -> bool {
         // Round-trip through text: the repro we print must parse back and
         // still fail.
         let Ok(reparsed) = parse_loop(&cand.to_string()) else {
             return false;
         };
-        run_case(&reparsed, m, strategy).is_some()
+        run_case(&reparsed, m, strategy, selfcheck).is_some()
     };
 
     let mut best = l.clone();
@@ -212,10 +229,17 @@ struct Opts {
     end: u64,
     fail_fast: bool,
     jobs: usize,
+    selfcheck: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
-    let mut opts = Opts { start: 0, end: 200, fail_fast: false, jobs: default_jobs() };
+    let mut opts = Opts {
+        start: 0,
+        end: 200,
+        fail_fast: false,
+        jobs: default_jobs(),
+        selfcheck: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -228,6 +252,7 @@ fn parse_args() -> Result<Opts, String> {
                 opts.end = hi.parse().map_err(|e| format!("bad seed end `{hi}`: {e}"))?;
             }
             "--fail-fast" => opts.fail_fast = true,
+            "--oracle-selfcheck" => opts.selfcheck = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a positive worker count")?;
                 opts.jobs = parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?;
@@ -241,10 +266,10 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn report_failure(f: &Failure, l: &Loop, m: &MachineConfig) {
+fn report_failure(f: &Failure, l: &Loop, m: &MachineConfig, selfcheck: bool) {
     println!("=== FAILURE seed={} profile={} machine={} strategy={} ===", f.seed, f.profile, f.machine, f.strategy);
     println!("{}", f.what);
-    let small = shrink(l, m, f.strategy);
+    let small = shrink(l, m, f.strategy, selfcheck);
     let text = small.to_string();
     println!(
         "minimal repro ({} ops, trip {}; shrunk from {} ops, trip {}):",
@@ -265,7 +290,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("fuzz: {e}");
-            eprintln!("usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N]");
+            eprintln!("usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N] [--oracle-selfcheck]");
             return ExitCode::from(2);
         }
     };
@@ -289,7 +314,7 @@ fn main() -> ExitCode {
                     let l = fuzz_loop(&format!("fuzz.{pname}.{seed}"), profile, seed);
                     for (mname, m) in &machines {
                         for strategy in Strategy::ALL {
-                            if let Some(what) = run_case(&l, m, strategy) {
+                            if let Some(what) = run_case(&l, m, strategy, opts.selfcheck) {
                                 found.push((
                                     Failure {
                                         seed,
@@ -311,7 +336,7 @@ fn main() -> ExitCode {
             for (f, l) in &fs {
                 failures += 1;
                 let m = &machines.iter().find(|(n, _)| *n == f.machine).expect("known").1;
-                report_failure(f, l, m);
+                report_failure(f, l, m, opts.selfcheck);
                 if opts.fail_fast {
                     println!("fuzz: stopping at first failure (--fail-fast)");
                     return ExitCode::FAILURE;
@@ -381,8 +406,19 @@ mod tests {
         // the identity — the shrinker must not "improve" a non-failure.
         let l = fuzz_loop("t", &SynthProfile::broad(), 3);
         let m = MachineConfig::paper_default();
-        assert!(run_case(&l, &m, Strategy::Selective).is_none());
-        let s = shrink(&l, &m, Strategy::Selective);
+        assert!(run_case(&l, &m, Strategy::Selective, false).is_none());
+        let s = shrink(&l, &m, Strategy::Selective, false);
         assert_eq!(s.to_string(), l.to_string());
+    }
+
+    #[test]
+    fn oracle_selfcheck_passes_on_seeded_cases() {
+        // The engines must agree bit-for-bit on a healthy case under every
+        // strategy — the same predicate `--oracle-selfcheck` sweeps.
+        let l = fuzz_loop("t", &SynthProfile::broad(), 11);
+        let m = MachineConfig::paper_default();
+        for strategy in Strategy::ALL {
+            assert!(run_case(&l, &m, strategy, true).is_none(), "{strategy}");
+        }
     }
 }

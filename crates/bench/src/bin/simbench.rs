@@ -1,0 +1,432 @@
+//! Micro-benchmark for the `sv-sim` oracle execution engines.
+//!
+//! Times one full differential-oracle pass (`run_source` +
+//! `run_compiled`) per case on both the pre-decoded fast engine and the
+//! retained reference interpreters, over the hand-written kernels of the
+//! benchmark suites plus a set of seeded synthetic loops. Criterion-free
+//! and offline: `std::time::Instant`, fixed seeds, median-of-K samples
+//! with deterministic rep-doubling calibration.
+//!
+//! ```text
+//! cargo run --release -p sv-bench --bin simbench                 # writes BENCH_sim.json
+//! cargo run --release -p sv-bench --bin simbench -- --out b.json
+//! cargo run --release -p sv-bench --bin simbench -- --check BENCH_sim.json
+//! ```
+//!
+//! The output is the repo's benchmark trajectory file `BENCH_sim.json`:
+//! one row per (case, engine) with `ns_per_iter` = wall time per executed
+//! loop iteration, plus a summary with per-engine medians and the
+//! fast-over-reference speedup (overall and kernel-suite-only). `--check
+//! BASELINE` re-runs the measurement and fails when an engine's median
+//! `ns_per_iter` regressed by more than `--tolerance` (default 0.25)
+//! against the baseline file — the CI regression gate.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+use sv_core::{compile_checked, CompiledLoop, DriverConfig, Strategy};
+use sv_ir::Loop;
+use sv_machine::MachineConfig;
+use sv_sim::{has_register_state_across_cleanup, reference, run_compiled, run_source};
+use sv_workloads::{all_benchmarks, synth_loop, SynthProfile};
+
+/// Seeds for the synthetic-loop portion of the case list.
+const SYNTH_SEEDS: std::ops::Range<u64> = 0..8;
+
+/// One measured row of `BENCH_sim.json`.
+struct Row {
+    case: String,
+    /// Loop iterations executed per oracle pass (source + compiled).
+    iters: u64,
+    ns_per_iter: f64,
+    engine: &'static str,
+}
+
+/// A compiled benchmark case, ready to execute repeatedly.
+struct Case {
+    name: String,
+    looop: Loop,
+    compiled: CompiledLoop,
+}
+
+/// The benchmark case list: every hand-written suite kernel (loop names
+/// without the `.synth` filler marker) plus [`SYNTH_SEEDS`] seeded broad
+/// synthetic loops, each compiled once (Selective, paper machine) outside
+/// the timed region. Cases that fail to compile are reported and skipped.
+fn cases() -> Vec<Case> {
+    let m = MachineConfig::paper_default();
+    let cfg = DriverConfig::for_strategy(Strategy::Selective);
+    let mut out = Vec::new();
+    let mut skipped = 0usize;
+    let mut push = |name: String, l: Loop| match compile_checked(&l, &m, &cfg) {
+        Ok((compiled, _)) => out.push(Case { name, looop: l, compiled }),
+        Err(e) => {
+            eprintln!("simbench: skipping {name}: {e}");
+            skipped += 1;
+        }
+    };
+    for suite in all_benchmarks() {
+        for l in suite.loops {
+            if !l.name.contains(".synth") {
+                push(l.name.clone(), l);
+            }
+        }
+    }
+    let profile = SynthProfile::broad();
+    for seed in SYNTH_SEEDS {
+        let mut l = synth_loop(&format!("synth.{seed}"), &profile, seed);
+        l.invocations = 1;
+        if has_register_state_across_cleanup(&l) {
+            l.trip.count = (l.trip.count & !3).max(4);
+        }
+        push(l.name.clone(), l);
+    }
+    if skipped > 0 {
+        eprintln!("simbench: {skipped} case(s) skipped (not silently dropped from coverage)");
+    }
+    out
+}
+
+/// Median of a sample set (f64, by value).
+fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample set");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Time `f` as the median of `runs` samples, each sample looping `f`
+/// enough times (rep-doubling calibration) to take ≥ 2 ms. Returns
+/// nanoseconds per single call of `f`.
+fn time_median_ns(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut reps = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        if t.elapsed().as_nanos() >= 2_000_000 || reps >= 1 << 20 {
+            break;
+        }
+        reps *= 2;
+    }
+    let samples = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    median(samples)
+}
+
+/// Measure one case on both engines, appending two rows.
+fn measure(case: &Case, runs: usize, rows: &mut Vec<Row>) {
+    // One oracle pass executes the source loop and the compiled plan, each
+    // covering the full trip count once.
+    let iters = 2 * case.looop.trip.count.max(1);
+    let fast_ns = time_median_ns(runs, || {
+        black_box(run_source(black_box(&case.looop)));
+        black_box(run_compiled(black_box(&case.compiled)));
+    });
+    let ref_ns = time_median_ns(runs, || {
+        black_box(reference::run_source(black_box(&case.looop)));
+        black_box(reference::run_compiled(black_box(&case.compiled)));
+    });
+    rows.push(Row {
+        case: case.name.clone(),
+        iters,
+        ns_per_iter: fast_ns / iters as f64,
+        engine: "fast",
+    });
+    rows.push(Row {
+        case: case.name.clone(),
+        iters,
+        ns_per_iter: ref_ns / iters as f64,
+        engine: "reference",
+    });
+}
+
+/// Median `ns_per_iter` of rows matching `engine`, restricted to kernel
+/// cases when `kernel_only` (case names not starting with `synth.`).
+fn engine_median(rows: &[Row], engine: &str, kernel_only: bool) -> f64 {
+    let xs: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.engine == engine && (!kernel_only || !r.case.starts_with("synth.")))
+        .map(|r| r.ns_per_iter)
+        .collect();
+    median(xs)
+}
+
+/// Render `BENCH_sim.json`: one row per line for greppability, then a
+/// summary object. No serde — the schema is fixed and tiny.
+fn render(rows: &[Row]) -> String {
+    let mut s = String::from("{\"schema\":\"sv-simbench/v1\",\"rows\":[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "{{\"case\":\"{}\",\"iters\":{},\"ns_per_iter\":{:.3},\"engine\":\"{}\"}}{sep}\n",
+            r.case, r.iters, r.ns_per_iter, r.engine
+        ));
+    }
+    let fast = engine_median(rows, "fast", false);
+    let reference = engine_median(rows, "reference", false);
+    let kfast = engine_median(rows, "fast", true);
+    let kref = engine_median(rows, "reference", true);
+    s.push_str(&format!(
+        "],\"summary\":{{\"cases\":{},\"fast_median_ns_per_iter\":{fast:.3},\
+         \"reference_median_ns_per_iter\":{reference:.3},\"speedup\":{:.2},\
+         \"kernel_fast_median_ns_per_iter\":{kfast:.3},\
+         \"kernel_reference_median_ns_per_iter\":{kref:.3},\"kernel_speedup\":{:.2}}}}}\n",
+        rows.len(),
+        reference / fast,
+        kref / kfast
+    ));
+    s
+}
+
+/// Minimal row extractor for `--check`: pulls `(case, engine,
+/// ns_per_iter)` out of a `sv-simbench/v1` file without a JSON library.
+/// Only accepts files this binary wrote (one row object per line).
+fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    if !text.contains("\"schema\":\"sv-simbench/v1\"") {
+        return Err("not a sv-simbench/v1 file".into());
+    }
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\":");
+        let at = line.find(&pat)? + pat.len();
+        let rest = &line[at..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find(['"', ',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    };
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.starts_with("{\"case\":") {
+            continue;
+        }
+        let case = field(line, "case").ok_or("row missing case")?;
+        let engine = match field(line, "engine").ok_or("row missing engine")?.as_str() {
+            "fast" => "fast",
+            "reference" => "reference",
+            other => return Err(format!("unknown engine `{other}`")),
+        };
+        let iters: u64 = field(line, "iters")
+            .ok_or("row missing iters")?
+            .parse()
+            .map_err(|e| format!("bad iters: {e}"))?;
+        let ns_per_iter: f64 = field(line, "ns_per_iter")
+            .ok_or("row missing ns_per_iter")?
+            .parse()
+            .map_err(|e| format!("bad ns_per_iter: {e}"))?;
+        rows.push(Row { case, iters, ns_per_iter, engine });
+    }
+    if rows.is_empty() {
+        return Err("no rows found".into());
+    }
+    Ok(rows)
+}
+
+/// Compare a fresh measurement against a baseline file. The gate is the
+/// per-engine *median* `ns_per_iter` (robust to single-case noise);
+/// per-case regressions beyond tolerance are printed as warnings only.
+fn check(fresh: &[Row], baseline: &[Row], tolerance: f64) -> Result<(), String> {
+    for (b, f) in baseline.iter().zip(fresh) {
+        if b.case == f.case && b.engine == f.engine && f.ns_per_iter > b.ns_per_iter * (1.0 + tolerance)
+        {
+            eprintln!(
+                "simbench: warning: {} [{}] {:.1} → {:.1} ns/iter (> {:.0}% regression)",
+                f.case,
+                f.engine,
+                b.ns_per_iter,
+                f.ns_per_iter,
+                tolerance * 100.0
+            );
+        }
+    }
+    for engine in ["fast", "reference"] {
+        let b = engine_median(baseline, engine, false);
+        let f = engine_median(fresh, engine, false);
+        println!(
+            "simbench: {engine} engine median {b:.1} ns/iter baseline, {f:.1} fresh ({:+.1}%)",
+            (f / b - 1.0) * 100.0
+        );
+        if f > b * (1.0 + tolerance) {
+            return Err(format!(
+                "{engine} engine median regressed {:.1}% (tolerance {:.0}%)",
+                (f / b - 1.0) * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+struct Opts {
+    out: String,
+    check_baseline: Option<String>,
+    runs: usize,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        out: "BENCH_sim.json".into(),
+        check_baseline: None,
+        runs: 5,
+        tolerance: 0.25,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => opts.out = args.next().ok_or("--out needs a path")?,
+            "--check" => {
+                opts.check_baseline = Some(args.next().ok_or("--check needs a baseline path")?);
+            }
+            "--runs" => {
+                let v = args.next().ok_or("--runs needs a count")?;
+                opts.runs = v.parse().map_err(|e| format!("bad --runs `{v}`: {e}"))?;
+                if opts.runs == 0 {
+                    return Err("--runs must be positive".into());
+                }
+            }
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a fraction like 0.25")?;
+                opts.tolerance = v.parse().map_err(|e| format!("bad --tolerance `{v}`: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("simbench: {e}");
+            eprintln!(
+                "usage: simbench [--out PATH] [--check BASELINE] [--runs K] [--tolerance F]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    // Read and parse the baseline *before* the (minutes-long) measurement
+    // so a bad path or file fails immediately.
+    let baseline = match &opts.check_baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("simbench: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(text) => match parse_rows(&text) {
+                Err(e) => {
+                    eprintln!("simbench: bad baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(rows) => Some(rows),
+            },
+        },
+    };
+
+    let cases = cases();
+    let mut rows = Vec::with_capacity(cases.len() * 2);
+    for case in &cases {
+        measure(case, opts.runs, &mut rows);
+    }
+    let text = render(&rows);
+
+    if let Some(baseline) = baseline {
+        if let Err(e) = std::fs::write(&opts.out, &text) {
+            eprintln!("simbench: cannot write {}: {e}", opts.out);
+            return ExitCode::FAILURE;
+        }
+        match check(&rows, &baseline, opts.tolerance) {
+            Ok(()) => {
+                println!("simbench: no regression beyond {:.0}% tolerance", opts.tolerance * 100.0);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("simbench: REGRESSION: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if let Err(e) = std::fs::write(&opts.out, &text) {
+            eprintln!("simbench: cannot write {}: {e}", opts.out);
+            return ExitCode::FAILURE;
+        }
+        let fast = engine_median(&rows, "fast", false);
+        let reference = engine_median(&rows, "reference", false);
+        let kfast = engine_median(&rows, "fast", true);
+        let kref = engine_median(&rows, "reference", true);
+        println!(
+            "simbench: {} cases → {}; fast {fast:.1} vs reference {reference:.1} ns/iter \
+             ({:.2}x overall, {:.2}x kernel suite)",
+            cases.len(),
+            opts.out,
+            reference / fast,
+            kref / kfast
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_and_even() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse_rows() {
+        let rows = vec![
+            Row { case: "093.nasa7.mxm".into(), iters: 200, ns_per_iter: 12.345, engine: "fast" },
+            Row {
+                case: "093.nasa7.mxm".into(),
+                iters: 200,
+                ns_per_iter: 47.5,
+                engine: "reference",
+            },
+            Row { case: "synth.0".into(), iters: 64, ns_per_iter: 31.25, engine: "fast" },
+            Row { case: "synth.0".into(), iters: 64, ns_per_iter: 99.5, engine: "reference" },
+        ];
+        let text = render(&rows);
+        let parsed = parse_rows(&text).expect("round-trips");
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[0].case, "093.nasa7.mxm");
+        assert_eq!(parsed[0].iters, 200);
+        assert_eq!(parsed[1].engine, "reference");
+        assert!((parsed[3].ns_per_iter - 99.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_flags_median_regression_and_tolerates_noise() {
+        let base = vec![
+            Row { case: "a".into(), iters: 10, ns_per_iter: 100.0, engine: "fast" },
+            Row { case: "a".into(), iters: 10, ns_per_iter: 400.0, engine: "reference" },
+        ];
+        let ok = vec![
+            Row { case: "a".into(), iters: 10, ns_per_iter: 110.0, engine: "fast" },
+            Row { case: "a".into(), iters: 10, ns_per_iter: 390.0, engine: "reference" },
+        ];
+        assert!(check(&ok, &base, 0.25).is_ok());
+        let bad = vec![
+            Row { case: "a".into(), iters: 10, ns_per_iter: 200.0, engine: "fast" },
+            Row { case: "a".into(), iters: 10, ns_per_iter: 400.0, engine: "reference" },
+        ];
+        assert!(check(&bad, &base, 0.25).is_err());
+    }
+}

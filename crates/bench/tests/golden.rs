@@ -1,0 +1,71 @@
+//! Golden snapshot tests.
+//!
+//! Two byte-for-byte snapshots pin the harness's user-visible output:
+//! the full Table 2 text (`table2` binary / `table2_text`) and one
+//! `--stats`-shaped compilation JSON line with its volatile wall-time
+//! fields masked. Any drift — a formatting tweak, a numeric change from a
+//! pass reorder, a counter rename — fails loudly with a diff, and
+//! intentional changes are re-blessed with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sv-bench --test golden
+//! ```
+
+use sv_bench::table2_text;
+use sv_core::{compile_checked, DriverConfig};
+use sv_machine::MachineConfig;
+use sv_workloads::figure1_dot_product;
+
+/// Replace every `"…_ns":<digits>` value with `0`: wall times are the
+/// only non-deterministic fields in a stats line.
+fn mask_ns(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(i) = rest.find("_ns\":") {
+        let at = i + "_ns\":".len();
+        out.push_str(&rest[..at]);
+        out.push('0');
+        rest = rest[at..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+fn check_golden(name: &str, fresh: &str, committed: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, fresh).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        fresh, committed,
+        "golden snapshot `{name}` drifted; if intentional, re-bless with \
+         UPDATE_GOLDEN=1 cargo test -p sv-bench --test golden"
+    );
+}
+
+#[test]
+fn table2_matches_golden() {
+    check_golden("table2.txt", &table2_text(1), include_str!("golden/table2.txt"));
+}
+
+#[test]
+fn stats_line_matches_golden() {
+    let l = figure1_dot_product();
+    let m = MachineConfig::figure1();
+    let (_, report) = compile_checked(&l, &m, &DriverConfig::default()).unwrap();
+    let line = mask_ns(&report.stats_json_line("fig1.dot", "figure1"));
+    let fresh = format!("{line}\n");
+    check_golden("stats_line.txt", &fresh, include_str!("golden/stats_line.txt"));
+}
+
+#[test]
+fn mask_ns_only_touches_ns_fields() {
+    let masked = mask_ns(
+        "{\"partition_ns\":123456,\"kl_probes\":42,\"total_ns\":9,\"iis_tried\":[3,4]}",
+    );
+    assert_eq!(
+        masked,
+        "{\"partition_ns\":0,\"kl_probes\":42,\"total_ns\":0,\"iis_tried\":[3,4]}"
+    );
+}

@@ -10,31 +10,24 @@
 
 use crate::interp::LiveOutValue;
 use crate::memory::Memory;
-use crate::pipeline_exec::execute_instances;
 use sv_ir::Loop;
 use sv_modsched::FlatListing;
 
-/// Execute `iterations ≥ stage_count` iterations of `l` by walking the
-/// flat layout, mutating `mem`; returns the live-outs after the drain.
+/// Materialize the launch sequence of a flat layout: prologue rows once,
+/// kernel rows `iterations − SC + 1` times, epilogue rows once. Shared by
+/// the fast and reference flat executors so both walk the exact same
+/// event order.
 ///
 /// # Panics
 ///
-/// Panics when `iterations < stage_count` (the layout's prologue assumes a
-/// full pipeline; shorter trips run in the cleanup loop in real code) or
-/// when the layout launches an instance out of dependence order — which
-/// would be an emission bug.
-pub fn execute_flat(
-    l: &Loop,
-    flat: &FlatListing,
-    mem: &mut Memory,
-    iterations: u64,
-) -> Vec<LiveOutValue> {
+/// Panics when `iterations < stage_count` (the layout's prologue assumes
+/// a full pipeline; shorter trips run in the cleanup loop in real code).
+pub(crate) fn flat_sequence(flat: &FlatListing, iterations: u64) -> Vec<(u64, usize)> {
     let sc = u64::from(flat.stage_count);
     assert!(
         iterations >= sc,
         "flat layout needs at least stage_count iterations"
     );
-    // Materialize the launch sequence: (sequence index, iteration, op).
     let mut seq: Vec<(u64, usize)> = Vec::new();
     for row in &flat.prologue {
         for &(op, j) in row {
@@ -55,7 +48,29 @@ pub fn execute_flat(
             seq.push((j, op.index()));
         }
     }
-    execute_instances(l, mem, &seq, iterations)
+    seq
+}
+
+/// Execute `iterations ≥ stage_count` iterations of `l` by walking the
+/// flat layout, mutating `mem`; returns the live-outs after the drain.
+///
+/// Runs on the pre-decoded fast engine ([`crate::decoded`]); the original
+/// interpreter survives as [`crate::reference::execute_flat`].
+///
+/// # Panics
+///
+/// Panics when `iterations < stage_count` (the layout's prologue assumes a
+/// full pipeline; shorter trips run in the cleanup loop in real code) or
+/// when the layout launches an instance out of dependence order — which
+/// would be an emission bug.
+pub fn execute_flat(
+    l: &Loop,
+    flat: &FlatListing,
+    mem: &mut Memory,
+    iterations: u64,
+) -> Vec<LiveOutValue> {
+    let seq = flat_sequence(flat, iterations);
+    crate::decoded::run_sequence(l, mem, &seq, iterations)
 }
 
 #[cfg(test)]

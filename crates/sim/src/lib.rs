@@ -41,11 +41,13 @@
 //! let _ = run_source(&l);
 //! ```
 
+mod decoded;
 mod flat_exec;
 mod interp;
 mod memory;
 mod pipeline_exec;
 mod player;
+pub mod reference;
 mod run;
 
 pub use interp::{execute_loop, LiveOutValue};
@@ -59,5 +61,5 @@ pub use player::{play_schedule, PlaybackReport};
 pub use sv_modsched::{validate_schedule, ValidationError};
 pub use run::{
     assert_equivalent, check_equivalent, has_register_state_across_cleanup,
-    run_compiled, run_source, EquivalenceError, RunResult,
+    oracle_selfcheck, run_compiled, run_source, EquivalenceError, RunResult,
 };

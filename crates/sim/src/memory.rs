@@ -36,6 +36,21 @@ impl Scalar {
         }
     }
 
+    /// Bit-identical equality: same variant and same payload bits, with
+    /// `NaN == NaN` (any payload) and `-0.0 != +0.0`. This is the
+    /// comparison the fast-vs-reference engine self-checks use — two
+    /// implementations of the *same* semantics must agree exactly, not
+    /// merely within [`Scalar::approx_eq`]'s reassociation tolerance.
+    pub fn identical(self, other: Scalar) -> bool {
+        match (self, other) {
+            (Scalar::I(a), Scalar::I(b)) => a == b,
+            (Scalar::F(a), Scalar::F(b)) => {
+                (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+            }
+            _ => false,
+        }
+    }
+
     /// Approximate equality: exact for integers, relative 1e-9 for floats
     /// (vectorized reductions reassociate, perturbing the last bits).
     pub fn approx_eq(self, other: Scalar) -> bool {
@@ -219,6 +234,67 @@ mod tests {
         assert!(!Scalar::F(1.0).approx_eq(Scalar::F(1.1)));
         assert!(Scalar::I(3).approx_eq(Scalar::I(3)));
         assert!(!Scalar::I(3).approx_eq(Scalar::I(4)));
+    }
+
+    #[test]
+    fn coerce_edge_cases() {
+        // NaN truncates to 0 (Rust's saturating `as` cast), infinities
+        // saturate, and the i64 domain round-trips through f64 only up to
+        // 2^53.
+        assert_eq!(Scalar::F(f64::NAN).coerce(ScalarType::I64), Scalar::I(0));
+        assert_eq!(Scalar::F(f64::INFINITY).coerce(ScalarType::I64), Scalar::I(i64::MAX));
+        assert_eq!(
+            Scalar::F(f64::NEG_INFINITY).coerce(ScalarType::I64),
+            Scalar::I(i64::MIN)
+        );
+        assert_eq!(Scalar::F(-0.0).coerce(ScalarType::I64), Scalar::I(0));
+        // -0.0 survives an F64 coerce (identity) with its sign bit.
+        match Scalar::F(-0.0).coerce(ScalarType::F64) {
+            Scalar::F(v) => assert_eq!(v.to_bits(), (-0.0f64).to_bits()),
+            v => panic!("wrong variant {v:?}"),
+        }
+        // Exact i64 → f64 → i64 round-trips below 2^53…
+        for v in [0i64, 1, -1, 42, 1 << 52, -(1 << 52), (1 << 53) - 1] {
+            assert_eq!(Scalar::I(v).coerce(ScalarType::F64).coerce(ScalarType::I64), Scalar::I(v));
+        }
+        // …and precision loss above it: 2^53 + 1 is not representable.
+        let big = (1i64 << 53) + 1;
+        assert_eq!(
+            Scalar::I(big).coerce(ScalarType::F64).coerce(ScalarType::I64),
+            Scalar::I(big - 1)
+        );
+        // Truncation (not rounding) toward zero for fractional values.
+        assert_eq!(Scalar::F(3.99).coerce(ScalarType::I64), Scalar::I(3));
+        assert_eq!(Scalar::F(-3.99).coerce(ScalarType::I64), Scalar::I(-3));
+    }
+
+    #[test]
+    fn approx_eq_nan_and_infinity() {
+        // NaN only matches NaN — never a finite value.
+        assert!(Scalar::F(f64::NAN).approx_eq(Scalar::F(f64::NAN)));
+        assert!(!Scalar::F(f64::NAN).approx_eq(Scalar::F(0.0)));
+        assert!(!Scalar::F(0.0).approx_eq(Scalar::F(f64::NAN)));
+        // Infinities compare by sign, and never to finite values.
+        assert!(Scalar::F(f64::INFINITY).approx_eq(Scalar::F(f64::INFINITY)));
+        assert!(!Scalar::F(f64::INFINITY).approx_eq(Scalar::F(f64::NEG_INFINITY)));
+        assert!(!Scalar::F(f64::INFINITY).approx_eq(Scalar::F(1e308)));
+        // Signed zeros are approx-equal (0.0 == -0.0 in IEEE compare).
+        assert!(Scalar::F(0.0).approx_eq(Scalar::F(-0.0)));
+        // Mixed variants compare through f64.
+        assert!(Scalar::I(3).approx_eq(Scalar::F(3.0)));
+    }
+
+    #[test]
+    fn identical_is_bit_exact() {
+        // Signed zeros differ bitwise even though they compare ==.
+        assert!(!Scalar::F(0.0).identical(Scalar::F(-0.0)));
+        assert!(Scalar::F(-0.0).identical(Scalar::F(-0.0)));
+        // NaN matches NaN across payloads (any NaN is "the" NaN).
+        let other_nan = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(Scalar::F(f64::NAN).identical(Scalar::F(other_nan)));
+        // Cross-variant is never identical, even for equal magnitudes.
+        assert!(!Scalar::I(3).identical(Scalar::F(3.0)));
+        assert!(Scalar::I(3).identical(Scalar::I(3)));
     }
 
     #[test]

@@ -10,29 +10,25 @@
 //! from the in-order interpreter — making it the strongest end-to-end
 //! check on schedule correctness the crate has.
 
-use crate::interp::{apply_binary, apply_unary, init_scalar, LiveOutValue, Value};
-use crate::memory::{Memory, Scalar};
-use std::collections::HashMap;
-use sv_ir::{Loop, OpKind, Operand, VectorForm};
+use crate::interp::LiveOutValue;
+use crate::memory::Memory;
+use sv_ir::{Loop, OpKind};
 use sv_modsched::Schedule;
 
-/// Execute `iterations` iterations of `l` according to `schedule`, in
-/// pipeline issue order, mutating `mem`. Returns the live-out values
-/// observed after the pipeline drains.
-///
-/// Within one cycle, loads execute before arithmetic and arithmetic before
-/// stores — anti dependences with zero delay read the old value, the VLIW
-/// register/memory latching convention the scheduler's edge delays assume.
+/// Materialize the launch sequence of a modulo schedule: every
+/// `(operation, iteration)` instance ordered by issue cycle, with
+/// loads before arithmetic before stores within a cycle. Shared by the
+/// fast and reference pipelined executors so both walk the exact same
+/// event order.
 ///
 /// # Panics
 ///
 /// Panics when `schedule` does not belong to `l` (length mismatch).
-pub fn execute_pipelined(
+pub(crate) fn pipeline_sequence(
     l: &Loop,
     schedule: &Schedule,
-    mem: &mut Memory,
     iterations: u64,
-) -> Vec<LiveOutValue> {
+) -> Vec<(u64, usize)> {
     assert_eq!(schedule.times.len(), l.ops.len(), "schedule/loop mismatch");
 
     // Build the event list: (issue cycle, phase, iteration, op).
@@ -55,161 +51,40 @@ pub fn execute_pipelined(
         }
     }
     events.sort_unstable();
-    let seq: Vec<(u64, usize)> = events.into_iter().map(|(_, _, j, oi)| (j, oi)).collect();
-    execute_instances(l, mem, &seq, iterations)
+    events.into_iter().map(|(_, _, j, oi)| (j, oi)).collect()
 }
 
-/// Execute an explicit `(iteration, op)` launch sequence against `mem`,
-/// with values renamed per `(op, iteration)` — the rotating register
-/// file. Shared by the pipelined and flat-layout executors.
+/// Execute `iterations` iterations of `l` according to `schedule`, in
+/// pipeline issue order, mutating `mem`. Returns the live-out values
+/// observed after the pipeline drains.
+///
+/// Within one cycle, loads execute before arithmetic and arithmetic before
+/// stores — anti dependences with zero delay read the old value, the VLIW
+/// register/memory latching convention the scheduler's edge delays assume.
+///
+/// Runs on the pre-decoded fast engine ([`crate::decoded`]); the original
+/// `HashMap`-backed interpreter survives as
+/// [`crate::reference::execute_pipelined`].
 ///
 /// # Panics
 ///
-/// Panics when an instance reads a value that has not been produced —
-/// the sequence violates a dependence.
-pub(crate) fn execute_instances(
+/// Panics when `schedule` does not belong to `l` (length mismatch) or
+/// when the schedule launches an instance out of dependence order.
+pub fn execute_pipelined(
     l: &Loop,
+    schedule: &Schedule,
     mem: &mut Memory,
-    seq: &[(u64, usize)],
     iterations: u64,
 ) -> Vec<LiveOutValue> {
-    let k = l.vector_width.max(1);
-    let mut values: HashMap<(usize, u64), Value> = HashMap::new();
-    let read_def = |values: &HashMap<(usize, u64), Value>, p: usize, dist: u32, j: u64| {
-        if u64::from(dist) > j {
-            let o = &l.ops[p];
-            let init = init_scalar(o.carried_init, o.opcode.ty);
-            return match o.opcode.form {
-                VectorForm::Scalar => Value::S(init),
-                VectorForm::Vector => Value::V(vec![init; k as usize]),
-            };
-        }
-        values
-            .get(&(p, j - u64::from(dist)))
-            .expect("pipeline read before write: scheduler bug")
-            .clone()
-    };
-
-    for &(j, oi) in seq {
-        let op = &l.ops[oi];
-        let ty = op.opcode.ty;
-        let vector = op.opcode.form == VectorForm::Vector;
-        let operands: Vec<Value> = op
-            .operands
-            .iter()
-            .map(|o| match *o {
-                Operand::Def { op: p, distance } => read_def(&values, p.index(), distance, j),
-                Operand::LiveIn(id) => {
-                    let li = &l.live_ins[id.0 as usize];
-                    Value::S(Memory::live_in_value(&li.name, li.ty))
-                }
-                Operand::ConstI(v) => Value::S(Scalar::I(v)),
-                Operand::ConstF(v) => Value::S(Scalar::F(v)),
-                Operand::Iv { scale, offset } => {
-                    if vector {
-                        let step = scale / i64::from(l.iter_scale);
-                        Value::V(
-                            (0..i64::from(k))
-                                .map(|lane| Scalar::I(scale * j as i64 + offset + lane * step))
-                                .collect(),
-                        )
-                    } else {
-                        Value::S(Scalar::I(scale * j as i64 + offset))
-                    }
-                }
-            })
-            .collect();
-
-        let result: Option<Value> = match op.opcode.kind {
-            OpKind::Load => {
-                let r = op.mem_ref();
-                let base = r.stride * j as i64 + r.offset;
-                if vector {
-                    Some(Value::V(
-                        (0..r.width as i64)
-                            .map(|lane| mem.read(r.array.0, base + lane).coerce(ty))
-                            .collect(),
-                    ))
-                } else {
-                    Some(Value::S(mem.read(r.array.0, base).coerce(ty)))
-                }
-            }
-            OpKind::Store => {
-                let r = op.mem_ref();
-                let base = r.stride * j as i64 + r.offset;
-                if vector {
-                    for (lane, v) in operands[0].lanes(r.width as usize).into_iter().enumerate()
-                    {
-                        mem.write(r.array.0, base + lane as i64, v);
-                    }
-                } else {
-                    mem.write(r.array.0, base, operands[0].scalar());
-                }
-                None
-            }
-            OpKind::Pack => Some(Value::V(
-                operands.iter().map(|v| v.scalar().coerce(ty)).collect(),
-            )),
-            OpKind::Extract => {
-                let lane = operands[1].scalar().as_i64() as usize;
-                Some(Value::S(operands[0].lanes(k as usize)[lane]))
-            }
-            kind if kind.arity() == 2 => Some(if vector {
-                Value::V(
-                    operands[0]
-                        .lanes(k as usize)
-                        .into_iter()
-                        .zip(operands[1].lanes(k as usize))
-                        .map(|(a, b)| apply_binary(kind, ty, a, b))
-                        .collect(),
-                )
-            } else {
-                Value::S(apply_binary(kind, ty, operands[0].scalar(), operands[1].scalar()))
-            }),
-            kind => Some(if vector {
-                Value::V(
-                    operands[0]
-                        .lanes(k as usize)
-                        .into_iter()
-                        .map(|a| apply_unary(kind, ty, a))
-                        .collect(),
-                )
-            } else {
-                Value::S(apply_unary(kind, ty, operands[0].scalar()))
-            }),
-        };
-        if let Some(v) = result {
-            values.insert((oi, j), v);
-        }
-    }
-
-    l.live_outs
-        .iter()
-        .map(|lo| {
-            let v = if iterations == 0 {
-                read_def(&values, lo.op.index(), 1, 0)
-            } else {
-                read_def(&values, lo.op.index(), 0, iterations - 1)
-            };
-            let ty = l.ops[lo.op.index()].opcode.ty;
-            let value = match (&v, lo.horizontal) {
-                (Value::V(lanes), Some(kind)) => lanes
-                    .iter()
-                    .copied()
-                    .reduce(|a, b| apply_binary(kind, ty, a, b))
-                    .expect("non-empty lanes"),
-                (Value::V(lanes), None) => *lanes.last().expect("non-empty lanes"),
-                (Value::S(s), _) => *s,
-            };
-            LiveOutValue { name: lo.name.clone(), value, combine: lo.combine }
-        })
-        .collect()
+    let seq = pipeline_sequence(l, schedule, iterations);
+    crate::decoded::run_sequence(l, mem, &seq, iterations)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::interp::execute_loop;
+    use crate::memory::Scalar;
     use sv_analysis::DepGraph;
     use sv_ir::{LoopBuilder, ScalarType};
     use sv_machine::MachineConfig;

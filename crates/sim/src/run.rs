@@ -47,19 +47,34 @@ fn combine_liveouts(acc: &mut BTreeMap<String, Scalar>, outs: Vec<LiveOutValue>,
     }
 }
 
-/// Execute one invocation of the source loop.
-pub fn run_source(l: &Loop) -> RunResult {
+/// The signature shared by the fast and reference in-order executors —
+/// lets the whole-plan runners below execute on either engine.
+pub(crate) type ExecLoopFn =
+    fn(&Loop, &mut Memory, std::ops::Range<u64>) -> Vec<LiveOutValue>;
+
+/// [`run_source`] parameterized by the in-order executor.
+pub(crate) fn run_source_with(l: &Loop, exec: ExecLoopFn) -> RunResult {
     let mut mem = Memory::for_arrays(&l.arrays);
-    let outs = execute_loop(l, &mut mem, 0..l.trip.count);
+    let outs = exec(l, &mut mem, 0..l.trip.count);
     let mut live_outs = BTreeMap::new();
     combine_liveouts(&mut live_outs, outs, l.trip.count > 0);
     RunResult { memory: mem, live_outs }
+}
+
+/// Execute one invocation of the source loop.
+pub fn run_source(l: &Loop) -> RunResult {
+    run_source_with(l, execute_loop)
 }
 
 /// Execute one invocation of a compiled plan: every segment in order, its
 /// main loop for the bulk iterations and its cleanup loop for the
 /// remainder, with the source-level arrays threaded through all pieces.
 pub fn run_compiled(c: &CompiledLoop) -> RunResult {
+    run_compiled_with(c, execute_loop)
+}
+
+/// [`run_compiled`] parameterized by the in-order executor.
+pub(crate) fn run_compiled_with(c: &CompiledLoop, exec: ExecLoopFn) -> RunResult {
     // Thread the maximal shared array prefix through all pieces: every
     // piece's table extends a common base (source arrays plus any
     // scalar-expansion temporaries); only transform-private communication
@@ -92,7 +107,7 @@ pub fn run_compiled(c: &CompiledLoop) -> RunResult {
                 mem.copy_array_from(global, i);
             }
             let ran = iters.end > iters.start;
-            let outs = execute_loop(l, &mut mem, iters);
+            let outs = exec(l, &mut mem, iters);
             for i in 0..base_len as u32 {
                 global.copy_array_from(&mem, i);
             }
@@ -254,6 +269,132 @@ pub fn assert_equivalent(src: &Loop, compiled: &CompiledLoop) {
 #[doc(hidden)]
 pub fn _ty() -> ScalarType {
     ScalarType::F64
+}
+
+/// Compare two executions that claim identical semantics: every array
+/// element and every live-out must be [`Scalar::identical`] (bit-exact,
+/// NaN-aware) — no reassociation tolerance between two implementations of
+/// the same engine contract.
+fn check_identical_runs(label: &str, fast: &RunResult, reference: &RunResult) -> Result<(), String> {
+    if fast.memory.array_count() != reference.memory.array_count() {
+        return Err(format!(
+            "{label}: array count {} vs reference {}",
+            fast.memory.array_count(),
+            reference.memory.array_count()
+        ));
+    }
+    for i in 0..fast.memory.array_count() as u32 {
+        let (xa, xb) = (fast.memory.array(i), reference.memory.array(i));
+        if xa.len() != xb.len() {
+            return Err(format!("{label}: array {i} length {} vs {}", xa.len(), xb.len()));
+        }
+        for (e, (va, vb)) in xa.iter().zip(xb).enumerate() {
+            if !va.identical(*vb) {
+                return Err(format!(
+                    "{label}: array {i}[{e}] fast {va:?} vs reference {vb:?}"
+                ));
+            }
+        }
+    }
+    if fast.live_outs.keys().ne(reference.live_outs.keys()) {
+        return Err(format!(
+            "{label}: live-out sets fast {:?} vs reference {:?}",
+            fast.live_outs.keys().collect::<Vec<_>>(),
+            reference.live_outs.keys().collect::<Vec<_>>()
+        ));
+    }
+    for (name, va) in &fast.live_outs {
+        let vb = reference.live_outs[name];
+        if !va.identical(vb) {
+            return Err(format!(
+                "{label}: live-out {name} fast {va:?} vs reference {vb:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_identical_liveouts(
+    label: &str,
+    fast: &[LiveOutValue],
+    reference: &[LiveOutValue],
+) -> Result<(), String> {
+    if fast.len() != reference.len() {
+        return Err(format!(
+            "{label}: {} live-outs vs reference {}",
+            fast.len(),
+            reference.len()
+        ));
+    }
+    for (a, b) in fast.iter().zip(reference) {
+        if a.name != b.name || a.combine != b.combine || !a.value.identical(b.value) {
+            return Err(format!("{label}: live-out fast {a:?} vs reference {b:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_identical_memories(label: &str, fast: &Memory, reference: &Memory) -> Result<(), String> {
+    for i in 0..fast.array_count() as u32 {
+        for (e, (va, vb)) in fast.array(i).iter().zip(reference.array(i)).enumerate() {
+            if !va.identical(*vb) {
+                return Err(format!(
+                    "{label}: array {i}[{e}] fast {va:?} vs reference {vb:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Differential self-check of the pre-decoded fast engine against the
+/// retained [`crate::reference`] interpreters, over every execution mode a
+/// compiled plan exercises:
+///
+/// 1. whole-run source execution ([`run_source`] both engines),
+/// 2. whole-plan compiled execution ([`run_compiled`] both engines),
+/// 3. per-segment pipelined execution of each modulo schedule,
+/// 4. per-segment flat prologue/kernel/epilogue execution (when the
+///    segment's trip covers a full pipeline).
+///
+/// Comparison is bit-exact ([`Scalar::identical`]) — the two engines
+/// implement the same semantics, so even last-bit float drift is a bug.
+/// Used by the fuzzer's `--oracle-selfcheck` mode.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence found.
+pub fn oracle_selfcheck(src: &Loop, compiled: &CompiledLoop) -> Result<(), String> {
+    check_identical_runs("run_source", &run_source(src), &crate::reference::run_source(src))?;
+    check_identical_runs(
+        "run_compiled",
+        &run_compiled(compiled),
+        &crate::reference::run_compiled(compiled),
+    )?;
+    for (si, seg) in compiled.segments.iter().enumerate() {
+        let n = seg.looop.executed_iterations();
+        let mut mem_fast = Memory::for_arrays(&seg.looop.arrays);
+        let mut mem_ref = mem_fast.clone();
+        let outs_fast =
+            crate::execute_pipelined(&seg.looop, &seg.schedule, &mut mem_fast, n);
+        let outs_ref =
+            crate::reference::execute_pipelined(&seg.looop, &seg.schedule, &mut mem_ref, n);
+        let label = format!("segment {si} pipelined");
+        check_identical_liveouts(&label, &outs_fast, &outs_ref)?;
+        check_identical_memories(&label, &mem_fast, &mem_ref)?;
+        if n >= u64::from(seg.schedule.stage_count) {
+            let flat = sv_modsched::emit_flat(&seg.looop, &seg.schedule);
+            let mut mem_fast = Memory::for_arrays(&seg.looop.arrays);
+            let mut mem_ref = mem_fast.clone();
+            let outs_fast = crate::execute_flat(&seg.looop, &flat, &mut mem_fast, n);
+            let outs_ref =
+                crate::reference::execute_flat(&seg.looop, &flat, &mut mem_ref, n);
+            let label = format!("segment {si} flat");
+            check_identical_liveouts(&label, &outs_fast, &outs_ref)?;
+            check_identical_memories(&label, &mem_fast, &mem_ref)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
