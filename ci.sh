@@ -24,6 +24,30 @@ mkdir -p target/ci-bench
 cargo run --release -p sv-bench --bin simbench -- --out target/ci-bench/BENCH_sim.json --check BENCH_sim.json
 echo "ci: simbench within tolerance of committed baseline"
 
+# Compilation service gate: replay a fixed loadgen trace through svd
+# twice against one disk cache. The second pass must serve >=90% from
+# the cache and every non-stats response must be byte-identical.
+SERVE="target/ci-serve"
+rm -rf "$SERVE"
+mkdir -p "$SERVE"
+cargo run --release -q -p sv-bench --bin loadgen -- --emit-trace "$SERVE/trace.jsonl" --synth 8
+cargo run --release -q -p sv-serve --bin svd -- --disk "$SERVE/cache" < "$SERVE/trace.jsonl" > "$SERVE/pass1.jsonl"
+cargo run --release -q -p sv-serve --bin svd -- --disk "$SERVE/cache" < "$SERVE/trace.jsonl" > "$SERVE/pass2.jsonl"
+diff <(grep -v '"cache":{' "$SERVE/pass1.jsonl") <(grep -v '"cache":{' "$SERVE/pass2.jsonl")
+grep '"cache":{' "$SERVE/pass2.jsonl" \
+  | sed 's/.*"mem_hits":\([0-9]*\),"disk_hits":\([0-9]*\),"misses":\([0-9]*\).*/\1 \2 \3/' \
+  | awk '{ hits = $1 + $2; total = hits + $3;
+           if (total == 0 || hits / total < 0.9) {
+             printf "ci: serve replay hit rate %d/%d below 90%%\n", hits, total; exit 1
+           }
+           printf "ci: serve replay pass 2 served %d/%d from cache\n", hits, total }'
+echo "ci: serve replay byte-identical across cache-cold and cache-warm passes"
+
+# Service performance gate: warm-over-cold speedup and warm hit rate
+# floors against the committed BENCH_serve.json baseline.
+cargo run --release -q -p sv-bench --bin loadgen -- --out target/ci-serve/BENCH_serve.json --check BENCH_serve.json
+echo "ci: loadgen cache gate passed"
+
 # The harness determinism contract: sharding compilations over workers
 # must not change a single output byte.
 OUT="target/ci-determinism"

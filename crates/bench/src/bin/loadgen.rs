@@ -1,0 +1,354 @@
+//! Closed-loop load generator for the `sv-serve` compilation service.
+//!
+//! Builds a distinct request set — every loop of every benchmark suite
+//! plus seeded broad synthetic loops — and drives the service core
+//! ([`ServeService`], the same cache-fronted path `svd` serves) in two
+//! phases:
+//!
+//! * **cold** — each distinct request once (every one a cache miss);
+//! * **warm** — `--requests` seeded samples over the same set (cache
+//!   hits), asserting every warm body is byte-identical to its cold one.
+//!
+//! Reports throughput, latency percentiles and cache hit rate per phase,
+//! and writes the benchmark trajectory file `BENCH_serve.json`. `--check
+//! BASELINE` is the CI gate: the fresh run must show at least
+//! `--min-speedup` warm-over-cold throughput and a ≥ 0.99 warm hit rate
+//! (the baseline file is context for trend-watching, not a hard bound —
+//! absolute throughput is machine-dependent).
+//!
+//! ```text
+//! cargo run --release -p sv-bench --bin loadgen                  # writes BENCH_serve.json
+//! cargo run --release -p sv-bench --bin loadgen -- --check BENCH_serve.json
+//! cargo run --release -p sv-bench --bin loadgen -- --emit-trace trace.jsonl
+//! ```
+//!
+//! `--emit-trace` skips measurement and writes the distinct requests as
+//! `svd` wire lines (plus `stats` and `shutdown`) for replay tests.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use sv_serve::{CompileRequest, ServeService};
+use sv_workloads::{all_benchmarks, synth_loop, SmallRng, SynthProfile};
+
+struct Opts {
+    out: String,
+    check_baseline: Option<String>,
+    emit_trace: Option<String>,
+    /// Warm-phase request count; 0 = 5× the distinct set.
+    requests: usize,
+    synth: usize,
+    seed: u64,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        out: "BENCH_serve.json".into(),
+        check_baseline: None,
+        emit_trace: None,
+        requests: 0,
+        synth: 16,
+        seed: 1,
+        min_speedup: 5.0,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |name: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().ok_or(format!("{name} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => opts.out = next("--out", &mut args)?,
+            "--check" => opts.check_baseline = Some(next("--check", &mut args)?),
+            "--emit-trace" => opts.emit_trace = Some(next("--emit-trace", &mut args)?),
+            "--requests" => {
+                let v = next("--requests", &mut args)?;
+                opts.requests = v.parse().map_err(|e| format!("bad --requests `{v}`: {e}"))?;
+            }
+            "--synth" => {
+                let v = next("--synth", &mut args)?;
+                opts.synth = v.parse().map_err(|e| format!("bad --synth `{v}`: {e}"))?;
+            }
+            "--seed" => {
+                let v = next("--seed", &mut args)?;
+                opts.seed = v.parse().map_err(|e| format!("bad --seed `{v}`: {e}"))?;
+            }
+            "--min-speedup" => {
+                let v = next("--min-speedup", &mut args)?;
+                opts.min_speedup =
+                    v.parse().map_err(|e| format!("bad --min-speedup `{v}`: {e}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The distinct request set: every suite loop (hand-written kernels and
+/// `.synth` fillers alike — both are real autotuner traffic) plus
+/// `synth_n` extra seeded broad synthetic loops.
+fn distinct_requests(synth_n: usize) -> Vec<CompileRequest> {
+    let mut out = Vec::new();
+    for suite in all_benchmarks() {
+        for l in &suite.loops {
+            out.push(CompileRequest { loop_text: l.to_string(), ..CompileRequest::default() });
+        }
+    }
+    let profile = SynthProfile::broad();
+    for seed in 0..synth_n as u64 {
+        let l = synth_loop(&format!("loadgen.synth.{seed}"), &profile, seed);
+        out.push(CompileRequest { loop_text: l.to_string(), ..CompileRequest::default() });
+    }
+    out
+}
+
+/// One measured phase of `BENCH_serve.json`.
+struct Phase {
+    name: &'static str,
+    reqs: usize,
+    rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+}
+
+/// Percentile by nearest-rank over a sorted sample vector.
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    assert!(!sorted_us.is_empty());
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Drive `svc` with `plan` (indices into `reqs`), recording latency per
+/// request. Returns the phase summary and, when `record` is set, the
+/// response bodies by distinct index (the cold pass records; the warm
+/// pass checks against them).
+fn run_phase(
+    name: &'static str,
+    svc: &ServeService,
+    reqs: &[CompileRequest],
+    plan: &[usize],
+    expected: Option<&[String]>,
+) -> (Phase, Vec<String>) {
+    let hits_before = svc.cache().stats().hits();
+    let mut bodies: Vec<String> = vec![String::new(); reqs.len()];
+    let mut lat_us: Vec<f64> = Vec::with_capacity(plan.len());
+    let wall = Instant::now();
+    for &idx in plan {
+        let t = Instant::now();
+        let (body, _) = svc.compile_body(&reqs[idx]).unwrap_or_else(|e| {
+            panic!("loadgen: request {idx} failed: {e}");
+        });
+        lat_us.push(t.elapsed().as_nanos() as f64 / 1e3);
+        if let Some(cold) = expected {
+            assert_eq!(
+                *body, *cold[idx],
+                "warm response for request {idx} diverged from its cold bytes"
+            );
+        } else {
+            bodies[idx] = body.to_string();
+        }
+    }
+    let total = wall.elapsed().as_secs_f64();
+    let hits = svc.cache().stats().hits() - hits_before;
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let phase = Phase {
+        name,
+        reqs: plan.len(),
+        rps: plan.len() as f64 / total.max(1e-9),
+        p50_us: percentile(&lat_us, 50.0),
+        p95_us: percentile(&lat_us, 95.0),
+        p99_us: percentile(&lat_us, 99.0),
+        hit_rate: hits as f64 / plan.len() as f64,
+    };
+    (phase, bodies)
+}
+
+/// Render `BENCH_serve.json`: one row per phase, then a summary.
+fn render(phases: &[Phase], distinct: usize, speedup: f64, warm_hit_rate: f64) -> String {
+    let mut s = String::from("{\"schema\":\"sv-serve-bench/v1\",\"rows\":[\n");
+    for (i, p) in phases.iter().enumerate() {
+        let sep = if i + 1 == phases.len() { "" } else { "," };
+        s.push_str(&format!(
+            "{{\"phase\":\"{}\",\"reqs\":{},\"rps\":{:.1},\"p50_us\":{:.1},\
+             \"p95_us\":{:.1},\"p99_us\":{:.1},\"hit_rate\":{:.4}}}{sep}\n",
+            p.name, p.reqs, p.rps, p.p50_us, p.p95_us, p.p99_us, p.hit_rate
+        ));
+    }
+    s.push_str(&format!(
+        "],\"summary\":{{\"distinct\":{distinct},\"warm_over_cold_speedup\":{speedup:.2},\
+         \"warm_hit_rate\":{warm_hit_rate:.4}}}}}\n"
+    ));
+    s
+}
+
+/// Pull a numeric summary field out of a `sv-serve-bench/v1` file.
+fn summary_field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.rfind(&pat)? + pat.len();
+    let rest = &text[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn emit_trace(path: &str, reqs: &[CompileRequest]) -> std::io::Result<()> {
+    let mut out = String::new();
+    for (i, r) in reqs.iter().enumerate() {
+        out.push_str(&r.to_wire(i as u64));
+        out.push('\n');
+    }
+    out.push_str(&format!("{{\"verb\":\"stats\",\"id\":{}}}\n", 1_000_000));
+    out.push_str(&format!("{{\"verb\":\"shutdown\",\"id\":{}}}\n", 1_000_001));
+    std::fs::write(path, out)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            eprintln!(
+                "usage: loadgen [--out PATH] [--check BASELINE] [--emit-trace PATH] \
+                 [--requests N] [--synth K] [--seed S] [--min-speedup F]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let reqs = distinct_requests(opts.synth);
+    if let Some(path) = &opts.emit_trace {
+        return match emit_trace(path, &reqs) {
+            Ok(()) => {
+                println!("loadgen: wrote {} request lines to {path}", reqs.len() + 2);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot write trace {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Read the baseline before measuring so a bad path fails fast.
+    let baseline = match &opts.check_baseline {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) if text.contains("\"schema\":\"sv-serve-bench/v1\"") => Some(text),
+            Ok(_) => {
+                eprintln!("loadgen: baseline {path} is not a sv-serve-bench/v1 file");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let svc = ServeService::in_memory();
+    let cold_plan: Vec<usize> = (0..reqs.len()).collect();
+    let (cold, bodies) = run_phase("cold", &svc, &reqs, &cold_plan, None);
+
+    let warm_n = if opts.requests == 0 { reqs.len() * 5 } else { opts.requests };
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let warm_plan: Vec<usize> = (0..warm_n).map(|_| rng.index(reqs.len())).collect();
+    let (warm, _) = run_phase("warm", &svc, &reqs, &warm_plan, Some(&bodies));
+
+    let speedup = warm.rps / cold.rps;
+    let warm_hit_rate = warm.hit_rate;
+    println!(
+        "loadgen: {} distinct; cold {:.1} req/s (p95 {:.0} µs), warm {:.1} req/s \
+         (p95 {:.1} µs, hit rate {:.2}%) → {speedup:.1}x",
+        reqs.len(),
+        cold.rps,
+        cold.p95_us,
+        warm.rps,
+        warm.p95_us,
+        warm_hit_rate * 100.0
+    );
+    let text = render(&[cold, warm], reqs.len(), speedup, warm_hit_rate);
+    if let Err(e) = std::fs::write(&opts.out, &text) {
+        eprintln!("loadgen: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(baseline) = baseline {
+        if let Some(base_speedup) = summary_field(&baseline, "warm_over_cold_speedup") {
+            println!(
+                "loadgen: baseline speedup {base_speedup:.1}x, fresh {speedup:.1}x \
+                 (informational; gate is the absolute floor)"
+            );
+        }
+        if speedup < opts.min_speedup {
+            eprintln!(
+                "loadgen: REGRESSION: warm/cold speedup {speedup:.2}x below the \
+                 {:.1}x floor — the cache is not paying for itself",
+                opts.min_speedup
+            );
+            return ExitCode::FAILURE;
+        }
+        if warm_hit_rate < 0.99 {
+            eprintln!(
+                "loadgen: REGRESSION: warm hit rate {:.4} below 0.99 — repeated \
+                 requests are missing the cache",
+                warm_hit_rate
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("loadgen: gate passed (≥ {:.1}x, hit rate ≥ 0.99)", opts.min_speedup);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn render_exposes_summary_fields() {
+        let phases = vec![
+            Phase {
+                name: "cold",
+                reqs: 10,
+                rps: 100.0,
+                p50_us: 900.0,
+                p95_us: 2000.0,
+                p99_us: 3000.0,
+                hit_rate: 0.0,
+            },
+            Phase {
+                name: "warm",
+                reqs: 50,
+                rps: 5000.0,
+                p50_us: 9.0,
+                p95_us: 20.0,
+                p99_us: 30.0,
+                hit_rate: 1.0,
+            },
+        ];
+        let text = render(&phases, 10, 50.0, 1.0);
+        assert_eq!(summary_field(&text, "warm_over_cold_speedup"), Some(50.0));
+        assert_eq!(summary_field(&text, "warm_hit_rate"), Some(1.0));
+        assert!(text.contains("\"phase\":\"cold\""));
+    }
+
+    #[test]
+    fn trace_lines_parse_back() {
+        let reqs = distinct_requests(2);
+        assert!(reqs.len() > 2);
+        for (i, r) in reqs.iter().enumerate().take(3) {
+            let line = r.to_wire(i as u64);
+            let parsed = sv_serve::parse_request(&line).expect("trace line parses");
+            assert_eq!(parsed.id(), i as u64);
+        }
+    }
+}

@@ -1,0 +1,661 @@
+//! Content-addressed compilation caching.
+//!
+//! Autotuning-style clients (an RL loop searching vectorization settings,
+//! a global optimizer re-evaluating overlapping subproblems) issue the
+//! same `(loop, machine, configuration)` compile request thousands of
+//! times. [`compile_cached`] fronts [`compile_checked`] with a two-tier
+//! content-addressed cache keyed by [`request_key`] — a
+//! [`CanonicalHash`] over the loop's canonical display form plus
+//! fingerprints of the machine description and the full [`DriverConfig`]
+//! — so a repeated request returns the previously rendered result without
+//! re-running KL partitioning or the II search:
+//!
+//! * **memory tier** — a sharded LRU bounded by entry count *and*
+//!   approximate bytes, with hit/miss/eviction counters;
+//! * **disk tier** (optional) — one file per key holding the rendered
+//!   result behind a checksummed header, written through on every
+//!   compile and read through on a memory miss. A corrupt or truncated
+//!   entry is *quarantined* (renamed aside, logged, counted) and the
+//!   request recompiles — a bad disk entry can never fail a request.
+//!
+//! The cached value is the **canonical result rendering**
+//! ([`render_result`]): one deterministic JSON object with the delivered
+//! strategy, fallback provenance, deterministic [`PassStats`] counters
+//! (wall-clock fields are deliberately excluded) and re-parseable dumps
+//! of every scheduled segment. Identical requests therefore produce
+//! byte-identical results whether served cold, from memory, or from disk
+//! across a process restart.
+
+use crate::driver::{compile_checked, json_escape, CompilationReport, CompileError, DriverConfig};
+use crate::pipeline::CompiledLoop;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use sv_ir::{CanonicalHash, CanonicalHasher, Loop};
+use sv_machine::MachineConfig;
+
+/// Version tag woven into every cache key: bump when the result rendering
+/// or the fingerprint scheme changes, invalidating stale disk tiers.
+const KEY_SCHEMA: &str = "sv-core/cache/v1";
+
+/// Magic prefixing every disk entry's header line.
+const DISK_MAGIC: &str = "svcache/v1";
+
+/// The complete cache key for one compile request: the loop in canonical
+/// display form plus stable fingerprints of the machine description and
+/// every [`DriverConfig`] knob (strategy, selective/schedule budgets,
+/// boundary verification, degradation, panic policy). Any change to any
+/// input changes the key.
+pub fn request_key(l: &Loop, m: &MachineConfig, cfg: &DriverConfig) -> CanonicalHash {
+    // `Debug` renderings cover every field of both structs; their output
+    // is a pure function of the values, which is all a fingerprint needs.
+    l.canonical_hash(&[KEY_SCHEMA, &format!("{m:?}"), &format!("{cfg:?}")])
+}
+
+/// Where a [`compile_cached`] result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the in-memory tier.
+    Memory,
+    /// Served from the on-disk tier (and promoted to memory).
+    Disk,
+    /// Compiled fresh (and written through both tiers).
+    Compiled,
+}
+
+/// Sizing and placement of a [`CompileCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum resident entries across all shards.
+    pub mem_entries: usize,
+    /// Approximate maximum resident bytes across all shards (rendered
+    /// result bytes plus a small per-entry overhead).
+    pub mem_bytes: usize,
+    /// Shard count for the memory tier (reduces lock contention; capacity
+    /// is divided evenly between shards).
+    pub shards: usize,
+    /// Directory for the disk tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            mem_entries: 4096,
+            mem_bytes: 64 << 20,
+            shards: 16,
+            disk_dir: None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache's counters and occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub mem_hits: u64,
+    /// Lookups served from disk.
+    pub disk_hits: u64,
+    /// Lookups that found nothing and compiled.
+    pub misses: u64,
+    /// Entries evicted from the memory tier.
+    pub evictions: u64,
+    /// Disk entries quarantined as corrupt or unreadable.
+    pub disk_errors: u64,
+    /// Entries currently resident in memory.
+    pub entries: u64,
+    /// Approximate bytes currently resident in memory.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Total hits over both tiers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+
+    /// Hit fraction over all lookups (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// One resident memory-tier entry.
+struct Entry {
+    body: Arc<str>,
+    /// Recency tick, also the key into [`Shard::lru`].
+    tick: u64,
+}
+
+/// Fixed accounting overhead per resident entry (map + LRU bookkeeping).
+const ENTRY_OVERHEAD: usize = 64;
+
+/// One memory-tier shard: a hash map plus an exact LRU order maintained
+/// as a tick → key index (ticks are unique within a shard).
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Entry>,
+    lru: BTreeMap<u64, u128>,
+    next_tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u128) -> Option<Arc<str>> {
+        let tick = self.next_tick;
+        let e = self.map.get_mut(&key)?;
+        let old = std::mem::replace(&mut e.tick, tick);
+        let body = Arc::clone(&e.body);
+        self.lru.remove(&old);
+        self.lru.insert(tick, key);
+        self.next_tick += 1;
+        Some(body)
+    }
+
+    /// Insert (or refresh) an entry, then evict LRU entries past the
+    /// shard budgets. Returns the number of evictions performed.
+    fn insert(&mut self, key: u128, body: Arc<str>, max_entries: usize, max_bytes: usize) -> u64 {
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.bytes -= old.body.len() + ENTRY_OVERHEAD;
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.bytes += body.len() + ENTRY_OVERHEAD;
+        self.map.insert(key, Entry { body, tick });
+        self.lru.insert(tick, key);
+        let mut evicted = 0;
+        // Always keep the entry just inserted, even if it alone exceeds
+        // the byte budget — the cache must be able to serve it.
+        while self.map.len() > 1
+            && (self.map.len() > max_entries.max(1) || self.bytes > max_bytes)
+        {
+            let (&tick, &victim) = self.lru.iter().next().expect("lru tracks every entry");
+            self.lru.remove(&tick);
+            let e = self.map.remove(&victim).expect("map tracks every entry");
+            self.bytes -= e.body.len() + ENTRY_OVERHEAD;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The two-tier content-addressed cache (see module docs).
+pub struct CompileCache {
+    cfg: CacheConfig,
+    shards: Vec<Mutex<Shard>>,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    disk_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileCache").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+impl CompileCache {
+    /// Build a cache. Creates the disk directory (and parents) when a
+    /// disk tier is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the disk directory cannot be created.
+    pub fn new(cfg: CacheConfig) -> io::Result<CompileCache> {
+        if let Some(dir) = &cfg.disk_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let shards = cfg.shards.max(1);
+        Ok(CompileCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            cfg,
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// An in-memory-only cache with default sizing.
+    pub fn in_memory() -> CompileCache {
+        CompileCache::new(CacheConfig::default()).expect("no disk tier, cannot fail")
+    }
+
+    fn shard(&self, key: CanonicalHash) -> &Mutex<Shard> {
+        &self.shards[(key.0 % self.shards.len() as u128) as usize]
+    }
+
+    fn per_shard_entries(&self) -> usize {
+        (self.cfg.mem_entries / self.shards.len()).max(1)
+    }
+
+    fn per_shard_bytes(&self) -> usize {
+        (self.cfg.mem_bytes / self.shards.len()).max(1)
+    }
+
+    /// Look `key` up in memory, then disk. A disk hit is promoted into
+    /// the memory tier. Does **not** count a miss — only
+    /// [`CompileCache::lookup`]'s callers know whether a compile follows.
+    fn lookup_inner(&self, key: CanonicalHash) -> Option<(Arc<str>, CacheOutcome)> {
+        if let Some(body) = self.shard(key).lock().expect("cache shard poisoned").touch(key.0) {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((body, CacheOutcome::Memory));
+        }
+        let body = self.disk_read(key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let evicted = self.shard(key).lock().expect("cache shard poisoned").insert(
+            key.0,
+            Arc::clone(&body),
+            self.per_shard_entries(),
+            self.per_shard_bytes(),
+        );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Some((body, CacheOutcome::Disk))
+    }
+
+    /// Look `key` up in both tiers, counting a miss when absent.
+    pub fn lookup(&self, key: CanonicalHash) -> Option<(Arc<str>, CacheOutcome)> {
+        let r = self.lookup_inner(key);
+        if r.is_none() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Insert a freshly rendered result: memory tier always, disk tier
+    /// when configured (write-through). Disk write failures are logged
+    /// and counted, never surfaced — the cache is an accelerator.
+    pub fn insert(&self, key: CanonicalHash, body: Arc<str>) {
+        let evicted = self.shard(key).lock().expect("cache shard poisoned").insert(
+            key.0,
+            Arc::clone(&body),
+            self.per_shard_entries(),
+            self.per_shard_bytes(),
+        );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        if let Err(e) = self.disk_write(key, &body) {
+            self.disk_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("sv-core: cache: disk write for {key} failed: {e} (entry stays in memory)");
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for s in &self.shards {
+            let s = s.lock().expect("cache shard poisoned");
+            entries += s.map.len() as u64;
+            bytes += s.bytes as u64;
+        }
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// The disk path of a key's entry.
+    fn entry_path(&self, key: CanonicalHash) -> Option<PathBuf> {
+        self.cfg.disk_dir.as_ref().map(|d| d.join(format!("{key}.svc")))
+    }
+
+    /// Read and validate a disk entry. Any defect — bad magic, key
+    /// mismatch, length mismatch, checksum mismatch, unreadable file —
+    /// quarantines the entry and returns `None` (the caller recompiles).
+    fn disk_read(&self, key: CanonicalHash) -> Option<Arc<str>> {
+        let path = self.entry_path(key)?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                self.quarantine(&path, &format!("unreadable: {e}"));
+                return None;
+            }
+        };
+        match validate_disk_entry(&text, key) {
+            Ok(body) => Some(Arc::from(body)),
+            Err(reason) => {
+                self.quarantine(&path, &reason);
+                None
+            }
+        }
+    }
+
+    /// Move a defective disk entry aside (or delete it if the move
+    /// fails), log one line, and count it. Never errors the request.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        self.disk_errors.fetch_add(1, Ordering::Relaxed);
+        let aside = path.with_extension("svc.quarantined");
+        let moved = std::fs::rename(path, &aside).is_ok() || std::fs::remove_file(path).is_ok();
+        eprintln!(
+            "sv-core: cache: quarantined corrupt disk entry {} ({reason}){}; recompiling",
+            path.display(),
+            if moved { "" } else { " [could not move aside]" }
+        );
+    }
+
+    /// Write-through one entry: checksummed header + body, written to a
+    /// temporary file and renamed into place so readers never observe a
+    /// partial entry.
+    fn disk_write(&self, key: CanonicalHash, body: &str) -> io::Result<()> {
+        let Some(path) = self.entry_path(key) else { return Ok(()) };
+        let tmp = path.with_extension(format!("svc.tmp.{}", std::process::id()));
+        std::fs::write(&tmp, render_disk_entry(key, body))?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+/// Checksum used by the disk-entry header (content digest of the body).
+fn body_digest(body: &str) -> CanonicalHash {
+    let mut h = CanonicalHasher::new();
+    h.section(body.as_bytes());
+    h.finish()
+}
+
+/// Serialize one disk entry: `svcache/v1 <key> <len> <digest>\n<body>`.
+fn render_disk_entry(key: CanonicalHash, body: &str) -> String {
+    format!("{DISK_MAGIC} {key} {} {}\n{body}", body.len(), body_digest(body))
+}
+
+/// Parse and validate a disk entry, returning the body on success and a
+/// human-readable defect description otherwise.
+fn validate_disk_entry(text: &str, key: CanonicalHash) -> Result<String, String> {
+    let (header, body) = text.split_once('\n').ok_or("missing header line")?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(DISK_MAGIC) {
+        return Err(format!("bad magic in `{header}`"));
+    }
+    let stored_key: CanonicalHash =
+        parts.next().ok_or("missing key")?.parse().map_err(|e| format!("bad key: {e}"))?;
+    if stored_key != key {
+        return Err(format!("key mismatch: entry says {stored_key}, expected {key}"));
+    }
+    let len: usize = parts
+        .next()
+        .ok_or("missing length")?
+        .parse()
+        .map_err(|e| format!("bad length: {e}"))?;
+    if body.len() != len {
+        return Err(format!("length mismatch: header says {len}, body is {}", body.len()));
+    }
+    let digest: CanonicalHash = parts
+        .next()
+        .ok_or("missing digest")?
+        .parse()
+        .map_err(|e| format!("bad digest: {e}"))?;
+    if body_digest(body) != digest {
+        return Err("checksum mismatch".into());
+    }
+    Ok(body.to_string())
+}
+
+/// Render the canonical, fully deterministic result of one compilation as
+/// a single-line JSON object — the value [`compile_cached`] stores and
+/// returns. Contains the delivered strategy, fallback provenance,
+/// boundary-check count, the priced outcome, the deterministic
+/// [`crate::PassStats`] counters (the `*_ns` wall times are excluded so
+/// identical requests render identical bytes), and a re-parseable
+/// `Display` dump of every scheduled segment (main + cleanup).
+pub fn render_result(
+    key: CanonicalHash,
+    m: &MachineConfig,
+    c: &CompiledLoop,
+    report: &CompilationReport,
+) -> String {
+    let s = &report.stats;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"key\":\"{key}\",\"loop\":\"{}\",\"machine\":\"{}\",\"requested\":\"{}\",\
+         \"delivered\":\"{}\",\"fallbacks\":[",
+        json_escape(&c.source.name),
+        json_escape(&m.name),
+        report.requested,
+        report.delivered,
+    );
+    for (i, fb) in report.fallbacks.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}{{\"from\":\"{}\",\"to\":\"{}\",\"pass\":\"{}\"}}",
+            fb.from,
+            fb.to,
+            fb.reason.pass()
+        );
+    }
+    let iis: Vec<String> = s.iis_tried.iter().map(|ii| ii.to_string()).collect();
+    let _ = write!(
+        out,
+        "],\"boundary_checks\":{},\"ii_per_orig\":{:.4},\"resmii_per_orig\":{:.4},\
+         \"cycles\":{},\"kl_passes\":{},\"kl_probes\":{},\"kl_moves\":{},\"bin_packs\":{},\
+         \"schedules\":{},\"iis_tried\":[{}],\"max_live\":[{},{},{},{}],\"segments\":[",
+        report.boundary_checks,
+        c.ii_per_original_iteration(),
+        c.resmii_per_original_iteration(),
+        c.total_cycles(m),
+        s.kl_passes,
+        s.kl_probes,
+        s.kl_moves,
+        s.bin_packs,
+        s.schedules,
+        iis.join(","),
+        s.max_live[0],
+        s.max_live[1],
+        s.max_live[2],
+        s.max_live[3],
+    );
+    for (i, seg) in c.segments.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}{{\"ii\":{},\"stages\":{},\"registers\":{},\"dump\":\"{}\"",
+            seg.schedule.ii,
+            seg.schedule.stage_count,
+            seg.registers.is_some(),
+            json_escape(&seg.looop.to_string()),
+        );
+        match &seg.cleanup {
+            Some((cl, cs)) => {
+                let _ = write!(
+                    out,
+                    ",\"cleanup_ii\":{},\"cleanup_dump\":\"{}\"}}",
+                    cs.ii,
+                    json_escape(&cl.to_string())
+                );
+            }
+            None => out.push('}'),
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// [`compile_checked`] behind the two-tier cache: compute the
+/// [`request_key`], serve from memory or disk when present, otherwise
+/// compile, render the canonical result, and write it through both tiers.
+/// Returns the rendered result and where it came from.
+///
+/// Compile *errors* are not cached: pathological inputs re-diagnose on
+/// every request (they are rare and their diagnosis is the product).
+///
+/// # Errors
+///
+/// Exactly [`compile_checked`]'s errors; the cache itself never fails a
+/// request.
+pub fn compile_cached(
+    l: &Loop,
+    m: &MachineConfig,
+    cfg: &DriverConfig,
+    cache: &CompileCache,
+) -> Result<(Arc<str>, CacheOutcome), CompileError> {
+    let key = request_key(l, m, cfg);
+    if let Some(hit) = cache.lookup(key) {
+        return Ok(hit);
+    }
+    let (c, report) = compile_checked(l, m, cfg)?;
+    let body: Arc<str> = Arc::from(render_result(key, m, &c, &report));
+    cache.insert(key, Arc::clone(&body));
+    Ok((body, CacheOutcome::Compiled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Strategy;
+    use sv_ir::{LoopBuilder, ScalarType};
+
+    fn dot(name: &str) -> Loop {
+        let mut b = LoopBuilder::new(name);
+        b.trip(100);
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let m = b.fmul(lx, ly);
+        b.reduce_add(m);
+        b.finish()
+    }
+
+    #[test]
+    fn memory_round_trip_and_counters() {
+        let cache = CompileCache::in_memory();
+        let m = MachineConfig::figure1();
+        let cfg = DriverConfig::default();
+        let l = dot("dot");
+        let (cold, o1) = compile_cached(&l, &m, &cfg, &cache).unwrap();
+        assert_eq!(o1, CacheOutcome::Compiled);
+        let (warm, o2) = compile_cached(&l, &m, &cfg, &cache).unwrap();
+        assert_eq!(o2, CacheOutcome::Memory);
+        assert_eq!(cold, warm, "warm result must be byte-identical");
+        let st = cache.stats();
+        assert_eq!(st.mem_hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.entries, 1);
+        assert!(st.bytes > 0);
+        assert!((st.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_separates_machines_configs_and_loops() {
+        let l = dot("dot");
+        let cfg = DriverConfig::default();
+        let paper = MachineConfig::paper_default();
+        let fig1 = MachineConfig::figure1();
+        assert_ne!(request_key(&l, &paper, &cfg), request_key(&l, &fig1, &cfg));
+        let full = DriverConfig::for_strategy(Strategy::Full);
+        assert_ne!(request_key(&l, &paper, &cfg), request_key(&l, &paper, &full));
+        assert_ne!(request_key(&l, &paper, &cfg), request_key(&dot("dot2"), &paper, &cfg));
+    }
+
+    #[test]
+    fn lru_evicts_by_entry_budget() {
+        let cache = CompileCache::new(CacheConfig {
+            mem_entries: 2,
+            mem_bytes: usize::MAX >> 1,
+            shards: 1,
+            disk_dir: None,
+        })
+        .unwrap();
+        for i in 0..3 {
+            cache.insert(CanonicalHash(i), Arc::from(format!("body{i}").as_str()));
+        }
+        let st = cache.stats();
+        assert_eq!(st.entries, 2);
+        assert_eq!(st.evictions, 1);
+        // Key 0 was least recently used and must be gone; 1 and 2 remain.
+        assert!(cache.lookup(CanonicalHash(0)).is_none());
+        assert!(cache.lookup(CanonicalHash(1)).is_some());
+        assert!(cache.lookup(CanonicalHash(2)).is_some());
+    }
+
+    #[test]
+    fn lru_touch_refreshes_recency() {
+        let cache = CompileCache::new(CacheConfig {
+            mem_entries: 2,
+            mem_bytes: usize::MAX >> 1,
+            shards: 1,
+            disk_dir: None,
+        })
+        .unwrap();
+        cache.insert(CanonicalHash(1), Arc::from("a"));
+        cache.insert(CanonicalHash(2), Arc::from("b"));
+        assert!(cache.lookup(CanonicalHash(1)).is_some()); // 1 now MRU
+        cache.insert(CanonicalHash(3), Arc::from("c")); // evicts 2
+        assert!(cache.lookup(CanonicalHash(1)).is_some());
+        assert!(cache.lookup(CanonicalHash(2)).is_none());
+        assert!(cache.lookup(CanonicalHash(3)).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_keeps_newest() {
+        let cache = CompileCache::new(CacheConfig {
+            mem_entries: usize::MAX >> 1,
+            mem_bytes: 2 * (ENTRY_OVERHEAD + 8),
+            shards: 1,
+            disk_dir: None,
+        })
+        .unwrap();
+        cache.insert(CanonicalHash(1), Arc::from("12345678"));
+        cache.insert(CanonicalHash(2), Arc::from("12345678"));
+        assert_eq!(cache.stats().entries, 2);
+        // A huge entry exceeds the whole budget alone but must survive.
+        cache.insert(CanonicalHash(3), Arc::from("x".repeat(4096).as_str()));
+        let st = cache.stats();
+        assert_eq!(st.entries, 1);
+        assert!(cache.lookup(CanonicalHash(3)).is_some());
+    }
+
+    #[test]
+    fn disk_entry_validation_rejects_tampering() {
+        let key = CanonicalHash(42);
+        let good = render_disk_entry(key, "hello world");
+        assert_eq!(validate_disk_entry(&good, key).unwrap(), "hello world");
+        // Wrong expected key.
+        assert!(validate_disk_entry(&good, CanonicalHash(43)).is_err());
+        // Flipped body byte.
+        let bad = good.replace("hello", "jello");
+        assert!(validate_disk_entry(&bad, key).is_err());
+        // Truncation.
+        assert!(validate_disk_entry(&good[..good.len() - 1], key).is_err());
+        // Garbage.
+        assert!(validate_disk_entry("nonsense", key).is_err());
+    }
+
+    #[test]
+    fn render_result_is_deterministic_single_line_json() {
+        let l = dot("dot");
+        let m = MachineConfig::figure1();
+        let cfg = DriverConfig::default();
+        let key = request_key(&l, &m, &cfg);
+        let (c, report) = compile_checked(&l, &m, &cfg).unwrap();
+        let a = render_result(key, &m, &c, &report);
+        // A second compile renders byte-identically: no wall-clock fields.
+        let (c2, report2) = compile_checked(&l, &m, &cfg).unwrap();
+        assert_eq!(a, render_result(key, &m, &c2, &report2));
+        assert!(!a.contains('\n'), "single line: {a}");
+        assert!(a.contains("\"ii_per_orig\":1.0000"), "{a}");
+        assert!(a.contains("\"dump\":\"loop "), "{a}");
+        // The dump re-parses.
+        let dump_at = a.find("\"dump\":\"").unwrap() + 8;
+        let dump_end = a[dump_at..].find("\",\"").unwrap() + dump_at;
+        let dump = a[dump_at..dump_end].replace("\\n", "\n").replace("\\\"", "\"");
+        sv_ir::parse_loop(&dump).expect("segment dump re-parses");
+    }
+}

@@ -352,7 +352,7 @@ pub struct CompilationReport {
 }
 
 /// Minimal JSON string escape (quotes, backslashes, control characters).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -28,11 +28,15 @@
 //! assert_eq!(sel.ii_per_original_iteration(), 1.0); // Figure 1(f)
 //! ```
 
+pub mod cache;
 mod driver;
 pub mod parallel;
 mod partition;
 mod pipeline;
 
+pub use cache::{
+    compile_cached, request_key, CacheConfig, CacheOutcome, CacheStats, CompileCache,
+};
 pub use driver::{
     compile_checked, CompilationReport, CompileError, DriverConfig, Fallback, Pass,
     PassStats,

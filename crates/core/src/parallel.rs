@@ -28,12 +28,16 @@ use std::sync::mpsc;
 /// The worker-thread count to use when the caller does not say: the
 /// `SV_JOBS` environment variable when set to a positive integer,
 /// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+/// An `SV_JOBS` value that is not a positive integer is diagnosed on
+/// stderr (once per call) rather than silently ignored.
 pub fn default_jobs() -> usize {
     if let Ok(v) = std::env::var("SV_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "sv-core: ignoring invalid SV_JOBS=`{v}` (expected a positive integer); \
+                 falling back to available parallelism"
+            ),
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -164,6 +168,20 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn default_jobs_warns_and_falls_back_on_invalid_sv_jobs() {
+        // The env var is process-global; this is the only test in this
+        // binary that touches SV_JOBS, so no cross-test race.
+        std::env::set_var("SV_JOBS", "abc");
+        assert!(default_jobs() >= 1);
+        std::env::set_var("SV_JOBS", "0");
+        assert!(default_jobs() >= 1);
+        std::env::set_var("SV_JOBS", "3");
+        assert_eq!(default_jobs(), 3);
+        std::env::remove_var("SV_JOBS");
+        assert!(default_jobs() >= 1);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Canonical content hashing for loops.
+//!
+//! [`Loop::canonical_hash`] produces a stable 128-bit fingerprint of a
+//! loop (plus any caller-supplied context sections, e.g. a machine
+//! description and compiler settings) suitable as a content-addressed
+//! cache key. The hash is computed over the loop's canonical *display
+//! form* — the exact text [`Loop`]'s `Display` emits — so it is invariant
+//! under everything the display→parse round trip normalizes away
+//! (insignificant whitespace, default annotations, formatting variants of
+//! the same structure): `parse_loop(&l.to_string())` hashes identically
+//! to `l` by construction.
+//!
+//! The hash function is FNV-1a/128, implemented here so the workspace
+//! stays dependency-free. It is *not* cryptographic; it is a stable,
+//! well-distributed fingerprint for cache addressing, where a collision
+//! costs a wasted recompile check, not correctness.
+//!
+//! ```
+//! use sv_ir::{parse_loop, LoopBuilder, ScalarType};
+//!
+//! let mut b = LoopBuilder::new("copy");
+//! let x = b.array("x", ScalarType::F64, 16);
+//! let lx = b.load(x, 1, 0);
+//! b.store(x, 1, 8, lx);
+//! let l = b.finish();
+//!
+//! let h = l.canonical_hash(&["machine-v1", "cfg-v1"]);
+//! let reparsed = parse_loop(&l.to_string()).unwrap();
+//! assert_eq!(h, reparsed.canonical_hash(&["machine-v1", "cfg-v1"]));
+//! assert_ne!(h, l.canonical_hash(&["machine-v2", "cfg-v1"]));
+//! ```
+
+use crate::program::Loop;
+use std::fmt;
+use std::str::FromStr;
+
+/// FNV-1a/128 offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a/128 prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A stable 128-bit content hash (see module docs for the contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalHash(pub u128);
+
+impl CanonicalHash {
+    /// Render as 32 lowercase hex digits (the on-disk / wire spelling).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for CanonicalHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for CanonicalHash {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CanonicalHash, String> {
+        if s.len() != 32 {
+            return Err(format!("canonical hash must be 32 hex digits, got {}", s.len()));
+        }
+        u128::from_str_radix(s, 16)
+            .map(CanonicalHash)
+            .map_err(|e| format!("bad canonical hash `{s}`: {e}"))
+    }
+}
+
+/// Incremental FNV-1a/128 hasher with length-delimited sections.
+///
+/// Sections prevent boundary ambiguity: feeding `("ab", "c")` and
+/// `("a", "bc")` produce different hashes, because every section is
+/// prefixed with its byte length.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    state: u128,
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> CanonicalHasher {
+        CanonicalHasher::new()
+    }
+}
+
+impl CanonicalHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> CanonicalHasher {
+        CanonicalHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one length-prefixed section.
+    pub fn section(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> CanonicalHash {
+        CanonicalHash(self.state)
+    }
+}
+
+impl Loop {
+    /// The loop's canonical content hash, combined with any number of
+    /// caller context sections (conventionally: a machine-description
+    /// fingerprint and a compiler-configuration fingerprint, making the
+    /// result a complete compile-request cache key).
+    ///
+    /// Stable across the display→parse round trip: the loop contributes
+    /// its canonical display form, so any textual spelling that parses to
+    /// this loop hashes the same.
+    pub fn canonical_hash(&self, context: &[&str]) -> CanonicalHash {
+        let mut h = CanonicalHasher::new();
+        h.section(b"sv-ir/canonical-hash/v1");
+        h.section(self.to_string().as_bytes());
+        for part in context {
+            h.section(part.as_bytes());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::parse::parse_loop;
+    use crate::types::ScalarType;
+
+    fn sample() -> Loop {
+        let mut b = LoopBuilder::new("dot");
+        b.trip(100);
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let ly = b.load(y, 1, 0);
+        let m = b.fmul(lx, ly);
+        b.reduce_add(m);
+        b.finish()
+    }
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a/128 of the empty input is the offset basis; "a" is a
+        // published test vector.
+        assert_eq!(CanonicalHasher::new().finish().0, FNV_OFFSET);
+        let mut h = CanonicalHasher::new();
+        h.update(b"a");
+        assert_eq!(h.finish().to_hex(), "d228cb696f1a8caf78912b704e4a8964");
+    }
+
+    #[test]
+    fn sections_are_unambiguous() {
+        let mut a = CanonicalHasher::new();
+        a.section(b"ab");
+        a.section(b"c");
+        let mut b = CanonicalHasher::new();
+        b.section(b"a");
+        b.section(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_across_round_trip() {
+        let l = sample();
+        let r = parse_loop(&l.to_string()).unwrap();
+        assert_eq!(l.canonical_hash(&[]), r.canonical_hash(&[]));
+        assert_eq!(l.canonical_hash(&["m", "c"]), r.canonical_hash(&["m", "c"]));
+    }
+
+    #[test]
+    fn sensitive_to_loop_and_context() {
+        let l = sample();
+        let mut l2 = l.clone();
+        l2.trip.count += 1;
+        assert_ne!(l.canonical_hash(&[]), l2.canonical_hash(&[]));
+        assert_ne!(l.canonical_hash(&["a"]), l.canonical_hash(&["b"]));
+        assert_ne!(l.canonical_hash(&[]), l.canonical_hash(&[""]));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let h = sample().canonical_hash(&["x"]);
+        let parsed: CanonicalHash = h.to_hex().parse().unwrap();
+        assert_eq!(h, parsed);
+        assert!("zz".parse::<CanonicalHash>().is_err());
+        assert!("0".repeat(31).parse::<CanonicalHash>().is_err());
+    }
+}

@@ -38,6 +38,7 @@
 mod builder;
 mod display;
 mod frontend;
+mod hash;
 mod mem;
 mod op;
 mod parse;
@@ -48,6 +49,7 @@ mod verify;
 
 pub use builder::LoopBuilder;
 pub use frontend::loop_from_source;
+pub use hash::{CanonicalHash, CanonicalHasher};
 pub use mem::{ArrayDecl, ArrayFill, ArrayId, MemRef};
 pub use op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
 pub use parse::{parse_loop, ParseError};

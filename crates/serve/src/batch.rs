@@ -1,0 +1,477 @@
+//! The bounded request queue and batching drainer.
+//!
+//! All verbs flow through one FIFO queue drained by a single thread:
+//!
+//! * adjacent `compile` requests coalesce into a **batch** that flushes
+//!   when it reaches [`BatchConfig::batch_max`], when the oldest queued
+//!   request has waited [`BatchConfig::flush_ms`], or when nothing else
+//!   can join it (a non-compile verb or shutdown is behind it);
+//! * a flushed batch fans out onto [`sv_core::parallel::run_ordered`],
+//!   which preserves the workspace's determinism guarantee: the worker
+//!   count never changes response bytes or order;
+//! * the queue is **bounded** — a submission that would push the queued
+//!   compile weight past [`BatchConfig::queue_cap`] is rejected with
+//!   [`ServeError::Overloaded`] instead of growing without limit;
+//! * `stats` and `shutdown` ride the same queue, so a `stats` response
+//!   reflects every request submitted before it, deterministically.
+//!
+//! Responses are written to each request's sink in submission order by
+//! the drainer thread alone, so per-connection output order always
+//! matches input order.
+
+use crate::proto::{
+    batch_response, error_object, error_response, ok_response, CompileRequest, Request,
+    ServeError,
+};
+use crate::service::ServeService;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use sv_core::parallel::run_ordered;
+
+/// Where a response line goes (stdout, a TCP stream, or a test buffer).
+pub type Sink = Arc<Mutex<dyn Write + Send>>;
+
+/// Queue and batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Largest compile run flushed at once.
+    pub batch_max: usize,
+    /// Longest a queued compile waits for companions before flushing.
+    pub flush_ms: u64,
+    /// Maximum queued compile weight (one per compile, batch counts its
+    /// length); submissions past this are rejected, never buffered.
+    pub queue_cap: usize,
+    /// Worker threads per flushed run (1 = inline serial).
+    pub jobs: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { batch_max: 32, flush_ms: 2, queue_cap: 1024, jobs: 1 }
+    }
+}
+
+/// One queued unit of work.
+enum Work {
+    Compile { id: u64, req: Box<CompileRequest> },
+    Batch { id: u64, reqs: Vec<CompileRequest> },
+    Stats { id: u64 },
+    Shutdown { id: u64 },
+}
+
+impl Work {
+    /// Queue weight: how many compiles this admits.
+    fn weight(&self) -> usize {
+        match self {
+            Work::Compile { .. } => 1,
+            Work::Batch { reqs, .. } => reqs.len(),
+            Work::Stats { .. } | Work::Shutdown { .. } => 0,
+        }
+    }
+}
+
+struct Item {
+    work: Work,
+    out: Sink,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct Queue {
+    items: VecDeque<Item>,
+    /// Sum of queued [`Work::weight`]s.
+    weight: usize,
+    /// Set by `shutdown` or [`Batcher::close`]; stops admissions and
+    /// flushes immediately.
+    closed: bool,
+}
+
+/// Counters reported by the `stats` verb's `queue` object.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests rejected with `overloaded`.
+    pub rejected: u64,
+    /// Individual compiles executed (batch members included).
+    pub compiles: u64,
+    /// Compile runs flushed to the worker pool.
+    pub flushes: u64,
+}
+
+struct Inner {
+    svc: Arc<ServeService>,
+    cfg: BatchConfig,
+    q: Mutex<Queue>,
+    cv: Condvar,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    compiles: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// The queue front-end plus its drainer thread. Shared by every
+/// connection; dropped (via [`Batcher::join`]) only after close.
+pub struct Batcher {
+    inner: Arc<Inner>,
+    drainer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Start a batcher (and its drainer thread) over a service.
+    pub fn new(svc: Arc<ServeService>, cfg: BatchConfig) -> Batcher {
+        let inner = Arc::new(Inner {
+            svc,
+            cfg,
+            q: Mutex::new(Queue::default()),
+            cv: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        });
+        let for_thread = Arc::clone(&inner);
+        let drainer = std::thread::Builder::new()
+            .name("sv-serve-drain".into())
+            .spawn(move || drain(&for_thread))
+            .expect("spawn drainer");
+        Batcher { inner, drainer: Some(drainer) }
+    }
+
+    /// Enqueue one decoded request; its response will be written to
+    /// `out` by the drainer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] after shutdown/close. The caller
+    /// reports these to the client itself — nothing was enqueued.
+    pub fn submit(&self, request: Request, out: Sink) -> Result<(), ServeError> {
+        let work = match request {
+            Request::Compile { id, req } => Work::Compile { id, req },
+            Request::Batch { id, reqs } => Work::Batch { id, reqs },
+            Request::Stats { id } => Work::Stats { id },
+            Request::Shutdown { id } => Work::Shutdown { id },
+        };
+        let w = work.weight();
+        let mut q = self.inner.q.lock().expect("serve queue poisoned");
+        if q.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.weight + w > self.inner.cfg.queue_cap {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { cap: self.inner.cfg.queue_cap });
+        }
+        q.weight += w;
+        q.items.push_back(Item { work, out, submitted: Instant::now() });
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.cv.notify_all();
+        Ok(())
+    }
+
+    /// Stop admitting work and flush whatever is queued (used on stdin
+    /// EOF / listener teardown; the `shutdown` verb does this itself).
+    pub fn close(&self) {
+        self.inner.q.lock().expect("serve queue poisoned").closed = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Wait for the drainer to finish every queued request and exit.
+    /// Call after [`Batcher::close`] or a submitted `shutdown`.
+    pub fn join(mut self) {
+        if let Some(h) = self.drainer.take() {
+            h.join().expect("drainer panicked");
+        }
+    }
+
+    /// Whether the queue has stopped admitting work (shutdown or
+    /// [`Batcher::close`]). Lets accept loops wind down.
+    pub fn is_closed(&self) -> bool {
+        self.inner.q.lock().expect("serve queue poisoned").closed
+    }
+
+    /// Point-in-time queue counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            compiles: self.inner.compiles.load(Ordering::Relaxed),
+            flushes: self.inner.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(h) = self.drainer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What the drainer decided to do with the queue head.
+enum Action {
+    Run(Vec<Item>),
+    One(Item),
+    Exit,
+}
+
+/// Pop the next unit of work, blocking until a flush condition holds.
+fn next_action(inner: &Inner) -> Action {
+    let flush = Duration::from_millis(inner.cfg.flush_ms);
+    let mut q = inner.q.lock().expect("serve queue poisoned");
+    loop {
+        if q.items.is_empty() {
+            if q.closed {
+                return Action::Exit;
+            }
+            q = inner.cv.wait(q).expect("serve queue poisoned");
+            continue;
+        }
+        if !matches!(q.items[0].work, Work::Compile { .. }) {
+            let item = q.items.pop_front().expect("checked non-empty");
+            q.weight -= item.work.weight();
+            return Action::One(item);
+        }
+        // Head is a compile: measure the contiguous run that could flush.
+        let run_len = q
+            .items
+            .iter()
+            .take(inner.cfg.batch_max)
+            .take_while(|i| matches!(i.work, Work::Compile { .. }))
+            .count();
+        let capped = run_len >= inner.cfg.batch_max;
+        // Nothing more can ever join: a non-compile verb sits right
+        // behind the run, so waiting out the timer buys nothing.
+        let sealed = run_len < q.items.len();
+        let deadline = q.items[0].submitted + flush;
+        let now = Instant::now();
+        if capped || sealed || q.closed || now >= deadline {
+            q.weight -= run_len;
+            return Action::Run(q.items.drain(..run_len).collect());
+        }
+        let (guard, _) = inner
+            .cv
+            .wait_timeout(q, deadline - now)
+            .expect("serve queue poisoned");
+        q = guard;
+    }
+}
+
+/// Write one response line and flush it out to the client.
+fn respond(out: &Sink, line: &str) {
+    let mut w = out.lock().expect("response sink poisoned");
+    // A dead sink (client hung up) only loses that client's response.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// Execute `reqs` (all submitted at `submitted`) on the worker pool,
+/// returning per-request result bodies or errors in request order.
+fn execute(
+    inner: &Inner,
+    reqs: &[CompileRequest],
+    submitted: Instant,
+) -> Vec<Result<Arc<str>, ServeError>> {
+    // Deadlines are decided once, here, on the drainer thread — not
+    // inside the workers — so the verdict is independent of worker
+    // scheduling.
+    let now = Instant::now();
+    let expired: Vec<Option<u64>> = reqs
+        .iter()
+        .map(|r| match r.timeout {
+            Some(t) if now.saturating_duration_since(submitted) > t => {
+                Some(t.as_millis() as u64)
+            }
+            _ => None,
+        })
+        .collect();
+    inner.flushes.fetch_add(1, Ordering::Relaxed);
+    inner.compiles.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+    run_ordered(reqs, inner.cfg.jobs, |i, req| match expired[i] {
+        Some(timeout_ms) => Err(ServeError::DeadlineExceeded { timeout_ms }),
+        None => inner.svc.compile_body(req).map(|(body, _)| body),
+    })
+}
+
+/// The drainer thread: pop, execute, respond, until closed and empty.
+fn drain(inner: &Inner) {
+    loop {
+        match next_action(inner) {
+            Action::Exit => return,
+            Action::Run(items) => {
+                let (reqs, meta): (Vec<CompileRequest>, Vec<(u64, Sink, Instant)>) = items
+                    .into_iter()
+                    .map(|item| match item.work {
+                        Work::Compile { id, req } => (*req, (id, item.out, item.submitted)),
+                        _ => unreachable!("runs hold only compiles"),
+                    })
+                    .unzip();
+                // One shared submission time keeps a run's deadline
+                // verdicts as conservative as its oldest member.
+                let oldest = meta.iter().map(|(_, _, t)| *t).min().expect("non-empty run");
+                let results = execute(inner, &reqs, oldest);
+                for ((id, out, _), result) in meta.iter().zip(&results) {
+                    match result {
+                        Ok(body) => respond(out, &ok_response(*id, body)),
+                        Err(e) => respond(out, &error_response(*id, e)),
+                    }
+                }
+            }
+            Action::One(item) => match item.work {
+                Work::Batch { id, reqs } => {
+                    let results = execute(inner, &reqs, item.submitted);
+                    let elements: Vec<String> = results
+                        .iter()
+                        .map(|r| match r {
+                            Ok(body) => body.to_string(),
+                            Err(e) => error_object(e),
+                        })
+                        .collect();
+                    respond(&item.out, &batch_response(id, &elements));
+                }
+                Work::Stats { id } => {
+                    let qs = QueueStats {
+                        submitted: inner.submitted.load(Ordering::Relaxed),
+                        rejected: inner.rejected.load(Ordering::Relaxed),
+                        compiles: inner.compiles.load(Ordering::Relaxed),
+                        flushes: inner.flushes.load(Ordering::Relaxed),
+                    };
+                    let result = format!(
+                        "{{\"cache\":{},\"queue\":{{\"submitted\":{},\"rejected\":{},\
+                         \"compiles\":{},\"flushes\":{}}}}}",
+                        inner.svc.stats_object(),
+                        qs.submitted,
+                        qs.rejected,
+                        qs.compiles,
+                        qs.flushes,
+                    );
+                    respond(&item.out, &ok_response(id, &result));
+                }
+                Work::Shutdown { id } => {
+                    respond(&item.out, &ok_response(id, "{\"shutdown\":true}"));
+                    inner.q.lock().expect("serve queue poisoned").closed = true;
+                    inner.cv.notify_all();
+                }
+                Work::Compile { .. } => unreachable!("compiles flush as runs"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::parse_request;
+    use sv_workloads::benchmark;
+
+    fn buffer() -> (Sink, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (buf.clone() as Sink, buf)
+    }
+
+    fn suite_requests(n: usize) -> Vec<Request> {
+        let suite = benchmark("swim").expect("swim suite exists");
+        (0..n)
+            .map(|i| {
+                let l = &suite.loops[i % suite.loops.len()];
+                parse_request(
+                    &CompileRequest { loop_text: l.to_string(), ..CompileRequest::default() }
+                        .to_wire(i as u64),
+                )
+                .expect("self-rendered request parses")
+            })
+            .collect()
+    }
+
+    fn run_to_bytes(jobs: usize, requests: Vec<Request>) -> Vec<u8> {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Batcher::new(svc, BatchConfig { jobs, ..BatchConfig::default() });
+        let (sink, buf) = buffer();
+        for r in requests {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        b.close();
+        b.join();
+        let bytes = buf.lock().unwrap().clone();
+        bytes
+    }
+
+    #[test]
+    fn worker_count_never_changes_response_bytes() {
+        let serial = run_to_bytes(1, suite_requests(6));
+        let parallel = run_to_bytes(4, suite_requests(6));
+        assert!(!serial.is_empty());
+        assert_eq!(
+            String::from_utf8(serial).unwrap(),
+            String::from_utf8(parallel).unwrap(),
+            "jobs=1 and jobs=4 must produce identical bytes in identical order"
+        );
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overload() {
+        let svc = Arc::new(ServeService::in_memory());
+        // Huge batch_max + long flush keep submissions queued, so the
+        // third compile must bounce off the cap deterministically.
+        let b = Batcher::new(
+            svc,
+            BatchConfig { batch_max: 64, flush_ms: 60_000, queue_cap: 2, jobs: 1 },
+        );
+        let (sink, _buf) = buffer();
+        let mut reqs = suite_requests(3).into_iter();
+        b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        let e = b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap_err();
+        assert!(matches!(e, ServeError::Overloaded { cap: 2 }));
+        assert_eq!(b.stats().rejected, 1);
+        b.close();
+        b.join();
+    }
+
+    #[test]
+    fn zero_timeout_hits_deadline() {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Batcher::new(svc, BatchConfig::default());
+        let (sink, buf) = buffer();
+        let suite = benchmark("swim").unwrap();
+        let req = CompileRequest {
+            loop_text: suite.loops[0].to_string(),
+            timeout: Some(Duration::ZERO),
+            ..CompileRequest::default()
+        };
+        b.submit(Request::Compile { id: 9, req: Box::new(req) }, sink).unwrap();
+        b.close();
+        b.join();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(out.contains("\"kind\":\"deadline\""), "{out}");
+        assert!(out.contains("\"id\":9"), "{out}");
+    }
+
+    #[test]
+    fn shutdown_verb_acks_and_drains() {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Batcher::new(svc, BatchConfig::default());
+        let (sink, buf) = buffer();
+        for r in suite_requests(2) {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        b.submit(Request::Stats { id: 90 }, Arc::clone(&sink)).unwrap();
+        b.submit(Request::Shutdown { id: 99 }, Arc::clone(&sink)).unwrap();
+        b.join();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // Both compiles answered (in order), then stats, then the ack.
+        assert!(lines.len() >= 4, "{out}");
+        assert!(lines[0].contains("\"id\":0"), "{out}");
+        assert!(lines[1].contains("\"id\":1"), "{out}");
+        assert!(lines[2].contains("\"cache\":{"), "{out}");
+        assert!(lines[lines.len() - 1].contains("\"shutdown\":true"), "{out}");
+        // Stats ran after both compiles: it must report 2 lookups.
+        assert!(lines[2].contains("\"compiles\":2"), "{out}");
+    }
+}

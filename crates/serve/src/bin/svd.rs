@@ -1,0 +1,173 @@
+//! `svd` — the selective-vectorization compilation daemon.
+//!
+//! Serves the newline-delimited JSON protocol (see `sv_serve::proto`)
+//! over stdin/stdout by default, or over TCP with `--tcp ADDR`. Every
+//! request flows through the bounded batching queue onto the
+//! deterministic worker pool, fronted by the two-tier compilation cache.
+//!
+//! ```text
+//! svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N]
+//!     [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! $ echo '{"verb":"compile","id":1,"loop":"..."}' | svd --disk /tmp/svc
+//! $ svd --tcp 127.0.0.1:7199 --jobs 8 &
+//! ```
+//!
+//! Exit is triggered by the `shutdown` verb or stdin EOF; either way the
+//! queue drains fully before the process ends.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use sv_core::CacheConfig;
+use sv_serve::{parse_request, BatchConfig, Batcher, ServeService, Sink};
+
+struct Options {
+    tcp: Option<String>,
+    batch: BatchConfig,
+    cache: CacheConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N] \
+         [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        tcp: None,
+        batch: BatchConfig { jobs: sv_core::parallel::default_jobs(), ..BatchConfig::default() },
+        cache: CacheConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("svd: {name} needs a value");
+                usage()
+            })
+        };
+        let num = |name: &str, v: String| -> usize {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("svd: {name} wants an unsigned integer, got `{v}`");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--tcp" => opts.tcp = Some(val("--tcp")),
+            "--jobs" => opts.batch.jobs = num("--jobs", val("--jobs")).max(1),
+            "--batch-max" => opts.batch.batch_max = num("--batch-max", val("--batch-max")).max(1),
+            "--flush-ms" => opts.batch.flush_ms = num("--flush-ms", val("--flush-ms")) as u64,
+            "--queue-cap" => opts.batch.queue_cap = num("--queue-cap", val("--queue-cap")).max(1),
+            "--mem-entries" => opts.cache.mem_entries = num("--mem-entries", val("--mem-entries")),
+            "--mem-bytes" => opts.cache.mem_bytes = num("--mem-bytes", val("--mem-bytes")),
+            "--disk" => opts.cache.disk_dir = Some(PathBuf::from(val("--disk"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("svd: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+/// Read request lines from `input`, submitting each to the batcher;
+/// admission failures (parse, overload, shutdown) are answered
+/// immediately on `sink` without occupying the queue.
+fn serve_lines(input: impl BufRead, batcher: &Batcher, sink: &Sink) {
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = match parse_request(&line) {
+            Ok(req) => {
+                let id = req.id();
+                batcher.submit(req, Arc::clone(sink)).err().map(|e| (id, e))
+            }
+            Err((id, e)) => Some((id, e)),
+        };
+        if let Some((id, e)) = outcome {
+            let mut w = sink.lock().expect("sink poisoned");
+            let _ = writeln!(w, "{}", sv_serve::proto::error_response(id, &e));
+            let _ = w.flush();
+        }
+    }
+}
+
+fn serve_stdio(batcher: Batcher) {
+    let sink: Sink = Arc::new(Mutex::new(std::io::stdout()));
+    serve_lines(std::io::stdin().lock(), &batcher, &sink);
+    batcher.close();
+    batcher.join();
+}
+
+fn serve_tcp(addr: &str, batcher: Batcher) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    eprintln!("svd: listening on {}", listener.local_addr()?);
+    let batcher = Arc::new(batcher);
+    let mut conns = Vec::new();
+    // Poll so the accept loop can notice a protocol-initiated shutdown.
+    while !batcher.is_closed() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let reader = stream.try_clone()?;
+                let sink: Sink = Arc::new(Mutex::new(stream));
+                let b = Arc::clone(&batcher);
+                conns.push(
+                    std::thread::Builder::new()
+                        .name(format!("sv-serve-conn-{peer}"))
+                        .spawn(move || serve_lines(BufReader::new(reader), &b, &sink))?,
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    drop(listener);
+    // Finish answering already-connected clients, then drain the queue.
+    for c in conns {
+        let _ = c.join();
+    }
+    match Arc::try_unwrap(batcher) {
+        Ok(b) => b.join(),
+        Err(_) => unreachable!("all connection threads joined"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let svc = match ServeService::new(opts.cache) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("svd: cannot open cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let batcher = Batcher::new(svc, opts.batch);
+    match opts.tcp {
+        None => serve_stdio(batcher),
+        Some(addr) => {
+            if let Err(e) = serve_tcp(&addr, batcher) {
+                eprintln!("svd: tcp server failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

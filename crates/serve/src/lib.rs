@@ -1,0 +1,37 @@
+//! # sv-serve — a cache-fronted batched compilation service
+//!
+//! Autotuners and design-space explorers call the selective-vectorization
+//! pipeline as a *service*: thousands of `(loop, machine, config)`
+//! requests, heavily repeated, latency-sensitive. This crate wraps
+//! [`sv_core`]'s cache-fronted driver in a newline-delimited JSON
+//! protocol served by the `svd` binary over stdin/stdout or TCP:
+//!
+//! * [`json`] — a dependency-free JSON reader/writer for the wire;
+//! * [`proto`] — request/response types, the typed [`proto::ServeError`]
+//!   taxonomy, and the wire renderings;
+//! * [`service`] — decode → [`sv_core::compile_cached`] → canonical body;
+//! * [`batch`] — the bounded queue and batching drainer that fans
+//!   requests onto the deterministic worker pool.
+//!
+//! The load-generator client (`loadgen`) lives in `sv-bench`, next to the
+//! other measurement binaries.
+//!
+//! ## Guarantees
+//!
+//! * **Byte-determinism** — identical requests produce byte-identical
+//!   result objects: cold, from memory, from disk, at any `--jobs`.
+//! * **Bounded memory** — the queue rejects (`overloaded`) instead of
+//!   buffering without limit; the cache's memory tier is LRU-bounded by
+//!   entries and bytes.
+//! * **Graceful degradation** — a corrupt disk-cache entry quarantines
+//!   and recompiles; a compile failure answers one request, not the
+//!   process.
+
+pub mod batch;
+pub mod json;
+pub mod proto;
+pub mod service;
+
+pub use batch::{BatchConfig, Batcher, QueueStats, Sink};
+pub use proto::{parse_request, CompileRequest, Request, ServeError};
+pub use service::ServeService;

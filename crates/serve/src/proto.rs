@@ -1,0 +1,447 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line in, one response per line out (responses carry
+//! the request's `id`, so a client can correlate even when rejections
+//! interleave with batched results). Verbs:
+//!
+//! | verb | request fields | result |
+//! |---|---|---|
+//! | `compile` | `loop` (textual IR), `machine`, `strategy`, knobs | canonical compile result |
+//! | `batch` | `requests`: array of compile bodies | array of per-request results |
+//! | `stats` | — | cache/queue counters |
+//! | `shutdown` | — | ack; server drains and exits |
+//!
+//! Compile responses embed [`sv_core::cache::render_result`]'s canonical
+//! rendering verbatim, so identical requests get byte-identical `result`
+//! objects whether compiled, served from memory, or served from disk.
+
+use crate::json::{self, Value};
+use sv_core::{CompileError, DriverConfig, SelectiveConfig, Strategy};
+use sv_machine::MachineConfig;
+use std::fmt;
+use std::time::Duration;
+
+/// A typed service-level failure (distinct from a compile failure, which
+/// carries its own taxonomy from the driver).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded request queue is full; the client should back off.
+    Overloaded {
+        /// The configured queue capacity that was exceeded.
+        cap: usize,
+    },
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExceeded {
+        /// The deadline the client asked for.
+        timeout_ms: u64,
+    },
+    /// The request line was not valid JSON.
+    Parse {
+        /// The reader's complaint.
+        message: String,
+    },
+    /// The request was well-formed JSON but semantically invalid
+    /// (unknown verb/machine/strategy, missing field, bad loop text).
+    BadRequest {
+        /// What was wrong.
+        message: String,
+    },
+    /// The server is draining after a `shutdown` request.
+    ShuttingDown,
+    /// The compilation itself failed (typed driver taxonomy).
+    Compile(Box<CompileError>),
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminator used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::Parse { .. } => "parse",
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Compile(_) => "compile",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { cap } => {
+                write!(f, "queue full (capacity {cap}); retry later")
+            }
+            ServeError::DeadlineExceeded { timeout_ms } => {
+                write!(f, "deadline of {timeout_ms} ms passed before execution")
+            }
+            ServeError::Parse { message } => write!(f, "bad request line: {message}"),
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One compile request, decoded from the wire (or built directly by an
+/// in-process client like `loadgen`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// The loop, in the textual IR format (`sv_ir::parse_loop`'s grammar).
+    pub loop_text: String,
+    /// Named machine: `"paper"` (Table 1, the default) or `"figure1"`.
+    pub machine: String,
+    /// Strategy name (default `"selective"`).
+    pub strategy: Strategy,
+    /// `SelectiveConfig::account_communication`.
+    pub account_comm: bool,
+    /// `SelectiveConfig::squares_tiebreak`.
+    pub squares_tiebreak: bool,
+    /// `SelectiveConfig::pressure_aware`.
+    pub pressure_aware: bool,
+    /// `DriverConfig::verify_boundaries`.
+    pub verify_boundaries: bool,
+    /// `DriverConfig::degrade`.
+    pub degrade: bool,
+    /// Optional per-request deadline, measured from submission.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for CompileRequest {
+    fn default() -> CompileRequest {
+        CompileRequest {
+            loop_text: String::new(),
+            machine: "paper".into(),
+            strategy: Strategy::Selective,
+            account_comm: true,
+            squares_tiebreak: true,
+            pressure_aware: false,
+            verify_boundaries: true,
+            degrade: true,
+            timeout: None,
+        }
+    }
+}
+
+impl CompileRequest {
+    /// Resolve the named machine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an unknown machine name.
+    pub fn machine_config(&self) -> Result<MachineConfig, ServeError> {
+        match self.machine.as_str() {
+            "paper" => Ok(MachineConfig::paper_default()),
+            "figure1" => Ok(MachineConfig::figure1()),
+            other => Err(ServeError::BadRequest {
+                message: format!("unknown machine `{other}` (want `paper` or `figure1`)"),
+            }),
+        }
+    }
+
+    /// The driver configuration this request asks for.
+    pub fn driver_config(&self) -> DriverConfig {
+        DriverConfig {
+            strategy: self.strategy,
+            selective: SelectiveConfig {
+                account_communication: self.account_comm,
+                squares_tiebreak: self.squares_tiebreak,
+                pressure_aware: self.pressure_aware,
+                ..SelectiveConfig::default()
+            },
+            verify_boundaries: self.verify_boundaries,
+            degrade: self.degrade,
+            ..DriverConfig::default()
+        }
+    }
+
+    /// Render this request as one wire line (used by `loadgen`'s trace
+    /// emitter; the server never writes requests).
+    pub fn to_wire(&self, id: u64) -> String {
+        format!(
+            "{{\"verb\":\"compile\",\"id\":{id},\"machine\":\"{}\",\"strategy\":\"{}\",\
+             \"loop\":\"{}\"}}",
+            json::escape(&self.machine),
+            strategy_name(self.strategy),
+            json::escape(&self.loop_text),
+        )
+    }
+}
+
+/// A decoded request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Compile one loop.
+    Compile {
+        /// Client correlation id.
+        id: u64,
+        /// The request body.
+        req: Box<CompileRequest>,
+    },
+    /// Compile several loops as one unit; the response carries results in
+    /// request order.
+    Batch {
+        /// Client correlation id.
+        id: u64,
+        /// The sub-requests.
+        reqs: Vec<CompileRequest>,
+    },
+    /// Report cache and queue counters.
+    Stats {
+        /// Client correlation id.
+        id: u64,
+    },
+    /// Drain pending work and exit.
+    Shutdown {
+        /// Client correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The client correlation id carried by every verb.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Compile { id, .. }
+            | Request::Batch { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// The strategy's wire spelling (round-trips through
+/// [`parse_strategy`]; distinct from `Display`, which uses
+/// presentation forms like `modulo(no-unroll)`).
+pub fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::ModuloNoUnroll => "modulo-no-unroll",
+        Strategy::ModuloOnly => "modulo",
+        Strategy::Traditional => "traditional",
+        Strategy::Full => "full",
+        Strategy::Selective => "selective",
+        Strategy::Widened => "widened",
+    }
+}
+
+/// Parse a strategy's wire spelling.
+///
+/// # Errors
+///
+/// [`ServeError::BadRequest`] listing the accepted names.
+pub fn parse_strategy(name: &str) -> Result<Strategy, ServeError> {
+    for s in Strategy::ALL {
+        if strategy_name(s) == name {
+            return Ok(s);
+        }
+    }
+    Err(ServeError::BadRequest {
+        message: format!(
+            "unknown strategy `{name}` (want one of: {})",
+            Strategy::ALL.map(strategy_name).join(", ")
+        ),
+    })
+}
+
+fn bad(message: impl Into<String>) -> ServeError {
+    ServeError::BadRequest { message: message.into() }
+}
+
+fn compile_body(v: &Value) -> Result<CompileRequest, ServeError> {
+    let mut req = CompileRequest {
+        loop_text: v
+            .get("loop")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("missing string field `loop`"))?
+            .to_string(),
+        ..CompileRequest::default()
+    };
+    if let Some(m) = v.get("machine") {
+        req.machine = m.as_str().ok_or_else(|| bad("`machine` must be a string"))?.to_string();
+    }
+    if let Some(s) = v.get("strategy") {
+        req.strategy =
+            parse_strategy(s.as_str().ok_or_else(|| bad("`strategy` must be a string"))?)?;
+    }
+    let flag = |key: &str, slot: &mut bool| -> Result<(), ServeError> {
+        if let Some(b) = v.get(key) {
+            *slot = b.as_bool().ok_or_else(|| bad(format!("`{key}` must be a boolean")))?;
+        }
+        Ok(())
+    };
+    flag("account_comm", &mut req.account_comm)?;
+    flag("squares_tiebreak", &mut req.squares_tiebreak)?;
+    flag("pressure_aware", &mut req.pressure_aware)?;
+    flag("verify_boundaries", &mut req.verify_boundaries)?;
+    flag("degrade", &mut req.degrade)?;
+    if let Some(t) = v.get("timeout_ms") {
+        let ms = t.as_u64().ok_or_else(|| bad("`timeout_ms` must be a non-negative integer"))?;
+        req.timeout = Some(Duration::from_millis(ms));
+    }
+    Ok(req)
+}
+
+/// Decode one request line. On failure, the error is paired with the
+/// request id when one could still be extracted, so the error response
+/// can be correlated.
+///
+/// # Errors
+///
+/// [`ServeError::Parse`] for malformed JSON, [`ServeError::BadRequest`]
+/// for structural problems.
+pub fn parse_request(line: &str) -> Result<Request, (u64, ServeError)> {
+    let v = json::parse(line).map_err(|message| (0, ServeError::Parse { message }))?;
+    let id = v.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let fail = |e: ServeError| (id, e);
+    let verb = v
+        .get("verb")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail(bad("missing string field `verb`")))?;
+    match verb {
+        "compile" => Ok(Request::Compile { id, req: Box::new(compile_body(&v).map_err(fail)?) }),
+        "batch" => {
+            let arr = v
+                .get("requests")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| fail(bad("`batch` needs an array field `requests`")))?;
+            let mut reqs = Vec::with_capacity(arr.len());
+            for (i, sub) in arr.iter().enumerate() {
+                reqs.push(
+                    compile_body(sub)
+                        .map_err(|e| fail(bad(format!("requests[{i}]: {e}"))))?,
+                );
+            }
+            Ok(Request::Batch { id, reqs })
+        }
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(fail(bad(format!(
+            "unknown verb `{other}` (want compile, batch, stats or shutdown)"
+        )))),
+    }
+}
+
+/// Render a success response around an already-rendered result object.
+pub fn ok_response(id: u64, result_object: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"result\":{result_object}}}")
+}
+
+/// Render a batch success response around per-request element objects
+/// (each either a result object or an inline error object).
+pub fn batch_response(id: u64, elements: &[String]) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"results\":[{}]}}", elements.join(","))
+}
+
+/// Render an error response.
+pub fn error_response(id: u64, e: &ServeError) -> String {
+    format!("{{\"id\":{id},\"ok\":false,\"error\":{}}}", error_object(e))
+}
+
+/// Render an error as a bare JSON object (used inline in batch results).
+pub fn error_object(e: &ServeError) -> String {
+    match e {
+        ServeError::Compile(ce) => format!(
+            "{{\"kind\":\"compile\",\"pass\":\"{}\",\"loop\":\"{}\",\"message\":\"{}\"}}",
+            ce.pass(),
+            json::escape(ce.loop_name()),
+            json::escape(&ce.to_string())
+        ),
+        other => format!(
+            "{{\"kind\":\"{}\",\"message\":\"{}\"}}",
+            other.kind(),
+            json::escape(&other.to_string())
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_compile() {
+        let r = parse_request(r#"{"verb":"compile","id":7,"loop":"loop x (trip 4 x1 invocations, scale 1)"}"#)
+            .unwrap();
+        match r {
+            Request::Compile { id, req } => {
+                assert_eq!(id, 7);
+                assert_eq!(req.machine, "paper");
+                assert_eq!(req.strategy, Strategy::Selective);
+                assert!(req.timeout.is_none());
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_knobs_and_timeout() {
+        let r = parse_request(
+            r#"{"verb":"compile","id":1,"loop":"l","machine":"figure1","strategy":"full",
+                "account_comm":false,"verify_boundaries":false,"timeout_ms":250}"#,
+        )
+        .unwrap();
+        let Request::Compile { req, .. } = r else { panic!() };
+        assert_eq!(req.machine, "figure1");
+        assert_eq!(req.strategy, Strategy::Full);
+        assert!(!req.account_comm);
+        assert!(!req.verify_boundaries);
+        assert_eq!(req.timeout, Some(Duration::from_millis(250)));
+        let cfg = req.driver_config();
+        assert!(!cfg.selective.account_communication);
+        assert!(!cfg.verify_boundaries);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(parse_strategy(strategy_name(s)).unwrap(), s);
+        }
+        assert!(parse_strategy("bogus").is_err());
+    }
+
+    #[test]
+    fn errors_keep_ids_when_extractable() {
+        let (id, e) = parse_request(r#"{"verb":"nope","id":9}"#).unwrap_err();
+        assert_eq!(id, 9);
+        assert_eq!(e.kind(), "bad_request");
+        let (id, e) = parse_request("not json").unwrap_err();
+        assert_eq!(id, 0);
+        assert_eq!(e.kind(), "parse");
+    }
+
+    #[test]
+    fn batch_parses_subrequests() {
+        let r = parse_request(
+            r#"{"verb":"batch","id":3,"requests":[{"loop":"a"},{"loop":"b","strategy":"modulo"}]}"#,
+        )
+        .unwrap();
+        let Request::Batch { id, reqs } = r else { panic!() };
+        assert_eq!(id, 3);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].strategy, Strategy::ModuloOnly);
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let ok = ok_response(4, "{\"x\":1}");
+        assert_eq!(ok, "{\"id\":4,\"ok\":true,\"result\":{\"x\":1}}");
+        let err = error_response(5, &ServeError::Overloaded { cap: 8 });
+        assert!(err.contains("\"kind\":\"overloaded\""), "{err}");
+        assert!(!err.contains('\n'));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let req = CompileRequest {
+            loop_text: "loop t (trip 4 x1 invocations, scale 1)\n  %0 = add.i64 iv*1+0, #1"
+                .into(),
+            ..CompileRequest::default()
+        };
+        let line = req.to_wire(11);
+        let Request::Compile { id, req: back } = parse_request(&line).unwrap() else { panic!() };
+        assert_eq!(id, 11);
+        assert_eq!(*back, req);
+    }
+}

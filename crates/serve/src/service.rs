@@ -1,0 +1,108 @@
+//! Request execution: decode → cache-fronted compile → canonical body.
+
+use crate::proto::{CompileRequest, ServeError};
+use std::sync::Arc;
+use sv_core::{compile_cached, CacheConfig, CacheOutcome, CompileCache};
+
+/// The stateless-per-request core of the server: a [`CompileCache`] plus
+/// the decode/compile/render path. Shared across connections and worker
+/// threads behind an `Arc`.
+#[derive(Debug)]
+pub struct ServeService {
+    cache: CompileCache,
+}
+
+impl ServeService {
+    /// Build a service around a cache with the given sizing/placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the disk tier's directory cannot be
+    /// created.
+    pub fn new(cache_cfg: CacheConfig) -> std::io::Result<ServeService> {
+        Ok(ServeService { cache: CompileCache::new(cache_cfg)? })
+    }
+
+    /// A service with a default in-memory-only cache.
+    pub fn in_memory() -> ServeService {
+        ServeService { cache: CompileCache::in_memory() }
+    }
+
+    /// Execute one compile request: parse the loop text, resolve machine
+    /// and driver configuration, and run the cache-fronted compile. The
+    /// returned body is the canonical result rendering — byte-identical
+    /// for identical requests regardless of which tier served it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for unparseable loop text or an unknown
+    /// machine, [`ServeError::Compile`] when the driver rejects the loop.
+    pub fn compile_body(
+        &self,
+        req: &CompileRequest,
+    ) -> Result<(Arc<str>, CacheOutcome), ServeError> {
+        let looop = sv_ir::parse_loop(&req.loop_text).map_err(|e| ServeError::BadRequest {
+            message: format!("unparseable loop text: {e}"),
+        })?;
+        let machine = req.machine_config()?;
+        let cfg = req.driver_config();
+        compile_cached(&looop, &machine, &cfg, &self.cache)
+            .map_err(|e| ServeError::Compile(Box::new(e)))
+    }
+
+    /// The underlying cache (stats, direct seeding in tests).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Render the `stats` verb's `cache` sub-object.
+    pub fn stats_object(&self) -> String {
+        let s = self.cache.stats();
+        format!(
+            "{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"evictions\":{},\
+             \"disk_errors\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.4}}}",
+            s.mem_hits,
+            s.disk_hits,
+            s.misses,
+            s.evictions,
+            s.disk_errors,
+            s.entries,
+            s.bytes,
+            s.hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_workloads::benchmark;
+
+    fn req_for(loop_text: String) -> CompileRequest {
+        CompileRequest { loop_text, ..CompileRequest::default() }
+    }
+
+    #[test]
+    fn compiles_suite_loop_and_caches() {
+        let svc = ServeService::in_memory();
+        let suite = benchmark("swim").expect("suite benchmark exists");
+        let req = req_for(suite.loops[0].to_string());
+        let (cold, o1) = svc.compile_body(&req).unwrap();
+        assert_eq!(o1, CacheOutcome::Compiled);
+        let (warm, o2) = svc.compile_body(&req).unwrap();
+        assert_eq!(o2, CacheOutcome::Memory);
+        assert_eq!(cold, warm);
+        assert!(svc.stats_object().contains("\"mem_hits\":1"));
+    }
+
+    #[test]
+    fn rejects_bad_loop_text_and_machine() {
+        let svc = ServeService::in_memory();
+        let e = svc.compile_body(&req_for("not a loop".into())).unwrap_err();
+        assert_eq!(e.kind(), "bad_request");
+        let suite = benchmark("swim").unwrap();
+        let mut req = req_for(suite.loops[0].to_string());
+        req.machine = "toaster".into();
+        assert_eq!(svc.compile_body(&req).unwrap_err().kind(), "bad_request");
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end cache correctness:
+//!
+//! * a warm-cache suite sweep (every kernel × several strategies, the
+//!   shape of `sv-bench`'s table evaluation) returns byte-identical
+//!   bodies to the cold run;
+//! * the disk tier survives a process "restart" (write, drop the cache,
+//!   reopen over the same directory, hit);
+//! * a corrupted disk entry is quarantined and recompiled, never served
+//!   and never an error.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use sv_core::{
+    compile_cached, CacheConfig, CacheOutcome, CompileCache, DriverConfig, Strategy,
+};
+use sv_machine::MachineConfig;
+use sv_workloads::all_benchmarks;
+
+/// A unique scratch directory under the system temp dir (no external
+/// temp-dir crate; unique per test via pid + counter).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sv-serve-cache-test-{}-{}-{tag}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The sweep: every hand-written suite kernel under the three
+/// interesting strategies on the paper machine.
+fn sweep(cache: &CompileCache) -> Vec<(String, Result<String, String>)> {
+    let m = MachineConfig::paper_default();
+    let mut out = Vec::new();
+    for suite in all_benchmarks() {
+        for l in &suite.loops {
+            if l.name.contains(".synth") {
+                continue;
+            }
+            for strategy in [Strategy::ModuloOnly, Strategy::Full, Strategy::Selective] {
+                let cfg = DriverConfig::for_strategy(strategy);
+                let body = compile_cached(l, &m, &cfg, cache)
+                    .map(|(b, _)| b.to_string())
+                    .map_err(|e| e.to_string());
+                out.push((format!("{}/{strategy}", l.name), body));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn warm_sweep_is_byte_identical_to_cold() {
+    let cache = CompileCache::in_memory();
+    let cold = sweep(&cache);
+    let misses_after_cold = cache.stats().misses;
+    let warm = sweep(&cache);
+    assert_eq!(cold.len(), warm.len());
+    for ((name, c), (_, w)) in cold.iter().zip(&warm) {
+        assert_eq!(c, w, "{name}: warm body diverged from cold");
+    }
+    // Successes are cached; failures recompile by design, so the warm
+    // sweep may only miss once per failing case.
+    let failures = cold.iter().filter(|(_, r)| r.is_err()).count() as u64;
+    let st = cache.stats();
+    assert_eq!(st.misses, misses_after_cold + failures);
+    assert!(st.mem_hits > 0);
+}
+
+#[test]
+fn disk_tier_survives_process_restart() {
+    let dir = scratch("restart");
+    let cfg = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+    let m = MachineConfig::paper_default();
+    let dcfg = DriverConfig::default();
+    let l = &all_benchmarks()[0].loops[0];
+
+    // "Process 1": compile and write through to disk, then drop.
+    let first = CompileCache::new(cfg.clone()).unwrap();
+    let (cold, outcome) = compile_cached(l, &m, &dcfg, &first).unwrap();
+    assert_eq!(outcome, CacheOutcome::Compiled);
+    drop(first);
+
+    // "Process 2": a fresh cache over the same directory hits disk with
+    // byte-identical content, and promotes it to memory.
+    let second = CompileCache::new(cfg).unwrap();
+    let (warm, outcome) = compile_cached(l, &m, &dcfg, &second).unwrap();
+    assert_eq!(outcome, CacheOutcome::Disk, "restart must hit the disk tier");
+    assert_eq!(cold, warm, "disk round trip must preserve bytes");
+    let (mem, outcome) = compile_cached(l, &m, &dcfg, &second).unwrap();
+    assert_eq!(outcome, CacheOutcome::Memory, "disk hit must promote to memory");
+    assert_eq!(cold, mem);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_disk_entry_quarantines_and_recompiles() {
+    let dir = scratch("corrupt");
+    let cfg = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+    let m = MachineConfig::paper_default();
+    let dcfg = DriverConfig::default();
+    let l = &all_benchmarks()[0].loops[0];
+
+    let first = CompileCache::new(cfg.clone()).unwrap();
+    let (cold, _) = compile_cached(l, &m, &dcfg, &first).unwrap();
+    drop(first);
+
+    // Flip bytes in the middle of every entry body.
+    let mut corrupted = 0;
+    for e in std::fs::read_dir(&dir).unwrap() {
+        let path = e.unwrap().path();
+        if path.extension().is_some_and(|x| x == "svc") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, bytes).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert_eq!(corrupted, 1);
+
+    // A fresh cache must detect the corruption, quarantine, recompile and
+    // still return the right bytes — not an error, not the bad entry.
+    let second = CompileCache::new(cfg).unwrap();
+    let (body, outcome) = compile_cached(l, &m, &dcfg, &second).unwrap();
+    assert_eq!(outcome, CacheOutcome::Compiled, "corrupt entry must not be served");
+    assert_eq!(cold, body);
+    let st = second.stats();
+    assert_eq!(st.disk_errors, 1, "the quarantine must be counted");
+    let quarantined = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref().unwrap().path().to_string_lossy().ends_with(".svc.quarantined")
+        })
+        .count();
+    assert_eq!(quarantined, 1, "the bad entry must be moved aside");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -15,6 +15,8 @@
 //! * [`core`] — the paper's contribution: the selective-vectorization
 //!   partitioner and the end-to-end compilation pipeline;
 //! * [`sim`] — functional and cycle-level simulation of compiled loops;
+//! * [`serve`] — the cache-fronted batched compilation service behind
+//!   the `svd` daemon;
 //! * [`workloads`] — the SPEC-FP-substitute benchmark suites.
 //!
 //! ## Quickstart
@@ -36,6 +38,7 @@ pub use sv_core as core;
 pub use sv_ir as ir;
 pub use sv_machine as machine;
 pub use sv_modsched as modsched;
+pub use sv_serve as serve;
 pub use sv_sim as sim;
 pub use sv_vectorize as vectorize;
 pub use sv_workloads as workloads;
