@@ -48,6 +48,25 @@ echo "ci: serve replay byte-identical across cache-cold and cache-warm passes"
 cargo run --release -q -p sv-bench --bin loadgen -- --out target/ci-serve/BENCH_serve.json --check BENCH_serve.json
 echo "ci: loadgen cache gate passed"
 
+# Cache-key stability gate: one run naming the registered `paper` machine
+# warms a disk cache and emits the resolved canonical spec; the spec is
+# deliberately mangled (reversed lines, comment header, `=` spacing and
+# trailing-whitespace noise) and a second run sends it inline with every
+# request. Equal machines must yield equal request keys, so the second
+# run's *cold* phase must serve >=99% from the first run's cache.
+KEYSTAB="target/ci-keystab"
+rm -rf "$KEYSTAB"
+mkdir -p "$KEYSTAB"
+cargo run --release -q -p sv-bench --bin loadgen -- --machine paper \
+  --disk "$KEYSTAB/cache" --emit-machine-spec "$KEYSTAB/paper.spec" \
+  --out "$KEYSTAB/BENCH_named.json"
+{ echo "# mangled copy of the canonical paper spec"; \
+  sed 's/ = /=/; s/$/ /' "$KEYSTAB/paper.spec" | tac; } > "$KEYSTAB/mangled.spec"
+cargo run --release -q -p sv-bench --bin loadgen -- \
+  --machine-spec "$KEYSTAB/mangled.spec" --disk "$KEYSTAB/cache" \
+  --min-cold-hits 0.99 --out "$KEYSTAB/BENCH_inline.json"
+echo "ci: named-vs-inline machine runs share one disk cache (request-key stability)"
+
 # The harness determinism contract: sharding compilations over workers
 # must not change a single output byte.
 OUT="target/ci-determinism"

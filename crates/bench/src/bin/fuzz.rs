@@ -30,7 +30,7 @@ use std::process::ExitCode;
 use sv_core::parallel::{default_jobs, parse_jobs, run_ordered};
 use sv_core::{compile_checked, DriverConfig, Strategy};
 use sv_ir::{parse_loop, Loop, OpId, Operand};
-use sv_machine::MachineConfig;
+use sv_machine::{MachineConfig, MachineRegistry};
 use sv_sim::{check_equivalent, has_register_state_across_cleanup, oracle_selfcheck};
 use sv_workloads::{synth_loop, SynthProfile};
 
@@ -38,7 +38,7 @@ use sv_workloads::{synth_loop, SynthProfile};
 struct Failure {
     seed: u64,
     profile: &'static str,
-    machine: &'static str,
+    machine: String,
     strategy: Strategy,
     what: String,
 }
@@ -75,11 +75,17 @@ fn profiles() -> Vec<(&'static str, SynthProfile)> {
     ]
 }
 
-fn machines() -> [(&'static str, MachineConfig); 2] {
-    [
-        ("paper", MachineConfig::paper_default()),
-        ("figure1", MachineConfig::figure1()),
-    ]
+/// The machine sweep: the builtin registry plus any `--machines DIR`
+/// spec files, flattened to (registered name, machine) pairs in sorted
+/// name order — the same resolution path every other layer uses.
+fn machines(extra_dir: Option<&str>) -> Result<Vec<(String, MachineConfig)>, String> {
+    let mut registry = MachineRegistry::builtin();
+    if let Some(dir) = extra_dir {
+        registry
+            .load_dir(std::path::Path::new(dir))
+            .map_err(|e| format!("cannot load machines: {e}"))?;
+    }
+    Ok(registry.iter().map(|(n, m, _)| (n.to_string(), m.clone())).collect())
 }
 
 /// Clamp a generated loop the same way the property tests do: one
@@ -230,6 +236,7 @@ struct Opts {
     fail_fast: bool,
     jobs: usize,
     selfcheck: bool,
+    machines_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -239,6 +246,7 @@ fn parse_args() -> Result<Opts, String> {
         fail_fast: false,
         jobs: default_jobs(),
         selfcheck: false,
+        machines_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -256,6 +264,9 @@ fn parse_args() -> Result<Opts, String> {
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a positive worker count")?;
                 opts.jobs = parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--machines" => {
+                opts.machines_dir = Some(args.next().ok_or("--machines needs a directory")?);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -290,13 +301,22 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("fuzz: {e}");
-            eprintln!("usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N] [--oracle-selfcheck]");
+            eprintln!(
+                "usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N] [--oracle-selfcheck] \
+                 [--machines DIR]"
+            );
             return ExitCode::from(2);
         }
     };
 
     let profiles = profiles();
-    let machines = machines();
+    let machines = match machines(opts.machines_dir.as_deref()) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let per_seed = (profiles.len() * machines.len() * Strategy::ALL.len()) as u64;
     let mut cases = 0u64;
     let mut failures = 0u64;
@@ -319,7 +339,7 @@ fn main() -> ExitCode {
                                     Failure {
                                         seed,
                                         profile: pname,
-                                        machine: mname,
+                                        machine: mname.clone(),
                                         strategy,
                                         what,
                                     },
@@ -335,7 +355,7 @@ fn main() -> ExitCode {
             cases += per_seed;
             for (f, l) in &fs {
                 failures += 1;
-                let m = &machines.iter().find(|(n, _)| *n == f.machine).expect("known").1;
+                let m = &machines.iter().find(|(n, _)| *n == f.machine).expect("known machine").1;
                 report_failure(f, l, m, opts.selfcheck);
                 if opts.fail_fast {
                     println!("fuzz: stopping at first failure (--fail-fast)");

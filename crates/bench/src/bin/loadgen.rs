@@ -20,13 +20,27 @@
 //! cargo run --release -p sv-bench --bin loadgen                  # writes BENCH_serve.json
 //! cargo run --release -p sv-bench --bin loadgen -- --check BENCH_serve.json
 //! cargo run --release -p sv-bench --bin loadgen -- --emit-trace trace.jsonl
+//! cargo run --release -p sv-bench --bin loadgen -- --machine-spec m.spec --disk DIR
 //! ```
 //!
 //! `--emit-trace` skips measurement and writes the distinct requests as
 //! `svd` wire lines (plus `stats` and `shutdown`) for replay tests.
+//!
+//! Machine selection routes through the registry, like every other
+//! layer: `--machine NAME` picks a registered machine (builtins plus
+//! `--machines DIR`), `--machine-spec FILE` sends the file's text inline
+//! with every request. `--disk DIR` adds a disk cache tier;
+//! `--min-cold-hits F` then gates the *cold* phase's hit rate — against
+//! a cache warmed by an earlier run of an equal machine, it proves
+//! request-key stability end to end (the ci.sh named-vs-inline gate).
+//! `--emit-machine-spec PATH` writes the resolved machine's canonical
+//! spec for such a second run to mangle and replay.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+use sv_core::CacheConfig;
+use sv_machine::MachineRegistry;
 use sv_serve::{CompileRequest, ServeService};
 use sv_workloads::{all_benchmarks, synth_loop, SmallRng, SynthProfile};
 
@@ -39,6 +53,12 @@ struct Opts {
     synth: usize,
     seed: u64,
     min_speedup: f64,
+    machine: Option<String>,
+    machine_spec: Option<String>,
+    machines_dir: Option<String>,
+    disk: Option<String>,
+    min_cold_hits: Option<f64>,
+    emit_machine_spec: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -50,6 +70,12 @@ fn parse_args() -> Result<Opts, String> {
         synth: 16,
         seed: 1,
         min_speedup: 5.0,
+        machine: None,
+        machine_spec: None,
+        machines_dir: None,
+        disk: None,
+        min_cold_hits: None,
+        emit_machine_spec: None,
     };
     let mut args = std::env::args().skip(1);
     let next = |name: &str, args: &mut dyn Iterator<Item = String>| {
@@ -60,6 +86,18 @@ fn parse_args() -> Result<Opts, String> {
             "--out" => opts.out = next("--out", &mut args)?,
             "--check" => opts.check_baseline = Some(next("--check", &mut args)?),
             "--emit-trace" => opts.emit_trace = Some(next("--emit-trace", &mut args)?),
+            "--machine" => opts.machine = Some(next("--machine", &mut args)?),
+            "--machine-spec" => opts.machine_spec = Some(next("--machine-spec", &mut args)?),
+            "--machines" => opts.machines_dir = Some(next("--machines", &mut args)?),
+            "--disk" => opts.disk = Some(next("--disk", &mut args)?),
+            "--emit-machine-spec" => {
+                opts.emit_machine_spec = Some(next("--emit-machine-spec", &mut args)?);
+            }
+            "--min-cold-hits" => {
+                let v = next("--min-cold-hits", &mut args)?;
+                opts.min_cold_hits =
+                    Some(v.parse().map_err(|e| format!("bad --min-cold-hits `{v}`: {e}"))?);
+            }
             "--requests" => {
                 let v = next("--requests", &mut args)?;
                 opts.requests = v.parse().map_err(|e| format!("bad --requests `{v}`: {e}"))?;
@@ -85,18 +123,19 @@ fn parse_args() -> Result<Opts, String> {
 
 /// The distinct request set: every suite loop (hand-written kernels and
 /// `.synth` fillers alike — both are real autotuner traffic) plus
-/// `synth_n` extra seeded broad synthetic loops.
-fn distinct_requests(synth_n: usize) -> Vec<CompileRequest> {
+/// `synth_n` extra seeded broad synthetic loops, each carrying the
+/// run's machine selection (registered name or inline spec text).
+fn distinct_requests(synth_n: usize, template: &CompileRequest) -> Vec<CompileRequest> {
     let mut out = Vec::new();
     for suite in all_benchmarks() {
         for l in &suite.loops {
-            out.push(CompileRequest { loop_text: l.to_string(), ..CompileRequest::default() });
+            out.push(CompileRequest { loop_text: l.to_string(), ..template.clone() });
         }
     }
     let profile = SynthProfile::broad();
     for seed in 0..synth_n as u64 {
         let l = synth_loop(&format!("loadgen.synth.{seed}"), &profile, seed);
-        out.push(CompileRequest { loop_text: l.to_string(), ..CompileRequest::default() });
+        out.push(CompileRequest { loop_text: l.to_string(), ..template.clone() });
     }
     out
 }
@@ -209,13 +248,68 @@ fn main() -> ExitCode {
             eprintln!("loadgen: {e}");
             eprintln!(
                 "usage: loadgen [--out PATH] [--check BASELINE] [--emit-trace PATH] \
-                 [--requests N] [--synth K] [--seed S] [--min-speedup F]"
+                 [--requests N] [--synth K] [--seed S] [--min-speedup F] \
+                 [--machine NAME] [--machine-spec FILE] [--machines DIR] \
+                 [--disk DIR] [--min-cold-hits F] [--emit-machine-spec PATH]"
             );
             return ExitCode::from(2);
         }
     };
 
-    let reqs = distinct_requests(opts.synth);
+    if opts.machine.is_some() && opts.machine_spec.is_some() {
+        eprintln!("loadgen: --machine and --machine-spec are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    let mut registry = MachineRegistry::builtin();
+    if let Some(dir) = &opts.machines_dir {
+        if let Err(e) = registry.load_dir(std::path::Path::new(dir)) {
+            eprintln!("loadgen: cannot load machines: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Resolve the run's machine up front: requests carry the name or the
+    // inline spec text, and the resolved config backs --emit-machine-spec.
+    let mut template = CompileRequest::default();
+    let resolved = match &opts.machine_spec {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("loadgen: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            template.machine_spec = Some(text);
+            match template.machine_config(&registry) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("loadgen: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            if let Some(name) = &opts.machine {
+                template.machine = name.clone();
+            }
+            match template.machine_config(&registry) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    if let Some(path) = &opts.emit_machine_spec {
+        if let Err(e) = std::fs::write(path, resolved.to_spec()) {
+            eprintln!("loadgen: cannot write machine spec {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("loadgen: wrote canonical spec of `{}` to {path}", resolved.name);
+    }
+
+    let reqs = distinct_requests(opts.synth, &template);
     if let Some(path) = &opts.emit_trace {
         return match emit_trace(path, &reqs) {
             Ok(()) => {
@@ -245,9 +339,33 @@ fn main() -> ExitCode {
         },
     };
 
-    let svc = ServeService::in_memory();
+    let cache_cfg = CacheConfig {
+        disk_dir: opts.disk.as_ref().map(PathBuf::from),
+        ..CacheConfig::default()
+    };
+    let svc = match ServeService::with_registry(cache_cfg, registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("loadgen: cannot open cache: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let cold_plan: Vec<usize> = (0..reqs.len()).collect();
     let (cold, bodies) = run_phase("cold", &svc, &reqs, &cold_plan, None);
+    if let Some(floor) = opts.min_cold_hits {
+        if cold.hit_rate < floor {
+            eprintln!(
+                "loadgen: REGRESSION: cold-phase hit rate {:.4} below the {floor:.2} \
+                 floor — request keys did not survive the machine re-encoding",
+                cold.hit_rate
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "loadgen: cold-phase hit rate {:.4} ≥ {floor:.2} (key-stability gate)",
+            cold.hit_rate
+        );
+    }
 
     let warm_n = if opts.requests == 0 { reqs.len() * 5 } else { opts.requests };
     let mut rng = SmallRng::seed_from_u64(opts.seed);
@@ -343,12 +461,22 @@ mod tests {
 
     #[test]
     fn trace_lines_parse_back() {
-        let reqs = distinct_requests(2);
+        let reqs = distinct_requests(2, &CompileRequest::default());
         assert!(reqs.len() > 2);
         for (i, r) in reqs.iter().enumerate().take(3) {
             let line = r.to_wire(i as u64);
             let parsed = sv_serve::parse_request(&line).expect("trace line parses");
             assert_eq!(parsed.id(), i as u64);
         }
+    }
+
+    #[test]
+    fn template_machine_selection_propagates() {
+        let template = CompileRequest {
+            machine_spec: Some("vector_length = 4\n".into()),
+            ..CompileRequest::default()
+        };
+        let reqs = distinct_requests(1, &template);
+        assert!(reqs.iter().all(|r| r.machine_spec.as_deref() == Some("vector_length = 4\n")));
     }
 }

@@ -6,11 +6,16 @@
 //! epilogue listing and functionally executing the result.
 //!
 //! ```text
-//! svc LOOP.svl|LOOP.sl [--machine paper|figure1] [--machine-file SPEC]
+//! svc LOOP.svl|LOOP.sl [--machines DIR] [--machine NAME] [--machine-file SPEC]
 //!              [--strategy selective|full|...]
 //!              [--vl N] [--aligned] [--free-comm] [--emit] [--run]
 //! svc --workload tomcatv.residual [...same options]
 //! ```
+//!
+//! `--machine` resolves against the machine registry: the builtin
+//! `paper`/`figure1` presets plus every spec file loaded by a preceding
+//! `--machines DIR`. `--machine-file` compiles against one spec file
+//! without registering it.
 //!
 //! With no `--strategy`, all techniques are compared side by side. The
 //! `--workload` form compiles a named loop from the built-in SPEC-FP
@@ -19,7 +24,7 @@
 use std::process::ExitCode;
 use sv_core::{compile, compile_checked, CompiledLoop, DriverConfig, Strategy};
 use sv_ir::{parse_loop, Loop};
-use sv_machine::{AlignmentPolicy, CommModel, MachineConfig};
+use sv_machine::{AlignmentPolicy, CommModel, MachineConfig, MachineRegistry};
 use sv_modsched::emit_flat;
 use sv_sim::{assert_equivalent, run_compiled};
 
@@ -35,10 +40,13 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: svc LOOP.svl [--machine paper|figure1] [--strategy NAME]\n\
-         \x20          [--vl N] [--aligned] [--free-comm] [--emit] [--run] [--stats]\n\
+        "usage: svc LOOP.svl [--machines DIR] [--machine NAME] [--machine-file SPEC]\n\
+         \x20          [--strategy NAME] [--vl N] [--aligned] [--free-comm]\n\
+         \x20          [--emit] [--run] [--stats]\n\
          \x20     svc --workload BENCH.LOOP [...same options]\n\
          strategies: modulo-no-unroll, modulo, traditional, full, selective, widened\n\
+         --machine resolves against the registry (builtins paper, figure1, plus\n\
+         \x20 any --machines DIR given before it)\n\
          --stats prints per-pass timings/counters and one JSON line per compilation"
     );
     ExitCode::from(2)
@@ -48,6 +56,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut args = std::env::args().skip(1);
     let mut path = None;
     let mut workload = None;
+    let mut registry = MachineRegistry::builtin();
     let mut machine = MachineConfig::paper_default();
     let mut strategy = None;
     let mut emit = false;
@@ -55,12 +64,22 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut stats = false;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--machines" => {
+                let dir = args.next().ok_or_else(usage)?;
+                registry.load_dir(std::path::Path::new(&dir)).map_err(|e| {
+                    eprintln!("svc: cannot load machines: {e}");
+                    ExitCode::FAILURE
+                })?;
+            }
             "--machine" => {
-                machine = match args.next().as_deref() {
-                    Some("paper") => MachineConfig::paper_default(),
-                    Some("figure1") => MachineConfig::figure1(),
-                    _ => return Err(usage()),
-                }
+                let name = args.next().ok_or_else(usage)?;
+                machine = registry.get(&name).cloned().ok_or_else(|| {
+                    eprintln!(
+                        "svc: unknown machine `{name}` (registry has: {})",
+                        registry.names().join(", ")
+                    );
+                    ExitCode::FAILURE
+                })?;
             }
             "--strategy" => {
                 strategy = Some(match args.next().as_deref() {

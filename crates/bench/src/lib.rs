@@ -24,7 +24,7 @@ use sv_core::{
     compile_checked, CompilationReport, CompiledLoop, DriverConfig, SelectiveConfig, Strategy,
 };
 use sv_ir::Loop;
-use sv_machine::MachineConfig;
+use sv_machine::{MachineConfig, MachineRegistry};
 use sv_workloads::{all_benchmarks, BenchmarkSuite};
 
 /// One technique's result on one loop.
@@ -395,6 +395,48 @@ pub fn table2_text(jobs: usize) -> String {
         out,
         "selective: geometric-mean speedup {geo:.2} (paper arithmetic mean 1.11), max {sel_max:.2} (paper 1.38)"
     );
+    out
+}
+
+/// Render the architectural sweep (the `table_arch` binary's output):
+/// whole-suite geometric-mean speedups of full and selective
+/// vectorization over the modulo-scheduling baseline, one row per
+/// registered machine in sorted name order.
+///
+/// The sweep set is the machine registry — builtins plus whatever spec
+/// directory the caller loaded (`examples/machines/` by default in the
+/// binary), so adding a spec file adds a row without touching code. Like
+/// [`table2_text`], the output is a pure function of the workloads and
+/// the registry: `jobs` only shards the compilations, and the golden
+/// snapshot test pins the bytes.
+pub fn table_arch_text(registry: &MachineRegistry, jobs: usize) -> String {
+    fn geo_mean(xs: &[f64]) -> f64 {
+        xs.iter().product::<f64>().powf(1.0 / xs.len() as f64)
+    }
+    let cfg = SelectiveConfig::default();
+    let mut out = String::new();
+    out.push_str("Whole-suite geometric-mean speedup vs modulo scheduling\n");
+    let _ = writeln!(
+        out,
+        "{:<16} {:<18} {:>8} {:>11}",
+        "machine", "(description)", "full", "selective"
+    );
+    for (name, m, _source) in registry.iter() {
+        let mut full = Vec::new();
+        let mut sel = Vec::new();
+        for suite in all_benchmarks() {
+            let r = evaluate_suite_or_exit(&suite, m, &cfg, jobs);
+            full.push(r.speedup("full"));
+            sel.push(r.speedup("selective"));
+        }
+        let _ = writeln!(
+            out,
+            "{name:<16} {:<18} {:>7.2}x {:>10.2}x",
+            m.name,
+            geo_mean(&full),
+            geo_mean(&sel)
+        );
+    }
     out
 }
 

@@ -11,9 +11,9 @@
 //! UPDATE_GOLDEN=1 cargo test -p sv-bench --test golden
 //! ```
 
-use sv_bench::table2_text;
+use sv_bench::{table2_text, table_arch_text};
 use sv_core::{compile_checked, DriverConfig};
-use sv_machine::MachineConfig;
+use sv_machine::{MachineConfig, MachineRegistry};
 use sv_workloads::figure1_dot_product;
 
 /// Replace every `"…_ns":<digits>` value with `0`: wall times are the
@@ -47,6 +47,20 @@ fn check_golden(name: &str, fresh: &str, committed: &str) {
 #[test]
 fn table2_matches_golden() {
     check_golden("table2.txt", &table2_text(1), include_str!("golden/table2.txt"));
+}
+
+#[test]
+fn table_arch_matches_golden() {
+    // The sweep set is the registry: builtins plus the committed
+    // examples/machines/ specs, so this snapshot also pins that a spec
+    // file edit is a visible, reviewed change. The bytes are
+    // jobs-invariant (the harness determinism contract), so the test may
+    // use every core.
+    let mut registry = MachineRegistry::builtin();
+    let dir = format!("{}/../../examples/machines", env!("CARGO_MANIFEST_DIR"));
+    registry.load_dir(std::path::Path::new(&dir)).expect("sweep specs load");
+    let fresh = table_arch_text(&registry, sv_core::parallel::default_jobs());
+    check_golden("table_arch.txt", &fresh, include_str!("golden/table_arch.txt"));
 }
 
 #[test]

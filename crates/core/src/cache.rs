@@ -39,20 +39,27 @@ use sv_machine::MachineConfig;
 
 /// Version tag woven into every cache key: bump when the result rendering
 /// or the fingerprint scheme changes, invalidating stale disk tiers.
-const KEY_SCHEMA: &str = "sv-core/cache/v1";
+/// v2: machine and driver-config fingerprints switched from `Debug`
+/// renderings to canonical encodings ([`MachineConfig::to_spec`] /
+/// [`DriverConfig::canonical_encoding`]), so keys are invariant under
+/// spec formatting and derive churn.
+const KEY_SCHEMA: &str = "sv-core/cache/v2";
 
 /// Magic prefixing every disk entry's header line.
 const DISK_MAGIC: &str = "svcache/v1";
 
 /// The complete cache key for one compile request: the loop in canonical
-/// display form plus stable fingerprints of the machine description and
+/// display form plus canonical encodings of the machine description
+/// ([`MachineConfig::to_spec`] — the full key set in fixed order) and
 /// every [`DriverConfig`] knob (strategy, selective/schedule budgets,
 /// boundary verification, degradation, panic policy). Any change to any
-/// input changes the key.
+/// input changes the key; nothing else does. In particular, two machine
+/// spec texts differing only in whitespace, comments or key order parse
+/// to equal configurations and therefore produce byte-identical keys —
+/// the invariance the `ci.sh` named-vs-inline-spec loadgen gate proves
+/// end to end.
 pub fn request_key(l: &Loop, m: &MachineConfig, cfg: &DriverConfig) -> CanonicalHash {
-    // `Debug` renderings cover every field of both structs; their output
-    // is a pure function of the values, which is all a fingerprint needs.
-    l.canonical_hash(&[KEY_SCHEMA, &format!("{m:?}"), &format!("{cfg:?}")])
+    l.canonical_hash(&[KEY_SCHEMA, &m.to_spec(), &cfg.canonical_encoding()])
 }
 
 /// Where a [`compile_cached`] result came from.

@@ -249,6 +249,43 @@ impl DriverConfig {
     pub fn for_strategy(strategy: Strategy) -> DriverConfig {
         DriverConfig { strategy, ..DriverConfig::default() }
     }
+
+    /// A canonical `key = value` encoding of every knob, in fixed order —
+    /// the configuration's contribution to content-addressed cache keys.
+    /// Unlike a `Debug` fingerprint, it is stable under derive churn
+    /// (reordering, renaming or reformatting a `Debug` impl cannot
+    /// silently invalidate every cached result); any *behavioural* knob
+    /// added later must be appended here, and the cache schema tag bumped.
+    pub fn canonical_encoding(&self) -> String {
+        let opt = |v: Option<u64>| match v {
+            Some(n) => n.to_string(),
+            None => "none".into(),
+        };
+        format!(
+            "strategy = {}\n\
+             selective.account_communication = {}\n\
+             selective.squares_tiebreak = {}\n\
+             selective.max_iterations = {}\n\
+             selective.max_moves = {}\n\
+             selective.pressure_aware = {}\n\
+             schedule.budget_ratio = {}\n\
+             schedule.max_ii_slack = {}\n\
+             verify_boundaries = {}\n\
+             degrade = {}\n\
+             catch_panics = {}\n",
+            self.strategy.canonical_name(),
+            self.selective.account_communication,
+            self.selective.squares_tiebreak,
+            opt(self.selective.max_iterations.map(u64::from)),
+            opt(self.selective.max_moves),
+            self.selective.pressure_aware,
+            self.schedule.budget_ratio,
+            self.schedule.max_ii_slack,
+            self.verify_boundaries,
+            self.degrade,
+            self.catch_panics,
+        )
+    }
 }
 
 /// One graceful degradation step the driver took.

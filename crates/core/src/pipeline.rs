@@ -44,6 +44,21 @@ impl Strategy {
         Strategy::Selective,
         Strategy::Widened,
     ];
+
+    /// The strategy's canonical machine-readable spelling — stable across
+    /// releases, used in wire protocols and cache-key encodings (distinct
+    /// from `Display`, which uses presentation forms like
+    /// `modulo(no-unroll)`).
+    pub fn canonical_name(self) -> &'static str {
+        match self {
+            Strategy::ModuloNoUnroll => "modulo-no-unroll",
+            Strategy::ModuloOnly => "modulo",
+            Strategy::Traditional => "traditional",
+            Strategy::Full => "full",
+            Strategy::Selective => "selective",
+            Strategy::Widened => "widened",
+        }
+    }
 }
 
 impl fmt::Display for Strategy {

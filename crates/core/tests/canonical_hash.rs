@@ -65,6 +65,34 @@ fn canonical_hash_distinguishes_loops() {
 }
 
 #[test]
+fn key_is_invariant_under_spec_reformatting() {
+    // Two spec texts that differ in whitespace, comments and key order but
+    // parse to equal machines must produce byte-identical request keys for
+    // every loop in the population — the invariance the v2 key schema
+    // exists to guarantee (and that ci.sh's named-vs-inline loadgen gate
+    // checks end to end through the disk cache).
+    let tidy = MachineConfig::paper_default().to_spec();
+    let mut lines: Vec<String> = tidy
+        .lines()
+        .map(|l| format!("\t{}   # same value, uglier line", l.replace(" = ", "=")))
+        .collect();
+    lines.reverse();
+    let ugly = format!("# reformatted copy of the paper machine\n\n{}\n", lines.join("\n\n"));
+    let m1 = MachineConfig::from_spec(&tidy).expect("canonical spec parses");
+    let m2 = MachineConfig::from_spec(&ugly).expect("reformatted spec parses");
+    assert_eq!(m1, m2);
+    let cfg = DriverConfig::default();
+    for l in population() {
+        assert_eq!(
+            request_key(&l, &m1, &cfg),
+            request_key(&l, &m2, &cfg),
+            "{}: equal machines from differently formatted specs must share a key",
+            l.name
+        );
+    }
+}
+
+#[test]
 fn key_changes_with_machine_and_every_driver_knob() {
     let l = &all_benchmarks()[0].loops[0];
     let base_m = MachineConfig::paper_default();

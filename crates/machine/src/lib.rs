@@ -28,10 +28,12 @@
 
 mod comm;
 mod config;
+mod registry;
 mod resources;
 mod spec;
 
 pub use comm::{CommModel, TransferDirection};
 pub use config::{AlignmentPolicy, Latencies, MachineConfig, RegFiles, ResourceModel};
+pub use registry::{MachineRegistry, RegistryError, RegistrySource};
 pub use resources::{Reservation, ResourceClass, ResourceInstance, ResourcePool};
 pub use spec::SpecError;

@@ -1,0 +1,286 @@
+//! A name → machine-description registry.
+//!
+//! Every layer that accepts "a machine" — the `svd` service, the table
+//! binaries, the fuzzer, the load generator — resolves names through one
+//! [`MachineRegistry`]: the two builtins (`paper`, `figure1`) plus any
+//! number of spec files loaded from a directory. Loaded machines register
+//! under the `name` their spec declares, and a name collision (with a
+//! builtin or another file) is a hard error rather than a silent
+//! shadowing — two callers saying `widevec` must always mean the same
+//! bytes in a cache key.
+
+use crate::config::MachineConfig;
+use crate::spec::SpecError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Where a registry entry came from (reported in collision errors and
+/// the `machines` service verb).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistrySource {
+    /// Compiled-in preset.
+    Builtin,
+    /// Parsed from a spec file.
+    File(PathBuf),
+}
+
+impl fmt::Display for RegistrySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistrySource::Builtin => write!(f, "builtin"),
+            RegistrySource::File(p) => write!(f, "{}", p.display()),
+        }
+    }
+}
+
+/// Why a registry could not be built or extended.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// A spec directory or file could not be read.
+    Io {
+        /// What was being read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A spec file failed to parse.
+    Spec {
+        /// The offending file.
+        path: PathBuf,
+        /// The parser's diagnosis.
+        error: SpecError,
+    },
+    /// Two entries claimed the same name.
+    Collision {
+        /// The contested name.
+        name: String,
+        /// The entry already registered under it.
+        first: RegistrySource,
+        /// The entry that tried to register over it.
+        second: RegistrySource,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { path, error } => {
+                write!(f, "cannot read {}: {error}", path.display())
+            }
+            RegistryError::Spec { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            RegistryError::Collision { name, first, second } => write!(
+                f,
+                "machine name `{name}` registered twice: by {first} and by {second}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One registered machine.
+#[derive(Debug, Clone)]
+struct Entry {
+    machine: MachineConfig,
+    source: RegistrySource,
+}
+
+/// The name → machine map (see module docs). Iteration and listings are
+/// always in sorted name order, so anything rendered from a registry is
+/// deterministic regardless of load order.
+#[derive(Debug, Clone, Default)]
+pub struct MachineRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl MachineRegistry {
+    /// A registry with no entries (tests, fully custom deployments).
+    pub fn empty() -> MachineRegistry {
+        MachineRegistry::default()
+    }
+
+    /// The builtin registry: `paper` (Table 1) and `figure1` (the toy
+    /// machine of the motivating example).
+    pub fn builtin() -> MachineRegistry {
+        let mut r = MachineRegistry::empty();
+        r.register("paper", MachineConfig::paper_default(), RegistrySource::Builtin)
+            .expect("empty registry cannot collide");
+        r.register("figure1", MachineConfig::figure1(), RegistrySource::Builtin)
+            .expect("builtin names are distinct");
+        r
+    }
+
+    /// Register one machine under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Collision`] if the name is already taken.
+    pub fn register(
+        &mut self,
+        name: &str,
+        machine: MachineConfig,
+        source: RegistrySource,
+    ) -> Result<(), RegistryError> {
+        if let Some(existing) = self.entries.get(name) {
+            return Err(RegistryError::Collision {
+                name: name.to_string(),
+                first: existing.source.clone(),
+                second: source,
+            });
+        }
+        self.entries.insert(name.to_string(), Entry { machine, source });
+        Ok(())
+    }
+
+    /// Load every `*.spec` / `*.mspec` file in `dir` (sorted by file
+    /// name), registering each parsed machine under its spec's `name`.
+    /// Returns how many machines were added.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the directory is unreadable,
+    /// [`RegistryError::Spec`] naming the file on a parse failure, and
+    /// [`RegistryError::Collision`] when a loaded name is already taken
+    /// (by a builtin or an earlier file). On error the registry may hold
+    /// some of the directory's machines; callers treat any error as fatal.
+    pub fn load_dir(&mut self, dir: &Path) -> Result<usize, RegistryError> {
+        let io_err = |path: &Path, error: std::io::Error| RegistryError::Io {
+            path: path.to_path_buf(),
+            error,
+        };
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| io_err(dir, e))?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|e| e.to_str()),
+                    Some("spec") | Some("mspec")
+                )
+            })
+            .collect();
+        paths.sort();
+        let mut added = 0;
+        for path in paths {
+            let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+            let machine = MachineConfig::from_spec(&text)
+                .map_err(|error| RegistryError::Spec { path: path.clone(), error })?;
+            let name = machine.name.clone();
+            self.register(&name, machine, RegistrySource::File(path))?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// The machine registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&MachineConfig> {
+        self.entries.get(name).map(|e| &e.machine)
+    }
+
+    /// Every registered name, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// `(name, machine, source)` triples in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MachineConfig, &RegistrySource)> {
+        self.entries.iter().map(|(n, e)| (n.as_str(), &e.machine, &e.source))
+    }
+
+    /// Number of registered machines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no machines.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sv-machine-registry-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn builtins_resolve_by_short_name() {
+        let r = MachineRegistry::builtin();
+        assert_eq!(r.get("paper"), Some(&MachineConfig::paper_default()));
+        assert_eq!(r.get("figure1"), Some(&MachineConfig::figure1()));
+        assert_eq!(r.names(), vec!["figure1", "paper"]);
+        assert!(r.get("micro05-table1").is_none(), "only registered names resolve");
+    }
+
+    #[test]
+    fn load_dir_registers_under_spec_name() {
+        let dir = scratch("load");
+        std::fs::write(dir.join("wide.spec"), "name = widevec\nvector_length = 4\n").unwrap();
+        std::fs::write(dir.join("toy.mspec"), "name = toy\nissue_width = 2\n").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a spec").unwrap();
+        let mut r = MachineRegistry::builtin();
+        assert_eq!(r.load_dir(&dir).unwrap(), 2);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.get("widevec").unwrap().vector_length, 4);
+        assert_eq!(r.get("toy").unwrap().issue_width, 2);
+        let sources: Vec<String> =
+            r.iter().map(|(_, _, s)| s.to_string()).collect();
+        assert_eq!(sources.iter().filter(|s| *s == "builtin").count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn name_collisions_are_hard_errors() {
+        let dir = scratch("collide");
+        std::fs::write(dir.join("a.spec"), "name = twin\n").unwrap();
+        std::fs::write(dir.join("b.spec"), "name = twin\nissue_width = 8\n").unwrap();
+        let mut r = MachineRegistry::empty();
+        let e = r.load_dir(&dir).unwrap_err();
+        let RegistryError::Collision { name, first, second } = e else {
+            panic!("want collision, got {e}");
+        };
+        assert_eq!(name, "twin");
+        assert!(first.to_string().ends_with("a.spec"), "{first}");
+        assert!(second.to_string().ends_with("b.spec"), "{second}");
+        // Colliding with a builtin name is equally fatal.
+        let dir2 = scratch("collide-builtin");
+        std::fs::write(dir2.join("p.spec"), "name = paper\n").unwrap();
+        let mut r = MachineRegistry::builtin();
+        assert!(matches!(
+            r.load_dir(&dir2),
+            Err(RegistryError::Collision { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn bad_spec_files_name_the_file() {
+        let dir = scratch("bad");
+        std::fs::write(dir.join("broken.spec"), "nonsense = 1\n").unwrap();
+        let mut r = MachineRegistry::empty();
+        let e = r.load_dir(&dir).unwrap_err();
+        assert!(e.to_string().contains("broken.spec"), "{e}");
+        assert!(e.to_string().contains("nonsense"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let mut r = MachineRegistry::empty();
+        let e = r.load_dir(Path::new("/nonexistent/sv-machines")).unwrap_err();
+        assert!(matches!(e, RegistryError::Io { .. }), "{e}");
+    }
+}

@@ -14,10 +14,24 @@
 //! vector_length = 4
 //! alignment = aligned
 //! ```
+//!
+//! The format is *canonical-izable*: [`MachineConfig::to_spec`] renders
+//! any configuration as a spec listing **every** key in a fixed order,
+//! and the round-trip law `from_spec(to_spec(m)) == m` holds for every
+//! configuration. Two spec texts that differ only in whitespace,
+//! comments, or key order therefore normalize to byte-identical canonical
+//! text — which is what [`MachineConfig::canonical_hash`] fingerprints,
+//! making machine descriptions safe to use in content-addressed cache
+//! keys.
 
 use crate::comm::CommModel;
-use crate::config::{AlignmentPolicy, MachineConfig};
-use std::fmt;
+use crate::config::{AlignmentPolicy, MachineConfig, ResourceModel};
+use std::fmt::Write as _;
+use sv_ir::{CanonicalHash, CanonicalHasher};
+
+/// Schema tag mixed into every [`MachineConfig::canonical_hash`]; bump if
+/// the canonical spec rendering ever changes meaning.
+const MACHINE_HASH_SCHEMA: &[u8] = b"sv-machine/spec/v1";
 
 /// A malformed machine description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +42,8 @@ pub struct SpecError {
     pub message: String,
 }
 
-impl fmt::Display for SpecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "line {}: {}", self.line, self.message)
     }
 }
@@ -42,7 +56,10 @@ impl MachineConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`SpecError`] for unknown keys or unparsable values.
+    /// Returns [`SpecError`] for unknown keys, unparsable values, or a
+    /// key listed twice (the error names both line numbers — a silent
+    /// last-one-wins would make two visually different specs parse equal
+    /// for the wrong reason).
     ///
     /// ```
     /// use sv_machine::MachineConfig;
@@ -56,6 +73,7 @@ impl MachineConfig {
     /// ```
     pub fn from_spec(text: &str) -> Result<MachineConfig, SpecError> {
         let mut m = MachineConfig::paper_default();
+        let mut seen: Vec<(&str, usize)> = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
             let stripped = raw.split('#').next().unwrap_or("").trim();
@@ -70,6 +88,14 @@ impl MachineConfig {
             };
             let key = key.trim();
             let value = value.trim();
+            if let Some(&(_, first)) = seen.iter().find(|(k, _)| *k == key) {
+                return Err(SpecError {
+                    line,
+                    message: format!(
+                        "duplicate key `{key}`: first set on line {first}, set again on line {line}"
+                    ),
+                });
+            }
             let err = |message: String| SpecError { line, message };
             let num = |v: &str| -> Result<u32, SpecError> {
                 v.parse()
@@ -111,6 +137,17 @@ impl MachineConfig {
                         _ => return Err(err(format!("unknown alignment `{value}`"))),
                     }
                 }
+                "model" => {
+                    m.model = match value {
+                        "full" => ResourceModel::Full,
+                        "slots-only" => ResourceModel::SlotsOnly,
+                        _ => {
+                            return Err(err(format!(
+                                "unknown resource model `{value}` (want `full` or `slots-only`)"
+                            )))
+                        }
+                    }
+                }
                 "count_loop_overhead" => m.count_loop_overhead = flag(value)?,
                 "non_pipelined_divide" => m.non_pipelined_divide = flag(value)?,
                 "loop_setup_cycles" => m.loop_setup_cycles = u64::from(num(value)?),
@@ -131,6 +168,7 @@ impl MachineConfig {
                 "regs.predicates" => m.regs.predicates = num(value)?,
                 other => return Err(err(format!("unknown key `{other}`"))),
             }
+            seen.push((key, line));
         }
         if m.vector_length < 2 {
             return Err(SpecError {
@@ -139,6 +177,99 @@ impl MachineConfig {
             });
         }
         Ok(m)
+    }
+
+    /// Render this configuration as its **canonical spec text**: every
+    /// key the parser knows, in one fixed order, one `key = value` per
+    /// line. This is the exact inverse of [`MachineConfig::from_spec`]:
+    ///
+    /// ```
+    /// use sv_machine::MachineConfig;
+    ///
+    /// for m in [MachineConfig::paper_default(), MachineConfig::figure1()] {
+    ///     assert_eq!(MachineConfig::from_spec(&m.to_spec()).unwrap(), m);
+    /// }
+    /// ```
+    ///
+    /// Because every field is listed, two configurations are equal if and
+    /// only if their canonical spec texts are byte-identical — which makes
+    /// this rendering the machine's contribution to content-addressed
+    /// cache keys (see [`MachineConfig::canonical_hash`]).
+    pub fn to_spec(&self) -> String {
+        let mut s = String::with_capacity(640);
+        let _ = writeln!(s, "name = {}", self.name);
+        let _ = writeln!(s, "issue_width = {}", self.issue_width);
+        let _ = writeln!(s, "int_units = {}", self.int_units);
+        let _ = writeln!(s, "fp_units = {}", self.fp_units);
+        let _ = writeln!(s, "mem_units = {}", self.mem_units);
+        let _ = writeln!(s, "branch_units = {}", self.branch_units);
+        let _ = writeln!(s, "vector_units = {}", self.vector_units);
+        let _ = writeln!(s, "merge_units = {}", self.merge_units);
+        match self.vector_issue_limit {
+            Some(n) => {
+                let _ = writeln!(s, "vector_issue_limit = {n}");
+            }
+            None => s.push_str("vector_issue_limit = none\n"),
+        }
+        let _ = writeln!(s, "vector_length = {}", self.vector_length);
+        let _ = writeln!(s, "lat.int_alu = {}", self.lat.int_alu);
+        let _ = writeln!(s, "lat.int_mul = {}", self.lat.int_mul);
+        let _ = writeln!(s, "lat.int_div = {}", self.lat.int_div);
+        let _ = writeln!(s, "lat.fp_alu = {}", self.lat.fp_alu);
+        let _ = writeln!(s, "lat.fp_mul = {}", self.lat.fp_mul);
+        let _ = writeln!(s, "lat.fp_div = {}", self.lat.fp_div);
+        let _ = writeln!(s, "lat.load = {}", self.lat.load);
+        let _ = writeln!(s, "lat.store = {}", self.lat.store);
+        let _ = writeln!(s, "lat.branch = {}", self.lat.branch);
+        let _ = writeln!(s, "lat.merge = {}", self.lat.merge);
+        let _ = writeln!(s, "regs.scalar_int = {}", self.regs.scalar_int);
+        let _ = writeln!(s, "regs.scalar_fp = {}", self.regs.scalar_fp);
+        let _ = writeln!(s, "regs.vector_int = {}", self.regs.vector_int);
+        let _ = writeln!(s, "regs.vector_fp = {}", self.regs.vector_fp);
+        let _ = writeln!(s, "regs.predicates = {}", self.regs.predicates);
+        let _ = writeln!(
+            s,
+            "comm = {}",
+            match self.comm {
+                CommModel::ThroughMemory => "through-memory",
+                CommModel::Free => "free",
+            }
+        );
+        let _ = writeln!(
+            s,
+            "alignment = {}",
+            match self.alignment {
+                AlignmentPolicy::AssumeMisaligned => "misaligned",
+                AlignmentPolicy::AssumeAligned => "aligned",
+                AlignmentPolicy::UseStatic => "static",
+            }
+        );
+        let _ = writeln!(
+            s,
+            "model = {}",
+            match self.model {
+                ResourceModel::Full => "full",
+                ResourceModel::SlotsOnly => "slots-only",
+            }
+        );
+        let _ = writeln!(s, "count_loop_overhead = {}", self.count_loop_overhead);
+        let _ = writeln!(s, "non_pipelined_divide = {}", self.non_pipelined_divide);
+        let _ = writeln!(s, "loop_setup_cycles = {}", self.loop_setup_cycles);
+        s
+    }
+
+    /// A stable 128-bit fingerprint of this machine description, computed
+    /// over the canonical spec text ([`MachineConfig::to_spec`]) behind a
+    /// schema tag. Invariant under everything spec parsing normalizes
+    /// away (whitespace, comments, key order, defaulted keys) and under
+    /// any future `#[derive(Debug)]` churn — unlike a `Debug`-format
+    /// fingerprint, which changes whenever a field is added or renamed
+    /// even when the described machine did not.
+    pub fn canonical_hash(&self) -> CanonicalHash {
+        let mut h = CanonicalHasher::new();
+        h.section(MACHINE_HASH_SCHEMA);
+        h.section(self.to_spec().as_bytes());
+        h.finish()
     }
 }
 
@@ -175,6 +306,16 @@ mod tests {
     }
 
     #[test]
+    fn resource_model_parses_both_ways() {
+        let m = MachineConfig::from_spec("model = slots-only\n").unwrap();
+        assert_eq!(m.model, ResourceModel::SlotsOnly);
+        let m = MachineConfig::from_spec("model = full\n").unwrap();
+        assert_eq!(m.model, ResourceModel::Full);
+        let e = MachineConfig::from_spec("model = quantum\n").unwrap_err();
+        assert!(e.message.contains("quantum"));
+    }
+
+    #[test]
     fn errors_carry_line_and_message() {
         let e = MachineConfig::from_spec("issue_width = 6\nbogus_key = 1\n").unwrap_err();
         assert_eq!(e.line, 2);
@@ -186,8 +327,56 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_keys_are_rejected_with_both_lines() {
+        let e = MachineConfig::from_spec(
+            "issue_width = 6\nfp_units = 2\nissue_width = 8\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate key `issue_width`"), "{e}");
+        assert!(e.message.contains("line 1"), "must name the first line: {e}");
+        assert!(e.message.contains("line 3"), "must name the second line: {e}");
+        // Comments and blank lines do not shift the reported numbers.
+        let e = MachineConfig::from_spec(
+            "# header\n\nlat.load = 2\n# middle\nlat.load = 3\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("first set on line 3"), "{e}");
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
     fn rejects_degenerate_vector_length() {
         let e = MachineConfig::from_spec("vector_length = 1\n").unwrap_err();
         assert!(e.message.contains("at least 2"));
+    }
+
+    #[test]
+    fn to_spec_round_trips_builtins() {
+        for m in [MachineConfig::paper_default(), MachineConfig::figure1()] {
+            let text = m.to_spec();
+            let back = MachineConfig::from_spec(&text)
+                .unwrap_or_else(|e| panic!("canonical spec of `{}` must parse: {e}", m.name));
+            assert_eq!(back, m, "round-trip law violated for `{}`", m.name);
+            // Canonical text is a fixed point of normalization.
+            assert_eq!(back.to_spec(), text);
+        }
+    }
+
+    #[test]
+    fn canonical_hash_ignores_formatting_but_not_values() {
+        let a = MachineConfig::from_spec("issue_width = 8\nvector_length = 4\n").unwrap();
+        let b = MachineConfig::from_spec(
+            "# big machine\n\n  vector_length=4   # 256-bit\nissue_width =  8\n",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        let c = MachineConfig::from_spec("issue_width = 8\nvector_length = 8\n").unwrap();
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+        assert_ne!(
+            MachineConfig::paper_default().canonical_hash(),
+            MachineConfig::figure1().canonical_hash()
+        );
     }
 }

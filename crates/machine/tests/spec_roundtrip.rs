@@ -1,0 +1,124 @@
+//! Spec round-trip property tests: `from_spec(to_spec(m)) == m` for the
+//! builtins and a seeded population of randomized configurations, plus
+//! canonical-hash invariance under spec reformatting.
+
+use sv_machine::{AlignmentPolicy, CommModel, MachineConfig, ResourceModel};
+
+/// Minimal deterministic generator (SplitMix64 — same recurrence the
+/// workspace's `sv_workloads::SmallRng` uses; duplicated here because
+/// `sv-machine` sits below `sv-workloads` in the crate graph).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + (self.next() % u64::from(hi - lo + 1)) as u32
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// A randomized but structurally valid machine configuration.
+fn random_machine(seed: u64) -> MachineConfig {
+    let mut r = Rng(seed);
+    let mut m = MachineConfig::paper_default();
+    m.name = format!("rand-{seed}");
+    m.issue_width = r.range(1, 16);
+    m.int_units = r.range(1, 8);
+    m.fp_units = r.range(1, 8);
+    m.mem_units = r.range(1, 8);
+    m.branch_units = r.range(1, 4);
+    m.vector_units = r.range(1, 4);
+    m.merge_units = r.range(0, 4);
+    m.vector_issue_limit = if r.flag() { Some(r.range(1, 4)) } else { None };
+    m.vector_length = 2 << r.range(0, 3); // 2, 4, 8, 16
+    m.lat.int_alu = r.range(1, 4);
+    m.lat.int_mul = r.range(1, 8);
+    m.lat.int_div = r.range(1, 64);
+    m.lat.fp_alu = r.range(1, 8);
+    m.lat.fp_mul = r.range(1, 8);
+    m.lat.fp_div = r.range(1, 64);
+    m.lat.load = r.range(1, 8);
+    m.lat.store = r.range(1, 4);
+    m.lat.branch = r.range(1, 4);
+    m.lat.merge = r.range(1, 4);
+    m.regs.scalar_int = r.range(16, 256);
+    m.regs.scalar_fp = r.range(16, 256);
+    m.regs.vector_int = r.range(8, 128);
+    m.regs.vector_fp = r.range(8, 128);
+    m.regs.predicates = r.range(8, 128);
+    m.comm = if r.flag() { CommModel::ThroughMemory } else { CommModel::Free };
+    m.alignment = match r.range(0, 2) {
+        0 => AlignmentPolicy::AssumeMisaligned,
+        1 => AlignmentPolicy::AssumeAligned,
+        _ => AlignmentPolicy::UseStatic,
+    };
+    m.model = if r.flag() { ResourceModel::Full } else { ResourceModel::SlotsOnly };
+    m.count_loop_overhead = r.flag();
+    m.non_pipelined_divide = r.flag();
+    m.loop_setup_cycles = u64::from(r.range(0, 32));
+    m
+}
+
+#[test]
+fn builtins_round_trip_through_canonical_spec() {
+    for m in [MachineConfig::paper_default(), MachineConfig::figure1()] {
+        let back = MachineConfig::from_spec(&m.to_spec()).expect("canonical spec parses");
+        assert_eq!(back, m, "round-trip law violated for builtin `{}`", m.name);
+        assert_eq!(back.canonical_hash(), m.canonical_hash());
+    }
+}
+
+#[test]
+fn randomized_configs_round_trip_through_canonical_spec() {
+    for seed in 0..100u64 {
+        let m = random_machine(seed);
+        let text = m.to_spec();
+        let back = MachineConfig::from_spec(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical spec must parse: {e}\n{text}"));
+        assert_eq!(back, m, "seed {seed}: from_spec(to_spec(m)) != m");
+        // Canonicalization is idempotent, so equal configs always render
+        // byte-identical canonical text (and hash identically).
+        assert_eq!(back.to_spec(), text, "seed {seed}");
+        assert_eq!(back.canonical_hash(), m.canonical_hash(), "seed {seed}");
+    }
+}
+
+#[test]
+fn distinct_randomized_configs_hash_distinctly() {
+    let mut hashes = std::collections::HashSet::new();
+    for seed in 0..100u64 {
+        hashes.insert(random_machine(seed).canonical_hash().0);
+    }
+    // Names differ per seed, so all 100 must be distinct.
+    assert_eq!(hashes.len(), 100);
+}
+
+#[test]
+fn reformatted_spec_texts_parse_equal_and_hash_equal() {
+    for seed in 0..20u64 {
+        let m = random_machine(seed);
+        let canonical = m.to_spec();
+        // Reformat: reverse key order, sprinkle comments and whitespace.
+        let mut lines: Vec<String> = canonical
+            .lines()
+            .map(|l| format!("   {} # reformatted", l.replace(" = ", "=")))
+            .collect();
+        lines.reverse();
+        let ugly = format!("# header comment\n\n{}\n\n# trailing\n", lines.join("\n"));
+        let back = MachineConfig::from_spec(&ugly)
+            .unwrap_or_else(|e| panic!("seed {seed}: reformatted spec must parse: {e}"));
+        assert_eq!(back, m, "seed {seed}: formatting must not change the parse");
+        assert_eq!(back.canonical_hash(), m.canonical_hash(), "seed {seed}");
+    }
+}

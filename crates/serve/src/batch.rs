@@ -12,8 +12,9 @@
 //! * the queue is **bounded** — a submission that would push the queued
 //!   compile weight past [`BatchConfig::queue_cap`] is rejected with
 //!   [`ServeError::Overloaded`] instead of growing without limit;
-//! * `stats` and `shutdown` ride the same queue, so a `stats` response
-//!   reflects every request submitted before it, deterministically.
+//! * `machines`, `stats` and `shutdown` ride the same queue, so a
+//!   `stats` response reflects every request submitted before it,
+//!   deterministically.
 //!
 //! Responses are written to each request's sink in submission order by
 //! the drainer thread alone, so per-connection output order always
@@ -58,6 +59,7 @@ impl Default for BatchConfig {
 enum Work {
     Compile { id: u64, req: Box<CompileRequest> },
     Batch { id: u64, reqs: Vec<CompileRequest> },
+    Machines { id: u64 },
     Stats { id: u64 },
     Shutdown { id: u64 },
 }
@@ -68,7 +70,7 @@ impl Work {
         match self {
             Work::Compile { .. } => 1,
             Work::Batch { reqs, .. } => reqs.len(),
-            Work::Stats { .. } | Work::Shutdown { .. } => 0,
+            Work::Machines { .. } | Work::Stats { .. } | Work::Shutdown { .. } => 0,
         }
     }
 }
@@ -153,6 +155,7 @@ impl Batcher {
         let work = match request {
             Request::Compile { id, req } => Work::Compile { id, req },
             Request::Batch { id, reqs } => Work::Batch { id, reqs },
+            Request::Machines { id } => Work::Machines { id },
             Request::Stats { id } => Work::Stats { id },
             Request::Shutdown { id } => Work::Shutdown { id },
         };
@@ -333,6 +336,9 @@ fn drain(inner: &Inner) {
                         })
                         .collect();
                     respond(&item.out, &batch_response(id, &elements));
+                }
+                Work::Machines { id } => {
+                    respond(&item.out, &ok_response(id, &inner.svc.machines_object()));
                 }
                 Work::Stats { id } => {
                     let qs = QueueStats {

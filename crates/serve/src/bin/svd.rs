@@ -8,13 +8,20 @@
 //! ```text
 //! svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N]
 //!     [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR]
+//!     [--machines DIR]
 //! ```
+//!
+//! `--machines DIR` loads every `*.spec`/`*.mspec` file in `DIR` into
+//! the machine registry next to the builtin `paper`/`figure1` entries;
+//! each registers under the `name` its spec declares, and name
+//! collisions abort startup. The `machines` verb lists the live
+//! registry with canonical hashes.
 //!
 //! Examples:
 //!
 //! ```text
 //! $ echo '{"verb":"compile","id":1,"loop":"..."}' | svd --disk /tmp/svc
-//! $ svd --tcp 127.0.0.1:7199 --jobs 8 &
+//! $ svd --tcp 127.0.0.1:7199 --jobs 8 --machines examples/machines &
 //! ```
 //!
 //! Exit is triggered by the `shutdown` verb or stdin EOF; either way the
@@ -27,18 +34,21 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use sv_core::CacheConfig;
+use sv_machine::MachineRegistry;
 use sv_serve::{parse_request, BatchConfig, Batcher, ServeService, Sink};
 
 struct Options {
     tcp: Option<String>,
     batch: BatchConfig,
     cache: CacheConfig,
+    machines_dir: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N] \
-         [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR]"
+         [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR] \
+         [--machines DIR]"
     );
     std::process::exit(2)
 }
@@ -48,6 +58,7 @@ fn parse_args() -> Options {
         tcp: None,
         batch: BatchConfig { jobs: sv_core::parallel::default_jobs(), ..BatchConfig::default() },
         cache: CacheConfig::default(),
+        machines_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +83,7 @@ fn parse_args() -> Options {
             "--mem-entries" => opts.cache.mem_entries = num("--mem-entries", val("--mem-entries")),
             "--mem-bytes" => opts.cache.mem_bytes = num("--mem-bytes", val("--mem-bytes")),
             "--disk" => opts.cache.disk_dir = Some(PathBuf::from(val("--disk"))),
+            "--machines" => opts.machines_dir = Some(PathBuf::from(val("--machines"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("svd: unknown flag `{other}`");
@@ -152,7 +164,17 @@ fn serve_tcp(addr: &str, batcher: Batcher) -> std::io::Result<()> {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let svc = match ServeService::new(opts.cache) {
+    let mut registry = MachineRegistry::builtin();
+    if let Some(dir) = &opts.machines_dir {
+        match registry.load_dir(dir) {
+            Ok(n) => eprintln!("svd: loaded {n} machine(s) from {}", dir.display()),
+            Err(e) => {
+                eprintln!("svd: cannot load machines: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let svc = match ServeService::with_registry(opts.cache, registry) {
         Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("svd: cannot open cache: {e}");

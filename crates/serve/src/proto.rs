@@ -6,10 +6,17 @@
 //!
 //! | verb | request fields | result |
 //! |---|---|---|
-//! | `compile` | `loop` (textual IR), `machine`, `strategy`, knobs | canonical compile result |
+//! | `compile` | `loop` (textual IR), `machine` *or* `machine_spec`, `strategy`, knobs | canonical compile result |
 //! | `batch` | `requests`: array of compile bodies | array of per-request results |
+//! | `machines` | — | the machine registry: names, canonical hashes, sources |
 //! | `stats` | — | cache/queue counters |
 //! | `shutdown` | — | ack; server drains and exits |
+//!
+//! A compile body names a registered machine (`machine`) or carries an
+//! inline spec text (`machine_spec`, the `sv_machine::spec` grammar) —
+//! never both. Because the cache key is built from the machine's
+//! canonical encoding, an inline spec equal to a registered machine
+//! produces byte-identical responses to the named request.
 //!
 //! Compile responses embed [`sv_core::cache::render_result`]'s canonical
 //! rendering verbatim, so identical requests get byte-identical `result`
@@ -17,7 +24,7 @@
 
 use crate::json::{self, Value};
 use sv_core::{CompileError, DriverConfig, SelectiveConfig, Strategy};
-use sv_machine::MachineConfig;
+use sv_machine::{MachineConfig, MachineRegistry};
 use std::fmt;
 use std::time::Duration;
 
@@ -91,8 +98,13 @@ impl std::error::Error for ServeError {}
 pub struct CompileRequest {
     /// The loop, in the textual IR format (`sv_ir::parse_loop`'s grammar).
     pub loop_text: String,
-    /// Named machine: `"paper"` (Table 1, the default) or `"figure1"`.
+    /// Registered machine name (default `"paper"`, Table 1). Resolved
+    /// against the server's [`MachineRegistry`]; ignored when
+    /// [`CompileRequest::machine_spec`] is present.
     pub machine: String,
+    /// Inline machine description in the `sv_machine::spec` grammar.
+    /// Mutually exclusive with naming a registered machine on the wire.
+    pub machine_spec: Option<String>,
     /// Strategy name (default `"selective"`).
     pub strategy: Strategy,
     /// `SelectiveConfig::account_communication`.
@@ -114,6 +126,7 @@ impl Default for CompileRequest {
         CompileRequest {
             loop_text: String::new(),
             machine: "paper".into(),
+            machine_spec: None,
             strategy: Strategy::Selective,
             account_comm: true,
             squares_tiebreak: true,
@@ -126,19 +139,28 @@ impl Default for CompileRequest {
 }
 
 impl CompileRequest {
-    /// Resolve the named machine.
+    /// Resolve the machine this request compiles for: parse the inline
+    /// [`CompileRequest::machine_spec`] when present, otherwise look the
+    /// name up in `registry`.
     ///
     /// # Errors
     ///
-    /// [`ServeError::BadRequest`] for an unknown machine name.
-    pub fn machine_config(&self) -> Result<MachineConfig, ServeError> {
-        match self.machine.as_str() {
-            "paper" => Ok(MachineConfig::paper_default()),
-            "figure1" => Ok(MachineConfig::figure1()),
-            other => Err(ServeError::BadRequest {
-                message: format!("unknown machine `{other}` (want `paper` or `figure1`)"),
-            }),
+    /// [`ServeError::BadRequest`] for a malformed inline spec, or for a
+    /// name absent from the registry — the error lists what the registry
+    /// actually holds, so it stays correct as machines are added.
+    pub fn machine_config(&self, registry: &MachineRegistry) -> Result<MachineConfig, ServeError> {
+        if let Some(spec) = &self.machine_spec {
+            return MachineConfig::from_spec(spec).map_err(|e| ServeError::BadRequest {
+                message: format!("bad machine_spec: {e}"),
+            });
         }
+        registry.get(&self.machine).cloned().ok_or_else(|| ServeError::BadRequest {
+            message: format!(
+                "unknown machine `{}` (registry has: {})",
+                self.machine,
+                registry.names().join(", ")
+            ),
+        })
     }
 
     /// The driver configuration this request asks for.
@@ -158,12 +180,17 @@ impl CompileRequest {
     }
 
     /// Render this request as one wire line (used by `loadgen`'s trace
-    /// emitter; the server never writes requests).
+    /// emitter; the server never writes requests). Emits `machine_spec`
+    /// when the request carries an inline spec, the machine name
+    /// otherwise — matching the wire's mutual-exclusion rule.
     pub fn to_wire(&self, id: u64) -> String {
+        let machine_field = match &self.machine_spec {
+            Some(spec) => format!("\"machine_spec\":\"{}\"", json::escape(spec)),
+            None => format!("\"machine\":\"{}\"", json::escape(&self.machine)),
+        };
         format!(
-            "{{\"verb\":\"compile\",\"id\":{id},\"machine\":\"{}\",\"strategy\":\"{}\",\
+            "{{\"verb\":\"compile\",\"id\":{id},{machine_field},\"strategy\":\"{}\",\
              \"loop\":\"{}\"}}",
-            json::escape(&self.machine),
             strategy_name(self.strategy),
             json::escape(&self.loop_text),
         )
@@ -188,6 +215,12 @@ pub enum Request {
         /// The sub-requests.
         reqs: Vec<CompileRequest>,
     },
+    /// List the server's machine registry: names, canonical hashes,
+    /// sources.
+    Machines {
+        /// Client correlation id.
+        id: u64,
+    },
     /// Report cache and queue counters.
     Stats {
         /// Client correlation id.
@@ -206,6 +239,7 @@ impl Request {
         match self {
             Request::Compile { id, .. }
             | Request::Batch { id, .. }
+            | Request::Machines { id }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
         }
@@ -214,16 +248,11 @@ impl Request {
 
 /// The strategy's wire spelling (round-trips through
 /// [`parse_strategy`]; distinct from `Display`, which uses
-/// presentation forms like `modulo(no-unroll)`).
+/// presentation forms like `modulo(no-unroll)`). The wire reuses the
+/// canonical spelling the cache key encodes, so the two can never
+/// drift apart.
 pub fn strategy_name(s: Strategy) -> &'static str {
-    match s {
-        Strategy::ModuloNoUnroll => "modulo-no-unroll",
-        Strategy::ModuloOnly => "modulo",
-        Strategy::Traditional => "traditional",
-        Strategy::Full => "full",
-        Strategy::Selective => "selective",
-        Strategy::Widened => "widened",
-    }
+    s.canonical_name()
 }
 
 /// Parse a strategy's wire spelling.
@@ -258,8 +287,15 @@ fn compile_body(v: &Value) -> Result<CompileRequest, ServeError> {
             .to_string(),
         ..CompileRequest::default()
     };
+    if v.get("machine").is_some() && v.get("machine_spec").is_some() {
+        return Err(bad("`machine` and `machine_spec` are mutually exclusive"));
+    }
     if let Some(m) = v.get("machine") {
         req.machine = m.as_str().ok_or_else(|| bad("`machine` must be a string"))?.to_string();
+    }
+    if let Some(s) = v.get("machine_spec") {
+        req.machine_spec =
+            Some(s.as_str().ok_or_else(|| bad("`machine_spec` must be a string"))?.to_string());
     }
     if let Some(s) = v.get("strategy") {
         req.strategy =
@@ -315,10 +351,11 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, ServeError)> {
             }
             Ok(Request::Batch { id, reqs })
         }
+        "machines" => Ok(Request::Machines { id }),
         "stats" => Ok(Request::Stats { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(fail(bad(format!(
-            "unknown verb `{other}` (want compile, batch, stats or shutdown)"
+            "unknown verb `{other}` (want compile, batch, machines, stats or shutdown)"
         )))),
     }
 }
@@ -391,6 +428,61 @@ mod tests {
         let cfg = req.driver_config();
         assert!(!cfg.selective.account_communication);
         assert!(!cfg.verify_boundaries);
+    }
+
+    #[test]
+    fn parses_inline_machine_spec_and_rejects_ambiguity() {
+        let r = parse_request(
+            r#"{"verb":"compile","id":2,"loop":"l","machine_spec":"vector_length = 4\n"}"#,
+        )
+        .unwrap();
+        let Request::Compile { req, .. } = r else { panic!() };
+        assert_eq!(req.machine_spec.as_deref(), Some("vector_length = 4\n"));
+        let m = req.machine_config(&MachineRegistry::builtin()).unwrap();
+        assert_eq!(m.vector_length, 4);
+
+        let (_, e) = parse_request(
+            r#"{"verb":"compile","id":2,"loop":"l","machine":"paper","machine_spec":"x"}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "{e}");
+    }
+
+    #[test]
+    fn unknown_machine_error_lists_registry_contents() {
+        let req = CompileRequest { machine: "toaster".into(), ..CompileRequest::default() };
+        let e = req.machine_config(&MachineRegistry::builtin()).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("unknown machine `toaster`"), "{msg}");
+        assert!(msg.contains("figure1, paper"), "error must list the live registry: {msg}");
+
+        let mut reg = MachineRegistry::builtin();
+        let mut extra = MachineConfig::paper_default();
+        extra.name = "wide".into();
+        reg.register("wide", extra, sv_machine::RegistrySource::Builtin).unwrap();
+        let msg = req.machine_config(&reg).unwrap_err().to_string();
+        assert!(msg.contains("figure1, paper, wide"), "error must track additions: {msg}");
+    }
+
+    #[test]
+    fn machines_verb_parses() {
+        let r = parse_request(r#"{"verb":"machines","id":12}"#).unwrap();
+        assert!(matches!(r, Request::Machines { id: 12 }));
+    }
+
+    #[test]
+    fn inline_spec_round_trips_through_wire() {
+        let req = CompileRequest {
+            loop_text: "loop t (trip 4 x1 invocations, scale 1)".into(),
+            machine_spec: Some(MachineConfig::figure1().to_spec()),
+            ..CompileRequest::default()
+        };
+        let Request::Compile { req: back, .. } = parse_request(&req.to_wire(5)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(*back, req);
+        let m = back.machine_config(&MachineRegistry::empty()).unwrap();
+        assert_eq!(m, MachineConfig::figure1());
     }
 
     #[test]

@@ -3,40 +3,64 @@
 use crate::proto::{CompileRequest, ServeError};
 use std::sync::Arc;
 use sv_core::{compile_cached, CacheConfig, CacheOutcome, CompileCache};
+use sv_machine::MachineRegistry;
 
 /// The stateless-per-request core of the server: a [`CompileCache`] plus
-/// the decode/compile/render path. Shared across connections and worker
-/// threads behind an `Arc`.
+/// the machine registry and the decode/compile/render path. Shared
+/// across connections and worker threads behind an `Arc`.
 #[derive(Debug)]
 pub struct ServeService {
     cache: CompileCache,
+    registry: MachineRegistry,
 }
 
 impl ServeService {
-    /// Build a service around a cache with the given sizing/placement.
+    /// Build a service around a cache with the given sizing/placement,
+    /// resolving machine names against the builtin registry.
     ///
     /// # Errors
     ///
     /// Propagates the I/O error if the disk tier's directory cannot be
     /// created.
     pub fn new(cache_cfg: CacheConfig) -> std::io::Result<ServeService> {
-        Ok(ServeService { cache: CompileCache::new(cache_cfg)? })
+        ServeService::with_registry(cache_cfg, MachineRegistry::builtin())
     }
 
-    /// A service with a default in-memory-only cache.
-    pub fn in_memory() -> ServeService {
-        ServeService { cache: CompileCache::in_memory() }
-    }
-
-    /// Execute one compile request: parse the loop text, resolve machine
-    /// and driver configuration, and run the cache-fronted compile. The
-    /// returned body is the canonical result rendering — byte-identical
-    /// for identical requests regardless of which tier served it.
+    /// [`ServeService::new`] with an explicit registry (builtins plus
+    /// `--machines`-dir entries, or a fully custom set in tests).
     ///
     /// # Errors
     ///
-    /// [`ServeError::BadRequest`] for unparseable loop text or an unknown
-    /// machine, [`ServeError::Compile`] when the driver rejects the loop.
+    /// As [`ServeService::new`].
+    pub fn with_registry(
+        cache_cfg: CacheConfig,
+        registry: MachineRegistry,
+    ) -> std::io::Result<ServeService> {
+        Ok(ServeService { cache: CompileCache::new(cache_cfg)?, registry })
+    }
+
+    /// A service with a default in-memory-only cache and the builtin
+    /// registry.
+    pub fn in_memory() -> ServeService {
+        ServeService {
+            cache: CompileCache::in_memory(),
+            registry: MachineRegistry::builtin(),
+        }
+    }
+
+    /// Execute one compile request: parse the loop text, resolve machine
+    /// (registry name or inline spec) and driver configuration, and run
+    /// the cache-fronted compile. The returned body is the canonical
+    /// result rendering — byte-identical for identical requests
+    /// regardless of which tier served it, and byte-identical between a
+    /// registered name and an inline spec describing the same machine
+    /// (the cache key is built from the machine's canonical encoding).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for unparseable loop text, an unknown
+    /// machine or a malformed inline spec, [`ServeError::Compile`] when
+    /// the driver rejects the loop.
     pub fn compile_body(
         &self,
         req: &CompileRequest,
@@ -44,7 +68,7 @@ impl ServeService {
         let looop = sv_ir::parse_loop(&req.loop_text).map_err(|e| ServeError::BadRequest {
             message: format!("unparseable loop text: {e}"),
         })?;
-        let machine = req.machine_config()?;
+        let machine = req.machine_config(&self.registry)?;
         let cfg = req.driver_config();
         compile_cached(&looop, &machine, &cfg, &self.cache)
             .map_err(|e| ServeError::Compile(Box::new(e)))
@@ -53,6 +77,30 @@ impl ServeService {
     /// The underlying cache (stats, direct seeding in tests).
     pub fn cache(&self) -> &CompileCache {
         &self.cache
+    }
+
+    /// The machine registry requests resolve against.
+    pub fn registry(&self) -> &MachineRegistry {
+        &self.registry
+    }
+
+    /// Render the `machines` verb's result object: every registered
+    /// machine in sorted name order with its canonical hash and source.
+    pub fn machines_object(&self) -> String {
+        let entries: Vec<String> = self
+            .registry
+            .iter()
+            .map(|(name, m, source)| {
+                format!(
+                    "{{\"name\":\"{}\",\"machine\":\"{}\",\"hash\":\"{}\",\"source\":\"{}\"}}",
+                    crate::json::escape(name),
+                    crate::json::escape(&m.name),
+                    m.canonical_hash(),
+                    crate::json::escape(&source.to_string()),
+                )
+            })
+            .collect();
+        format!("{{\"machines\":[{}]}}", entries.join(","))
     }
 
     /// Render the `stats` verb's `cache` sub-object.
@@ -76,6 +124,7 @@ impl ServeService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sv_machine::MachineConfig;
     use sv_workloads::benchmark;
 
     fn req_for(loop_text: String) -> CompileRequest {
@@ -103,6 +152,43 @@ mod tests {
         let suite = benchmark("swim").unwrap();
         let mut req = req_for(suite.loops[0].to_string());
         req.machine = "toaster".into();
-        assert_eq!(svc.compile_body(&req).unwrap_err().kind(), "bad_request");
+        let e = svc.compile_body(&req).unwrap_err();
+        assert_eq!(e.kind(), "bad_request");
+        assert!(e.to_string().contains("figure1, paper"), "{e}");
+    }
+
+    #[test]
+    fn inline_spec_equal_to_builtin_hits_the_same_cache_entry() {
+        let svc = ServeService::in_memory();
+        let suite = benchmark("swim").unwrap();
+        let named = req_for(suite.loops[0].to_string());
+        let (by_name, o1) = svc.compile_body(&named).unwrap();
+        assert_eq!(o1, CacheOutcome::Compiled);
+        // A reformatted inline spec of the same machine must be a warm
+        // memory hit with byte-identical body: the v2 cache key is built
+        // from the canonical machine encoding, not the request's text.
+        let spec = MachineConfig::paper_default().to_spec();
+        let ugly = format!("# inline copy\n{}", spec.replace(" = ", "   =   "));
+        let inline =
+            CompileRequest { machine_spec: Some(ugly), ..req_for(suite.loops[0].to_string()) };
+        let (by_spec, o2) = svc.compile_body(&inline).unwrap();
+        assert_eq!(o2, CacheOutcome::Memory);
+        assert_eq!(by_name, by_spec);
+    }
+
+    #[test]
+    fn machines_object_lists_registry_with_hashes() {
+        let svc = ServeService::in_memory();
+        let out = svc.machines_object();
+        let fig_hash = MachineConfig::figure1().canonical_hash().to_string();
+        let paper_hash = MachineConfig::paper_default().canonical_hash().to_string();
+        assert!(
+            out.starts_with("{\"machines\":[{\"name\":\"figure1\""),
+            "sorted name order: {out}"
+        );
+        assert!(out.contains(&fig_hash), "{out}");
+        assert!(out.contains(&paper_hash), "{out}");
+        assert!(out.contains("\"source\":\"builtin\""), "{out}");
+        assert!(out.contains("\"machine\":\"micro05-table1\""), "{out}");
     }
 }
