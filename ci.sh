@@ -44,9 +44,19 @@ grep '"cache":{' "$SERVE/pass2.jsonl" \
 echo "ci: serve replay byte-identical across cache-cold and cache-warm passes"
 
 # Service performance gate: warm-over-cold speedup and warm hit rate
-# floors against the committed BENCH_serve.json baseline.
+# floors against the committed BENCH_serve.json baseline, plus the
+# committed-overload phase — the retry path must actually fire and the
+# give-up rate must stay bounded.
 cargo run --release -q -p sv-bench --bin loadgen -- --out target/ci-serve/BENCH_serve.json --check BENCH_serve.json
-echo "ci: loadgen cache gate passed"
+echo "ci: loadgen cache + overload-retry gate passed"
+
+# Chaos gate: seeded fault-injection soak over the full serving stack
+# (disk faults, torn writes, compile panics, drainer deaths, stalls,
+# connection drops). Asserts exactly-once responses, byte-identity of
+# every ok against a fault-free control, daemon liveness, and crash-safe
+# cache recovery, with per-class injection coverage across the soak.
+cargo run --release -q -p sv-bench --bin chaos -- --seeds 0..200
+echo "ci: chaos soak held every invariant across 200 seeds"
 
 # Cache-key stability gate: one run naming the registered `paper` machine
 # warms a disk cache and emits the resolved canonical spec; the spec is

@@ -7,14 +7,22 @@
 //!
 //! * **cold** — each distinct request once (every one a cache miss);
 //! * **warm** — `--requests` seeded samples over the same set (cache
-//!   hits), asserting every warm body is byte-identical to its cold one.
+//!   hits), asserting every warm body is byte-identical to its cold one;
+//! * **overload** — several closed-loop client threads drive the
+//!   supervised batcher through [`RetryClient`]s while the admission
+//!   queue is deliberately undersized and seeded queue stalls slow the
+//!   drainer: `overloaded` rejections are real, the retry/backoff path
+//!   is exercised for every run, and every response that does land must
+//!   still be byte-identical to its cold bytes.
 //!
-//! Reports throughput, latency percentiles and cache hit rate per phase,
-//! and writes the benchmark trajectory file `BENCH_serve.json`. `--check
-//! BASELINE` is the CI gate: the fresh run must show at least
-//! `--min-speedup` warm-over-cold throughput and a ≥ 0.99 warm hit rate
-//! (the baseline file is context for trend-watching, not a hard bound —
-//! absolute throughput is machine-dependent).
+//! Reports throughput, latency percentiles, cache hit rate and retry
+//! counters per phase, and writes the benchmark trajectory file
+//! `BENCH_serve.json` (schema `sv-serve-bench/v2`). `--check BASELINE`
+//! is the CI gate: the fresh run must show at least `--min-speedup`
+//! warm-over-cold throughput, a ≥ 0.99 warm hit rate, overload retries
+//! actually exercised, and a bounded overload give-up rate (the baseline
+//! file is context for trend-watching, not a hard bound — absolute
+//! throughput is machine-dependent).
 //!
 //! ```text
 //! cargo run --release -p sv-bench --bin loadgen                  # writes BENCH_serve.json
@@ -38,10 +46,15 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 use sv_core::CacheConfig;
 use sv_machine::MachineRegistry;
-use sv_serve::{CompileRequest, ServeService};
+use sv_serve::proto::ok_response;
+use sv_serve::{
+    BatchConfig, Batcher, CompileRequest, FaultConfig, FaultPlan, InProcess, RetryClient,
+    RetryPolicy, ServeService,
+};
 use sv_workloads::{all_benchmarks, synth_loop, SmallRng, SynthProfile};
 
 struct Opts {
@@ -149,6 +162,10 @@ struct Phase {
     p95_us: f64,
     p99_us: f64,
     hit_rate: f64,
+    /// Client retries performed (0 for the direct cold/warm phases).
+    retries: u64,
+    /// Requests abandoned after the retry budget (0 for direct phases).
+    give_ups: u64,
 }
 
 /// Percentile by nearest-rank over a sorted sample vector.
@@ -199,29 +216,135 @@ fn run_phase(
         p95_us: percentile(&lat_us, 95.0),
         p99_us: percentile(&lat_us, 99.0),
         hit_rate: hits as f64 / plan.len() as f64,
+        retries: 0,
+        give_ups: 0,
     };
     (phase, bodies)
 }
 
+/// How hard the overload phase leans on the batcher: the queue is
+/// undersized relative to the client threads, so admission rejections
+/// (and therefore retries) are guaranteed under the closed loop, and
+/// seeded stalls make the drainer a genuine bottleneck.
+const OVERLOAD_THREADS: usize = 4;
+const OVERLOAD_QUEUE_CAP: usize = 2;
+const OVERLOAD_PER_THREAD: usize = 50;
+
+/// The committed-overload phase: `OVERLOAD_THREADS` closed-loop clients,
+/// each behind its own seeded [`RetryClient`], against a batcher whose
+/// queue holds only `OVERLOAD_QUEUE_CAP` requests and whose drainer is
+/// slowed by injected queue stalls. All traffic is warm (the cold phase
+/// already populated the cache), so every landed `ok` must match its
+/// cold bytes exactly; rejected submissions surface as `overloaded` and
+/// are retried with backoff, give-ups are counted, and the daemon must
+/// finish alive.
+fn run_overload(svc: Arc<ServeService>, reqs: &[CompileRequest], bodies: &[String], seed: u64) -> Phase {
+    let plan = Arc::new(FaultPlan::new(
+        seed,
+        FaultConfig { queue_stall: 0.3, stall_ms: 1, ..FaultConfig::default() },
+    ));
+    let hits_before = svc.cache().stats().hits();
+    let batcher = Arc::new(Batcher::with_faults(
+        svc.clone(),
+        BatchConfig { queue_cap: OVERLOAD_QUEUE_CAP, ..BatchConfig::default() },
+        Some(plan),
+    ));
+    let wall = Instant::now();
+    let mut lat_us: Vec<f64> = Vec::new();
+    let (mut landed, mut retries, mut give_ups) = (0usize, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for tid in 0..OVERLOAD_THREADS {
+            let batcher = Arc::clone(&batcher);
+            workers.push(scope.spawn(move || {
+                let mut client = RetryClient::new(
+                    InProcess::new(batcher),
+                    RetryPolicy { seed: seed ^ tid as u64, ..RetryPolicy::default() },
+                );
+                let mut rng = SmallRng::seed_from_u64(seed + 101 + tid as u64);
+                let mut lat = Vec::with_capacity(OVERLOAD_PER_THREAD);
+                for k in 0..OVERLOAD_PER_THREAD {
+                    let idx = rng.index(reqs.len());
+                    let id = (tid * 1_000_000 + k) as u64;
+                    let t = Instant::now();
+                    match client.call(&reqs[idx].to_wire(id), None) {
+                        Ok(line) => {
+                            lat.push(t.elapsed().as_nanos() as f64 / 1e3);
+                            assert_eq!(
+                                line,
+                                ok_response(id, &bodies[idx]),
+                                "overload response for id {id} diverged from its cold bytes"
+                            );
+                        }
+                        Err(e) => {
+                            // Give-ups are the bounded, expected outcome of
+                            // committed overload; anything fatal is a bug.
+                            assert!(
+                                matches!(e, sv_serve::ClientError::GiveUp { .. }),
+                                "overload client failed fatally: {e}"
+                            );
+                        }
+                    }
+                }
+                (lat, client.stats())
+            }));
+        }
+        for w in workers {
+            let (lat, stats) = w.join().expect("overload client thread panicked");
+            landed += lat.len();
+            lat_us.extend(lat);
+            retries += stats.retries;
+            give_ups += stats.give_ups;
+        }
+    });
+    let total = wall.elapsed().as_secs_f64();
+    Arc::try_unwrap(batcher)
+        .ok()
+        .expect("sole batcher owner after the client threads exit")
+        .join()
+        .expect("the overloaded daemon must finish alive");
+    let hits = svc.cache().stats().hits() - hits_before;
+    assert!(!lat_us.is_empty(), "overload phase landed zero responses — every client gave up");
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    Phase {
+        name: "overload",
+        reqs: OVERLOAD_THREADS * OVERLOAD_PER_THREAD,
+        rps: landed as f64 / total.max(1e-9),
+        p50_us: percentile(&lat_us, 50.0),
+        p95_us: percentile(&lat_us, 95.0),
+        p99_us: percentile(&lat_us, 99.0),
+        hit_rate: hits as f64 / landed.max(1) as f64,
+        retries,
+        give_ups,
+    }
+}
+
 /// Render `BENCH_serve.json`: one row per phase, then a summary.
 fn render(phases: &[Phase], distinct: usize, speedup: f64, warm_hit_rate: f64) -> String {
-    let mut s = String::from("{\"schema\":\"sv-serve-bench/v1\",\"rows\":[\n");
+    let mut s = String::from("{\"schema\":\"sv-serve-bench/v2\",\"rows\":[\n");
     for (i, p) in phases.iter().enumerate() {
         let sep = if i + 1 == phases.len() { "" } else { "," };
         s.push_str(&format!(
             "{{\"phase\":\"{}\",\"reqs\":{},\"rps\":{:.1},\"p50_us\":{:.1},\
-             \"p95_us\":{:.1},\"p99_us\":{:.1},\"hit_rate\":{:.4}}}{sep}\n",
-            p.name, p.reqs, p.rps, p.p50_us, p.p95_us, p.p99_us, p.hit_rate
+             \"p95_us\":{:.1},\"p99_us\":{:.1},\"hit_rate\":{:.4},\
+             \"retries\":{},\"give_ups\":{}}}{sep}\n",
+            p.name, p.reqs, p.rps, p.p50_us, p.p95_us, p.p99_us, p.hit_rate,
+            p.retries, p.give_ups
         ));
     }
+    let overload = phases.iter().find(|p| p.name == "overload");
+    let (o_retries, o_give_up_rate) = overload
+        .map(|p| (p.retries, p.give_ups as f64 / p.reqs.max(1) as f64))
+        .unwrap_or((0, 0.0));
     s.push_str(&format!(
         "],\"summary\":{{\"distinct\":{distinct},\"warm_over_cold_speedup\":{speedup:.2},\
-         \"warm_hit_rate\":{warm_hit_rate:.4}}}}}\n"
+         \"warm_hit_rate\":{warm_hit_rate:.4},\"overload_retries\":{o_retries},\
+         \"overload_give_up_rate\":{o_give_up_rate:.4}}}}}\n"
     ));
     s
 }
 
-/// Pull a numeric summary field out of a `sv-serve-bench/v1` file.
+/// Pull a numeric summary field out of a `sv-serve-bench/v2` file.
 fn summary_field(text: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let at = text.rfind(&pat)? + pat.len();
@@ -327,9 +450,9 @@ fn main() -> ExitCode {
     let baseline = match &opts.check_baseline {
         None => None,
         Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) if text.contains("\"schema\":\"sv-serve-bench/v1\"") => Some(text),
+            Ok(text) if text.contains("\"schema\":\"sv-serve-bench/v2\"") => Some(text),
             Ok(_) => {
-                eprintln!("loadgen: baseline {path} is not a sv-serve-bench/v1 file");
+                eprintln!("loadgen: baseline {path} is not a sv-serve-bench/v2 file");
                 return ExitCode::FAILURE;
             }
             Err(e) => {
@@ -344,7 +467,7 @@ fn main() -> ExitCode {
         ..CacheConfig::default()
     };
     let svc = match ServeService::with_registry(cache_cfg, registry) {
-        Ok(s) => s,
+        Ok(s) => Arc::new(s),
         Err(e) => {
             eprintln!("loadgen: cannot open cache: {e}");
             return ExitCode::FAILURE;
@@ -371,9 +494,12 @@ fn main() -> ExitCode {
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let warm_plan: Vec<usize> = (0..warm_n).map(|_| rng.index(reqs.len())).collect();
     let (warm, _) = run_phase("warm", &svc, &reqs, &warm_plan, Some(&bodies));
+    let overload = run_overload(Arc::clone(&svc), &reqs, &bodies, opts.seed);
 
     let speedup = warm.rps / cold.rps;
     let warm_hit_rate = warm.hit_rate;
+    let give_up_rate = overload.give_ups as f64 / overload.reqs.max(1) as f64;
+    let overload_retries = overload.retries;
     println!(
         "loadgen: {} distinct; cold {:.1} req/s (p95 {:.0} µs), warm {:.1} req/s \
          (p95 {:.1} µs, hit rate {:.2}%) → {speedup:.1}x",
@@ -384,7 +510,17 @@ fn main() -> ExitCode {
         warm.p95_us,
         warm_hit_rate * 100.0
     );
-    let text = render(&[cold, warm], reqs.len(), speedup, warm_hit_rate);
+    println!(
+        "loadgen: overload {} reqs over {OVERLOAD_THREADS} clients (queue cap \
+         {OVERLOAD_QUEUE_CAP}): {:.1} req/s, p95 {:.1} µs, {overload_retries} retries, \
+         {} give-ups ({:.1}%)",
+        overload.reqs,
+        overload.rps,
+        overload.p95_us,
+        overload.give_ups,
+        give_up_rate * 100.0
+    );
+    let text = render(&[cold, warm, overload], reqs.len(), speedup, warm_hit_rate);
     if let Err(e) = std::fs::write(&opts.out, &text) {
         eprintln!("loadgen: cannot write {}: {e}", opts.out);
         return ExitCode::FAILURE;
@@ -413,7 +549,25 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        println!("loadgen: gate passed (≥ {:.1}x, hit rate ≥ 0.99)", opts.min_speedup);
+        if overload_retries == 0 {
+            eprintln!(
+                "loadgen: REGRESSION: the overload phase performed zero retries — \
+                 the committed-overload setup no longer exercises the retry path"
+            );
+            return ExitCode::FAILURE;
+        }
+        if give_up_rate > 0.5 {
+            eprintln!(
+                "loadgen: REGRESSION: overload give-up rate {give_up_rate:.4} above \
+                 0.50 — backoff is no longer absorbing transient rejections"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "loadgen: gate passed (≥ {:.1}x, hit rate ≥ 0.99, retries > 0, \
+             give-up rate ≤ 0.50)",
+            opts.min_speedup
+        );
     }
     ExitCode::SUCCESS
 }
@@ -442,6 +596,8 @@ mod tests {
                 p95_us: 2000.0,
                 p99_us: 3000.0,
                 hit_rate: 0.0,
+                retries: 0,
+                give_ups: 0,
             },
             Phase {
                 name: "warm",
@@ -451,12 +607,29 @@ mod tests {
                 p95_us: 20.0,
                 p99_us: 30.0,
                 hit_rate: 1.0,
+                retries: 0,
+                give_ups: 0,
+            },
+            Phase {
+                name: "overload",
+                reqs: 200,
+                rps: 800.0,
+                p50_us: 50.0,
+                p95_us: 400.0,
+                p99_us: 900.0,
+                hit_rate: 1.0,
+                retries: 37,
+                give_ups: 2,
             },
         ];
         let text = render(&phases, 10, 50.0, 1.0);
+        assert!(text.contains("\"schema\":\"sv-serve-bench/v2\""));
         assert_eq!(summary_field(&text, "warm_over_cold_speedup"), Some(50.0));
         assert_eq!(summary_field(&text, "warm_hit_rate"), Some(1.0));
+        assert_eq!(summary_field(&text, "overload_retries"), Some(37.0));
+        assert_eq!(summary_field(&text, "overload_give_up_rate"), Some(0.01));
         assert!(text.contains("\"phase\":\"cold\""));
+        assert!(text.contains("\"retries\":37,\"give_ups\":2"));
     }
 
     #[test]

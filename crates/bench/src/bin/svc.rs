@@ -10,6 +10,7 @@
 //!              [--strategy selective|full|...]
 //!              [--vl N] [--aligned] [--free-comm] [--emit] [--run]
 //! svc --workload tomcatv.residual [...same options]
+//! svc --server HOST:PORT [--retries N] [...same selection options]
 //! ```
 //!
 //! `--machine` resolves against the machine registry: the builtin
@@ -20,12 +21,21 @@
 //! With no `--strategy`, all techniques are compared side by side. The
 //! `--workload` form compiles a named loop from the built-in SPEC-FP
 //! substitute suites (`BENCH.LOOP`, e.g. `swim.calc1`).
+//!
+//! `--server HOST:PORT` compiles remotely against a running `svd`
+//! instead of in-process: the resolved machine travels as an inline
+//! canonical spec (so the server needs no matching registry entry), and
+//! the request goes through the retrying client — `overloaded`
+//! rejections and dropped connections are retried with capped
+//! exponential backoff (`--retries` bounds them) before giving up with a
+//! typed error.
 
 use std::process::ExitCode;
 use sv_core::{compile, compile_checked, CompiledLoop, DriverConfig, Strategy};
 use sv_ir::{parse_loop, Loop};
 use sv_machine::{AlignmentPolicy, CommModel, MachineConfig, MachineRegistry};
 use sv_modsched::emit_flat;
+use sv_serve::{CompileRequest, RetryClient, RetryPolicy, TcpTransport};
 use sv_sim::{assert_equivalent, run_compiled};
 
 struct Options {
@@ -36,6 +46,8 @@ struct Options {
     emit: bool,
     run: bool,
     stats: bool,
+    server: Option<String>,
+    retries: u32,
 }
 
 fn usage() -> ExitCode {
@@ -44,10 +56,12 @@ fn usage() -> ExitCode {
          \x20          [--strategy NAME] [--vl N] [--aligned] [--free-comm]\n\
          \x20          [--emit] [--run] [--stats]\n\
          \x20     svc --workload BENCH.LOOP [...same options]\n\
+         \x20     svc --server HOST:PORT [--retries N] [...same selection options]\n\
          strategies: modulo-no-unroll, modulo, traditional, full, selective, widened\n\
          --machine resolves against the registry (builtins paper, figure1, plus\n\
          \x20 any --machines DIR given before it)\n\
-         --stats prints per-pass timings/counters and one JSON line per compilation"
+         --stats prints per-pass timings/counters and one JSON line per compilation\n\
+         --server compiles remotely over the retrying wire client (inline machine spec)"
     );
     ExitCode::from(2)
 }
@@ -62,6 +76,8 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut emit = false;
     let mut run = false;
     let mut stats = false;
+    let mut server = None;
+    let mut retries = 4u32;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--machines" => {
@@ -111,6 +127,10 @@ fn parse_args() -> Result<Options, ExitCode> {
                     ExitCode::FAILURE
                 })?;
             }
+            "--server" => server = Some(args.next().ok_or_else(usage)?),
+            "--retries" => {
+                retries = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?
+            }
             "--aligned" => machine.alignment = AlignmentPolicy::AssumeAligned,
             "--free-comm" => machine.comm = CommModel::Free,
             "--emit" => emit = true,
@@ -134,7 +154,51 @@ fn parse_args() -> Result<Options, ExitCode> {
         emit,
         run,
         stats,
+        server,
+        retries,
     })
+}
+
+/// Remote mode: one wire request per strategy through the retrying
+/// client. The resolved machine travels inline as its canonical spec, so
+/// the daemon compiles against exactly what `svc` resolved locally.
+fn compile_remote(
+    addr: &str,
+    retries: u32,
+    looop: &Loop,
+    machine: &MachineConfig,
+    strategies: &[Strategy],
+) -> ExitCode {
+    let policy = RetryPolicy { max_retries: retries, ..RetryPolicy::default() };
+    let mut client = RetryClient::new(TcpTransport::new(addr), policy);
+    let mut failed = false;
+    for (i, &s) in strategies.iter().enumerate() {
+        let req = CompileRequest {
+            loop_text: looop.to_string(),
+            machine_spec: Some(machine.to_spec()),
+            strategy: s,
+            ..CompileRequest::default()
+        };
+        match client.call(&req.to_wire(i as u64 + 1), None) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("svc: {s}: {e}");
+                failed = true;
+            }
+        }
+    }
+    let st = client.stats();
+    if st.retries > 0 || st.give_ups > 0 {
+        eprintln!(
+            "svc: client retried {} time(s), gave up {} time(s)",
+            st.retries, st.give_ups
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn report(l: &Loop, m: &MachineConfig, c: &CompiledLoop, emit: bool, run: bool) {
@@ -226,11 +290,14 @@ fn main() -> ExitCode {
             }
         }
     };
-    println!("{looop}");
     let strategies: Vec<Strategy> = match opts.strategy {
         Some(s) => vec![s],
         None => Strategy::ALL.to_vec(),
     };
+    if let Some(addr) = &opts.server {
+        return compile_remote(addr, opts.retries, &looop, &opts.machine, &strategies);
+    }
+    println!("{looop}");
     for s in strategies {
         if opts.stats {
             // The hardened driver records PassStats; print them under the

@@ -62,6 +62,58 @@ pub fn request_key(l: &Loop, m: &MachineConfig, cfg: &DriverConfig) -> Canonical
     l.canonical_hash(&[KEY_SCHEMA, &m.to_spec(), &cfg.canonical_encoding()])
 }
 
+/// Chaos-layer verdict for one disk write (see [`DiskFaults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write normally.
+    None,
+    /// Fail the write with an injected I/O error (surfaced exactly like
+    /// a real `EIO`: logged, counted, never an error for the request).
+    Error,
+    /// Simulate a crash mid-write: only the first `keep` bytes of the
+    /// serialized entry reach the *final* path, bypassing the tmp+rename
+    /// discipline — the silent-corruption case atomic renames normally
+    /// rule out, which read validation and [`CompileCache::recover`]
+    /// must catch.
+    Torn {
+        /// How many serialized bytes land on disk (clamped to the entry
+        /// length; a full-length cut degenerates to a valid write, just
+        /// like a crash after the last byte).
+        keep: usize,
+    },
+    /// Simulate a crash between the tmp write and the rename: the temp
+    /// file is left behind and the entry never becomes visible.
+    OrphanTmp,
+}
+
+/// Deterministic fault hooks for the disk tier. The serving layer's
+/// chaos plan implements this to inject seeded I/O failures and
+/// kill-at-any-write-point torn writes; production caches carry no
+/// injector and take the `None`/`false` fast paths.
+pub trait DiskFaults: Send + Sync + std::fmt::Debug {
+    /// Whether reading `key`'s entry should fail with an injected I/O
+    /// error (treated exactly like an unreadable file).
+    fn read_fault(&self, key: CanonicalHash) -> bool;
+
+    /// What should happen to the write of `key`'s entry; `len` is the
+    /// full serialized entry length so torn cuts can land anywhere.
+    fn write_fault(&self, key: CanonicalHash, len: usize) -> WriteFault;
+}
+
+/// What the open-time crash-recovery sweep found (see
+/// [`CompileCache::recover`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Disk entries examined.
+    pub scanned: u64,
+    /// Corrupt or mismatched entries quarantined (also counted in
+    /// [`CacheStats::disk_errors`] — they are genuine defects).
+    pub quarantined: u64,
+    /// Orphaned temporary files (a crash between write and rename)
+    /// moved aside; benign, so not counted as disk errors.
+    pub orphans: u64,
+}
+
 /// Where a [`compile_cached`] result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
@@ -86,6 +138,9 @@ pub struct CacheConfig {
     pub shards: usize,
     /// Directory for the disk tier; `None` disables it.
     pub disk_dir: Option<PathBuf>,
+    /// Deterministic disk-fault injector (chaos testing); `None` in
+    /// production.
+    pub faults: Option<Arc<dyn DiskFaults>>,
 }
 
 impl Default for CacheConfig {
@@ -95,6 +150,7 @@ impl Default for CacheConfig {
             mem_bytes: 64 << 20,
             shards: 16,
             disk_dir: None,
+            faults: None,
         }
     }
 }
@@ -112,6 +168,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Disk entries quarantined as corrupt or unreadable.
     pub disk_errors: u64,
+    /// Files the open-time recovery sweep moved aside (corrupt entries
+    /// plus orphaned temporaries).
+    pub recovered: u64,
     /// Entries currently resident in memory.
     pub entries: u64,
     /// Approximate bytes currently resident in memory.
@@ -204,6 +263,7 @@ pub struct CompileCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     disk_errors: AtomicU64,
+    recovery: Mutex<RecoveryReport>,
 }
 
 impl std::fmt::Debug for CompileCache {
@@ -214,17 +274,20 @@ impl std::fmt::Debug for CompileCache {
 
 impl CompileCache {
     /// Build a cache. Creates the disk directory (and parents) when a
-    /// disk tier is configured.
+    /// disk tier is configured, then runs the crash-recovery sweep
+    /// ([`CompileCache::recover`]) over it so a process killed at any
+    /// write point leaves nothing a later lookup could mis-serve.
     ///
     /// # Errors
     ///
-    /// Propagates the I/O error if the disk directory cannot be created.
+    /// Propagates the I/O error if the disk directory cannot be created
+    /// or scanned. Per-file defects never error — they quarantine.
     pub fn new(cfg: CacheConfig) -> io::Result<CompileCache> {
         if let Some(dir) = &cfg.disk_dir {
             std::fs::create_dir_all(dir)?;
         }
         let shards = cfg.shards.max(1);
-        Ok(CompileCache {
+        let cache = CompileCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             cfg,
             mem_hits: AtomicU64::new(0),
@@ -232,7 +295,83 @@ impl CompileCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             disk_errors: AtomicU64::new(0),
-        })
+            recovery: Mutex::new(RecoveryReport::default()),
+        };
+        cache.recover()?;
+        Ok(cache)
+    }
+
+    /// Crash-recovery sweep over the disk tier: every `*.svc` entry is
+    /// re-validated (header, key-vs-filename, length, digest) and every
+    /// defect quarantined; orphaned `*.svc.tmp.*` files — a crash
+    /// between write and rename — are moved aside. Runs automatically at
+    /// open; idempotent (a second sweep over a recovered directory finds
+    /// nothing). After the sweep, every surviving entry is guaranteed to
+    /// serve byte-exact content.
+    ///
+    /// # Errors
+    ///
+    /// Only if the directory itself cannot be listed; per-file problems
+    /// quarantine and continue.
+    pub fn recover(&self) -> io::Result<RecoveryReport> {
+        let Some(dir) = &self.cfg.disk_dir else { return Ok(RecoveryReport::default()) };
+        let mut report = RecoveryReport::default();
+        let mut paths: Vec<PathBuf> =
+            std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort(); // deterministic sweep order for logs and tests
+        for path in paths {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            if name.ends_with(".quarantined") {
+                continue; // already moved aside by an earlier sweep
+            }
+            if name.contains(".svc.tmp") {
+                // Orphaned temporary: the writer died before its rename.
+                // The entry was never visible, so this is cleanup, not
+                // corruption.
+                report.orphans += 1;
+                let aside = path.with_file_name(format!("{name}.quarantined"));
+                let moved =
+                    std::fs::rename(&path, &aside).is_ok() || std::fs::remove_file(&path).is_ok();
+                eprintln!(
+                    "sv-core: cache: recovery quarantined orphaned tmp {}{}",
+                    path.display(),
+                    if moved { "" } else { " [could not move aside]" }
+                );
+                continue;
+            }
+            if !name.ends_with(".svc") {
+                continue; // foreign file; not ours to touch
+            }
+            report.scanned += 1;
+            let defect = match name.trim_end_matches(".svc").parse::<CanonicalHash>() {
+                Err(e) => Some(format!("unparseable key in filename: {e}")),
+                Ok(key) => match std::fs::read_to_string(&path) {
+                    Err(e) => Some(format!("unreadable: {e}")),
+                    Ok(text) => validate_disk_entry(&text, key).err(),
+                },
+            };
+            if let Some(reason) = defect {
+                report.quarantined += 1;
+                self.quarantine(&path, &format!("recovery sweep: {reason}"));
+            }
+        }
+        if report.quarantined + report.orphans > 0 {
+            eprintln!(
+                "sv-core: cache: recovery swept {} entries, quarantined {} corrupt, \
+                 {} orphaned tmp files",
+                report.scanned, report.quarantined, report.orphans
+            );
+        }
+        let mut slot = self.recovery.lock().expect("recovery report poisoned");
+        slot.scanned += report.scanned;
+        slot.quarantined += report.quarantined;
+        slot.orphans += report.orphans;
+        Ok(report)
+    }
+
+    /// What the open-time recovery sweep(s) found, cumulatively.
+    pub fn recovery(&self) -> RecoveryReport {
+        *self.recovery.lock().expect("recovery report poisoned")
     }
 
     /// An in-memory-only cache with default sizing.
@@ -307,12 +446,14 @@ impl CompileCache {
             entries += s.map.len() as u64;
             bytes += s.bytes as u64;
         }
+        let rec = self.recovery();
         CacheStats {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            recovered: rec.quarantined + rec.orphans,
             entries,
             bytes,
         }
@@ -328,6 +469,15 @@ impl CompileCache {
     /// quarantines the entry and returns `None` (the caller recompiles).
     fn disk_read(&self, key: CanonicalHash) -> Option<Arc<str>> {
         let path = self.entry_path(key)?;
+        if self.cfg.faults.as_ref().is_some_and(|f| f.read_fault(key)) {
+            // An injected read failure behaves exactly like a real one:
+            // the entry is set aside and the request recompiles (the
+            // write-through then restores a good copy).
+            if path.exists() {
+                self.quarantine(&path, "injected read fault");
+            }
+            return None;
+        }
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
@@ -360,12 +510,42 @@ impl CompileCache {
 
     /// Write-through one entry: checksummed header + body, written to a
     /// temporary file and renamed into place so readers never observe a
-    /// partial entry.
+    /// partial entry. A configured fault injector can override the write
+    /// with an error, a torn (partial, non-atomic) write, or an orphaned
+    /// temporary — the crash shapes [`CompileCache::recover`] and read
+    /// validation must absorb.
     fn disk_write(&self, key: CanonicalHash, body: &str) -> io::Result<()> {
         let Some(path) = self.entry_path(key) else { return Ok(()) };
+        let rendered = render_disk_entry(key, body);
         let tmp = path.with_extension(format!("svc.tmp.{}", std::process::id()));
-        std::fs::write(&tmp, render_disk_entry(key, body))?;
-        std::fs::rename(&tmp, &path)
+        let fault = self
+            .cfg
+            .faults
+            .as_ref()
+            .map_or(WriteFault::None, |f| f.write_fault(key, rendered.len()));
+        match fault {
+            WriteFault::None => {
+                std::fs::write(&tmp, rendered)?;
+                std::fs::rename(&tmp, &path)
+            }
+            WriteFault::Error => {
+                Err(io::Error::other("injected disk write fault"))
+            }
+            WriteFault::Torn { keep } => {
+                // Crash mid-write with no atomic rename: a prefix lands on
+                // the final path. Deliberately *silent* — the defect must
+                // be caught by validation, not by the writer.
+                let keep = keep.min(rendered.len());
+                std::fs::write(&path, &rendered.as_bytes()[..keep])?;
+                Ok(())
+            }
+            WriteFault::OrphanTmp => {
+                // Crash between write and rename: tmp file left behind,
+                // entry never visible.
+                std::fs::write(&tmp, rendered)?;
+                Ok(())
+            }
+        }
     }
 }
 
@@ -578,6 +758,7 @@ mod tests {
             mem_bytes: usize::MAX >> 1,
             shards: 1,
             disk_dir: None,
+            faults: None,
         })
         .unwrap();
         for i in 0..3 {
@@ -599,6 +780,7 @@ mod tests {
             mem_bytes: usize::MAX >> 1,
             shards: 1,
             disk_dir: None,
+            faults: None,
         })
         .unwrap();
         cache.insert(CanonicalHash(1), Arc::from("a"));
@@ -617,6 +799,7 @@ mod tests {
             mem_bytes: 2 * (ENTRY_OVERHEAD + 8),
             shards: 1,
             disk_dir: None,
+            faults: None,
         })
         .unwrap();
         cache.insert(CanonicalHash(1), Arc::from("12345678"));

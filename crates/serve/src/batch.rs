@@ -1,4 +1,5 @@
-//! The bounded request queue and batching drainer.
+//! The bounded request queue, its batching drainer, and the drainer's
+//! supervisor.
 //!
 //! All verbs flow through one FIFO queue drained by a single thread:
 //!
@@ -11,15 +12,35 @@
 //!   count never changes response bytes or order;
 //! * the queue is **bounded** — a submission that would push the queued
 //!   compile weight past [`BatchConfig::queue_cap`] is rejected with
-//!   [`ServeError::Overloaded`] instead of growing without limit;
+//!   [`ServeError::Overloaded`] instead of growing without limit, and a
+//!   deadline that is already expired at admission is rejected
+//!   immediately so it never occupies queue weight;
 //! * `machines`, `stats` and `shutdown` ride the same queue, so a
 //!   `stats` response reflects every request submitted before it,
 //!   deterministically.
+//!
+//! ## Fault containment
+//!
+//! Each batch entry compiles under `catch_unwind`: a poisoned request
+//! answers *itself* with a typed `internal` error instead of killing the
+//! batch. The drainer itself runs under a **supervisor** thread that
+//! holds the exactly-once response invariant: work the drainer has taken
+//! off the queue sits in an *in-flight* ledger until the moment its
+//! response has been written, so when the drainer dies mid-batch the
+//! supervisor logs a typed `drainer_restart` event, re-queues precisely
+//! the unanswered in-flight items (in order, at the queue front) and
+//! respawns the drainer — no response is lost, none is duplicated. A
+//! drainer that keeps dying without making progress is declared dead
+//! after [`MAX_FRUITLESS_RESTARTS`] consecutive fruitless respawns; the
+//! supervisor then fails every pending request with a typed `internal`
+//! error and [`Batcher::join`] reports the failure, still typed, still
+//! without killing the process.
 //!
 //! Responses are written to each request's sink in submission order by
 //! the drainer thread alone, so per-connection output order always
 //! matches input order.
 
+use crate::faults::FaultPlan;
 use crate::proto::{
     batch_response, error_object, error_response, ok_response, CompileRequest, Request,
     ServeError,
@@ -27,13 +48,38 @@ use crate::proto::{
 use crate::service::ServeService;
 use std::collections::VecDeque;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use sv_core::parallel::run_ordered;
 
 /// Where a response line goes (stdout, a TCP stream, or a test buffer).
 pub type Sink = Arc<Mutex<dyn Write + Send>>;
+
+/// Consecutive drainer respawns without a single response written before
+/// the supervisor declares the drainer unrecoverable and fails pending
+/// work with typed errors (instead of respawning forever).
+pub const MAX_FRUITLESS_RESTARTS: u32 = 8;
+
+/// Lock a mutex, recovering from poison: the supervisor design keeps the
+/// queue and ledger consistent at every panic site, so a poisoned lock
+/// only means "a drainer died somewhere" — exactly the situation the
+/// supervisor exists to handle, never a reason to kill the daemon.
+fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a panic payload for typed error messages and event logs.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Queue and batching knobs.
 #[derive(Debug, Clone)]
@@ -73,6 +119,17 @@ impl Work {
             Work::Machines { .. } | Work::Stats { .. } | Work::Shutdown { .. } => 0,
         }
     }
+
+    /// The client correlation id.
+    fn id(&self) -> u64 {
+        match self {
+            Work::Compile { id, .. }
+            | Work::Batch { id, .. }
+            | Work::Machines { id }
+            | Work::Stats { id }
+            | Work::Shutdown { id } => *id,
+        }
+    }
 }
 
 struct Item {
@@ -98,10 +155,22 @@ pub struct QueueStats {
     pub submitted: u64,
     /// Requests rejected with `overloaded`.
     pub rejected: u64,
+    /// Requests rejected at admission because their deadline had already
+    /// expired (they never occupy queue weight).
+    pub deadline_rejected: u64,
     /// Individual compiles executed (batch members included).
     pub compiles: u64,
     /// Compile runs flushed to the worker pool.
     pub flushes: u64,
+    /// Responses written (every taken request gets exactly one).
+    pub responses: u64,
+    /// Batch-entry panics contained by `catch_unwind` and answered with
+    /// a typed `internal` error.
+    pub panics_isolated: u64,
+    /// Times the supervisor respawned a dead drainer.
+    pub drainer_restarts: u64,
+    /// In-flight items the supervisor re-queued after drainer deaths.
+    pub requeued: u64,
 }
 
 struct Inner {
@@ -109,38 +178,86 @@ struct Inner {
     cfg: BatchConfig,
     q: Mutex<Queue>,
     cv: Condvar,
+    /// The exactly-once ledger: items the drainer has taken off the
+    /// queue but not yet answered, in response order. An item leaves the
+    /// ledger in the same critical section that writes its response.
+    in_flight: Mutex<VecDeque<Item>>,
+    /// Set when the supervisor gave up (fruitless restarts); makes
+    /// [`Batcher::join`] report a typed failure.
+    failed: AtomicBool,
+    faults: Option<Arc<FaultPlan>>,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    deadline_rejected: AtomicU64,
     compiles: AtomicU64,
     flushes: AtomicU64,
+    responses: AtomicU64,
+    panics_isolated: AtomicU64,
+    drainer_restarts: AtomicU64,
+    requeued: AtomicU64,
 }
 
-/// The queue front-end plus its drainer thread. Shared by every
+impl Inner {
+    fn stats(&self) -> QueueStats {
+        QueueStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_rejected: self.deadline_rejected.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+            drainer_restarts: self.drainer_restarts.load(Ordering::Relaxed),
+            requeued: self.requeued.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The queue front-end plus its supervised drainer. Shared by every
 /// connection; dropped (via [`Batcher::join`]) only after close.
 pub struct Batcher {
     inner: Arc<Inner>,
-    drainer: Option<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Batcher {
-    /// Start a batcher (and its drainer thread) over a service.
+    /// Start a batcher (and its supervised drainer) over a service.
     pub fn new(svc: Arc<ServeService>, cfg: BatchConfig) -> Batcher {
+        Batcher::with_faults(svc, cfg, None)
+    }
+
+    /// [`Batcher::new`] with a chaos fault plan driving drainer panics
+    /// and queue stalls (compile-level faults are the service's; disk
+    /// faults are the cache's — install the same plan there).
+    pub fn with_faults(
+        svc: Arc<ServeService>,
+        cfg: BatchConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Batcher {
         let inner = Arc::new(Inner {
             svc,
             cfg,
             q: Mutex::new(Queue::default()),
             cv: Condvar::new(),
+            in_flight: Mutex::new(VecDeque::new()),
+            failed: AtomicBool::new(false),
+            faults,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
             compiles: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            panics_isolated: AtomicU64::new(0),
+            drainer_restarts: AtomicU64::new(0),
+            requeued: AtomicU64::new(0),
         });
         let for_thread = Arc::clone(&inner);
-        let drainer = std::thread::Builder::new()
-            .name("sv-serve-drain".into())
-            .spawn(move || drain(&for_thread))
-            .expect("spawn drainer");
-        Batcher { inner, drainer: Some(drainer) }
+        let supervisor = std::thread::Builder::new()
+            .name("sv-serve-supervisor".into())
+            .spawn(move || supervise(&for_thread))
+            .expect("spawn supervisor");
+        Batcher { inner, supervisor: Some(supervisor) }
     }
 
     /// Enqueue one decoded request; its response will be written to
@@ -149,8 +266,10 @@ impl Batcher {
     /// # Errors
     ///
     /// [`ServeError::Overloaded`] when the queue is at capacity,
-    /// [`ServeError::ShuttingDown`] after shutdown/close. The caller
-    /// reports these to the client itself — nothing was enqueued.
+    /// [`ServeError::DeadlineExceeded`] when the request's deadline is
+    /// already expired at admission, [`ServeError::ShuttingDown`] after
+    /// shutdown/close. The caller reports these to the client itself —
+    /// nothing was enqueued.
     pub fn submit(&self, request: Request, out: Sink) -> Result<(), ServeError> {
         let work = match request {
             Request::Compile { id, req } => Work::Compile { id, req },
@@ -159,8 +278,18 @@ impl Batcher {
             Request::Stats { id } => Work::Stats { id },
             Request::Shutdown { id } => Work::Shutdown { id },
         };
+        // A deadline of zero is already expired the instant it is
+        // submitted (deadlines are measured from submission): reject at
+        // admission so it never occupies queue weight and never displaces
+        // a servable request.
+        if let Work::Compile { req, .. } = &work {
+            if req.timeout == Some(Duration::ZERO) {
+                self.inner.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded { timeout_ms: 0 });
+            }
+        }
         let w = work.weight();
-        let mut q = self.inner.q.lock().expect("serve queue poisoned");
+        let mut q = lock_recover(&self.inner.q);
         if q.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -178,67 +307,122 @@ impl Batcher {
     /// Stop admitting work and flush whatever is queued (used on stdin
     /// EOF / listener teardown; the `shutdown` verb does this itself).
     pub fn close(&self) {
-        self.inner.q.lock().expect("serve queue poisoned").closed = true;
+        lock_recover(&self.inner.q).closed = true;
         self.inner.cv.notify_all();
     }
 
-    /// Wait for the drainer to finish every queued request and exit.
-    /// Call after [`Batcher::close`] or a submitted `shutdown`.
-    pub fn join(mut self) {
-        if let Some(h) = self.drainer.take() {
-            h.join().expect("drainer panicked");
+    /// Wait for the supervised drainer to finish every queued request
+    /// and exit. Call after [`Batcher::close`] or a submitted
+    /// `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when the drainer died unrecoverably
+    /// (pending requests were still answered, with typed errors) — the
+    /// queue was drained either way, and the caller's process lives.
+    pub fn join(mut self) -> Result<(), ServeError> {
+        // Joining consumes the batcher, so nothing can submit after this:
+        // closing here is always sound, and makes join self-sufficient
+        // for callers that did not close explicitly.
+        self.close();
+        let result = match self.supervisor.take() {
+            None => Ok(()),
+            Some(h) => match h.join() {
+                Ok(()) => Ok(()),
+                Err(p) => Err(ServeError::Internal {
+                    message: format!("supervisor panicked: {}", panic_message(p.as_ref())),
+                }),
+            },
+        };
+        if self.inner.failed.load(Ordering::Relaxed) {
+            return Err(ServeError::Internal {
+                message: format!(
+                    "drainer died unrecoverably after {} restarts; pending requests were \
+                     answered with typed errors",
+                    self.inner.drainer_restarts.load(Ordering::Relaxed)
+                ),
+            });
         }
+        result
     }
 
     /// Whether the queue has stopped admitting work (shutdown or
     /// [`Batcher::close`]). Lets accept loops wind down.
     pub fn is_closed(&self) -> bool {
-        self.inner.q.lock().expect("serve queue poisoned").closed
+        lock_recover(&self.inner.q).closed
     }
 
     /// Point-in-time queue counters.
     pub fn stats(&self) -> QueueStats {
-        QueueStats {
-            submitted: self.inner.submitted.load(Ordering::Relaxed),
-            rejected: self.inner.rejected.load(Ordering::Relaxed),
-            compiles: self.inner.compiles.load(Ordering::Relaxed),
-            flushes: self.inner.flushes.load(Ordering::Relaxed),
-        }
+        self.inner.stats()
     }
 }
 
 impl Drop for Batcher {
     fn drop(&mut self) {
         self.close();
-        if let Some(h) = self.drainer.take() {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
 }
 
-/// What the drainer decided to do with the queue head.
+/// One compile taken off the queue (the authoritative [`Item`] stays in
+/// the in-flight ledger until its response is written).
+struct RunEntry {
+    id: u64,
+    req: CompileRequest,
+    out: Sink,
+    submitted: Instant,
+}
+
+/// What the drainer decided to do with the queue head. Every variant
+/// except `Exit` has its item(s) registered in the in-flight ledger.
 enum Action {
-    Run(Vec<Item>),
-    One(Item),
+    Run(Vec<RunEntry>),
+    Batch { id: u64, reqs: Vec<CompileRequest>, out: Sink, submitted: Instant },
+    Machines { id: u64, out: Sink },
+    Stats { id: u64, out: Sink },
+    Shutdown { id: u64, out: Sink },
     Exit,
 }
 
 /// Pop the next unit of work, blocking until a flush condition holds.
+/// The popped item(s) move into the in-flight ledger *before* the queue
+/// lock is released, so there is never an instant where taken work is
+/// tracked nowhere.
 fn next_action(inner: &Inner) -> Action {
     let flush = Duration::from_millis(inner.cfg.flush_ms);
-    let mut q = inner.q.lock().expect("serve queue poisoned");
+    let mut q = lock_recover(&inner.q);
     loop {
         if q.items.is_empty() {
             if q.closed {
                 return Action::Exit;
             }
-            q = inner.cv.wait(q).expect("serve queue poisoned");
+            q = inner.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             continue;
         }
         if !matches!(q.items[0].work, Work::Compile { .. }) {
             let item = q.items.pop_front().expect("checked non-empty");
             q.weight -= item.work.weight();
-            return Action::One(item);
+            let action = match &item.work {
+                Work::Batch { id, reqs } => Action::Batch {
+                    id: *id,
+                    reqs: reqs.clone(),
+                    out: Arc::clone(&item.out),
+                    submitted: item.submitted,
+                },
+                Work::Machines { id } => {
+                    Action::Machines { id: *id, out: Arc::clone(&item.out) }
+                }
+                Work::Stats { id } => Action::Stats { id: *id, out: Arc::clone(&item.out) },
+                Work::Shutdown { id } => {
+                    Action::Shutdown { id: *id, out: Arc::clone(&item.out) }
+                }
+                Work::Compile { .. } => unreachable!("head checked non-compile"),
+            };
+            lock_recover(&inner.in_flight).push_back(item);
+            return action;
         }
         // Head is a compile: measure the contiguous run that could flush.
         let run_len = q
@@ -255,29 +439,56 @@ fn next_action(inner: &Inner) -> Action {
         let now = Instant::now();
         if capped || sealed || q.closed || now >= deadline {
             q.weight -= run_len;
-            return Action::Run(q.items.drain(..run_len).collect());
+            let items: Vec<Item> = q.items.drain(..run_len).collect();
+            let entries: Vec<RunEntry> = items
+                .iter()
+                .map(|item| match &item.work {
+                    Work::Compile { id, req } => RunEntry {
+                        id: *id,
+                        req: (**req).clone(),
+                        out: Arc::clone(&item.out),
+                        submitted: item.submitted,
+                    },
+                    _ => unreachable!("runs hold only compiles"),
+                })
+                .collect();
+            lock_recover(&inner.in_flight).extend(items);
+            return Action::Run(entries);
         }
         let (guard, _) = inner
             .cv
             .wait_timeout(q, deadline - now)
-            .expect("serve queue poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         q = guard;
     }
 }
 
-/// Write one response line and flush it out to the client.
-fn respond(out: &Sink, line: &str) {
-    let mut w = out.lock().expect("response sink poisoned");
-    // A dead sink (client hung up) only loses that client's response.
-    let _ = writeln!(w, "{line}");
-    let _ = w.flush();
+/// Write one response line and retire its in-flight item — atomically
+/// with respect to the supervisor, which takes the same ledger lock
+/// before re-queueing. This single critical section is what makes the
+/// exactly-once invariant hold across drainer deaths: an item is either
+/// still in the ledger (unanswered, will be re-queued) or gone
+/// (answered, will not be).
+fn respond_and_retire(inner: &Inner, out: &Sink, expect_id: u64, line: &str) {
+    let mut ledger = lock_recover(&inner.in_flight);
+    {
+        let mut w = lock_recover(out);
+        // A dead sink (client hung up) only loses that client's response.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+    let retired = ledger.pop_front().expect("responding to an item not in the ledger");
+    debug_assert_eq!(retired.work.id(), expect_id, "ledger order must match response order");
+    inner.responses.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Execute `reqs` (all submitted at `submitted`) on the worker pool,
-/// returning per-request result bodies or errors in request order.
+/// returning per-request result bodies or errors in request order. Each
+/// entry compiles under `catch_unwind`: one poisoned request yields one
+/// typed `internal` error, never a dead batch or daemon.
 fn execute(
     inner: &Inner,
-    reqs: &[CompileRequest],
+    reqs: &[&CompileRequest],
     submitted: Instant,
 ) -> Vec<Result<Arc<str>, ServeError>> {
     // Deadlines are decided once, here, on the drainer thread — not
@@ -297,74 +508,178 @@ fn execute(
     inner.compiles.fetch_add(reqs.len() as u64, Ordering::Relaxed);
     run_ordered(reqs, inner.cfg.jobs, |i, req| match expired[i] {
         Some(timeout_ms) => Err(ServeError::DeadlineExceeded { timeout_ms }),
-        None => inner.svc.compile_body(req).map(|(body, _)| body),
+        None => match catch_unwind(AssertUnwindSafe(|| inner.svc.compile_body(req))) {
+            Ok(result) => result.map(|(body, _)| body),
+            Err(payload) => {
+                inner.panics_isolated.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Internal {
+                    message: format!(
+                        "compile panicked (isolated to this request): {}",
+                        panic_message(payload.as_ref())
+                    ),
+                })
+            }
+        },
     })
 }
 
 /// The drainer thread: pop, execute, respond, until closed and empty.
 fn drain(inner: &Inner) {
     loop {
+        if let Some(d) = inner.faults.as_ref().and_then(|p| p.stall()) {
+            std::thread::sleep(d);
+        }
         match next_action(inner) {
             Action::Exit => return,
-            Action::Run(items) => {
-                let (reqs, meta): (Vec<CompileRequest>, Vec<(u64, Sink, Instant)>) = items
-                    .into_iter()
-                    .map(|item| match item.work {
-                        Work::Compile { id, req } => (*req, (id, item.out, item.submitted)),
-                        _ => unreachable!("runs hold only compiles"),
-                    })
-                    .unzip();
+            Action::Run(entries) => {
+                let panic_at =
+                    inner.faults.as_ref().and_then(|p| p.drainer_panic_point(entries.len()));
+                if panic_at == Some(0) {
+                    panic!("injected drainer panic (before batch execute)");
+                }
                 // One shared submission time keeps a run's deadline
                 // verdicts as conservative as its oldest member.
-                let oldest = meta.iter().map(|(_, _, t)| *t).min().expect("non-empty run");
+                let oldest =
+                    entries.iter().map(|e| e.submitted).min().expect("non-empty run");
+                let reqs: Vec<&CompileRequest> = entries.iter().map(|e| &e.req).collect();
                 let results = execute(inner, &reqs, oldest);
-                for ((id, out, _), result) in meta.iter().zip(&results) {
-                    match result {
-                        Ok(body) => respond(out, &ok_response(*id, body)),
-                        Err(e) => respond(out, &error_response(*id, e)),
+                for (k, (entry, result)) in entries.iter().zip(&results).enumerate() {
+                    let line = match result {
+                        Ok(body) => ok_response(entry.id, body),
+                        Err(e) => error_response(entry.id, e),
+                    };
+                    respond_and_retire(inner, &entry.out, entry.id, &line);
+                    if panic_at == Some(k + 1) {
+                        panic!("injected drainer panic (mid-batch after {} responses)", k + 1);
                     }
                 }
             }
-            Action::One(item) => match item.work {
-                Work::Batch { id, reqs } => {
-                    let results = execute(inner, &reqs, item.submitted);
-                    let elements: Vec<String> = results
-                        .iter()
-                        .map(|r| match r {
-                            Ok(body) => body.to_string(),
-                            Err(e) => error_object(e),
-                        })
-                        .collect();
-                    respond(&item.out, &batch_response(id, &elements));
-                }
-                Work::Machines { id } => {
-                    respond(&item.out, &ok_response(id, &inner.svc.machines_object()));
-                }
-                Work::Stats { id } => {
-                    let qs = QueueStats {
-                        submitted: inner.submitted.load(Ordering::Relaxed),
-                        rejected: inner.rejected.load(Ordering::Relaxed),
-                        compiles: inner.compiles.load(Ordering::Relaxed),
-                        flushes: inner.flushes.load(Ordering::Relaxed),
-                    };
-                    let result = format!(
-                        "{{\"cache\":{},\"queue\":{{\"submitted\":{},\"rejected\":{},\
-                         \"compiles\":{},\"flushes\":{}}}}}",
-                        inner.svc.stats_object(),
-                        qs.submitted,
-                        qs.rejected,
-                        qs.compiles,
-                        qs.flushes,
+            Action::Batch { id, reqs, out, submitted } => {
+                let refs: Vec<&CompileRequest> = reqs.iter().collect();
+                let results = execute(inner, &refs, submitted);
+                let elements: Vec<String> = results
+                    .iter()
+                    .map(|r| match r {
+                        Ok(body) => body.to_string(),
+                        Err(e) => error_object(e),
+                    })
+                    .collect();
+                respond_and_retire(inner, &out, id, &batch_response(id, &elements));
+            }
+            Action::Machines { id, out } => {
+                respond_and_retire(
+                    inner,
+                    &out,
+                    id,
+                    &ok_response(id, &inner.svc.machines_object()),
+                );
+            }
+            Action::Stats { id, out } => {
+                let qs = inner.stats();
+                let result = format!(
+                    "{{\"cache\":{},\"queue\":{{\"submitted\":{},\"rejected\":{},\
+                     \"deadline_rejected\":{},\"compiles\":{},\"flushes\":{},\
+                     \"responses\":{},\"panics_isolated\":{},\"drainer_restarts\":{},\
+                     \"requeued\":{}}}}}",
+                    inner.svc.stats_object(),
+                    qs.submitted,
+                    qs.rejected,
+                    qs.deadline_rejected,
+                    qs.compiles,
+                    qs.flushes,
+                    // The response being built is not yet counted.
+                    qs.responses + 1,
+                    qs.panics_isolated,
+                    qs.drainer_restarts,
+                    qs.requeued,
+                );
+                respond_and_retire(inner, &out, id, &ok_response(id, &result));
+            }
+            Action::Shutdown { id, out } => {
+                respond_and_retire(inner, &out, id, &ok_response(id, "{\"shutdown\":true}"));
+                lock_recover(&inner.q).closed = true;
+                inner.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Move every unanswered in-flight item back to the queue front,
+/// preserving order, and restore its weight. Called by the supervisor
+/// between drainer incarnations (the drainer is dead, so nothing else
+/// mutates the ledger).
+fn requeue_in_flight(inner: &Inner) -> u64 {
+    let mut q = lock_recover(&inner.q);
+    let mut ledger = lock_recover(&inner.in_flight);
+    let n = ledger.len() as u64;
+    while let Some(item) = ledger.pop_back() {
+        q.weight += item.work.weight();
+        q.items.push_front(item);
+    }
+    inner.requeued.fetch_add(n, Ordering::Relaxed);
+    n
+}
+
+/// Fail every pending request (queued and in-flight) with a typed
+/// `internal` error and close the queue: the degraded-but-alive path
+/// when the drainer cannot be kept running.
+fn fail_pending(inner: &Inner, reason: &str) {
+    inner.failed.store(true, Ordering::Relaxed);
+    let items: Vec<Item> = {
+        let mut q = lock_recover(&inner.q);
+        q.closed = true;
+        let mut ledger = lock_recover(&inner.in_flight);
+        q.weight = 0;
+        ledger.drain(..).chain(q.items.drain(..)).collect()
+    };
+    inner.cv.notify_all();
+    for item in items {
+        let e = ServeError::Internal { message: reason.to_string() };
+        let mut w = lock_recover(&item.out);
+        let _ = writeln!(w, "{}", error_response(item.work.id(), &e));
+        let _ = w.flush();
+        inner.responses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The supervisor: spawn the drainer, and if it dies, log a typed event,
+/// re-queue unanswered in-flight work exactly once, and respawn — until
+/// the drainer exits cleanly or keeps dying without progress.
+fn supervise(inner: &Arc<Inner>) {
+    let mut fruitless = 0u32;
+    loop {
+        let for_drainer = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("sv-serve-drain".into())
+            .spawn(move || drain(&for_drainer));
+        let handle = match handle {
+            Ok(h) => h,
+            Err(e) => {
+                fail_pending(inner, &format!("cannot spawn drainer: {e}"));
+                return;
+            }
+        };
+        let responses_before = inner.responses.load(Ordering::Relaxed);
+        match handle.join() {
+            Ok(()) => return, // clean exit: queue closed and drained
+            Err(payload) => {
+                let restarts = inner.drainer_restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                let progressed = inner.responses.load(Ordering::Relaxed) > responses_before;
+                fruitless = if progressed { 0 } else { fruitless + 1 };
+                let requeued = requeue_in_flight(inner);
+                eprintln!(
+                    "{{\"event\":\"drainer_restart\",\"restarts\":{restarts},\
+                     \"requeued\":{requeued},\"fruitless\":{fruitless},\"panic\":\"{}\"}}",
+                    crate::json::escape(&panic_message(payload.as_ref()))
+                );
+                if fruitless > MAX_FRUITLESS_RESTARTS {
+                    fail_pending(
+                        inner,
+                        "drainer died repeatedly without progress; request failed by supervisor",
                     );
-                    respond(&item.out, &ok_response(id, &result));
+                    return;
                 }
-                Work::Shutdown { id } => {
-                    respond(&item.out, &ok_response(id, "{\"shutdown\":true}"));
-                    inner.q.lock().expect("serve queue poisoned").closed = true;
-                    inner.cv.notify_all();
-                }
-                Work::Compile { .. } => unreachable!("compiles flush as runs"),
-            },
+            }
         }
     }
 }
@@ -372,6 +687,7 @@ fn drain(inner: &Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultConfig;
     use crate::proto::parse_request;
     use sv_workloads::benchmark;
 
@@ -402,7 +718,7 @@ mod tests {
             b.submit(r, Arc::clone(&sink)).unwrap();
         }
         b.close();
-        b.join();
+        b.join().unwrap();
         let bytes = buf.lock().unwrap().clone();
         bytes
     }
@@ -436,11 +752,11 @@ mod tests {
         assert!(matches!(e, ServeError::Overloaded { cap: 2 }));
         assert_eq!(b.stats().rejected, 1);
         b.close();
-        b.join();
+        b.join().unwrap();
     }
 
     #[test]
-    fn zero_timeout_hits_deadline() {
+    fn zero_timeout_rejected_at_admission() {
         let svc = Arc::new(ServeService::in_memory());
         let b = Batcher::new(svc, BatchConfig::default());
         let (sink, buf) = buffer();
@@ -450,12 +766,18 @@ mod tests {
             timeout: Some(Duration::ZERO),
             ..CompileRequest::default()
         };
-        b.submit(Request::Compile { id: 9, req: Box::new(req) }, sink).unwrap();
+        // Already expired at admission: typed rejection, nothing queued,
+        // no queue weight consumed.
+        let e = b
+            .submit(Request::Compile { id: 9, req: Box::new(req) }, Arc::clone(&sink))
+            .unwrap_err();
+        assert!(matches!(e, ServeError::DeadlineExceeded { timeout_ms: 0 }));
+        let st = b.stats();
+        assert_eq!(st.deadline_rejected, 1);
+        assert_eq!(st.submitted, 0, "an expired request must never occupy the queue");
         b.close();
-        b.join();
-        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
-        assert!(out.contains("\"kind\":\"deadline\""), "{out}");
-        assert!(out.contains("\"id\":9"), "{out}");
+        b.join().unwrap();
+        assert!(buf.lock().unwrap().is_empty(), "nothing was enqueued, nothing answered");
     }
 
     #[test]
@@ -468,7 +790,7 @@ mod tests {
         }
         b.submit(Request::Stats { id: 90 }, Arc::clone(&sink)).unwrap();
         b.submit(Request::Shutdown { id: 99 }, Arc::clone(&sink)).unwrap();
-        b.join();
+        b.join().unwrap();
         let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         // Both compiles answered (in order), then stats, then the ack.
@@ -479,5 +801,94 @@ mod tests {
         assert!(lines[lines.len() - 1].contains("\"shutdown\":true"), "{out}");
         // Stats ran after both compiles: it must report 2 lookups.
         assert!(lines[2].contains("\"compiles\":2"), "{out}");
+        // Stats counts itself among the responses written so far.
+        assert!(lines[2].contains("\"responses\":3"), "{out}");
+    }
+
+    #[test]
+    fn injected_compile_panic_is_isolated_to_its_request() {
+        let mut svc = ServeService::in_memory();
+        // Panic on every compile: each request gets its own typed
+        // internal error, the batch and the drainer survive.
+        svc.set_faults(Arc::new(FaultPlan::new(
+            1,
+            FaultConfig { compile_panic: 1.0, ..FaultConfig::default() },
+        )));
+        let b = Batcher::new(Arc::new(svc), BatchConfig::default());
+        let (sink, buf) = buffer();
+        for r in suite_requests(3) {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        b.close();
+        let counters = Arc::clone(&b.inner);
+        b.join().unwrap();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "every request answered exactly once: {out}");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"id\":{i}")), "{out}");
+            assert!(line.contains("\"kind\":\"internal\""), "{out}");
+        }
+        assert_eq!(counters.stats().panics_isolated, 3);
+    }
+
+    #[test]
+    fn supervisor_restarts_dead_drainer_with_exactly_one_response_each() {
+        let svc = Arc::new(ServeService::in_memory());
+        // Panic on (roughly) every run, at seeded points including
+        // mid-batch; the supervisor must keep respawning and every
+        // request must still be answered exactly once, in order.
+        let plan = Arc::new(FaultPlan::new(
+            11,
+            FaultConfig { drainer_panic: 0.9, ..FaultConfig::default() },
+        ));
+        let b = Batcher::with_faults(svc, BatchConfig::default(), Some(plan));
+        let (sink, buf) = buffer();
+        let n = 12;
+        for r in suite_requests(n) {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        b.close();
+        let counters = Arc::clone(&b.inner);
+        b.join().unwrap();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), n, "exactly one response per request: {out}");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"id\":{i},")),
+                "responses must stay in submission order: {out}"
+            );
+            assert!(line.contains("\"ok\":true"), "{out}");
+        }
+        let st = counters.stats();
+        assert!(st.drainer_restarts > 0, "the fault plan must have killed the drainer");
+        assert_eq!(st.responses, n as u64);
+    }
+
+    #[test]
+    fn deterministic_bytes_survive_drainer_chaos() {
+        // The same requests produce byte-identical ok-responses with and
+        // without drainer panics: restarts change *when* work runs, never
+        // what it answers.
+        let calm = run_to_bytes(2, suite_requests(8));
+        let svc = Arc::new(ServeService::in_memory());
+        let plan = Arc::new(FaultPlan::new(
+            5,
+            FaultConfig { drainer_panic: 0.7, queue_stall: 0.3, stall_ms: 1, ..FaultConfig::default() },
+        ));
+        let b = Batcher::with_faults(svc, BatchConfig { jobs: 2, ..BatchConfig::default() }, Some(plan));
+        let (sink, buf) = buffer();
+        for r in suite_requests(8) {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        b.close();
+        b.join().unwrap();
+        let chaotic = buf.lock().unwrap().clone();
+        assert_eq!(
+            String::from_utf8(calm).unwrap(),
+            String::from_utf8(chaotic).unwrap(),
+            "drainer deaths must not change a single response byte"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! ```text
 //! svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N]
 //!     [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR]
-//!     [--machines DIR]
+//!     [--machines DIR] [--faults SPEC] [--fault-seed N]
 //! ```
 //!
 //! `--machines DIR` loads every `*.spec`/`*.mspec` file in `DIR` into
@@ -16,6 +16,14 @@
 //! each registers under the `name` its spec declares, and name
 //! collisions abort startup. The `machines` verb lists the live
 //! registry with canonical hashes.
+//!
+//! `--faults SPEC` arms seeded chaos fault injection (for soak testing a
+//! deployment-shaped daemon, never production): `SPEC` is the
+//! `key=value,...` grammar of `sv_serve::faults::FaultConfig::parse`,
+//! e.g. `--faults soak` or `--faults disk_read=0.1,drainer_panic=0.05`.
+//! One [`sv_serve::FaultPlan`] seeded by `--fault-seed` (default 0)
+//! drives the cache, the compile path and the drainer, so a failing run
+//! replays from its seed.
 //!
 //! Examples:
 //!
@@ -35,20 +43,22 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use sv_core::CacheConfig;
 use sv_machine::MachineRegistry;
-use sv_serve::{parse_request, BatchConfig, Batcher, ServeService, Sink};
+use sv_serve::{parse_request, BatchConfig, Batcher, FaultConfig, FaultPlan, ServeService, Sink};
 
 struct Options {
     tcp: Option<String>,
     batch: BatchConfig,
     cache: CacheConfig,
     machines_dir: Option<PathBuf>,
+    faults: Option<FaultConfig>,
+    fault_seed: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N] \
          [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR] \
-         [--machines DIR]"
+         [--machines DIR] [--faults SPEC] [--fault-seed N]"
     );
     std::process::exit(2)
 }
@@ -59,6 +69,8 @@ fn parse_args() -> Options {
         batch: BatchConfig { jobs: sv_core::parallel::default_jobs(), ..BatchConfig::default() },
         cache: CacheConfig::default(),
         machines_dir: None,
+        faults: None,
+        fault_seed: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -84,6 +96,16 @@ fn parse_args() -> Options {
             "--mem-bytes" => opts.cache.mem_bytes = num("--mem-bytes", val("--mem-bytes")),
             "--disk" => opts.cache.disk_dir = Some(PathBuf::from(val("--disk"))),
             "--machines" => opts.machines_dir = Some(PathBuf::from(val("--machines"))),
+            "--faults" => {
+                let spec = val("--faults");
+                opts.faults = Some(FaultConfig::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("svd: bad --faults spec: {e}");
+                    usage()
+                }));
+            }
+            "--fault-seed" => {
+                opts.fault_seed = num("--fault-seed", val("--fault-seed")) as u64
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("svd: unknown flag `{other}`");
@@ -118,11 +140,11 @@ fn serve_lines(input: impl BufRead, batcher: &Batcher, sink: &Sink) {
     }
 }
 
-fn serve_stdio(batcher: Batcher) {
+fn serve_stdio(batcher: Batcher) -> Result<(), sv_serve::ServeError> {
     let sink: Sink = Arc::new(Mutex::new(std::io::stdout()));
     serve_lines(std::io::stdin().lock(), &batcher, &sink);
     batcher.close();
-    batcher.join();
+    batcher.join()
 }
 
 fn serve_tcp(addr: &str, batcher: Batcher) -> std::io::Result<()> {
@@ -156,14 +178,13 @@ fn serve_tcp(addr: &str, batcher: Batcher) -> std::io::Result<()> {
         let _ = c.join();
     }
     match Arc::try_unwrap(batcher) {
-        Ok(b) => b.join(),
+        Ok(b) => b.join().map_err(|e| std::io::Error::other(e.to_string())),
         Err(_) => unreachable!("all connection threads joined"),
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
-    let opts = parse_args();
+    let mut opts = parse_args();
     let mut registry = MachineRegistry::builtin();
     if let Some(dir) = &opts.machines_dir {
         match registry.load_dir(dir) {
@@ -174,22 +195,34 @@ fn main() -> ExitCode {
             }
         }
     }
+    // One seeded plan drives every layer, so a chaos run replays exactly.
+    let plan = opts.faults.take().map(|cfg| {
+        eprintln!("svd: chaos fault injection armed (seed {})", opts.fault_seed);
+        Arc::new(FaultPlan::new(opts.fault_seed, cfg))
+    });
+    if let Some(p) = &plan {
+        opts.cache.faults = Some(Arc::clone(p) as _);
+    }
     let svc = match ServeService::with_registry(opts.cache, registry) {
-        Ok(s) => Arc::new(s),
+        Ok(mut s) => {
+            if let Some(p) = &plan {
+                s.set_faults(Arc::clone(p));
+            }
+            Arc::new(s)
+        }
         Err(e) => {
             eprintln!("svd: cannot open cache: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let batcher = Batcher::new(svc, opts.batch);
-    match opts.tcp {
-        None => serve_stdio(batcher),
-        Some(addr) => {
-            if let Err(e) = serve_tcp(&addr, batcher) {
-                eprintln!("svd: tcp server failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let batcher = Batcher::with_faults(svc, opts.batch, plan);
+    let outcome = match opts.tcp {
+        None => serve_stdio(batcher).map_err(|e| std::io::Error::other(e.to_string())),
+        Some(addr) => serve_tcp(&addr, batcher),
+    };
+    if let Err(e) = outcome {
+        eprintln!("svd: server failed: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,485 @@
+//! A retrying client for the wire protocol.
+//!
+//! `svc --server` and `loadgen` talk to a server through a
+//! [`RetryClient`]: one request line in, one response line out, with
+//! capped exponential backoff (plus seeded jitter) on the two *transient*
+//! failures — an `overloaded` rejection and a dropped connection. Every
+//! other outcome, including typed errors like `deadline` or `compile`,
+//! is final and returned to the caller as-is: retrying a request the
+//! server has already judged would only waste its deadline budget.
+//!
+//! The client is deadline-aware: it never sleeps past the caller's
+//! deadline — when the next backoff would land beyond it, the client
+//! gives up immediately with [`ClientError::GiveUp`] so the caller
+//! learns the outcome while it still matters. Give-ups and retries are
+//! counted in [`RetryStats`]; `loadgen` reports them per phase and
+//! `--check` bounds the give-up rate.
+//!
+//! Two transports are provided: [`TcpTransport`] (reconnects on retry)
+//! for real servers, and [`InProcess`] (a [`Batcher`] behind a one-shot
+//! sink, with optional injected connection drops) for benchmarks and the
+//! chaos soak.
+
+use crate::batch::{Batcher, Sink};
+use crate::faults::FaultPlan;
+use crate::json;
+use crate::proto::{error_response, parse_request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use sv_workloads::SmallRng;
+
+/// How a [`RetryClient`] paces its retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts
+    /// total).
+    pub max_retries: u32,
+    /// First backoff; each retry doubles it.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+/// Counters a client accumulates across calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Transport round trips attempted (first tries and retries).
+    pub attempts: u64,
+    /// Retries performed (after a transient failure, before success).
+    pub retries: u64,
+    /// Calls abandoned: retries exhausted or deadline budget spent.
+    pub give_ups: u64,
+}
+
+/// Why a transport round trip failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The connection died (or the response was dropped); a fresh
+    /// attempt may succeed — retryable.
+    Drop(String),
+    /// The transport cannot make progress at all (bad address, protocol
+    /// violation); retrying is pointless.
+    Fatal(String),
+}
+
+/// Why a [`RetryClient::call`] gave no response line.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transient failures persisted past the retry budget or the
+    /// caller's deadline.
+    GiveUp {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last transient failure, for the log.
+        last: String,
+    },
+    /// The transport failed fatally.
+    Fatal(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::GiveUp { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last: {last})")
+            }
+            ClientError::Fatal(m) => write!(f, "transport failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One request/response round trip over some medium.
+pub trait Transport {
+    /// Send one request line, receive one response line (no trailing
+    /// newline).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Drop`] for retryable connection-level failures,
+    /// [`TransportError::Fatal`] otherwise.
+    fn call(&mut self, line: &str) -> Result<String, TransportError>;
+}
+
+/// Whether a response line is a server-side *transient* rejection the
+/// client should retry (currently: the `overloaded` kind, matching
+/// [`crate::proto::ServeError::retryable`]).
+pub fn retryable_response(line: &str) -> bool {
+    let Ok(v) = json::parse(line) else { return false };
+    if v.get("ok").and_then(json::Value::as_bool) != Some(false) {
+        return false;
+    }
+    v.get("error").and_then(|e| e.get("kind")).and_then(json::Value::as_str)
+        == Some("overloaded")
+}
+
+/// A transport wrapped in retry/backoff/deadline logic.
+pub struct RetryClient<T> {
+    transport: T,
+    policy: RetryPolicy,
+    rng: SmallRng,
+    stats: RetryStats,
+}
+
+impl<T: Transport> RetryClient<T> {
+    /// Wrap a transport.
+    pub fn new(transport: T, policy: RetryPolicy) -> RetryClient<T> {
+        let rng = SmallRng::seed_from_u64(policy.seed ^ 0xc11e_4a77);
+        RetryClient { transport, policy, rng, stats: RetryStats::default() }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The wrapped transport (to submit non-retried traffic directly).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Send one request line, retrying transient failures with capped
+    /// exponential backoff and jitter, never sleeping past `deadline`.
+    /// A response line — even one carrying a non-retryable typed error —
+    /// is a success at this layer and is returned to the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::GiveUp`] when transient failures outlast the retry
+    /// budget or the deadline; [`ClientError::Fatal`] for unretryable
+    /// transport failures.
+    pub fn call(
+        &mut self,
+        line: &str,
+        deadline: Option<Instant>,
+    ) -> Result<String, ClientError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            self.stats.attempts += 1;
+            let transient = match self.transport.call(line) {
+                Ok(response) if retryable_response(&response) => {
+                    format!("server overloaded: {response}")
+                }
+                Ok(response) => return Ok(response),
+                Err(TransportError::Drop(m)) => format!("connection dropped: {m}"),
+                Err(TransportError::Fatal(m)) => {
+                    self.stats.give_ups += 1;
+                    return Err(ClientError::Fatal(m));
+                }
+            };
+            if attempts > self.policy.max_retries {
+                self.stats.give_ups += 1;
+                return Err(ClientError::GiveUp { attempts, last: transient });
+            }
+            let exp = self
+                .policy
+                .base_backoff
+                .saturating_mul(1u32 << (attempts - 1).min(16))
+                .min(self.policy.max_backoff);
+            // Jitter in [0.5, 1.5): desynchronizes clients that were all
+            // rejected by the same full queue.
+            let jitter = 0.5 + (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let delay = exp.mul_f64(jitter);
+            if let Some(d) = deadline {
+                // Sleeping past the deadline guarantees a useless
+                // attempt; give up now so the caller learns in time.
+                if Instant::now() + delay >= d {
+                    self.stats.give_ups += 1;
+                    return Err(ClientError::GiveUp {
+                        attempts,
+                        last: format!("{transient} (deadline budget exhausted)"),
+                    });
+                }
+            }
+            std::thread::sleep(delay);
+            self.stats.retries += 1;
+        }
+    }
+}
+
+/// A line-oriented TCP transport. The connection is opened lazily and
+/// dropped on any I/O error, so the next attempt reconnects — which is
+/// exactly the retry client's `Drop` path.
+pub struct TcpTransport {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl TcpTransport {
+    /// A transport for `host:port` (connects on first call).
+    pub fn new(addr: impl Into<String>) -> TcpTransport {
+        TcpTransport { addr: addr.into(), conn: None }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, line: &str) -> Result<String, TransportError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| TransportError::Drop(format!("connect {}: {e}", self.addr)))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        let io = (|| -> std::io::Result<String> {
+            conn.get_ref().write_all(line.as_bytes())?;
+            conn.get_ref().write_all(b"\n")?;
+            let mut response = String::new();
+            if conn.read_line(&mut response)? == 0 {
+                return Err(std::io::Error::other("server closed the connection"));
+            }
+            Ok(response.trim_end_matches(['\n', '\r']).to_string())
+        })();
+        match io {
+            Ok(response) => Ok(response),
+            Err(e) => {
+                self.conn = None; // reconnect on the next attempt
+                Err(TransportError::Drop(e.to_string()))
+            }
+        }
+    }
+}
+
+/// The state behind a [`OneShotSink`]: response bytes plus a condvar to
+/// wake the waiting client the moment a full line has been written.
+#[derive(Debug, Default)]
+struct OneShotBuf {
+    buf: Vec<u8>,
+    cv: Arc<Condvar>,
+}
+
+impl Write for OneShotBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.contains(&b'\n') {
+            self.cv.notify_all();
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A single-response sink: hand [`OneShotSink::sink`] to the batcher,
+/// then [`OneShotSink::wait`] for the drainer to write the line.
+struct OneShotSink {
+    state: Arc<Mutex<OneShotBuf>>,
+    cv: Arc<Condvar>,
+}
+
+impl OneShotSink {
+    fn new() -> OneShotSink {
+        let cv = Arc::new(Condvar::new());
+        let state =
+            Arc::new(Mutex::new(OneShotBuf { buf: Vec::new(), cv: Arc::clone(&cv) }));
+        OneShotSink { state, cv }
+    }
+
+    /// The handle to submit with (same mutex, unsized to the sink type).
+    fn sink(&self) -> Sink {
+        Arc::clone(&self.state) as Sink
+    }
+
+    /// Block until one full response line has been written, then take it.
+    fn wait(&self) -> String {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while !state.buf.contains(&b'\n') {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        let text = String::from_utf8_lossy(&state.buf);
+        text.lines().next().unwrap_or_default().to_string()
+    }
+}
+
+/// An in-process transport: requests go straight into a [`Batcher`],
+/// responses come back through a one-shot sink. Admission rejections
+/// (`overloaded`, `deadline`, `shutting_down`) surface as error-response
+/// lines — exactly what a remote server would send — so the retry logic
+/// treats local and remote servers identically. An optional
+/// [`FaultPlan`] injects connection drops: the response is discarded
+/// after the server has done the work, as a real broken pipe would.
+pub struct InProcess {
+    batcher: Arc<Batcher>,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl InProcess {
+    /// A transport over an in-process batcher.
+    pub fn new(batcher: Arc<Batcher>) -> InProcess {
+        InProcess { batcher, faults: None }
+    }
+
+    /// [`InProcess::new`] plus injected connection drops from a chaos
+    /// fault plan.
+    pub fn with_faults(batcher: Arc<Batcher>, faults: Arc<FaultPlan>) -> InProcess {
+        InProcess { batcher, faults: Some(faults) }
+    }
+}
+
+impl Transport for InProcess {
+    fn call(&mut self, line: &str) -> Result<String, TransportError> {
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err((id, e)) => return Ok(error_response(id, &e)),
+        };
+        let id = request.id();
+        let sink = OneShotSink::new();
+        if let Err(e) = self.batcher.submit(request, sink.sink()) {
+            return Ok(error_response(id, &e));
+        }
+        let response = sink.wait();
+        if self.faults.as_ref().is_some_and(|p| p.drop_response()) {
+            return Err(TransportError::Drop("injected connection drop".into()));
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchConfig;
+    use crate::faults::FaultConfig;
+    use crate::proto::CompileRequest;
+    use crate::service::ServeService;
+    use sv_workloads::benchmark;
+
+    struct Scripted {
+        responses: Vec<Result<String, TransportError>>,
+        calls: u32,
+    }
+
+    impl Transport for Scripted {
+        fn call(&mut self, _line: &str) -> Result<String, TransportError> {
+            self.calls += 1;
+            self.responses.remove(0)
+        }
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn retries_overloaded_then_returns_success() {
+        let overloaded = r#"{"id":1,"ok":false,"error":{"kind":"overloaded","message":"q"}}"#;
+        let mut c = RetryClient::new(
+            Scripted {
+                responses: vec![
+                    Ok(overloaded.into()),
+                    Err(TransportError::Drop("reset".into())),
+                    Ok(r#"{"id":1,"ok":true,"result":{}}"#.into()),
+                ],
+                calls: 0,
+            },
+            fast_policy(),
+        );
+        let out = c.call("{}", None).unwrap();
+        assert!(out.contains("\"ok\":true"));
+        let s = c.stats();
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.give_ups, 0);
+        assert_eq!(c.transport_mut().calls, 3);
+    }
+
+    #[test]
+    fn typed_errors_are_final_not_retried() {
+        let deadline = r#"{"id":1,"ok":false,"error":{"kind":"deadline","message":"late"}}"#;
+        let mut c = RetryClient::new(
+            Scripted { responses: vec![Ok(deadline.into())], calls: 0 },
+            fast_policy(),
+        );
+        let out = c.call("{}", None).unwrap();
+        assert!(out.contains("\"kind\":\"deadline\""));
+        assert_eq!(c.stats().retries, 0);
+    }
+
+    #[test]
+    fn gives_up_after_retry_budget() {
+        let overloaded = r#"{"id":1,"ok":false,"error":{"kind":"overloaded","message":"q"}}"#;
+        let mut c = RetryClient::new(
+            Scripted {
+                responses: (0..4).map(|_| Ok(overloaded.into())).collect(),
+                calls: 0,
+            },
+            fast_policy(),
+        );
+        let e = c.call("{}", None).unwrap_err();
+        assert!(matches!(e, ClientError::GiveUp { attempts: 4, .. }), "{e}");
+        assert_eq!(c.stats().give_ups, 1);
+    }
+
+    #[test]
+    fn never_sleeps_past_the_deadline() {
+        let overloaded = r#"{"id":1,"ok":false,"error":{"kind":"overloaded","message":"q"}}"#;
+        let mut c = RetryClient::new(
+            Scripted {
+                responses: (0..100).map(|_| Ok(overloaded.into())).collect(),
+                calls: 0,
+            },
+            RetryPolicy {
+                max_retries: 100,
+                base_backoff: Duration::from_secs(1),
+                max_backoff: Duration::from_secs(1),
+                seed: 2,
+            },
+        );
+        let start = Instant::now();
+        let e = c.call("{}", Some(start + Duration::from_millis(5))).unwrap_err();
+        assert!(start.elapsed() < Duration::from_millis(500), "must not sleep 1s");
+        let ClientError::GiveUp { last, .. } = e else { panic!("{e}") };
+        assert!(last.contains("deadline budget"), "{last}");
+    }
+
+    #[test]
+    fn in_process_round_trip_with_injected_drops() {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Arc::new(Batcher::new(svc, BatchConfig::default()));
+        let plan = Arc::new(FaultPlan::new(
+            9,
+            FaultConfig { conn_drop: 0.4, ..FaultConfig::default() },
+        ));
+        let mut c = RetryClient::new(
+            InProcess::with_faults(Arc::clone(&b), plan),
+            RetryPolicy { max_retries: 40, ..fast_policy() },
+        );
+        let suite = benchmark("swim").unwrap();
+        for i in 0..10u64 {
+            let req = CompileRequest {
+                loop_text: suite.loops[i as usize % suite.loops.len()].to_string(),
+                ..CompileRequest::default()
+            };
+            let out = c.call(&req.to_wire(i), None).unwrap();
+            assert!(out.contains(&format!("\"id\":{i},")), "{out}");
+            assert!(out.contains("\"ok\":true"), "{out}");
+        }
+        assert!(c.stats().retries > 0, "40% drops over 10 calls must retry");
+        assert_eq!(c.stats().give_ups, 0);
+        drop(c); // release the transport's Arc<Batcher> clone
+        Arc::try_unwrap(b).ok().expect("sole owner").join().unwrap();
+    }
+}

@@ -71,9 +71,17 @@ impl Value {
     }
 }
 
+/// Deepest container nesting the reader accepts. The parser is
+/// recursive-descent, so without a bound an adversarial line of a few
+/// kilobytes of `[` would overflow the stack and abort the process;
+/// with it, deep nesting is a typed parse error like any other. 128
+/// levels is far beyond anything the protocol produces (requests nest
+/// three deep).
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse one complete JSON value; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Value, String> {
-    let mut p = Parser { b: text.as_bytes(), at: 0 };
+    let mut p = Parser { b: text.as_bytes(), at: 0, depth: 0 };
     let v = p.value()?;
     p.skip_ws();
     if p.at != p.b.len() {
@@ -85,6 +93,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     b: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -119,8 +128,18 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Value, String> {
         match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
+            b'{' | b'[' => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(format!(
+                        "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                        self.at
+                    ));
+                }
+                self.depth += 1;
+                let v = if self.b[self.at] == b'{' { self.object() } else { self.array() };
+                self.depth -= 1;
+                v
+            }
             b'"' => Ok(Value::Str(self.string()?)),
             b't' => self.lit("true", Value::Bool(true)),
             b'f' => self.lit("false", Value::Bool(false)),
@@ -312,6 +331,20 @@ mod tests {
     fn rejects_malformed_input() {
         for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1} x", "\"unterminated", "{'a':1}"] {
             assert!(parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // Within the bound: parses fine.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // One past the bound — and far past it — must return an error,
+        // never recurse to an abort.
+        for depth in [MAX_DEPTH + 1, 100_000] {
+            let bad = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+            let e = parse(&bad).unwrap_err();
+            assert!(e.contains("nesting deeper"), "{e}");
         }
     }
 

@@ -10,11 +10,18 @@
 //! * [`proto`] — request/response types, the typed [`proto::ServeError`]
 //!   taxonomy, and the wire renderings;
 //! * [`service`] — decode → [`sv_core::compile_cached`] → canonical body;
-//! * [`batch`] — the bounded queue and batching drainer that fans
-//!   requests onto the deterministic worker pool.
+//! * [`batch`] — the bounded queue and its *supervised* batching drainer:
+//!   per-entry panic isolation, exactly-once response accounting across
+//!   drainer deaths;
+//! * [`faults`] — seeded, deterministic fault injection (disk I/O errors,
+//!   torn writes, compile panics, drainer deaths, stalls, connection
+//!   drops) driving the `chaos` soak in `sv-bench`;
+//! * [`client`] — a retrying client (capped exponential backoff with
+//!   jitter on `overloaded`/connection drops, deadline-budget aware)
+//!   used by `svc --server` and `loadgen`.
 //!
-//! The load-generator client (`loadgen`) lives in `sv-bench`, next to the
-//! other measurement binaries.
+//! The load-generator client (`loadgen`) and the `chaos` soak live in
+//! `sv-bench`, next to the other measurement binaries.
 //!
 //! ## Guarantees
 //!
@@ -28,10 +35,14 @@
 //!   process.
 
 pub mod batch;
+pub mod client;
+pub mod faults;
 pub mod json;
 pub mod proto;
 pub mod service;
 
 pub use batch::{BatchConfig, Batcher, QueueStats, Sink};
+pub use client::{ClientError, InProcess, RetryClient, RetryPolicy, RetryStats, TcpTransport};
+pub use faults::{CompileFault, FaultConfig, FaultCounters, FaultPlan};
 pub use proto::{parse_request, CompileRequest, Request, ServeError};
 pub use service::ServeService;

@@ -57,6 +57,12 @@ pub enum ServeError {
     ShuttingDown,
     /// The compilation itself failed (typed driver taxonomy).
     Compile(Box<CompileError>),
+    /// A server-side defect (an isolated panic, a dead drainer) answered
+    /// this one request; the daemon itself stays up.
+    Internal {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl ServeError {
@@ -69,7 +75,14 @@ impl ServeError {
             ServeError::BadRequest { .. } => "bad_request",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Compile(_) => "compile",
+            ServeError::Internal { .. } => "internal",
         }
+    }
+
+    /// Whether a client should retry this error (after backoff): the
+    /// condition is transient and a later attempt can succeed.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. })
     }
 }
 
@@ -86,6 +99,7 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Compile(e) => write!(f, "{e}"),
+            ServeError::Internal { message } => write!(f, "internal server error: {message}"),
         }
     }
 }

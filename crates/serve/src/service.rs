@@ -1,5 +1,6 @@
 //! Request execution: decode → cache-fronted compile → canonical body.
 
+use crate::faults::{CompileFault, FaultPlan};
 use crate::proto::{CompileRequest, ServeError};
 use std::sync::Arc;
 use sv_core::{compile_cached, CacheConfig, CacheOutcome, CompileCache};
@@ -12,6 +13,7 @@ use sv_machine::MachineRegistry;
 pub struct ServeService {
     cache: CompileCache,
     registry: MachineRegistry,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ServeService {
@@ -36,7 +38,7 @@ impl ServeService {
         cache_cfg: CacheConfig,
         registry: MachineRegistry,
     ) -> std::io::Result<ServeService> {
-        Ok(ServeService { cache: CompileCache::new(cache_cfg)?, registry })
+        Ok(ServeService { cache: CompileCache::new(cache_cfg)?, registry, faults: None })
     }
 
     /// A service with a default in-memory-only cache and the builtin
@@ -45,7 +47,17 @@ impl ServeService {
         ServeService {
             cache: CompileCache::in_memory(),
             registry: MachineRegistry::builtin(),
+            faults: None,
         }
+    }
+
+    /// Attach a chaos fault plan: each [`ServeService::compile_body`]
+    /// call consults it and may panic (to be caught by the batcher's
+    /// per-entry isolation) or stall. The same plan should be installed
+    /// as the cache's [`sv_core::DiskFaults`] injector via
+    /// [`CacheConfig::faults`] so one seed drives the whole run.
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
     }
 
     /// Execute one compile request: parse the loop text, resolve machine
@@ -65,6 +77,17 @@ impl ServeService {
         &self,
         req: &CompileRequest,
     ) -> Result<(Arc<str>, CacheOutcome), ServeError> {
+        if let Some(plan) = &self.faults {
+            match plan.compile_fault() {
+                CompileFault::None => {}
+                CompileFault::Panic => {
+                    // Injected poison: must be contained by the batcher's
+                    // per-entry catch_unwind, answering only this request.
+                    panic!("injected compile panic (chaos fault plan)");
+                }
+                CompileFault::Slow(d) => std::thread::sleep(d),
+            }
+        }
         let looop = sv_ir::parse_loop(&req.loop_text).map_err(|e| ServeError::BadRequest {
             message: format!("unparseable loop text: {e}"),
         })?;
@@ -108,12 +131,14 @@ impl ServeService {
         let s = self.cache.stats();
         format!(
             "{{\"mem_hits\":{},\"disk_hits\":{},\"misses\":{},\"evictions\":{},\
-             \"disk_errors\":{},\"entries\":{},\"bytes\":{},\"hit_rate\":{:.4}}}",
+             \"disk_errors\":{},\"recovered\":{},\"entries\":{},\"bytes\":{},\
+             \"hit_rate\":{:.4}}}",
             s.mem_hits,
             s.disk_hits,
             s.misses,
             s.evictions,
             s.disk_errors,
+            s.recovered,
             s.entries,
             s.bytes,
             s.hit_rate()

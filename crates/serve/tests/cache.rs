@@ -6,14 +6,21 @@
 //! * the disk tier survives a process "restart" (write, drop the cache,
 //!   reopen over the same directory, hit);
 //! * a corrupted disk entry is quarantined and recompiled, never served
-//!   and never an error.
+//!   and never an error;
+//! * injected disk faults (torn writes, orphaned temporaries, read
+//!   errors) are absorbed by read validation and the open-time
+//!   [`CompileCache::recover`] sweep: wrong bytes are never served,
+//!   recovery quarantines every torn write, and recompilation restores
+//!   good entries.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use sv_core::{
     compile_cached, CacheConfig, CacheOutcome, CompileCache, DriverConfig, Strategy,
 };
 use sv_machine::MachineConfig;
+use sv_serve::{FaultConfig, FaultPlan};
 use sv_workloads::all_benchmarks;
 
 /// A unique scratch directory under the system temp dir (no external
@@ -137,6 +144,126 @@ fn corrupt_disk_entry_quarantines_and_recompiles() {
         })
         .count();
     assert_eq!(quarantined, 1, "the bad entry must be moved aside");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Compile the first few suite loops through `cache`, returning bodies.
+fn compile_some(cache: &CompileCache, n: usize) -> Vec<String> {
+    let m = MachineConfig::paper_default();
+    let dcfg = DriverConfig::default();
+    all_benchmarks()
+        .iter()
+        .flat_map(|s| s.loops.iter())
+        .filter(|l| !l.name.contains(".synth"))
+        .take(n)
+        .map(|l| compile_cached(l, &m, &dcfg, cache).unwrap().0.to_string())
+        .collect()
+}
+
+#[test]
+fn every_torn_write_is_quarantined_by_recovery() {
+    let dir = scratch("torn");
+    // Tear EVERY write: only corrupt prefixes reach the final paths.
+    let plan = Arc::new(FaultPlan::new(
+        21,
+        FaultConfig { torn_write: 1.0, ..FaultConfig::default() },
+    ));
+    let cfg = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+    let faulty = CompileCache::new(CacheConfig { faults: Some(plan.clone()), ..cfg.clone() })
+        .unwrap();
+    let n = 4;
+    let bodies = compile_some(&faulty, n);
+    assert_eq!(plan.injected().torn_writes as usize, n);
+    drop(faulty);
+
+    // "Reboot" without faults: the open-time sweep must quarantine every
+    // torn entry — none may survive to be served.
+    let clean = CompileCache::new(cfg).unwrap();
+    let report = clean.recovery();
+    assert_eq!(report.scanned as usize, n);
+    assert_eq!(
+        report.quarantined as usize, n,
+        "recovery must quarantine every torn write: {report:?}"
+    );
+    let again = compile_some(&clean, n);
+    assert_eq!(bodies, again, "recompiled bodies must match the originals");
+    assert_eq!(clean.stats().disk_hits, 0, "no torn entry may ever be served");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn orphaned_tmp_files_are_swept_at_open() {
+    let dir = scratch("orphan");
+    let plan = Arc::new(FaultPlan::new(
+        22,
+        FaultConfig { orphan_tmp: 1.0, ..FaultConfig::default() },
+    ));
+    let cfg = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+    let faulty =
+        CompileCache::new(CacheConfig { faults: Some(plan), ..cfg.clone() }).unwrap();
+    let n = 3;
+    compile_some(&faulty, n);
+    drop(faulty);
+    let tmps = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().to_string_lossy().contains(".svc.tmp"))
+        .count();
+    assert_eq!(tmps, n, "every write must have left an orphaned tmp file");
+
+    let clean = CompileCache::new(cfg).unwrap();
+    let report = clean.recovery();
+    assert_eq!(report.orphans as usize, n);
+    assert_eq!(report.quarantined, 0, "orphans are cleanup, not corruption");
+    assert_eq!(clean.stats().disk_errors, 0, "orphan sweep must not count as errors");
+    let left = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            let p = e.as_ref().unwrap().path();
+            let s = p.to_string_lossy().to_string();
+            s.contains(".svc.tmp") && !s.ends_with(".quarantined")
+        })
+        .count();
+    assert_eq!(left, 0, "no live tmp files may survive the sweep");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_read_faults_recompile_and_restore_the_entry() {
+    let dir = scratch("readfault");
+    let cfg = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+    let first = CompileCache::new(cfg.clone()).unwrap();
+    let bodies = compile_some(&first, 1);
+    drop(first);
+
+    // Fail the first disk read; the entry quarantines, the request
+    // recompiles, and the write-through restores a good copy.
+    let plan = Arc::new(FaultPlan::new(
+        23,
+        FaultConfig { disk_read: 1.0, ..FaultConfig::default() },
+    ));
+    let faulty =
+        CompileCache::new(CacheConfig { faults: Some(plan), ..cfg.clone() }).unwrap();
+    let m = MachineConfig::paper_default();
+    let dcfg = DriverConfig::default();
+    let suites = all_benchmarks();
+    let l = suites
+        .iter()
+        .flat_map(|s| s.loops.iter())
+        .find(|l| !l.name.contains(".synth"))
+        .unwrap();
+    let (body, outcome) = compile_cached(l, &m, &dcfg, &faulty).unwrap();
+    assert_eq!(outcome, CacheOutcome::Compiled, "a failed read must recompile");
+    assert_eq!(body.to_string(), bodies[0]);
+    drop(faulty);
+
+    // The restored copy is valid: a faultless reopen serves it from disk.
+    let clean = CompileCache::new(cfg).unwrap();
+    let (body, outcome) = compile_cached(l, &m, &dcfg, &clean).unwrap();
+    assert_eq!(outcome, CacheOutcome::Disk, "the write-through must have restored it");
+    assert_eq!(body.to_string(), bodies[0]);
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

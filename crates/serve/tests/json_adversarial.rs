@@ -1,0 +1,154 @@
+//! Adversarial input for the wire-protocol JSON reader.
+//!
+//! The parser sits directly on the network boundary, so hostile lines
+//! must never panic, abort (stack overflow) or hang — every malformed
+//! input becomes a typed `parse` error, and every structurally valid but
+//! semantically bad request a typed `bad_request`. The generator is
+//! seeded ([`SmallRng`]), so a failing case replays from its seed.
+
+use sv_serve::json::{self, Value, MAX_DEPTH};
+use sv_serve::parse_request;
+use sv_workloads::SmallRng;
+
+/// Mutate a valid request line: truncate, splice random bytes, duplicate
+/// a chunk — the shapes a flaky client or a fuzzer produces.
+fn mutate(rng: &mut SmallRng, line: &str) -> String {
+    let bytes = line.as_bytes();
+    match rng.index(4) {
+        // Truncation (can cut a string, an escape, a number).
+        0 => String::from_utf8_lossy(&bytes[..rng.index(bytes.len().max(1))]).into_owned(),
+        // Random printable-ASCII splice.
+        1 => {
+            let mut v = bytes.to_vec();
+            let at = rng.index(v.len().max(1));
+            v.insert(at.min(v.len()), b' ' + rng.index(95) as u8);
+            String::from_utf8_lossy(&v).into_owned()
+        }
+        // Chunk duplication (duplicate keys, doubled braces).
+        2 => {
+            let a = rng.index(bytes.len().max(1));
+            let b = (a + rng.index(16) + 1).min(bytes.len());
+            let mut s = line.to_string();
+            s.push_str(&String::from_utf8_lossy(&bytes[a..b]));
+            s
+        }
+        // Byte flip.
+        _ => {
+            let mut v = bytes.to_vec();
+            if !v.is_empty() {
+                let at = rng.index(v.len());
+                v[at] ^= 1 << rng.index(7);
+            }
+            String::from_utf8_lossy(&v).into_owned()
+        }
+    }
+}
+
+#[test]
+fn seeded_mutation_storm_never_panics_and_errors_stay_typed() {
+    let valid = r#"{"verb":"compile","id":3,"machine":"paper","timeout_ms":50,"loop":"loop x (trip 4 x1 invocations, scale 1)"}"#;
+    let mut rng = SmallRng::seed_from_u64(0xad7e_75a1);
+    for _ in 0..5_000 {
+        let mut line = valid.to_string();
+        for _ in 0..=rng.index(3) {
+            line = mutate(&mut rng, &line);
+        }
+        // Must return, not panic; and a failure must carry one of the
+        // two boundary kinds, never anything internal.
+        if let Err((_, e)) = parse_request(&line) {
+            assert!(
+                matches!(e.kind(), "parse" | "bad_request"),
+                "line {line:?} produced unexpected kind {}",
+                e.kind()
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_a_stack_overflow() {
+    // Far past any sane request: without the parser's depth bound this
+    // recursion would overflow the stack and abort the daemon.
+    for depth in [MAX_DEPTH + 1, 10_000, 1_000_000] {
+        let line = format!(
+            "{{\"verb\":\"compile\",\"id\":1,\"loop\":{}{}",
+            "[".repeat(depth),
+            "]".repeat(depth)
+        );
+        let (_, e) = parse_request(&line).unwrap_err();
+        assert_eq!(e.kind(), "parse", "depth {depth}");
+        assert!(e.to_string().contains("nesting deeper"), "{e}");
+    }
+    // Mixed object/array nesting hits the same bound.
+    let mixed = format!("{}1{}", "[{\"k\":".repeat(MAX_DEPTH), "}]".repeat(MAX_DEPTH));
+    assert!(json::parse(&mixed).is_err());
+}
+
+#[test]
+fn truncated_escapes_and_strings_are_typed_errors() {
+    for bad in [
+        r#"{"verb":"compile","id":1,"loop":"abc\"#,
+        r#"{"verb":"compile","id":1,"loop":"abc\u"#,
+        r#"{"verb":"compile","id":1,"loop":"abc\u00"#,
+        r#"{"verb":"compile","id":1,"loop":"abc\uZZZZ"}"#,
+        r#"{"verb":"compile","id":1,"loop":"abc\x41"}"#,
+        r#"{"verb":"compile","id":1,"loop":"unterminated"#,
+        "{\"verb\":\"compile\",\"id\":1,\"loop\":\"\\ud800\"}", // lone surrogate
+    ] {
+        let (_, e) = parse_request(bad).unwrap_err();
+        assert_eq!(e.kind(), "parse", "input {bad:?} gave {e}");
+    }
+}
+
+#[test]
+fn huge_and_degenerate_numbers_do_not_break_ids() {
+    // Overflowing ids must not wrap into someone else's id: anything
+    // past 2^53 (or fractional, or negative) is not an exact u64 and is
+    // treated as absent (id 0), matching `Value::as_u64`.
+    for (text, want) in [
+        ("{\"id\":18446744073709551617}", None), // > u64::MAX
+        ("{\"id\":1e400}", None),                // f64 infinity
+        ("{\"id\":-1}", None),
+        ("{\"id\":3.5}", None),
+        ("{\"id\":4503599627370496}", Some(1u64 << 52)),
+    ] {
+        let v = json::parse(text).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_u64), want, "{text}");
+    }
+    // A huge number in a request id degrades to 0, not a panic and not a
+    // bogus correlation id.
+    let (id, e) = parse_request("{\"verb\":\"nope\",\"id\":1e308}").unwrap_err();
+    assert_eq!(id, 0);
+    assert_eq!(e.kind(), "bad_request");
+    // Malformed number bodies are parse errors.
+    for bad in ["{\"id\":1.2.3}", "{\"id\":--5}", "{\"id\":1e}", "{\"id\":+1}"] {
+        assert!(json::parse(bad).is_err(), "accepted {bad}");
+    }
+}
+
+#[test]
+fn duplicate_keys_resolve_deterministically_to_the_last_value() {
+    // The reader keeps the final occurrence (BTreeMap insert semantics):
+    // duplicates must not panic, and resolution must be deterministic so
+    // responses do not depend on map iteration order.
+    let v = json::parse(r#"{"a":1,"a":2,"a":3}"#).unwrap();
+    assert_eq!(v.get("a"), Some(&Value::Num(3.0)));
+    let r = parse_request(
+        r#"{"verb":"compile","id":1,"id":9,"loop":"first","loop":"loop x (trip 4 x1 invocations, scale 1)"}"#,
+    )
+    .unwrap();
+    assert_eq!(r.id(), 9, "last duplicate id wins, deterministically");
+}
+
+#[test]
+fn pathological_sizes_parse_or_fail_in_bounded_time() {
+    // Wide (not deep) structures are fine: 10k-element array.
+    let wide = format!("[{}]", vec!["0"; 10_000].join(","));
+    assert_eq!(json::parse(&wide).unwrap().as_arr().unwrap().len(), 10_000);
+    // A megabyte of unterminated string: typed error, no hang.
+    let long = format!("{{\"loop\":\"{}", "a".repeat(1 << 20));
+    assert!(json::parse(&long).is_err());
+    // Deep trailing garbage after a valid document.
+    let trailing = format!("{{}}{}", "]".repeat(50_000));
+    assert!(json::parse(&trailing).is_err());
+}
