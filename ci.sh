@@ -18,6 +18,20 @@ cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast --jobs 
 # bit.
 cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck --fail-fast --jobs "$JOBS"
 
+# Executed-schedule gate: the slot-accurate VLIW executor replays every
+# compiled piece's flat layout cycle by cycle; final state must be
+# bit-identical to the reference engine and the measured steady-state
+# cycles/iteration must equal the scheduled II (zero interlock stalls).
+# Three layers: the equivalence suite (200 seeded loops x 6 strategies x
+# 3 registry machines plus the benchmark kernels and the found-bug
+# regressions), a 100-seed fuzz pass, and the full-registry sweep whose
+# bytes are pinned by the table_executed.txt golden (any VIOLATION line
+# fails the test).
+cargo test --release -p sv-sim --test sched_exec_equiv
+cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --executed-selfcheck --fail-fast --jobs "$JOBS"
+cargo test --release -p sv-bench --test golden table_executed_matches_golden
+echo "ci: executed schedules bit-identical at scheduled II (equiv suite + fuzz + registry sweep)"
+
 # Simulator performance gate: a fresh simbench run must stay within 25%
 # of the committed BENCH_sim.json baseline (per-engine suite medians).
 mkdir -p target/ci-bench

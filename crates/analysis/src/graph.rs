@@ -37,9 +37,13 @@ pub struct DepEdge {
 ///
 /// Register edges come from def-operands; memory edges from pairwise
 /// subscript tests between references to the same array (at least one of
-/// the pair being a store). Cross-iteration anti/output edges on
+/// the pair being a store). *All* cross-iteration edges on
 /// iteration-private arrays (scalar↔vector communication slots) are
-/// omitted: those locations are renamed per pipeline stage.
+/// omitted: those locations carry no values between iterations and are
+/// renamed per in-flight iteration, so overlapped slot reuse is legal.
+/// Every executor that interleaves iterations implements that renaming
+/// (`sv-sim`'s `privrot` module) — omitting the edges without it lets
+/// iteration `j+1`'s store land before iteration `j`'s load.
 #[derive(Debug, Clone)]
 pub struct DepGraph {
     n: usize,

@@ -13,12 +13,19 @@
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..500 --jobs 8
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck
+//! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --executed-selfcheck
 //! ```
 //!
 //! `--oracle-selfcheck` additionally executes every compiled case on both
 //! the pre-decoded fast engine and the retained reference interpreters
 //! (`sv_sim::reference`) and fails on any bit-level disagreement between
 //! them, shrinking the diverging loop like any other failure.
+//!
+//! `--executed-selfcheck` replays every compiled plan through the
+//! cycle-accurate VLIW executor ([`sv_sim::executed_selfcheck`]) and
+//! fails when the executed state diverges from the reference engine or
+//! when any piece's measured steady-state cycles/iteration misses its
+//! scheduled II — the schedule itself is what gets fuzzed.
 //!
 //! Everything is pure function of the seed range: a reported seed
 //! reproduces exactly, on any machine. `--jobs N` shards the seeds over N
@@ -100,12 +107,24 @@ fn fuzz_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
     l
 }
 
+/// Which optional self-checks a fuzz case runs on top of the
+/// source-vs-compiled differential execution.
+#[derive(Clone, Copy, Default)]
+struct Checks {
+    /// Fast engine vs retained reference interpreters.
+    oracle: bool,
+    /// Cycle-accurate executor: state vs reference + measured II gate.
+    executed: bool,
+}
+
 /// Compile + differentially execute one (loop, machine, strategy) case.
-/// With `selfcheck`, additionally runs the fast execution engine against
-/// the retained reference interpreters ([`oracle_selfcheck`]) and treats
-/// any bit-level disagreement between them as a failure. Returns a
-/// description of the failure, if any.
-fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy, selfcheck: bool) -> Option<String> {
+/// `checks.oracle` additionally runs the fast execution engine against
+/// the retained reference interpreters ([`oracle_selfcheck`]);
+/// `checks.executed` replays the plan through the cycle-accurate
+/// executor and holds it to the state + measured-II gates
+/// ([`sv_sim::executed_selfcheck`]). Returns a description of the
+/// failure, if any.
+fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy, checks: Checks) -> Option<String> {
     let cfg = DriverConfig::for_strategy(strategy);
     match compile_checked(l, m, &cfg) {
         Err(e) => Some(format!("compile error: {e}")),
@@ -117,9 +136,14 @@ fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy, selfcheck: bool) ->
             if let Err(e) = check_equivalent(l, &compiled) {
                 return Some(format!("{prefix}divergence: {e}"));
             }
-            if selfcheck {
+            if checks.oracle {
                 if let Err(e) = oracle_selfcheck(l, &compiled) {
                     return Some(format!("{prefix}engine self-check divergence: {e}"));
+                }
+            }
+            if checks.executed {
+                if let Err(e) = sv_sim::executed_selfcheck(&compiled, m) {
+                    return Some(format!("{prefix}executed self-check failure: {e}"));
                 }
             }
             None
@@ -172,14 +196,14 @@ fn remove_op(l: &Loop, i: usize) -> Option<Loop> {
 /// trip count, keeping every step that still fails the same
 /// (machine, strategy) case. Each accepted step is round-tripped through
 /// the textual format so the printed repro is guaranteed to reproduce.
-fn shrink(l: &Loop, m: &MachineConfig, strategy: Strategy, selfcheck: bool) -> Loop {
+fn shrink(l: &Loop, m: &MachineConfig, strategy: Strategy, checks: Checks) -> Loop {
     let keeps_failing = |cand: &Loop| -> bool {
         // Round-trip through text: the repro we print must parse back and
         // still fail.
         let Ok(reparsed) = parse_loop(&cand.to_string()) else {
             return false;
         };
-        run_case(&reparsed, m, strategy, selfcheck).is_some()
+        run_case(&reparsed, m, strategy, checks).is_some()
     };
 
     let mut best = l.clone();
@@ -235,7 +259,7 @@ struct Opts {
     end: u64,
     fail_fast: bool,
     jobs: usize,
-    selfcheck: bool,
+    checks: Checks,
     machines_dir: Option<String>,
 }
 
@@ -245,7 +269,7 @@ fn parse_args() -> Result<Opts, String> {
         end: 200,
         fail_fast: false,
         jobs: default_jobs(),
-        selfcheck: false,
+        checks: Checks::default(),
         machines_dir: None,
     };
     let mut args = std::env::args().skip(1);
@@ -260,7 +284,8 @@ fn parse_args() -> Result<Opts, String> {
                 opts.end = hi.parse().map_err(|e| format!("bad seed end `{hi}`: {e}"))?;
             }
             "--fail-fast" => opts.fail_fast = true,
-            "--oracle-selfcheck" => opts.selfcheck = true,
+            "--oracle-selfcheck" => opts.checks.oracle = true,
+            "--executed-selfcheck" => opts.checks.executed = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a positive worker count")?;
                 opts.jobs = parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?;
@@ -277,10 +302,10 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn report_failure(f: &Failure, l: &Loop, m: &MachineConfig, selfcheck: bool) {
+fn report_failure(f: &Failure, l: &Loop, m: &MachineConfig, checks: Checks) {
     println!("=== FAILURE seed={} profile={} machine={} strategy={} ===", f.seed, f.profile, f.machine, f.strategy);
     println!("{}", f.what);
-    let small = shrink(l, m, f.strategy, selfcheck);
+    let small = shrink(l, m, f.strategy, checks);
     let text = small.to_string();
     println!(
         "minimal repro ({} ops, trip {}; shrunk from {} ops, trip {}):",
@@ -303,7 +328,7 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N] [--oracle-selfcheck] \
-                 [--machines DIR]"
+                 [--executed-selfcheck] [--machines DIR]"
             );
             return ExitCode::from(2);
         }
@@ -334,7 +359,7 @@ fn main() -> ExitCode {
                     let l = fuzz_loop(&format!("fuzz.{pname}.{seed}"), profile, seed);
                     for (mname, m) in &machines {
                         for strategy in Strategy::ALL {
-                            if let Some(what) = run_case(&l, m, strategy, opts.selfcheck) {
+                            if let Some(what) = run_case(&l, m, strategy, opts.checks) {
                                 found.push((
                                     Failure {
                                         seed,
@@ -356,7 +381,7 @@ fn main() -> ExitCode {
             for (f, l) in &fs {
                 failures += 1;
                 let m = &machines.iter().find(|(n, _)| *n == f.machine).expect("known machine").1;
-                report_failure(f, l, m, opts.selfcheck);
+                report_failure(f, l, m, opts.checks);
                 if opts.fail_fast {
                     println!("fuzz: stopping at first failure (--fail-fast)");
                     return ExitCode::FAILURE;
@@ -426,8 +451,8 @@ mod tests {
         // the identity — the shrinker must not "improve" a non-failure.
         let l = fuzz_loop("t", &SynthProfile::broad(), 3);
         let m = MachineConfig::paper_default();
-        assert!(run_case(&l, &m, Strategy::Selective, false).is_none());
-        let s = shrink(&l, &m, Strategy::Selective, false);
+        assert!(run_case(&l, &m, Strategy::Selective, Checks::default()).is_none());
+        let s = shrink(&l, &m, Strategy::Selective, Checks::default());
         assert_eq!(s.to_string(), l.to_string());
     }
 
@@ -438,7 +463,21 @@ mod tests {
         let l = fuzz_loop("t", &SynthProfile::broad(), 11);
         let m = MachineConfig::paper_default();
         for strategy in Strategy::ALL {
-            assert!(run_case(&l, &m, strategy, true).is_none(), "{strategy}");
+            let checks = Checks { oracle: true, executed: false };
+            assert!(run_case(&l, &m, strategy, checks).is_none(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn executed_selfcheck_passes_on_seeded_cases() {
+        // The cycle-accurate executor must match the reference engine and
+        // sustain the scheduled II on a healthy case under every strategy
+        // — the same predicate `--executed-selfcheck` sweeps.
+        let l = fuzz_loop("t", &SynthProfile::broad(), 13);
+        let m = MachineConfig::paper_default();
+        for strategy in Strategy::ALL {
+            let checks = Checks { oracle: false, executed: true };
+            assert!(run_case(&l, &m, strategy, checks).is_none(), "{strategy}");
         }
     }
 }

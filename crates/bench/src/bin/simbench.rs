@@ -2,10 +2,12 @@
 //!
 //! Times one full differential-oracle pass (`run_source` +
 //! `run_compiled`) per case on both the pre-decoded fast engine and the
-//! retained reference interpreters, over the hand-written kernels of the
-//! benchmark suites plus a set of seeded synthetic loops. Criterion-free
-//! and offline: `std::time::Instant`, fixed seeds, median-of-K samples
-//! with deterministic rep-doubling calibration.
+//! retained reference interpreters, plus one cycle-accurate executed
+//! pass (`run_compiled_executed` — the `sched` engine) per case, over
+//! the hand-written kernels of the benchmark suites plus a set of
+//! seeded synthetic loops. Criterion-free and offline:
+//! `std::time::Instant`, fixed seeds, median-of-K samples with
+//! deterministic rep-doubling calibration.
 //!
 //! ```text
 //! cargo run --release -p sv-bench --bin simbench                 # writes BENCH_sim.json
@@ -27,7 +29,10 @@ use std::time::Instant;
 use sv_core::{compile_checked, CompiledLoop, DriverConfig, Strategy};
 use sv_ir::Loop;
 use sv_machine::MachineConfig;
-use sv_sim::{has_register_state_across_cleanup, reference, run_compiled, run_source};
+use sv_sim::{
+    has_register_state_across_cleanup, reference, run_compiled, run_compiled_executed,
+    run_source,
+};
 use sv_workloads::{all_benchmarks, synth_loop, SynthProfile};
 
 /// Seeds for the synthetic-loop portion of the case list.
@@ -126,8 +131,11 @@ fn time_median_ns(runs: usize, mut f: impl FnMut()) -> f64 {
     median(samples)
 }
 
-/// Measure one case on both engines, appending two rows.
-fn measure(case: &Case, runs: usize, rows: &mut Vec<Row>) {
+/// Measure one case on all three engines, appending three rows: the two
+/// functional oracle engines (one source + one compiled pass each) and
+/// the cycle-accurate schedule executor (`sched`, one executed compiled
+/// pass — interlock, unit reservations and cycle accounting included).
+fn measure(case: &Case, m: &MachineConfig, runs: usize, rows: &mut Vec<Row>) {
     // One oracle pass executes the source loop and the compiled plan, each
     // covering the full trip count once.
     let iters = 2 * case.looop.trip.count.max(1);
@@ -138,6 +146,13 @@ fn measure(case: &Case, runs: usize, rows: &mut Vec<Row>) {
     let ref_ns = time_median_ns(runs, || {
         black_box(reference::run_source(black_box(&case.looop)));
         black_box(reference::run_compiled(black_box(&case.compiled)));
+    });
+    let sched_iters = case.looop.trip.count.max(1);
+    let sched_ns = time_median_ns(runs, || {
+        black_box(
+            run_compiled_executed(black_box(&case.compiled), black_box(m))
+                .expect("executed gate holds for compiled cases"),
+        );
     });
     rows.push(Row {
         case: case.name.clone(),
@@ -150,6 +165,12 @@ fn measure(case: &Case, runs: usize, rows: &mut Vec<Row>) {
         iters,
         ns_per_iter: ref_ns / iters as f64,
         engine: "reference",
+    });
+    rows.push(Row {
+        case: case.name.clone(),
+        iters: sched_iters,
+        ns_per_iter: sched_ns / sched_iters as f64,
+        engine: "sched",
     });
 }
 
@@ -177,15 +198,18 @@ fn render(rows: &[Row]) -> String {
     }
     let fast = engine_median(rows, "fast", false);
     let reference = engine_median(rows, "reference", false);
+    let sched = engine_median(rows, "sched", false);
     let kfast = engine_median(rows, "fast", true);
     let kref = engine_median(rows, "reference", true);
     s.push_str(&format!(
         "],\"summary\":{{\"cases\":{},\"fast_median_ns_per_iter\":{fast:.3},\
          \"reference_median_ns_per_iter\":{reference:.3},\"speedup\":{:.2},\
+         \"sched_median_ns_per_iter\":{sched:.3},\"sched_overhead\":{:.2},\
          \"kernel_fast_median_ns_per_iter\":{kfast:.3},\
          \"kernel_reference_median_ns_per_iter\":{kref:.3},\"kernel_speedup\":{:.2}}}}}\n",
         rows.len(),
         reference / fast,
+        sched / fast,
         kref / kfast
     ));
     s
@@ -215,6 +239,7 @@ fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
         let engine = match field(line, "engine").ok_or("row missing engine")?.as_str() {
             "fast" => "fast",
             "reference" => "reference",
+            "sched" => "sched",
             other => return Err(format!("unknown engine `{other}`")),
         };
         let iters: u64 = field(line, "iters")
@@ -250,7 +275,13 @@ fn check(fresh: &[Row], baseline: &[Row], tolerance: f64) -> Result<(), String> 
             );
         }
     }
-    for engine in ["fast", "reference"] {
+    for engine in ["fast", "reference", "sched"] {
+        if !baseline.iter().any(|r| r.engine == engine) {
+            // Baselines written before the executor existed carry no
+            // `sched` rows; a new engine cannot regress against nothing.
+            println!("simbench: no `{engine}` rows in baseline, skipping that gate");
+            continue;
+        }
         let b = engine_median(baseline, engine, false);
         let f = engine_median(fresh, engine, false);
         println!(
@@ -338,9 +369,10 @@ fn main() -> ExitCode {
     };
 
     let cases = cases();
-    let mut rows = Vec::with_capacity(cases.len() * 2);
+    let m = MachineConfig::paper_default();
+    let mut rows = Vec::with_capacity(cases.len() * 3);
     for case in &cases {
-        measure(case, opts.runs, &mut rows);
+        measure(case, &m, opts.runs, &mut rows);
     }
     let text = render(&rows);
 
@@ -402,14 +434,16 @@ mod tests {
             },
             Row { case: "synth.0".into(), iters: 64, ns_per_iter: 31.25, engine: "fast" },
             Row { case: "synth.0".into(), iters: 64, ns_per_iter: 99.5, engine: "reference" },
+            Row { case: "synth.0".into(), iters: 32, ns_per_iter: 250.0, engine: "sched" },
         ];
         let text = render(&rows);
         let parsed = parse_rows(&text).expect("round-trips");
-        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed.len(), 5);
         assert_eq!(parsed[0].case, "093.nasa7.mxm");
         assert_eq!(parsed[0].iters, 200);
         assert_eq!(parsed[1].engine, "reference");
         assert!((parsed[3].ns_per_iter - 99.5).abs() < 1e-9);
+        assert_eq!(parsed[4].engine, "sched");
     }
 
     #[test]

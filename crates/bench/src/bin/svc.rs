@@ -8,7 +8,7 @@
 //! ```text
 //! svc LOOP.svl|LOOP.sl [--machines DIR] [--machine NAME] [--machine-file SPEC]
 //!              [--strategy selective|full|...]
-//!              [--vl N] [--aligned] [--free-comm] [--emit] [--run]
+//!              [--vl N] [--aligned] [--free-comm] [--emit] [--run] [--executed]
 //! svc --workload tomcatv.residual [...same options]
 //! svc --server HOST:PORT [--retries N] [...same selection options]
 //! ```
@@ -17,6 +17,13 @@
 //! `paper`/`figure1` presets plus every spec file loaded by a preceding
 //! `--machines DIR`. `--machine-file` compiles against one spec file
 //! without registering it.
+//!
+//! `--run` executes the compiled plan functionally and checks it against
+//! the source loop; `--executed` replays it through the cycle-accurate
+//! VLIW executor ([`sv_sim::compile_executed`]) and prints each piece's
+//! measured steady-state cycles/iteration next to its scheduled II — a
+//! mismatch (or any interlock stall) fails the compile like any other
+//! pass error.
 //!
 //! With no `--strategy`, all techniques are compared side by side. The
 //! `--workload` form compiles a named loop from the built-in SPEC-FP
@@ -36,7 +43,7 @@ use sv_ir::{parse_loop, Loop};
 use sv_machine::{AlignmentPolicy, CommModel, MachineConfig, MachineRegistry};
 use sv_modsched::emit_flat;
 use sv_serve::{CompileRequest, RetryClient, RetryPolicy, TcpTransport};
-use sv_sim::{assert_equivalent, run_compiled};
+use sv_sim::{assert_equivalent, compile_executed, run_compiled, ExecutedPiece};
 
 struct Options {
     path: String,
@@ -45,6 +52,7 @@ struct Options {
     strategy: Option<Strategy>,
     emit: bool,
     run: bool,
+    executed: bool,
     stats: bool,
     server: Option<String>,
     retries: u32,
@@ -54,13 +62,15 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: svc LOOP.svl [--machines DIR] [--machine NAME] [--machine-file SPEC]\n\
          \x20          [--strategy NAME] [--vl N] [--aligned] [--free-comm]\n\
-         \x20          [--emit] [--run] [--stats]\n\
+         \x20          [--emit] [--run] [--executed] [--stats]\n\
          \x20     svc --workload BENCH.LOOP [...same options]\n\
          \x20     svc --server HOST:PORT [--retries N] [...same selection options]\n\
          strategies: modulo-no-unroll, modulo, traditional, full, selective, widened\n\
          --machine resolves against the registry (builtins paper, figure1, plus\n\
          \x20 any --machines DIR given before it)\n\
          --stats prints per-pass timings/counters and one JSON line per compilation\n\
+         --executed replays the plan on the cycle-accurate executor and proves\n\
+         \x20 measured steady-state II == scheduled II (state checked bit-exactly)\n\
          --server compiles remotely over the retrying wire client (inline machine spec)"
     );
     ExitCode::from(2)
@@ -75,6 +85,7 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut strategy = None;
     let mut emit = false;
     let mut run = false;
+    let mut executed = false;
     let mut stats = false;
     let mut server = None;
     let mut retries = 4u32;
@@ -135,6 +146,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--free-comm" => machine.comm = CommModel::Free,
             "--emit" => emit = true,
             "--run" => run = true,
+            "--executed" => executed = true,
             "--stats" => stats = true,
             "--help" | "-h" => return Err(usage()),
             other if path.is_none() && !other.starts_with('-') => {
@@ -153,6 +165,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         strategy,
         emit,
         run,
+        executed,
         stats,
         server,
         retries,
@@ -199,6 +212,22 @@ fn compile_remote(
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Print each piece's executed cycle accounting next to its schedule.
+fn report_executed(pieces: &[ExecutedPiece]) {
+    for p in pieces {
+        let measured = p
+            .report
+            .measured_ii()
+            .map_or_else(|| "   -".into(), |ii| format!("{ii:>4.1}"));
+        println!(
+            "  executed {:<24} measured II {measured}  scheduled II {:>3}  \
+             ({} iterations, {} cycles, {} stalls)",
+            p.piece, p.scheduled_ii, p.iterations, p.report.total_cycles, p.report.stall_cycles
+        );
+    }
+    println!("  executed check: state matches the reference engine at the scheduled II");
 }
 
 fn report(l: &Loop, m: &MachineConfig, c: &CompiledLoop, emit: bool, run: bool) {
@@ -313,6 +342,21 @@ fn main() -> ExitCode {
                         println!("  {line}");
                     }
                     println!("{}", rep.stats_json_line(&looop.name, &opts.machine.name));
+                }
+                Err(e) => {
+                    eprintln!("svc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if opts.executed {
+            // The executed gate rides the hardened driver: compile, then
+            // replay on the cycle-accurate executor and fail like any
+            // other pass error if the schedule misses its own II.
+            let dcfg = DriverConfig::for_strategy(s);
+            match compile_executed(&looop, &opts.machine, &dcfg) {
+                Ok((c, _rep, pieces)) => {
+                    report(&looop, &opts.machine, &c, opts.emit, opts.run);
+                    report_executed(&pieces);
                 }
                 Err(e) => {
                     eprintln!("svc: {e}");

@@ -1,0 +1,56 @@
+//! Executed-schedule report (extension): replay compiled plans on the
+//! cycle-accurate VLIW executor and prove the measured steady-state
+//! cycles/iteration equals the scheduled II — the claim every table's
+//! timing model rests on. Sweeps the machine registry (builtins plus
+//! every spec file in `examples/machines/`, or `--machines DIR`) across
+//! a slice of each benchmark suite under all evaluated techniques.
+//!
+//! ```text
+//! table_executed [--jobs N] [--machines DIR]
+//! ```
+//!
+//! Any gate violation — executed state diverging from the reference
+//! engine, a measured II above schedule, an interlock stall — prints as
+//! a `VIOLATION:` line; the output bytes are pinned by the
+//! `table_executed.txt` golden snapshot.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sv_bench::{table_executed_text, take_jobs_flag};
+use sv_machine::MachineRegistry;
+
+/// The sweep specs committed next to the workspace.
+fn default_machines_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines")
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
+    let mut dir = default_machines_dir();
+    if let Some(i) = args.iter().position(|a| a == "--machines") {
+        if i + 1 >= args.len() {
+            eprintln!("table_executed: --machines needs a value");
+            return ExitCode::from(2);
+        }
+        dir = PathBuf::from(&args[i + 1]);
+        args.drain(i..=i + 1);
+    }
+    if !args.is_empty() {
+        eprintln!("table_executed: unknown arguments {args:?}");
+        eprintln!("usage: table_executed [--jobs N] [--machines DIR]");
+        return ExitCode::from(2);
+    }
+    let mut registry = MachineRegistry::builtin();
+    if let Err(e) = registry.load_dir(&dir) {
+        eprintln!("table_executed: cannot load machines: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = table_executed_text(&registry, jobs);
+    print!("{text}");
+    if text.contains("VIOLATION:") {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

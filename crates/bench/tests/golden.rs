@@ -11,7 +11,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p sv-bench --test golden
 //! ```
 
-use sv_bench::{table2_text, table_arch_text};
+use sv_bench::{table2_text, table_arch_text, table_executed_text};
 use sv_core::{compile_checked, DriverConfig};
 use sv_machine::{MachineConfig, MachineRegistry};
 use sv_workloads::figure1_dot_product;
@@ -61,6 +61,22 @@ fn table_arch_matches_golden() {
     registry.load_dir(std::path::Path::new(&dir)).expect("sweep specs load");
     let fresh = table_arch_text(&registry, sv_core::parallel::default_jobs());
     check_golden("table_arch.txt", &fresh, include_str!("golden/table_arch.txt"));
+}
+
+#[test]
+fn table_executed_matches_golden() {
+    // The executed-schedule gate as a pinned artifact: every registry
+    // machine × suite slice × strategy replayed on the cycle-accurate
+    // executor. The snapshot must never contain a `VIOLATION:` line —
+    // that is the ci.sh acceptance gate — and pinning the bytes makes
+    // any drift in measured IIs or short-pipeline counts a reviewed
+    // change.
+    let mut registry = MachineRegistry::builtin();
+    let dir = format!("{}/../../examples/machines", env!("CARGO_MANIFEST_DIR"));
+    registry.load_dir(std::path::Path::new(&dir)).expect("sweep specs load");
+    let fresh = table_executed_text(&registry, sv_core::parallel::default_jobs());
+    assert!(!fresh.contains("VIOLATION:"), "executed gate violated:\n{fresh}");
+    check_golden("table_executed.txt", &fresh, include_str!("golden/table_executed.txt"));
 }
 
 #[test]

@@ -51,6 +51,9 @@ pub enum Pass {
     Schedule,
     /// Pass-boundary verification/validation of a produced artifact.
     Boundary,
+    /// Post-compilation executed verification (the cycle-accurate
+    /// executor in `sv-sim` running the emitted layout).
+    Execute,
 }
 
 impl fmt::Display for Pass {
@@ -61,6 +64,7 @@ impl fmt::Display for Pass {
             Pass::Transform => "transform",
             Pass::Schedule => "schedule",
             Pass::Boundary => "boundary",
+            Pass::Execute => "execute",
         };
         write!(f, "{s}")
     }
@@ -135,6 +139,18 @@ pub enum CompileError {
         /// `Display` dump of the scheduled loop (re-parseable).
         dump: String,
     },
+    /// A compiled plan failed **executed** verification: the
+    /// cycle-accurate executor (in `sv-sim`) found the emitted layout's
+    /// final state diverging from the reference engine, or the measured
+    /// steady-state cycles/iteration above the scheduled II.
+    Execution {
+        /// The strategy that produced the failing plan.
+        strategy: Strategy,
+        /// Loop name.
+        looop: String,
+        /// What the executor measured or found.
+        detail: String,
+    },
     /// A pass panicked; the unwind was contained and its payload
     /// preserved.
     Internal {
@@ -160,6 +176,7 @@ impl CompileError {
             CompileError::BoundaryVerify { .. } | CompileError::BoundaryValidate { .. } => {
                 Pass::Boundary
             }
+            CompileError::Execution { .. } => Pass::Execute,
             CompileError::Internal { .. } => Pass::Boundary,
         }
     }
@@ -173,6 +190,7 @@ impl CompileError {
             | CompileError::BudgetExhausted { looop, .. }
             | CompileError::BoundaryVerify { looop, .. }
             | CompileError::BoundaryValidate { looop, .. }
+            | CompileError::Execution { looop, .. }
             | CompileError::Internal { looop, .. } => looop,
         }
     }
@@ -201,6 +219,9 @@ impl fmt::Display for CompileError {
                 f,
                 "[{strategy}/schedule] `{looop}` schedule failed validation: {error}\n{dump}"
             ),
+            CompileError::Execution { strategy, looop, detail } => {
+                write!(f, "[{strategy}/execute] `{looop}` failed executed verification: {detail}")
+            }
             CompileError::Internal { strategy, looop, payload, dump } => {
                 write!(f, "[{strategy}] internal error compiling `{looop}`: {payload}\n{dump}")
             }

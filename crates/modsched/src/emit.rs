@@ -38,11 +38,34 @@ pub struct FlatListing {
     /// `(SC − 1) · II + drain` rows; entries count iterations back from
     /// the last (`0` = final iteration).
     pub epilogue: Vec<Row>,
+    /// `Some(n)` when the layout was emitted for a short trip `n < SC`:
+    /// the pipeline never fills, so *all* `n` iterations live in the
+    /// prologue (absolute iteration numbers), the kernel executes zero
+    /// times and the epilogue is empty. `None` is the general layout,
+    /// valid for any `n ≥ SC`.
+    pub truncated_for: Option<u64>,
 }
 
 impl FlatListing {
-    /// Total operation instances the layout executes for `n ≥ SC`
-    /// iterations: prologue + `(n − SC + 1)` kernel executions + epilogue.
+    /// How many times the kernel executes for `n` iterations:
+    /// `n − SC + 1` for the general layout, zero for a truncated one.
+    pub fn kernel_executions(&self, n: u64) -> u64 {
+        match self.truncated_for {
+            Some(t) => {
+                assert_eq!(t, n, "truncated layout reused for a different trip");
+                0
+            }
+            None => {
+                let sc = u64::from(self.stage_count);
+                assert!(n >= sc, "general flat layout needs n >= stage_count");
+                n - sc + 1
+            }
+        }
+    }
+
+    /// Total operation instances the layout executes for `n` iterations
+    /// (`n ≥ SC` for the general layout, `n == truncated_for` otherwise):
+    /// prologue + kernel executions + epilogue.
     pub fn instances_for(&self, n: u64) -> u64 {
         let per_kernel: u64 = self.kernel.iter().map(|r| r.len() as u64).sum();
         let fixed: u64 = self
@@ -51,7 +74,7 @@ impl FlatListing {
             .chain(&self.epilogue)
             .map(|r| r.len() as u64)
             .sum();
-        fixed + per_kernel * (n - u64::from(self.stage_count) + 1)
+        fixed + per_kernel * self.kernel_executions(n)
     }
 }
 
@@ -130,7 +153,61 @@ pub fn emit_flat(l: &Loop, schedule: &Schedule) -> FlatListing {
         row.sort_unstable_by_key(|&(op, _)| op);
     }
 
-    FlatListing { ii, stage_count: sc, prologue, kernel, epilogue }
+    FlatListing { ii, stage_count: sc, prologue, kernel, epilogue, truncated_for: None }
+}
+
+/// Lay out `schedule` for exactly `n` iterations.
+///
+/// For `n ≥ SC` this is [`emit_flat`] — the general prologue / kernel /
+/// epilogue layout. For `n < SC` the pipeline never reaches steady state:
+/// the prologue/epilogue of the general layout would together launch
+/// `SC − 1` copies of every op (over-filling a pipeline that only has `n`
+/// iterations to run), so a **truncated** layout is emitted instead — all
+/// `n` iterations issue from the prologue at their natural offsets
+/// `j·II + σ(op)` over `(n−1)·II + length` rows, the kernel rows are kept
+/// (for inspection; they execute zero times) and the epilogue is empty.
+/// `n = 0` yields an empty prologue.
+///
+/// # Panics
+///
+/// Panics when the schedule does not belong to `l`.
+pub fn emit_flat_for(l: &Loop, schedule: &Schedule, n: u64) -> FlatListing {
+    if n >= u64::from(schedule.stage_count) {
+        return emit_flat(l, schedule);
+    }
+    assert_eq!(schedule.times.len(), l.ops.len(), "schedule/loop mismatch");
+    let ii = schedule.ii;
+    let rows = if n == 0 {
+        0
+    } else {
+        (n - 1) * u64::from(ii) + u64::from(schedule.length)
+    };
+    let mut prologue: Vec<Row> = vec![Vec::new(); rows as usize];
+    for j in 0..n {
+        for op in &l.ops {
+            let c = j * u64::from(ii) + u64::from(schedule.times[op.id.index()]);
+            prologue[c as usize].push((op.id, j));
+        }
+    }
+    for row in &mut prologue {
+        row.sort_unstable_by_key(|&(op, _)| op);
+    }
+    let mut kernel: Vec<Row> = vec![Vec::new(); ii as usize];
+    for op in &l.ops {
+        let t = schedule.times[op.id.index()];
+        kernel[(t % ii) as usize].push((op.id, u64::from(t / ii)));
+    }
+    for row in &mut kernel {
+        row.sort_unstable_by_key(|&(op, _)| op);
+    }
+    FlatListing {
+        ii,
+        stage_count: schedule.stage_count,
+        prologue,
+        kernel,
+        epilogue: Vec::new(),
+        truncated_for: Some(n),
+    }
 }
 
 impl fmt::Display for FlatListing {
@@ -144,6 +221,9 @@ impl fmt::Display for FlatListing {
                 writeln!(f, "  {}", ops.join("  "))
             }
         };
+        if let Some(n) = self.truncated_for {
+            writeln!(f, "truncated layout for {n} iteration(s) (n < SC):")?;
+        }
         writeln!(f, "prologue ({} rows):", self.prologue.len())?;
         for r in &self.prologue {
             row(f, r)?;
@@ -263,6 +343,59 @@ mod tests {
         for row in f.prologue.iter().chain(&f.kernel).chain(&f.epilogue) {
             assert!(row.len() <= m.issue_width as usize);
         }
+    }
+
+    /// Truncated layouts must cover each of the `n` iterations exactly
+    /// once, entirely from the prologue.
+    fn truncated_coverage(l: &Loop, s: &Schedule, n: u64) {
+        let f = emit_flat_for(l, s, n);
+        assert_eq!(f.truncated_for, Some(n));
+        assert!(f.epilogue.is_empty());
+        assert_eq!(f.kernel_executions(n), 0);
+        let mut seen: HashSet<(u32, u64)> = HashSet::new();
+        for (c, row) in f.prologue.iter().enumerate() {
+            for &(op, j) in row {
+                assert!(j < n, "iteration {j} out of range at row {c}");
+                let sigma = u64::from(s.times[op.index()]);
+                assert_eq!(c as u64, j * u64::from(s.ii) + sigma, "{op} misplaced");
+                assert!(seen.insert((op.0, j)), "duplicate {op} iter {j}");
+            }
+        }
+        assert_eq!(seen.len() as u64, n * l.ops.len() as u64);
+        assert_eq!(f.instances_for(n), n * l.ops.len() as u64);
+        if n > 0 {
+            let rows = (n - 1) * u64::from(s.ii) + u64::from(s.length);
+            assert_eq!(f.prologue.len() as u64, rows);
+            assert!(!f.prologue.last().unwrap().is_empty(), "trailing nop row");
+        } else {
+            assert!(f.prologue.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_layouts_for_short_trips() {
+        let l = sample();
+        let (s, _) = flat_for(&l);
+        assert!(s.stage_count >= 2, "sample must pipeline across stages");
+        // Zero-trip, single-iteration, and the largest short trip n = SC−1.
+        for n in [0, 1, u64::from(s.stage_count) - 1] {
+            truncated_coverage(&l, &s, n);
+        }
+    }
+
+    #[test]
+    fn emit_flat_for_long_trips_is_the_general_layout() {
+        let l = sample();
+        let (s, general) = flat_for(&l);
+        let f = emit_flat_for(&l, &s, u64::from(s.stage_count));
+        assert_eq!(f.truncated_for, None);
+        assert_eq!(f.prologue.len(), general.prologue.len());
+        assert_eq!(f.epilogue.len(), general.epilogue.len());
+        assert_eq!(
+            f.kernel_executions(u64::from(s.stage_count) + 7),
+            8,
+            "n − SC + 1 kernel executions"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod sched;
 mod validate;
 
 pub use binpack::{Bins, Placement};
-pub use emit::{emit_flat, FlatListing, Row};
+pub use emit::{emit_flat, emit_flat_for, FlatListing, Row};
 pub use mii::{compute_mii, compute_recmii, compute_resmii, edge_delay};
 pub use pressure::{max_live, mve_factor};
 pub use regalloc::{allocate_rotating, validate_assignment, AllocError, RegisterAssignment};

@@ -36,7 +36,7 @@ use crate::memory::{Memory, Scalar};
 use sv_ir::{Loop, OpKind, Operand, ScalarType, VectorForm};
 
 /// A fully resolved operand: no name, live-in or def lookups remain.
-enum DOperand {
+pub(crate) enum DOperand {
     /// Value of op `op` (dense index), `distance` iterations ago.
     Def { op: u32, distance: u32 },
     /// Immediate (constants and live-ins fold here at decode time).
@@ -47,7 +47,7 @@ enum DOperand {
 }
 
 /// Decoded memory reference.
-struct DMem {
+pub(crate) struct DMem {
     array: u32,
     stride: i64,
     offset: i64,
@@ -57,7 +57,7 @@ struct DMem {
 /// Fused execution class: the single hot-loop dispatch discriminant
 /// (replaces re-deriving `OpKind::arity()` per op instance).
 #[derive(Clone, Copy, PartialEq)]
-enum DClass {
+pub(crate) enum DClass {
     Load,
     Store,
     Pack,
@@ -67,42 +67,42 @@ enum DClass {
 }
 
 /// One decoded operation.
-struct DOp {
-    kind: OpKind,
-    class: DClass,
-    ty: ScalarType,
+pub(crate) struct DOp {
+    pub(crate) kind: OpKind,
+    pub(crate) class: DClass,
+    pub(crate) ty: ScalarType,
     /// Whether the op *executes* in vector form (drives lane iteration).
-    vector: bool,
+    pub(crate) vector: bool,
     /// Whether the produced value is a vector (`Pack` always is, `Extract`
     /// never is, everything else follows its form).
-    vec_value: bool,
+    pub(crate) vec_value: bool,
     /// Produced lane count: 1 for scalar values, the memory width for
     /// vector loads, the operand count for `Pack`, `k` otherwise.
-    lanes: u32,
+    pub(crate) lanes: u32,
     /// Operand range in the [`DecodedLoop::operands`] arena.
-    o_start: u32,
-    o_end: u32,
-    mem: Option<DMem>,
+    pub(crate) o_start: u32,
+    pub(crate) o_end: u32,
+    pub(crate) mem: Option<DMem>,
     /// Pre-resolved carried-init scalar.
-    init: Scalar,
+    pub(crate) init: Scalar,
     /// True when the op defines a value (everything but stores).
-    defines: bool,
+    pub(crate) defines: bool,
     /// In-order ring depth: `1 + max carried distance` over uses.
-    depth: u32,
+    pub(crate) depth: u32,
     /// In-order ring base offset into the flat arena.
-    base: u32,
+    pub(crate) base: u32,
 }
 
 /// A loop lowered for fast execution. Construction is `O(ops + operands)`
 /// and performed once per execution call; everything at run time is dense
 /// indexing.
 pub(crate) struct DecodedLoop {
-    ops: Vec<DOp>,
-    operands: Vec<DOperand>,
+    pub(crate) ops: Vec<DOp>,
+    pub(crate) operands: Vec<DOperand>,
     /// The loop's vector width (`max(1)`); IV lane evaluation needs it.
     k: u32,
     /// Largest produced lane count (scratch buffer size).
-    max_lanes: usize,
+    pub(crate) max_lanes: usize,
     /// Flat ring arena length for in-order execution.
     ring_len: usize,
 }
@@ -214,11 +214,15 @@ enum Src {
 /// Execute one decoded op instance. `resolve(p, dist)` maps a def read to
 /// its producer's lane-0 ring slot (or `None` when the read predates the
 /// run and observes the carried init); `abs` is the absolute iteration
-/// for memory addressing and IV values. The result is left in
+/// for memory addressing and IV values; `rot(array)` is the extra
+/// element offset renaming this instance's `iteration_private` accesses
+/// into their per-iteration copy ([`crate::privrot::PrivRot::offset`] —
+/// identically zero for in-order execution). The result is left in
 /// `scratch[..lanes]`. Returns whether a result was produced (everything
 /// but stores).
 #[inline]
-fn exec_op(
+#[allow(clippy::too_many_arguments)] // internal hot-path dispatch: every arg is a distinct execution context piece
+pub(crate) fn exec_op(
     d: &DecodedLoop,
     op: &DOp,
     abs: i64,
@@ -226,6 +230,7 @@ fn exec_op(
     ring: &[Scalar],
     scratch: &mut [Scalar],
     resolve: impl Fn(usize, u32) -> Option<usize>,
+    rot: impl Fn(u32) -> i64,
 ) -> bool {
     let os = &d.operands[op.o_start as usize..op.o_end as usize];
     // IV operands evaluate per-lane only when the *consumer* is a vector
@@ -263,7 +268,7 @@ fn exec_op(
     match op.class {
         DClass::Load => {
             let m = op.mem.as_ref().expect("load has a memory ref");
-            let b = m.stride * abs + m.offset;
+            let b = m.stride * abs + m.offset + rot(m.array);
             if op.vec_value {
                 for (j, s) in scratch.iter_mut().enumerate().take(m.width as usize) {
                     *s = mem.read(m.array, b + j as i64).coerce(op.ty);
@@ -275,7 +280,7 @@ fn exec_op(
         }
         DClass::Store => {
             let m = op.mem.as_ref().expect("store has a memory ref");
-            let b = m.stride * abs + m.offset;
+            let b = m.stride * abs + m.offset + rot(m.array);
             let s0 = src_of(&os[0]);
             if op.vector {
                 for j in 0..m.width as usize {
@@ -325,7 +330,7 @@ fn exec_op(
 
 /// Build the final [`LiveOutValue`]s from per-lane reads of each
 /// live-out op's last value (`get_lane(op, lane)`).
-fn collect_liveouts(
+pub(crate) fn collect_liveouts(
     l: &Loop,
     d: &DecodedLoop,
     get_lane: impl Fn(usize, usize) -> Scalar,
@@ -377,7 +382,7 @@ pub(crate) fn run_inorder(
                 }
                 Some(slot_at(&d.ops[p], local - u64::from(dist)))
             };
-            if exec_op(&d, op, abs, mem, &ring, &mut scratch, resolve) {
+            if exec_op(&d, op, abs, mem, &ring, &mut scratch, resolve, |_| 0) {
                 let slot = slot_at(op, local);
                 if op.lanes == 1 {
                     ring[slot] = scratch[0];
@@ -409,6 +414,13 @@ pub(crate) fn run_inorder(
 /// value the read names. Sequences produced by modulo schedules and flat
 /// layouts fire each op's iterations in increasing order; the prescan
 /// additionally guards out-of-order producer firings.
+///
+/// `iteration_private` arrays are renamed per in-flight iteration by the
+/// same construction applied to memory ([`crate::privrot::PrivRot`]):
+/// the dependence graph carries no cross-iteration edges on them, so an
+/// overlapped sequence may fire iteration `j+1`'s store into a comm slot
+/// before iteration `j`'s load — each iteration must observe its own
+/// copy.
 ///
 /// # Panics
 ///
@@ -456,6 +468,9 @@ pub(crate) fn run_sequence(
         }
     }
 
+    let pr = crate::privrot::PrivRot::for_sequence(l, seq);
+    pr.widen(mem);
+
     let mut ring = vec![Scalar::I(0); ring_len];
     let mut scratch = vec![Scalar::I(0); d.max_lanes];
     let mut produced_up_to = vec![i64::MIN; n];
@@ -473,7 +488,7 @@ pub(crate) fn run_sequence(
             let rot = if depth[p] == 1 { 0 } else { (need % depth[p]) as usize };
             Some(bases[p] + rot * d.ops[p].lanes as usize)
         };
-        if exec_op(&d, op, j as i64, mem, &ring, &mut scratch, resolve) {
+        if exec_op(&d, op, j as i64, mem, &ring, &mut scratch, resolve, |a| pr.offset(a, j)) {
             let ln = op.lanes as usize;
             let slot = bases[oi] + (j % depth[oi]) as usize * ln;
             if ln == 1 {
@@ -484,6 +499,7 @@ pub(crate) fn run_sequence(
             produced_up_to[oi] = produced_up_to[oi].max(j as i64);
         }
     }
+    pr.restore(mem, iterations);
     collect_liveouts(l, &d, |p, lane| {
         let pop = &d.ops[p];
         if iterations == 0 {

@@ -14,26 +14,35 @@ use sv_ir::Loop;
 use sv_modsched::FlatListing;
 
 /// Materialize the launch sequence of a flat layout: prologue rows once,
-/// kernel rows `iterations − SC + 1` times, epilogue rows once. Shared by
-/// the fast and reference flat executors so both walk the exact same
-/// event order.
+/// kernel rows `iterations − SC + 1` times, epilogue rows once. A
+/// truncated short-trip layout ([`sv_modsched::emit_flat_for`] with
+/// `n < SC`) is its prologue alone. Shared by the fast and reference flat
+/// executors so both walk the exact same event order.
 ///
 /// # Panics
 ///
-/// Panics when `iterations < stage_count` (the layout's prologue assumes
-/// a full pipeline; shorter trips run in the cleanup loop in real code).
+/// Panics when a general layout is given fewer than `stage_count`
+/// iterations (its prologue assumes a full pipeline — short trips need a
+/// truncated layout) or a truncated layout is given a different trip than
+/// it was emitted for.
 pub(crate) fn flat_sequence(flat: &FlatListing, iterations: u64) -> Vec<(u64, usize)> {
     let sc = u64::from(flat.stage_count);
-    assert!(
-        iterations >= sc,
-        "flat layout needs at least stage_count iterations"
-    );
     let mut seq: Vec<(u64, usize)> = Vec::new();
     for row in &flat.prologue {
         for &(op, j) in row {
             seq.push((j, op.index()));
         }
     }
+    if flat.truncated_for.is_some() {
+        // The truncated layout runs every iteration from the prologue;
+        // kernel_executions both validates the trip and returns 0.
+        assert_eq!(flat.kernel_executions(iterations), 0);
+        return seq;
+    }
+    assert!(
+        iterations >= sc,
+        "flat layout needs at least stage_count iterations"
+    );
     for t in 0..(iterations - sc + 1) {
         for row in &flat.kernel {
             for &(op, stage) in row {
@@ -51,18 +60,19 @@ pub(crate) fn flat_sequence(flat: &FlatListing, iterations: u64) -> Vec<(u64, us
     seq
 }
 
-/// Execute `iterations ≥ stage_count` iterations of `l` by walking the
-/// flat layout, mutating `mem`; returns the live-outs after the drain.
+/// Execute `iterations` iterations of `l` by walking the flat layout,
+/// mutating `mem`; returns the live-outs after the drain. General layouts
+/// need `iterations ≥ stage_count`; truncated layouts
+/// ([`sv_modsched::emit_flat_for`]) carry their own short trip.
 ///
 /// Runs on the pre-decoded fast engine ([`crate::decoded`]); the original
 /// interpreter survives as [`crate::reference::execute_flat`].
 ///
 /// # Panics
 ///
-/// Panics when `iterations < stage_count` (the layout's prologue assumes a
-/// full pipeline; shorter trips run in the cleanup loop in real code) or
-/// when the layout launches an instance out of dependence order — which
-/// would be an emission bug.
+/// Panics when `iterations` does not fit the layout (see
+/// [`flat_sequence`]) or when the layout launches an instance out of
+/// dependence order — which would be an emission bug.
 pub fn execute_flat(
     l: &Loop,
     flat: &FlatListing,
@@ -130,6 +140,37 @@ mod tests {
         let n = b.fabs(la);
         b.store(a, 1, 4, n);
         check(&b.finish(), 25);
+    }
+
+    #[test]
+    fn flat_truncated_short_trips_match_inorder() {
+        let mut b = LoopBuilder::new("short");
+        let x = b.array("x", ScalarType::F64, 128);
+        let y = b.array("y", ScalarType::F64, 128);
+        let lx = b.load(x, 1, 0);
+        let m1 = b.fmul(lx, lx);
+        let a = b.fadd(m1, lx);
+        b.store(y, 1, 0, a);
+        let l = b.finish();
+        let m = MachineConfig::paper_default();
+        let g = DepGraph::build(&l);
+        let s = modulo_schedule(&l, &g, &m).unwrap();
+        assert!(s.stage_count >= 2, "needs a multi-stage pipeline");
+        for n in [0, 1, u64::from(s.stage_count) - 1] {
+            let flat = sv_modsched::emit_flat_for(&l, &s, n);
+            let mut mem_a = Memory::for_arrays(&l.arrays);
+            let mut mem_b = mem_a.clone();
+            let outs_a = execute_loop(&l, &mut mem_a, 0..n);
+            let outs_b = execute_flat(&l, &flat, &mut mem_b, n);
+            for i in 0..l.arrays.len() as u32 {
+                for (va, vb) in mem_a.array(i).iter().zip(mem_b.array(i)) {
+                    assert!(va.identical(*vb), "n={n}: array {i}");
+                }
+            }
+            for (a, b) in outs_a.iter().zip(&outs_b) {
+                assert!(a.value.identical(b.value), "n={n}: live-out {}", a.name);
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,14 @@
 //!   the analytic timing model is cross-checked against;
 //! * [`execute_pipelined`] — functional execution of the schedule itself,
 //!   every operation instance at its issue cycle with registers renamed
-//!   per iteration.
+//!   per iteration;
+//! * [`execute_schedule`] — the cycle-accurate VLIW executor: runs the
+//!   emitted prologue/kernel/epilogue layout with interlock stalls,
+//!   per-class unit reservations and latency-tracked delivery, measuring
+//!   the real steady-state cycles per iteration
+//!   ([`run_compiled_executed`] / [`executed_selfcheck`] /
+//!   [`compile_executed`] run whole compiled plans through it and prove
+//!   measured II == scheduled II against the reference engine).
 //!
 //! ```
 //! use sv_sim::{assert_equivalent, run_source};
@@ -47,19 +54,23 @@ mod interp;
 mod memory;
 mod pipeline_exec;
 mod player;
+mod privrot;
 pub mod reference;
 mod run;
+mod sched_exec;
 
 pub use interp::{execute_loop, LiveOutValue};
 pub use flat_exec::execute_flat;
 pub use pipeline_exec::execute_pipelined;
 pub use memory::{Memory, Scalar};
-pub use player::{play_schedule, PlaybackReport};
+pub use player::{play_schedule, PlaybackError, PlaybackReport};
+pub use sched_exec::{execute_schedule, ExecError, ExecReport};
 // Structural schedule validation moved down into `sv-modsched` so the
 // `sv-core` driver can run it at pass boundaries; re-exported here for
 // back-compatibility.
 pub use sv_modsched::{validate_schedule, ValidationError};
 pub use run::{
-    assert_equivalent, check_equivalent, has_register_state_across_cleanup,
-    oracle_selfcheck, run_compiled, run_source, EquivalenceError, RunResult,
+    assert_equivalent, check_equivalent, compile_executed, executed_selfcheck,
+    has_register_state_across_cleanup, oracle_selfcheck, run_compiled,
+    run_compiled_executed, run_source, EquivalenceError, ExecutedPiece, RunResult,
 };

@@ -172,6 +172,29 @@ impl Memory {
         dst.copy_from_slice(src);
     }
 
+    /// Temporarily widen an array to `copies` back-to-back copies, each
+    /// starting from the array's current contents. Executors that
+    /// overlap iterations rename `iteration_private` arrays through this
+    /// (see [`crate::privrot`]); every widen is undone by
+    /// [`Memory::collapse_array`] before the memory is observable.
+    pub(crate) fn widen_array(&mut self, array: u32, copies: u64) {
+        let a = &mut self.arrays[array as usize];
+        let s = a.len();
+        a.reserve(s * (copies as usize - 1));
+        for _ in 1..copies {
+            a.extend_from_within(0..s);
+        }
+    }
+
+    /// Undo [`Memory::widen_array`]: copy `keep` (of `size` elements)
+    /// becomes the array's final contents.
+    pub(crate) fn collapse_array(&mut self, array: u32, size: usize, keep: u64) {
+        let a = &mut self.arrays[array as usize];
+        let start = keep as usize * size;
+        a.copy_within(start..start + size, 0);
+        a.truncate(size);
+    }
+
     /// The deterministic live-in value for a name (floats in `[0.5, 1.5)`).
     pub fn live_in_value(name: &str, ty: ScalarType) -> Scalar {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

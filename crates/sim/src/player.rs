@@ -20,23 +20,53 @@ pub struct PlaybackReport {
     pub analytic_cycles: u64,
 }
 
+/// A defect the playback found in a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaybackError {
+    /// Two in-flight operation instances occupy the same resource
+    /// instance in the same cycle — a scheduler bug
+    /// (`sv_modsched::validate_schedule` would also have caught it).
+    CapacityViolation {
+        /// Loop name.
+        looop: String,
+        /// The oversubscribed resource instance, `Display`-rendered.
+        instance: String,
+        /// The cycle (from the first iteration's issue) it happens in.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for PlaybackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaybackError::CapacityViolation { looop, instance, cycle } => write!(
+                f,
+                "playback capacity violation on {instance} at cycle {cycle} of {looop}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlaybackError {}
+
 /// Walk the pipeline with all iterations in flight, verifying per-cycle
 /// resource capacities over a representative window, and report exact and
 /// analytic cycle counts.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the playback discovers a per-cycle capacity violation — that
-/// would be a scheduler bug, and [`validate_schedule`] would also have
-/// caught it.
+/// Returns [`PlaybackError::CapacityViolation`] when two in-flight
+/// instances claim the same resource instance in the same cycle — a
+/// scheduler bug, reported as a typed error like every other pass
+/// failure so callers can surface it through `CompileError`.
 pub fn play_schedule(
     l: &Loop,
     m: &MachineConfig,
     s: &Schedule,
     iterations: u64,
-) -> PlaybackReport {
+) -> Result<PlaybackReport, PlaybackError> {
     if iterations == 0 {
-        return PlaybackReport { total_cycles: 0, peak_inflight: 0, analytic_cycles: 0 };
+        return Ok(PlaybackReport { total_cycles: 0, peak_inflight: 0, analytic_cycles: 0 });
     }
     let pool = m.resource_pool();
     // Simulate an explicit window of iterations (enough to reach steady
@@ -54,11 +84,13 @@ pub fn play_schedule(
                     let cycle = (base + u64::from(s.times[i]) + u64::from(j)) as usize;
                     let e = usage[cycle].entry(pool.dense_id(*inst)).or_insert(0);
                     *e += 1;
-                    assert!(
-                        *e <= 1,
-                        "playback capacity violation on {inst} at cycle {cycle} of {}",
-                        l.name
-                    );
+                    if *e > 1 {
+                        return Err(PlaybackError::CapacityViolation {
+                            looop: l.name.clone(),
+                            instance: inst.to_string(),
+                            cycle: cycle as u64,
+                        });
+                    }
                 }
             }
         }
@@ -80,7 +112,7 @@ pub fn play_schedule(
     let analytic_cycles = (iterations + u64::from(s.stage_count) - 1) * u64::from(s.ii);
     debug_assert!(analytic_cycles >= total_cycles);
     debug_assert!(analytic_cycles - total_cycles < u64::from(s.ii));
-    PlaybackReport { total_cycles, peak_inflight: peak, analytic_cycles }
+    Ok(PlaybackReport { total_cycles, peak_inflight: peak, analytic_cycles })
 }
 
 #[cfg(test)]
@@ -142,7 +174,7 @@ mod tests {
         let l = sample_loop();
         let m = MachineConfig::paper_default();
         let (_, s) = compile_one(&l, &m);
-        let r = play_schedule(&l, &m, &s, 1000);
+        let r = play_schedule(&l, &m, &s, 1000).unwrap();
         assert_eq!(r.total_cycles, 999 * u64::from(s.ii) + u64::from(s.length));
         assert!(r.analytic_cycles >= r.total_cycles);
         assert!(r.analytic_cycles - r.total_cycles < u64::from(s.ii));
@@ -154,7 +186,25 @@ mod tests {
         let l = sample_loop();
         let m = MachineConfig::paper_default();
         let (_, s) = compile_one(&l, &m);
-        let r = play_schedule(&l, &m, &s, 0);
+        let r = play_schedule(&l, &m, &s, 0).unwrap();
         assert_eq!(r.total_cycles, 0);
+    }
+
+    #[test]
+    fn capacity_violation_is_a_typed_error_not_a_panic() {
+        let l = sample_loop();
+        let m = MachineConfig::paper_default();
+        let (_, mut s) = compile_one(&l, &m);
+        // Double-book an op's first reservation: the same resource
+        // instance now claimed twice in the same cycle.
+        let dup = s.assignments[0][0];
+        s.assignments[0].push(dup);
+        let r = play_schedule(&l, &m, &s, 8);
+        match r {
+            Err(PlaybackError::CapacityViolation { looop, .. }) => {
+                assert_eq!(looop, l.name);
+            }
+            other => panic!("expected a capacity violation, got {other:?}"),
+        }
     }
 }

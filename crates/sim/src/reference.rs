@@ -216,7 +216,9 @@ pub fn execute_loop(
 
 /// Reference execution of an explicit `(iteration, op)` launch sequence —
 /// the original `HashMap<(op, iteration), Value>` implementation behind
-/// the pipelined and flat executors.
+/// the pipelined and flat executors. `iteration_private` arrays are
+/// renamed per in-flight iteration ([`crate::privrot::PrivRot`]), exactly
+/// as in the fast engine's `run_sequence`.
 ///
 /// # Panics
 ///
@@ -229,6 +231,8 @@ pub(crate) fn execute_instances(
     iterations: u64,
 ) -> Vec<LiveOutValue> {
     let k = l.vector_width.max(1);
+    let pr = crate::privrot::PrivRot::for_sequence(l, seq);
+    pr.widen(mem);
     let mut values: HashMap<(usize, u64), Value> = HashMap::new();
     let read_def = |values: &HashMap<(usize, u64), Value>, p: usize, dist: u32, j: u64| {
         if u64::from(dist) > j {
@@ -278,7 +282,7 @@ pub(crate) fn execute_instances(
         let result: Option<Value> = match op.opcode.kind {
             OpKind::Load => {
                 let r = op.mem_ref();
-                let base = r.stride * j as i64 + r.offset;
+                let base = r.stride * j as i64 + r.offset + pr.offset(r.array.0, j);
                 if vector {
                     Some(Value::V(
                         (0..r.width as i64)
@@ -291,7 +295,7 @@ pub(crate) fn execute_instances(
             }
             OpKind::Store => {
                 let r = op.mem_ref();
-                let base = r.stride * j as i64 + r.offset;
+                let base = r.stride * j as i64 + r.offset + pr.offset(r.array.0, j);
                 if vector {
                     for (lane, v) in operands[0].lanes(r.width as usize).into_iter().enumerate()
                     {
@@ -337,6 +341,7 @@ pub(crate) fn execute_instances(
             values.insert((oi, j), v);
         }
     }
+    pr.restore(mem, iterations);
 
     l.live_outs
         .iter()

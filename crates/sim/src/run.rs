@@ -2,9 +2,12 @@
 
 use crate::interp::{apply_binary, execute_loop, LiveOutValue};
 use crate::memory::{Memory, Scalar};
+use crate::sched_exec::{execute_schedule, ExecError, ExecReport};
 use std::collections::BTreeMap;
-use sv_core::CompiledLoop;
+use sv_core::{compile_checked, CompilationReport, CompileError, CompiledLoop, DriverConfig};
 use sv_ir::{Loop, OpKind, ScalarType};
+use sv_machine::MachineConfig;
+use sv_modsched::{emit_flat_for, Schedule};
 
 /// Final state after functionally executing one invocation of a loop (or
 /// of a compiled plan).
@@ -128,6 +131,173 @@ pub(crate) fn run_compiled_with(c: &CompiledLoop, exec: ExecLoopFn) -> RunResult
         }
     }
     RunResult { memory: global, live_outs }
+}
+
+/// One piece (segment main loop or cleanup) of a compiled plan as run by
+/// the cycle-accurate executor, with its measured cycle accounting.
+#[derive(Debug, Clone)]
+pub struct ExecutedPiece {
+    /// The piece's loop name.
+    pub piece: String,
+    /// The II its modulo schedule claims.
+    pub scheduled_ii: u32,
+    /// The schedule's stage count.
+    pub stage_count: u32,
+    /// Iterations the piece ran.
+    pub iterations: u64,
+    /// The executor's cycle accounting.
+    pub report: ExecReport,
+}
+
+/// Execute one invocation of a compiled plan through the cycle-accurate
+/// VLIW executor ([`crate::execute_schedule`]): every piece runs its
+/// emitted flat layout on machine `m` — truncated layouts for pieces
+/// whose trip never fills the pipeline — with the source-level arrays
+/// threaded through exactly as [`run_compiled`] threads them. Returns
+/// the functional result plus per-piece cycle accounting.
+///
+/// # Errors
+///
+/// Returns the first [`ExecError`] (dependence-order or latency
+/// violation in a layout) encountered.
+pub fn run_compiled_executed(
+    c: &CompiledLoop,
+    m: &MachineConfig,
+) -> Result<(RunResult, Vec<ExecutedPiece>), ExecError> {
+    let pieces_min = c
+        .segments
+        .iter()
+        .flat_map(|s| {
+            std::iter::once(s.looop.arrays.len())
+                .chain(s.cleanup.iter().map(|(cl, _)| cl.arrays.len()))
+        })
+        .min()
+        .unwrap_or(c.source.arrays.len());
+    let base_len = pieces_min.max(c.source.arrays.len());
+    let base_decls: Vec<sv_ir::ArrayDecl> = c
+        .segments
+        .iter()
+        .flat_map(|s| std::iter::once(&s.looop).chain(s.cleanup.iter().map(|(cl, _)| cl)))
+        .find(|l| l.arrays.len() >= base_len)
+        .map(|l| l.arrays[..base_len].to_vec())
+        .unwrap_or_else(|| c.source.arrays.clone());
+    let mut global = Memory::for_arrays(&base_decls);
+    let mut live_outs = BTreeMap::new();
+    let mut pieces: Vec<ExecutedPiece> = Vec::new();
+
+    let mut run_piece = |global: &mut Memory,
+                         l: &Loop,
+                         s: &Schedule,
+                         iters: std::ops::Range<u64>,
+                         acc: &mut BTreeMap<String, Scalar>|
+     -> Result<(), ExecError> {
+        debug_assert!(l.arrays.len() >= base_len);
+        let mut mem = Memory::for_arrays(&l.arrays);
+        for i in 0..base_len as u32 {
+            mem.copy_array_from(global, i);
+        }
+        let ran = iters.end > iters.start;
+        let n = iters.end - iters.start;
+        let flat = emit_flat_for(l, s, n);
+        let (outs, report) = execute_schedule(l, m, &flat, &mut mem, iters)?;
+        for i in 0..base_len as u32 {
+            global.copy_array_from(&mem, i);
+        }
+        combine_liveouts(acc, outs, ran);
+        pieces.push(ExecutedPiece {
+            piece: l.name.clone(),
+            scheduled_ii: s.ii,
+            stage_count: s.stage_count,
+            iterations: n,
+            report,
+        });
+        Ok(())
+    };
+
+    for seg in &c.segments {
+        let n = seg.looop.executed_iterations();
+        run_piece(&mut global, &seg.looop, &seg.schedule, 0..n, &mut live_outs)?;
+        let r = seg.looop.remainder_iterations();
+        if r > 0 {
+            let (cl, cs) = seg
+                .cleanup
+                .as_ref()
+                .expect("remainder iterations require a cleanup loop");
+            let start = n * u64::from(seg.looop.iter_scale);
+            run_piece(&mut global, cl, cs, start..start + r, &mut live_outs)?;
+        }
+    }
+    Ok((RunResult { memory: global, live_outs }, pieces))
+}
+
+/// Run a compiled plan through the cycle-accurate executor and hold it to
+/// both gates at once:
+///
+/// 1. **state** — executed memory and live-outs bit-identical
+///    ([`Scalar::identical`]) to the reference engine's
+///    [`crate::reference::run_compiled`];
+/// 2. **timing** — zero interlock stalls and measured steady-state
+///    cycles/iteration exactly the scheduled II, for every piece whose
+///    kernel runs ([`ExecReport::steady_state_ok`]).
+///
+/// Returns the per-piece accounting on success.
+///
+/// # Errors
+///
+/// Returns a description of the first violated gate.
+pub fn executed_selfcheck(
+    c: &CompiledLoop,
+    m: &MachineConfig,
+) -> Result<Vec<ExecutedPiece>, String> {
+    let (executed, pieces) =
+        run_compiled_executed(c, m).map_err(|e| format!("executed: {e}"))?;
+    check_identical_runs("executed vs reference", &executed, &crate::reference::run_compiled(c))?;
+    for p in &pieces {
+        if !p.report.steady_state_ok(p.scheduled_ii) {
+            return Err(format!(
+                "{}: measured steady state {} != scheduled II {} \
+                 (kernel {} cycles / {} executions, {} stall cycles over {} total)",
+                p.piece,
+                p.report
+                    .measured_ii()
+                    .map_or_else(|| "-".into(), |ii| format!("{ii:.2}")),
+                p.scheduled_ii,
+                p.report.kernel_cycles,
+                p.report.kernel_executions,
+                p.report.stall_cycles,
+                p.report.total_cycles,
+            ));
+        }
+    }
+    Ok(pieces)
+}
+
+/// [`sv_core::compile_checked`] with executed verification: after the
+/// driver compiles (and possibly degrades), the plan is run through the
+/// cycle-accurate executor and held to the [`executed_selfcheck`] gates.
+/// A violation surfaces as [`CompileError::Execution`] with full detail —
+/// the `--executed` mode of the `svc` driver and the fuzzer's
+/// `--executed-selfcheck` both route through here.
+///
+/// # Errors
+///
+/// Returns the driver's own [`CompileError`] when compilation fails, or
+/// [`CompileError::Execution`] when the compiled plan fails an executed
+/// gate.
+pub fn compile_executed(
+    l: &Loop,
+    m: &MachineConfig,
+    cfg: &DriverConfig,
+) -> Result<(CompiledLoop, CompilationReport, Vec<ExecutedPiece>), CompileError> {
+    let (c, rep) = compile_checked(l, m, cfg)?;
+    match executed_selfcheck(&c, m) {
+        Ok(pieces) => Ok((c, rep, pieces)),
+        Err(detail) => Err(CompileError::Execution {
+            strategy: c.strategy,
+            looop: l.name.clone(),
+            detail,
+        }),
+    }
 }
 
 /// True when carried *register* state would have to flow from a pipelined

@@ -1,0 +1,217 @@
+//! Differential tests for the slot-accurate schedule executor.
+//!
+//! Every compiled plan must satisfy two gates when replayed through
+//! [`sv_sim::execute_schedule`]:
+//!
+//! 1. **state** — final memory and live-outs bit-identical
+//!    ([`sv_sim::Scalar::identical`]) to the retained reference engine
+//!    running the same plan;
+//! 2. **timing** — zero interlock stalls, and measured steady-state
+//!    cycles/iteration exactly the scheduled II for every piece whose
+//!    kernel runs.
+//!
+//! Two hundred seeded random loops sweep the generator's distribution
+//! profiles across all six strategies and three registry machines; the
+//! benchmark suites pin the hand-written kernels; a separate property
+//! test holds `play_schedule` to its documented "analytic count within
+//! one II of exact" claim over the whole machine registry.
+
+use std::path::Path;
+use sv_core::{DriverConfig, Strategy};
+use sv_machine::{MachineConfig, MachineRegistry};
+use sv_sim::{compile_executed, executed_selfcheck, play_schedule};
+use sv_workloads::{synth_loop, SynthProfile};
+
+/// The builtin pair plus one spec-file machine: scheduling behaviour
+/// differs across all three (issue width, vector lanes, communication
+/// cost), so the sweep exercises genuinely different schedules.
+fn registry_machines() -> Vec<(String, MachineConfig)> {
+    let mut reg = MachineRegistry::builtin();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines");
+    reg.load_dir(&dir).expect("examples/machines must parse");
+    let mut out = Vec::new();
+    for name in ["paper", "figure1", "vl4"] {
+        let m = reg.get(name).unwrap_or_else(|| panic!("machine {name} missing"));
+        out.push((name.to_string(), m.clone()));
+    }
+    out
+}
+
+/// The generator profiles the sweep cycles through — the same shapes the
+/// differential fuzzer stresses (broad mix, reductions, recurrence
+/// chains, tiny trips).
+fn profile_for(seed: u64) -> SynthProfile {
+    let broad = SynthProfile::broad();
+    match seed % 4 {
+        0 => broad,
+        1 => SynthProfile { reduction_prob: 0.85, reassoc: true, ..broad },
+        2 => SynthProfile {
+            recurrence_prob: 0.6,
+            carried_prob: 0.35,
+            nonunit_prob: 0.3,
+            ..broad
+        },
+        _ => SynthProfile { loads: (1, 2), arith: (1, 3), trip: (1, 9), ..broad },
+    }
+}
+
+/// Compile under every strategy and hold the executed plan to both
+/// gates. Returns how many strategies produced a plan (compilation
+/// failures are legitimate for pathological loops; executed failures
+/// never are).
+fn check_executed(l: &sv_ir::Loop, mname: &str, m: &MachineConfig) -> u32 {
+    let mut compiled = 0;
+    for s in Strategy::ALL {
+        let cfg = DriverConfig { strategy: s, ..DriverConfig::default() };
+        match compile_executed(l, m, &cfg) {
+            Ok((_, _, pieces)) => {
+                compiled += 1;
+                assert!(!pieces.is_empty(), "{}/{s}/{mname}: no pieces ran", l.name);
+            }
+            Err(sv_core::CompileError::Execution { detail, .. }) => {
+                panic!("{}/{s}/{mname}: executed gate failed: {detail}", l.name)
+            }
+            Err(_) => {}
+        }
+    }
+    compiled
+}
+
+#[test]
+fn two_hundred_random_loops_execute_at_scheduled_ii() {
+    let machines = registry_machines();
+    let mut compiled = 0u32;
+    for seed in 0..200u64 {
+        let mut l = synth_loop(&format!("sx{seed}"), &profile_for(seed), seed);
+        l.invocations = 1;
+        let (name, m) = &machines[(seed % 3) as usize];
+        compiled += check_executed(&l, name, m);
+    }
+    // The sweep must actually exercise the executor across strategies,
+    // not just trip on compile failures.
+    assert!(compiled >= 900, "only {compiled}/1200 cases compiled");
+}
+
+#[test]
+fn short_trip_loops_execute_truncated_layouts() {
+    // Trips below the stage count take the truncated prologue-only
+    // layout; the executor must still match the reference engine and
+    // report a vacuously-satisfied timing gate (kernel never runs).
+    let machines = registry_machines();
+    for seed in 0..40u64 {
+        let mut l = synth_loop(&format!("st{seed}"), &profile_for(seed), seed);
+        l.invocations = 1;
+        l.trip.count = seed % 4; // 0..=3 iterations: below most stage counts
+        let (name, m) = &machines[(seed % 3) as usize];
+        check_executed(&l, name, m);
+    }
+}
+
+#[test]
+fn suite_kernels_execute_at_scheduled_ii() {
+    // The hand-written benchmark kernels (plus a slice of each suite's
+    // synthetic fill) through the full gate on the paper machine.
+    let m = MachineConfig::paper_default();
+    for suite in sv_workloads::all_benchmarks() {
+        for l in suite.loops.iter().take(8) {
+            let mut l = l.clone();
+            l.invocations = 1;
+            check_executed(&l, "paper", &m);
+        }
+    }
+}
+
+#[test]
+fn analytic_cycles_within_one_ii_over_registry() {
+    // `PlaybackReport::analytic_cycles` documents `(n + SC − 1)·II` as
+    // "always within one II of the exact count". Hold that claim over
+    // every registry machine × a spread of suite loops and trips.
+    let machines = registry_machines();
+    let suites = sv_workloads::all_benchmarks();
+    let mut checked = 0u32;
+    for (mname, m) in &machines {
+        for suite in &suites {
+            for l in suite.loops.iter().take(4) {
+                let g = sv_analysis::DepGraph::build(l);
+                let Ok(s) = sv_modsched::modulo_schedule(l, &g, m) else { continue };
+                for n in [1u64, 2, u64::from(s.stage_count), l.trip.count.max(1)] {
+                    let r = play_schedule(l, m, &s, n)
+                        .unwrap_or_else(|e| panic!("{}/{mname}: {e}", l.name));
+                    assert!(
+                        r.analytic_cycles >= r.total_cycles,
+                        "{}/{mname} n={n}: analytic {} < exact {}",
+                        l.name,
+                        r.analytic_cycles,
+                        r.total_cycles
+                    );
+                    assert!(
+                        r.analytic_cycles - r.total_cycles < u64::from(s.ii),
+                        "{}/{mname} n={n}: analytic {} drifts a full II from exact {} (II {})",
+                        l.name,
+                        r.analytic_cycles,
+                        r.total_cycles,
+                        s.ii
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 200, "only {checked} (machine, loop, trip) points checked");
+}
+
+#[test]
+fn private_comm_slots_survive_overlapped_iterations() {
+    // Regression for the first real bugs this executor caught. Selective
+    // vectorization communicates scalar↔vector values through
+    // `iteration_private` comm arrays with invariant addressing
+    // (`@a[0·i+k]`); the dependence graph carries no cross-iteration
+    // edges on them, so on the wider-vector machines the scheduler
+    // overlaps iteration `j+1`'s comm store past iteration `j`'s comm
+    // load (su2cor.gaugemul on `vl4`: store at t=19, load at t=35 with
+    // II 13). Before the executors renamed private arrays per in-flight
+    // iteration (`sim/src/privrot.rs`), the overlapped replay silently
+    // corrupted the slot and the executed state diverged from the
+    // reference engine.
+    let mut reg = MachineRegistry::builtin();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines");
+    reg.load_dir(&dir).expect("examples/machines must parse");
+    for (mname, suite, kernel) in
+        [("vl4", "su2cor", "gaugemul"), ("mem4", "mgrid", "psinv")]
+    {
+        let m = reg.get(mname).unwrap_or_else(|| panic!("machine {mname} missing"));
+        let suite = sv_workloads::benchmark(suite).expect("suite exists");
+        let mut l = suite
+            .loops
+            .iter()
+            .find(|l| l.name.ends_with(kernel))
+            .unwrap_or_else(|| panic!("{kernel} missing from suite"))
+            .clone();
+        l.invocations = 1;
+        let cfg = DriverConfig { strategy: Strategy::Selective, ..DriverConfig::default() };
+        let (_, _, pieces) = compile_executed(&l, m, &cfg)
+            .unwrap_or_else(|e| panic!("{kernel}/{mname}: {e}"));
+        // The overlapped pieces must also hold the timing gate.
+        for p in &pieces {
+            assert_eq!(p.report.stall_cycles, 0, "{}/{mname}", p.piece);
+        }
+    }
+}
+
+#[test]
+fn executed_selfcheck_reports_both_gates() {
+    // The combined gate used by `--executed-selfcheck`: state and timing
+    // in one call, on a kernel with a cleanup piece (non-multiple trip).
+    let m = MachineConfig::paper_default();
+    let mut l = synth_loop("gate", &SynthProfile::broad(), 7);
+    l.invocations = 1;
+    l.trip.count = 37;
+    for s in Strategy::ALL {
+        let Ok(c) = sv_core::compile(&l, &m, s) else { continue };
+        let pieces = executed_selfcheck(&c, &m)
+            .unwrap_or_else(|e| panic!("{s}: {e}"));
+        for p in &pieces {
+            assert_eq!(p.report.stall_cycles, 0, "{s}/{}", p.piece);
+        }
+    }
+}

@@ -102,7 +102,7 @@ fn playback_peak_inflight_grows_with_stage_count() {
     let m = MachineConfig::paper_default();
     let g = sv_analysis::DepGraph::build(&l);
     let s = sv_modsched::modulo_schedule(&l, &g, &m).unwrap();
-    let r = play_schedule(&l, &m, &s, 500);
+    let r = play_schedule(&l, &m, &s, 500).unwrap();
     assert!(r.peak_inflight >= 1);
     assert!(r.peak_inflight <= s.stage_count);
     assert_eq!(r.total_cycles, 499 * u64::from(s.ii) + u64::from(s.length));

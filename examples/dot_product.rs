@@ -46,7 +46,7 @@ fn main() {
             let g = DepGraph::build(&seg.looop);
             validate_schedule(&seg.looop, &g, &machine, s).expect("valid schedule");
             let n = seg.looop.executed_iterations();
-            let report = play_schedule(&seg.looop, &machine, s, n);
+            let report = play_schedule(&seg.looop, &machine, s, n).expect("playable schedule");
             println!(
                 "  {n} iterations: {} cycles exact, {} analytic, {} in flight at peak",
                 report.total_cycles, report.analytic_cycles, report.peak_inflight
