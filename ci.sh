@@ -22,7 +22,7 @@ cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck 
 # compiled piece's flat layout cycle by cycle; final state must be
 # bit-identical to the reference engine and the measured steady-state
 # cycles/iteration must equal the scheduled II (zero interlock stalls).
-# Three layers: the equivalence suite (200 seeded loops x 6 strategies x
+# Three layers: the equivalence suite (200 seeded loops x 7 strategies x
 # 3 registry machines plus the benchmark kernels and the found-bug
 # regressions), a 100-seed fuzz pass, and the full-registry sweep whose
 # bytes are pinned by the table_executed.txt golden (any VIOLATION line
@@ -31,6 +31,19 @@ cargo test --release -p sv-sim --test sched_exec_equiv
 cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --executed-selfcheck --fail-fast --jobs "$JOBS"
 cargo test --release -p sv-bench --test golden table_executed_matches_golden
 echo "ci: executed schedules bit-identical at scheduled II (equiv suite + fuzz + registry sweep)"
+
+# Optimality gate: the branch-and-bound oracle must prove a minimum II
+# for every suite loop on the paper and vl4 machines within the default
+# budget (zero `exhausted`), every proved schedule must sustain its II on
+# the cycle-accurate executor, and the committed gap table — the loops
+# where the exact search beats the KL heuristic — must not drift (the
+# table_optimality.txt golden pins it byte for byte). A 100-seed fuzz
+# block cross-checks oracle vs heuristic vs driver vs executed II on
+# synthetic loops.
+cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --optimal-selfcheck --fail-fast --jobs "$JOBS"
+cargo test --release -p sv-bench --test golden table_optimality_matches_golden
+cargo test --release -p sv-analysis --test optimal
+echo "ci: oracle proved every suite loop on paper+vl4; gap table unchanged"
 
 # Simulator performance gate: a fresh simbench run must stay within 25%
 # of the committed BENCH_sim.json baseline (per-engine suite medians).

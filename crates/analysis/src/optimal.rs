@@ -1,0 +1,283 @@
+//! Generic branch-and-bound core for the optimal-II oracle.
+//!
+//! The search itself is machine- and IR-agnostic: it minimizes an integer
+//! objective over a binary decision tree, pruning subtrees whose lower
+//! bound cannot beat the incumbent and charging every expansion against a
+//! deterministic node budget. The problem instance — how partitions map to
+//! initiation intervals, what bounds hold, how leaves are certified — lives
+//! in `sv-core::optimal`, which implements [`BnbProblem`] on top of the
+//! transformer, the MII bounds and the exact schedule probe in
+//! `sv-modsched::exact`. Splitting it this way keeps the certified search
+//! algorithm free of dependency cycles (this crate sees only `sv-ir`) and
+//! lets tests drive the engine with synthetic problems.
+//!
+//! An outcome is only [`OptimalOutcome::Proved`] when the tree closed
+//! within budget *and* every leaf evaluation was decisive; a single
+//! undecided leaf (its own probe budget died) degrades the result to
+//! [`OptimalOutcome::BudgetExhausted`] carrying the best value actually
+//! witnessed.
+
+/// Final verdict of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimalOutcome {
+    /// The search closed: this is the exact minimum, with a witness held
+    /// by the problem instance.
+    Proved(u32),
+    /// The node budget ran out (or a leaf probe was undecided) before the
+    /// tree closed; the true optimum may be smaller than `best_found`.
+    BudgetExhausted {
+        /// Best witnessed value when the search stopped.
+        best_found: u32,
+    },
+}
+
+impl OptimalOutcome {
+    /// The best witnessed value either way.
+    pub fn best(&self) -> u32 {
+        match *self {
+            OptimalOutcome::Proved(v) => v,
+            OptimalOutcome::BudgetExhausted { best_found } => best_found,
+        }
+    }
+
+    /// Whether the value is a proven optimum.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, OptimalOutcome::Proved(_))
+    }
+}
+
+/// Deterministic search effort counters, reported alongside the outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Tree nodes expanded (bound computed).
+    pub nodes: u64,
+    /// Nodes pruned by the lower bound.
+    pub pruned: u64,
+    /// Leaves evaluated exactly.
+    pub leaves: u64,
+    /// Leaf evaluations that improved the incumbent.
+    pub improved: u64,
+}
+
+/// What a leaf evaluation concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafEval {
+    /// The leaf's exact value — strictly below the incumbent passed in —
+    /// with a witness recorded by the problem instance.
+    Improved(u32),
+    /// The leaf cannot beat the incumbent (proof, not a guess).
+    NoImprovement,
+    /// The leaf's probe budget died; nothing was decided.
+    Undecided,
+}
+
+/// A minimization problem the engine can search.
+pub trait BnbProblem {
+    /// A partial assignment (search-tree node).
+    type Node: Clone;
+
+    /// A sound lower bound on every completion of `node`. Expansions where
+    /// this reaches the incumbent are pruned.
+    fn lower_bound(&mut self, node: &Self::Node) -> u32;
+
+    /// Split `node` into children (first child explored first), or `None`
+    /// when the node is complete (a leaf). The engine imposes no arity
+    /// limit but the canonical problem branches binary.
+    fn branch(&mut self, node: &Self::Node) -> Option<Vec<Self::Node>>;
+
+    /// Exactly evaluate a complete assignment against the incumbent.
+    /// `Improved(v)` must come with `v < incumbent` and a recorded witness.
+    fn evaluate_leaf(&mut self, node: &Self::Node, incumbent: u32) -> LeafEval;
+}
+
+/// Node budget for one search run: one unit per expanded tree node.
+/// Leaf probes meter their own (usually much larger) work against a
+/// problem-internal budget and report exhaustion via
+/// [`LeafEval::Undecided`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeBudget {
+    remaining: u64,
+}
+
+impl NodeBudget {
+    /// Allow `n` node expansions.
+    pub fn new(n: u64) -> NodeBudget {
+        NodeBudget { remaining: n }
+    }
+}
+
+/// Run branch and bound from `root`, starting from a witnessed upper bound
+/// `incumbent` (the heuristic's achieved value — the caller must hold a
+/// witness for it). Returns the outcome and effort statistics.
+///
+/// Depth-first, children in the order the problem returns them, fully
+/// deterministic for a deterministic problem instance.
+pub fn branch_and_bound<P: BnbProblem>(
+    problem: &mut P,
+    root: P::Node,
+    incumbent: u32,
+    budget: NodeBudget,
+) -> (OptimalOutcome, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut best = incumbent;
+    let mut remaining = budget.remaining;
+    let mut decisive = true;
+    let mut stack: Vec<P::Node> = vec![root];
+
+    while let Some(node) = stack.pop() {
+        if remaining == 0 {
+            return (OptimalOutcome::BudgetExhausted { best_found: best }, stats);
+        }
+        remaining -= 1;
+        stats.nodes += 1;
+
+        if problem.lower_bound(&node) >= best {
+            stats.pruned += 1;
+            continue;
+        }
+        match problem.branch(&node) {
+            Some(children) => {
+                // First child explored first: push in reverse.
+                for c in children.into_iter().rev() {
+                    stack.push(c);
+                }
+            }
+            None => {
+                stats.leaves += 1;
+                match problem.evaluate_leaf(&node, best) {
+                    LeafEval::Improved(v) => {
+                        debug_assert!(v < best, "leaf must strictly improve");
+                        best = v;
+                        stats.improved += 1;
+                    }
+                    LeafEval::NoImprovement => {}
+                    LeafEval::Undecided => decisive = false,
+                }
+            }
+        }
+    }
+
+    if decisive {
+        (OptimalOutcome::Proved(best), stats)
+    } else {
+        (OptimalOutcome::BudgetExhausted { best_found: best }, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy problem: choose bits to minimize a weighted sum, lower bound =
+    /// sum of decided weights (weights are non-negative).
+    struct Toy {
+        weights: Vec<u32>,
+        witness: Option<Vec<bool>>,
+    }
+
+    #[derive(Clone)]
+    struct Partial(Vec<Option<bool>>);
+
+    impl BnbProblem for Toy {
+        type Node = Partial;
+
+        fn lower_bound(&mut self, node: &Partial) -> u32 {
+            node.0
+                .iter()
+                .enumerate()
+                .map(|(i, b)| match b {
+                    Some(true) => self.weights[i],
+                    _ => 0,
+                })
+                .sum()
+        }
+
+        fn branch(&mut self, node: &Partial) -> Option<Vec<Partial>> {
+            let i = node.0.iter().position(|b| b.is_none())?;
+            let mut on = node.clone();
+            on.0[i] = Some(true);
+            let mut off = node.clone();
+            off.0[i] = Some(false);
+            Some(vec![off, on])
+        }
+
+        fn evaluate_leaf(&mut self, node: &Partial, incumbent: u32) -> LeafEval {
+            // Constraint: at least one bit must be set.
+            if !node.0.contains(&Some(true)) {
+                return LeafEval::NoImprovement;
+            }
+            let v = self.lower_bound(node);
+            if v < incumbent {
+                self.witness = Some(node.0.iter().map(|b| b.unwrap()).collect());
+                LeafEval::Improved(v)
+            } else {
+                LeafEval::NoImprovement
+            }
+        }
+    }
+
+    #[test]
+    fn finds_the_minimum_and_proves_it() {
+        let mut p = Toy { weights: vec![5, 2, 9], witness: None };
+        let root = Partial(vec![None; 3]);
+        let (out, stats) = branch_and_bound(&mut p, root, 100, NodeBudget::new(1_000));
+        assert_eq!(out, OptimalOutcome::Proved(2));
+        assert_eq!(p.witness, Some(vec![false, true, false]));
+        assert!(stats.leaves >= 1);
+        assert!(stats.improved >= 1);
+    }
+
+    #[test]
+    fn keeps_incumbent_when_nothing_beats_it() {
+        let mut p = Toy { weights: vec![5, 2, 9], witness: None };
+        let root = Partial(vec![None; 3]);
+        let (out, _) = branch_and_bound(&mut p, root, 2, NodeBudget::new(1_000));
+        // Best leaf equals the incumbent: proved, not improved.
+        assert_eq!(out, OptimalOutcome::Proved(2));
+        assert_eq!(p.witness, None);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_exhausted() {
+        let mut p = Toy { weights: vec![1; 12], witness: None };
+        let root = Partial(vec![None; 12]);
+        let (out, _) = branch_and_bound(&mut p, root, 100, NodeBudget::new(3));
+        assert!(matches!(out, OptimalOutcome::BudgetExhausted { best_found: 100 }));
+    }
+
+    #[test]
+    fn undecided_leaf_poisons_the_proof() {
+        struct Undecider;
+        impl BnbProblem for Undecider {
+            type Node = u8;
+            fn lower_bound(&mut self, _: &u8) -> u32 {
+                0
+            }
+            fn branch(&mut self, n: &u8) -> Option<Vec<u8>> {
+                (*n < 1).then(|| vec![1, 2])
+            }
+            fn evaluate_leaf(&mut self, n: &u8, _: u32) -> LeafEval {
+                if *n == 1 {
+                    LeafEval::Undecided
+                } else {
+                    LeafEval::NoImprovement
+                }
+            }
+        }
+        let (out, _) =
+            branch_and_bound(&mut Undecider, 0, 7, NodeBudget::new(100));
+        assert_eq!(out, OptimalOutcome::BudgetExhausted { best_found: 7 });
+    }
+
+    #[test]
+    fn pruning_respects_the_bound() {
+        // Incumbent 1: everything with a decided weight >= 1 is pruned, so
+        // only the all-false path reaches a leaf (and fails the
+        // at-least-one constraint). Proved at the incumbent.
+        let mut p = Toy { weights: vec![3, 4], witness: None };
+        let root = Partial(vec![None; 2]);
+        let (out, stats) = branch_and_bound(&mut p, root, 1, NodeBudget::new(1_000));
+        assert_eq!(out, OptimalOutcome::Proved(1));
+        assert!(stats.pruned >= 1);
+    }
+}

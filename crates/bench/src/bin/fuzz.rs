@@ -14,6 +14,7 @@
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..500 --jobs 8
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck
 //! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --executed-selfcheck
+//! cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --optimal-selfcheck
 //! ```
 //!
 //! `--oracle-selfcheck` additionally executes every compiled case on both
@@ -26,6 +27,13 @@
 //! fails when the executed state diverges from the reference engine or
 //! when any piece's measured steady-state cycles/iteration misses its
 //! scheduled II — the schedule itself is what gets fuzzed.
+//!
+//! `--optimal-selfcheck` cross-checks the optimal-II oracle on every
+//! selective case: the exact search ([`sv_core::optimal_search`]) must
+//! close its proof within the default budget, never prove an II above
+//! the heuristic's, agree with what the `optimal`-strategy driver
+//! delivers, and the delivered plan must sustain the proved II on the
+//! cycle-accurate executor. Divergences shrink like any other failure.
 //!
 //! Everything is pure function of the seed range: a reported seed
 //! reproduces exactly, on any machine. `--jobs N` shards the seeds over N
@@ -115,6 +123,8 @@ struct Checks {
     oracle: bool,
     /// Cycle-accurate executor: state vs reference + measured II gate.
     executed: bool,
+    /// Optimal-II oracle vs heuristic vs driver vs executed II.
+    optimal: bool,
 }
 
 /// Compile + differentially execute one (loop, machine, strategy) case.
@@ -146,9 +156,80 @@ fn run_case(l: &Loop, m: &MachineConfig, strategy: Strategy, checks: Checks) -> 
                     return Some(format!("{prefix}executed self-check failure: {e}"));
                 }
             }
+            if checks.optimal && strategy == Strategy::Selective && report.clean() {
+                if let Err(e) = optimal_selfcheck(l, m, &compiled) {
+                    return Some(format!("{prefix}optimal self-check failure: {e}"));
+                }
+            }
             None
         }
     }
+}
+
+/// Cross-check the optimal-II oracle against the heuristic result it was
+/// seeded with: the proof must close, never land above the heuristic,
+/// agree with the `optimal`-strategy driver's delivery, and the
+/// delivered plan must sustain the proved II on the cycle-accurate
+/// executor.
+fn optimal_selfcheck(
+    l: &Loop,
+    m: &MachineConfig,
+    selective: &sv_core::CompiledLoop,
+) -> Result<(), String> {
+    use sv_analysis::OptimalOutcome;
+    use sv_core::{optimal_search, OptimalConfig};
+    let seed =
+        selective.partition.as_ref().ok_or("selective delivery lost its partition")?;
+    let heur_ii = selective.segments[0].schedule.ii;
+    let report = optimal_search(l, m, &seed.partition, heur_ii, &OptimalConfig::default());
+    let proved = match report.outcome {
+        OptimalOutcome::BudgetExhausted { best_found } => {
+            return Err(format!(
+                "oracle budget exhausted on a fuzz-sized loop ({} nodes, {} probe \
+                 units, best witnessed II {best_found})",
+                report.stats.nodes, report.probe_spent
+            ));
+        }
+        OptimalOutcome::Proved(ii) => ii,
+    };
+    if proved > heur_ii {
+        return Err(format!("oracle proved II {proved} above the heuristic's {heur_ii}"));
+    }
+    if let Some(w) = &report.witness {
+        if w.schedule.ii != proved {
+            return Err(format!(
+                "witness schedule II {} disagrees with the proved minimum {proved}",
+                w.schedule.ii
+            ));
+        }
+    }
+    let (delivered, dreport) =
+        compile_checked(l, m, &DriverConfig::for_strategy(Strategy::Optimal))
+            .map_err(|e| format!("optimal strategy failed to compile: {e}"))?;
+    if !dreport.clean() {
+        return Err(format!(
+            "driver lost the proof the direct search closed: {:?}",
+            dreport.fallbacks
+        ));
+    }
+    let driver_ii = delivered.segments[0].schedule.ii;
+    if driver_ii != proved {
+        return Err(format!(
+            "driver delivered II {driver_ii}, direct search proved {proved}"
+        ));
+    }
+    let pieces = sv_sim::executed_selfcheck(&delivered, m)
+        .map_err(|e| format!("proved schedule failed the executed gate: {e}"))?;
+    let main = &pieces[0];
+    if main.report.kernel_executions > 0
+        && main.report.measured_ii() != Some(f64::from(proved))
+    {
+        return Err(format!(
+            "executed steady-state II {:?} misses the proved II {proved}",
+            main.report.measured_ii()
+        ));
+    }
+    Ok(())
 }
 
 /// Remove op `i` from the loop if nothing references it, renumbering every
@@ -286,6 +367,7 @@ fn parse_args() -> Result<Opts, String> {
             "--fail-fast" => opts.fail_fast = true,
             "--oracle-selfcheck" => opts.checks.oracle = true,
             "--executed-selfcheck" => opts.checks.executed = true,
+            "--optimal-selfcheck" => opts.checks.optimal = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a positive worker count")?;
                 opts.jobs = parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?;
@@ -328,7 +410,7 @@ fn main() -> ExitCode {
             eprintln!("fuzz: {e}");
             eprintln!(
                 "usage: fuzz [--seeds A..B] [--fail-fast] [--jobs N] [--oracle-selfcheck] \
-                 [--executed-selfcheck] [--machines DIR]"
+                 [--executed-selfcheck] [--optimal-selfcheck] [--machines DIR]"
             );
             return ExitCode::from(2);
         }
@@ -463,7 +545,7 @@ mod tests {
         let l = fuzz_loop("t", &SynthProfile::broad(), 11);
         let m = MachineConfig::paper_default();
         for strategy in Strategy::ALL {
-            let checks = Checks { oracle: true, executed: false };
+            let checks = Checks { oracle: true, ..Checks::default() };
             assert!(run_case(&l, &m, strategy, checks).is_none(), "{strategy}");
         }
     }
@@ -476,8 +558,19 @@ mod tests {
         let l = fuzz_loop("t", &SynthProfile::broad(), 13);
         let m = MachineConfig::paper_default();
         for strategy in Strategy::ALL {
-            let checks = Checks { oracle: false, executed: true };
+            let checks = Checks { executed: true, ..Checks::default() };
             assert!(run_case(&l, &m, strategy, checks).is_none(), "{strategy}");
         }
+    }
+
+    #[test]
+    fn optimal_selfcheck_passes_on_seeded_cases() {
+        // The oracle must close its proof at or below the heuristic's II,
+        // agree with the driver's delivery, and sustain the proved II in
+        // execution — the same predicate `--optimal-selfcheck` sweeps.
+        let l = fuzz_loop("t", &SynthProfile::broad(), 17);
+        let m = MachineConfig::paper_default();
+        let checks = Checks { optimal: true, ..Checks::default() };
+        assert!(run_case(&l, &m, Strategy::Selective, checks).is_none());
     }
 }

@@ -65,7 +65,8 @@ fn usage() -> ExitCode {
          \x20          [--emit] [--run] [--executed] [--stats]\n\
          \x20     svc --workload BENCH.LOOP [...same options]\n\
          \x20     svc --server HOST:PORT [--retries N] [...same selection options]\n\
-         strategies: modulo-no-unroll, modulo, traditional, full, selective, widened\n\
+         strategies: modulo-no-unroll, modulo, traditional, full, selective, widened,\n\
+         \x20 optimal\n\
          --machine resolves against the registry (builtins paper, figure1, plus\n\
          \x20 any --machines DIR given before it)\n\
          --stats prints per-pass timings/counters and one JSON line per compilation\n\
@@ -116,6 +117,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                     Some("full") => Strategy::Full,
                     Some("selective") => Strategy::Selective,
                     Some("widened") => Strategy::Widened,
+                    Some("optimal") => Strategy::Optimal,
                     _ => return Err(usage()),
                 })
             }

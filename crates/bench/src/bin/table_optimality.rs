@@ -1,0 +1,63 @@
+//! Optimality report (extension): certify the paper's Kernighan–Lin
+//! partitioning heuristic against the exact branch-and-bound oracle.
+//! Every suite loop on the selected registry machines is compiled both
+//! ways; the oracle either proves the heuristic's II minimal or delivers
+//! a strictly better proved-optimal schedule, and every proved schedule
+//! is replayed on the cycle-accurate executor to confirm the certificate
+//! holds in execution, not just on paper.
+//!
+//! ```text
+//! table_optimality [--jobs N] [--machines DIR] [NAME...]
+//! ```
+//!
+//! `NAME...` selects registry machines (default: `paper vl4`, the two
+//! configurations the CI optimality gate sweeps). The gap list at the
+//! bottom is the committed gap table; the output bytes are pinned by the
+//! `table_optimality.txt` golden snapshot.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sv_bench::{table_optimality_text, take_jobs_flag};
+use sv_machine::MachineRegistry;
+
+/// The sweep specs committed next to the workspace.
+fn default_machines_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines")
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = take_jobs_flag(&mut args);
+    let mut dir = default_machines_dir();
+    if let Some(i) = args.iter().position(|a| a == "--machines") {
+        if i + 1 >= args.len() {
+            eprintln!("table_optimality: --machines needs a value");
+            return ExitCode::from(2);
+        }
+        dir = PathBuf::from(&args[i + 1]);
+        args.drain(i..=i + 1);
+    }
+    let mut registry = MachineRegistry::builtin();
+    if let Err(e) = registry.load_dir(&dir) {
+        eprintln!("table_optimality: cannot load machines: {e}");
+        return ExitCode::FAILURE;
+    }
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["paper", "vl4"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for n in &names {
+        if registry.get(n).is_none() {
+            eprintln!("table_optimality: machine `{n}` not in the registry");
+            return ExitCode::from(2);
+        }
+    }
+    let text = table_optimality_text(&registry, &names, jobs);
+    print!("{text}");
+    if text.contains("VIOLATION:") {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

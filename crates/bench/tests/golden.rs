@@ -11,7 +11,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p sv-bench --test golden
 //! ```
 
-use sv_bench::{table2_text, table_arch_text, table_executed_text};
+use sv_bench::{table2_text, table_arch_text, table_executed_text, table_optimality_text};
 use sv_core::{compile_checked, DriverConfig};
 use sv_machine::{MachineConfig, MachineRegistry};
 use sv_workloads::figure1_dot_product;
@@ -77,6 +77,25 @@ fn table_executed_matches_golden() {
     let fresh = table_executed_text(&registry, sv_core::parallel::default_jobs());
     assert!(!fresh.contains("VIOLATION:"), "executed gate violated:\n{fresh}");
     check_golden("table_executed.txt", &fresh, include_str!("golden/table_executed.txt"));
+}
+
+#[test]
+fn table_optimality_matches_golden() {
+    // The oracle's certificate as a pinned artifact: every suite loop on
+    // the two CI-gate machines, heuristic vs proved-optimal II, with
+    // every proved schedule replayed on the cycle-accurate executor. The
+    // snapshot pins the committed gap table — a new gap, a lost proof
+    // (`exhausted` above zero) or an executed-certificate violation all
+    // surface as a reviewed diff, and the `VIOLATION:` check is the hard
+    // gate.
+    let mut registry = MachineRegistry::builtin();
+    let dir = format!("{}/../../examples/machines", env!("CARGO_MANIFEST_DIR"));
+    registry.load_dir(std::path::Path::new(&dir)).expect("sweep specs load");
+    let fresh =
+        table_optimality_text(&registry, &["paper", "vl4"], sv_core::parallel::default_jobs());
+    assert!(!fresh.contains("VIOLATION:"), "optimality gate violated:\n{fresh}");
+    assert!(fresh.contains(" 0 exhausted"), "oracle lost a proof:\n{fresh}");
+    check_golden("table_optimality.txt", &fresh, include_str!("golden/table_optimality.txt"));
 }
 
 #[test]

@@ -752,6 +752,30 @@ mod tests {
     }
 
     #[test]
+    fn key_separates_optimal_from_every_other_strategy() {
+        // `optimal` can deliver a different schedule than `selective` for
+        // the same loop, so its cache key must be distinct from every
+        // other strategy's (the canonical encoding carries
+        // `Strategy::canonical_name`).
+        let l = dot("dot");
+        let paper = MachineConfig::paper_default();
+        let opt = DriverConfig::for_strategy(Strategy::Optimal);
+        let opt_key = request_key(&l, &paper, &opt);
+        for s in Strategy::ALL {
+            if s == Strategy::Optimal {
+                continue;
+            }
+            let other = DriverConfig::for_strategy(s);
+            assert_ne!(
+                opt_key,
+                request_key(&l, &paper, &other),
+                "optimal key collides with {s}"
+            );
+        }
+        assert!(opt.canonical_encoding().contains("optimal"));
+    }
+
+    #[test]
     fn lru_evicts_by_entry_budget() {
         let cache = CompileCache::new(CacheConfig {
             mem_entries: 2,

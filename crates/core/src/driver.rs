@@ -22,8 +22,10 @@
 //! The historical [`crate::compile`] / [`crate::compile_with`] entry
 //! points are thin wrappers over this driver with default settings.
 
-use crate::partition::{partition_ops, SelectiveConfig};
+use crate::optimal::{optimal_search, OptimalConfig};
+use crate::partition::{partition_ops, PartitionResult, SelectiveConfig};
 use crate::pipeline::{CompiledLoop, Segment, Strategy};
+use sv_analysis::OptimalOutcome;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use sv_analysis::DepGraph;
@@ -49,6 +51,8 @@ pub enum Pass {
     Transform,
     /// The iterative modulo scheduler.
     Schedule,
+    /// The optimal-II oracle's branch-and-bound search.
+    Search,
     /// Pass-boundary verification/validation of a produced artifact.
     Boundary,
     /// Post-compilation executed verification (the cycle-accurate
@@ -63,6 +67,7 @@ impl fmt::Display for Pass {
             Pass::Partition => "partition",
             Pass::Transform => "transform",
             Pass::Schedule => "schedule",
+            Pass::Search => "search",
             Pass::Boundary => "boundary",
             Pass::Execute => "execute",
         };
@@ -362,6 +367,13 @@ pub struct PassStats {
     /// Element-wise maximum MaxLive over all produced schedules, per
     /// register class in `RegClass::ALL` order.
     pub max_live: [u32; 4],
+    /// Wall time in the optimal-II oracle's branch-and-bound search
+    /// (nanoseconds; zero for every strategy but `optimal`).
+    pub search_ns: u64,
+    /// Branch-and-bound nodes the oracle expanded.
+    pub search_nodes: u64,
+    /// Exact-scheduler probe budget the oracle spent.
+    pub search_probe: u64,
 }
 
 impl fmt::Display for PassStats {
@@ -376,6 +388,15 @@ impl fmt::Display for PassStats {
             self.kl_moves,
             self.bin_packs
         )?;
+        if self.search_ns > 0 || self.search_nodes > 0 {
+            writeln!(
+                f,
+                "search    {:>8.3} ms  ({} nodes, {} probe units)",
+                ms(self.search_ns),
+                self.search_nodes,
+                self.search_probe
+            )?;
+        }
         writeln!(f, "transform {:>8.3} ms", ms(self.transform_ns))?;
         writeln!(
             f,
@@ -455,7 +476,8 @@ impl CompilationReport {
              \"fallbacks\":[{}],\"boundary_checks\":{},\"partition_ns\":{},\"transform_ns\":{},\
              \"schedule_ns\":{},\"total_ns\":{},\"kl_passes\":{},\"kl_probes\":{},\
              \"kl_moves\":{},\"bin_packs\":{},\"schedules\":{},\"iis_tried\":[{}],\
-             \"max_live\":[{},{},{},{}]}}",
+             \"max_live\":[{},{},{},{}],\"search_ns\":{},\"search_nodes\":{},\
+             \"search_probe\":{}}}",
             json_escape(looop),
             json_escape(machine),
             self.requested,
@@ -476,6 +498,9 @@ impl CompilationReport {
             s.max_live[1],
             s.max_live[2],
             s.max_live[3],
+            s.search_ns,
+            s.search_nodes,
+            s.search_probe,
         )
     }
 }
@@ -484,6 +509,13 @@ impl CompilationReport {
 /// fall back to, in order.
 fn fallback_chain(s: Strategy) -> &'static [Strategy] {
     match s {
+        Strategy::Optimal => &[
+            Strategy::Optimal,
+            Strategy::Selective,
+            Strategy::Full,
+            Strategy::Traditional,
+            Strategy::ModuloOnly,
+        ],
         Strategy::Selective => &[
             Strategy::Selective,
             Strategy::Full,
@@ -582,6 +614,47 @@ impl Attempt<'_> {
         Ok(Segment { looop: main, schedule, registers, cleanup })
     }
 
+    /// Build a segment around a schedule the oracle already produced:
+    /// the witness schedule is validated at the boundary exactly like a
+    /// scheduler product, then registers are allocated and a cleanup
+    /// loop is attached as in [`Attempt::make_segment`].
+    fn make_segment_with_schedule(
+        &mut self,
+        main: Loop,
+        schedule: Schedule,
+        scalar_form: &Loop,
+    ) -> Result<Segment, CompileError> {
+        let t0 = std::time::Instant::now();
+        let g = DepGraph::build(&main);
+        if self.cfg.verify_boundaries {
+            self.boundary_checks += 1;
+            validate_schedule(&main, &g, self.m, &schedule).map_err(|error| {
+                CompileError::BoundaryValidate {
+                    strategy: self.strategy,
+                    looop: main.name.clone(),
+                    error,
+                    dump: main.to_string(),
+                }
+            })?;
+        }
+        let registers = allocate_rotating(&main, &g, self.m, &schedule).ok();
+        self.stats.schedule_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.schedules += 1;
+        self.stats.iis_tried.extend_from_slice(&schedule.iis_tried);
+        for (slot, &ml) in schedule.max_live.iter().enumerate() {
+            self.stats.max_live[slot] = self.stats.max_live[slot].max(ml);
+        }
+        let cleanup = if needs_cleanup(&main) {
+            let mut c = scalar_form.clone();
+            c.name = format!("{}.cleanup", scalar_form.name);
+            let cs = self.schedule_one(&c)?;
+            Some((c, cs))
+        } else {
+            None
+        };
+        Ok(Segment { looop: main, schedule, registers, cleanup })
+    }
+
     fn transform_err(&self, l: &Loop, error: TransformError) -> CompileError {
         CompileError::Transform {
             strategy: self.strategy,
@@ -643,6 +716,83 @@ impl Attempt<'_> {
                 self.verify_boundary(&t.looop, Pass::Transform)?;
                 partition = Some(r);
                 vec![self.make_segment(t.looop, l)?]
+            }
+            Strategy::Optimal => {
+                // First the full selective pipeline: its result seeds the
+                // oracle as the incumbent and remains the delivered code
+                // when the proof closes on the incumbent itself.
+                let t0 = std::time::Instant::now();
+                let g = DepGraph::build(l);
+                let r = partition_ops(l, &g, m, &self.cfg.selective);
+                self.stats.partition_ns += t0.elapsed().as_nanos() as u64;
+                self.stats.kl_passes = r.iterations;
+                self.stats.kl_probes = r.moves_evaluated;
+                self.stats.kl_moves = r.moves_committed;
+                self.stats.bin_packs = r.bin_packs;
+                if r.budget_exhausted {
+                    return Err(CompileError::BudgetExhausted {
+                        strategy: self.strategy,
+                        pass: Pass::Partition,
+                        looop: l.name.clone(),
+                        detail: format!(
+                            "KL move budget {:?} spent after {} probes in {} passes",
+                            self.cfg.selective.max_moves, r.moves_evaluated, r.iterations
+                        ),
+                    });
+                }
+                let t0 = std::time::Instant::now();
+                let tr = try_transform(l, m, &r.partition);
+                self.stats.transform_ns += t0.elapsed().as_nanos() as u64;
+                let t = tr.map_err(|e| self.transform_err(l, e))?;
+                self.verify_boundary(&t.looop, Pass::Transform)?;
+                let incumbent = self.make_segment(t.looop, l)?;
+                // Then the complete branch-and-bound, seeded with the
+                // heuristic's achieved II as the incumbent bound.
+                let t0 = std::time::Instant::now();
+                let report = optimal_search(
+                    l,
+                    m,
+                    &r.partition,
+                    incumbent.schedule.ii,
+                    &OptimalConfig::default(),
+                );
+                self.stats.search_ns += t0.elapsed().as_nanos() as u64;
+                self.stats.search_nodes = report.stats.nodes;
+                self.stats.search_probe = report.probe_spent;
+                match report.outcome {
+                    OptimalOutcome::BudgetExhausted { best_found } => {
+                        return Err(CompileError::BudgetExhausted {
+                            strategy: self.strategy,
+                            pass: Pass::Search,
+                            looop: l.name.clone(),
+                            detail: format!(
+                                "oracle budget spent ({} nodes, {} probe units) before \
+                                 the proof closed; best witnessed II {best_found}",
+                                report.stats.nodes, report.probe_spent
+                            ),
+                        });
+                    }
+                    OptimalOutcome::Proved(_) => match report.witness {
+                        // The oracle beat the incumbent: deliver its
+                        // witness partition and schedule.
+                        Some(w) => {
+                            self.verify_boundary(&w.looop, Pass::Transform)?;
+                            let seg =
+                                self.make_segment_with_schedule(w.looop, w.schedule, l)?;
+                            partition = Some(PartitionResult {
+                                partition: w.partition,
+                                cost: seg.schedule.resmii,
+                                ..r
+                            });
+                            vec![seg]
+                        }
+                        // The incumbent is proved optimal already.
+                        None => {
+                            partition = Some(r);
+                            vec![incumbent]
+                        }
+                    },
+                }
             }
             Strategy::Widened => {
                 let t0 = std::time::Instant::now();
@@ -863,6 +1013,41 @@ mod tests {
     fn json_escape_controls_and_quotes() {
         let j = json_escape("a\"b\\c\nd\u{1}");
         assert_eq!(j, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn optimal_strategy_delivers_certified_minimum() {
+        let l = figure1_dot();
+        let m = MachineConfig::figure1();
+        let cfg = DriverConfig::for_strategy(Strategy::Optimal);
+        let (c, report) = compile_checked(&l, &m, &cfg).unwrap();
+        // The oracle must close the proof on Figure 1's dot product and
+        // deliver the paper's II of 2 for 2 original iterations.
+        assert!(report.clean(), "fallbacks: {:?}", report.fallbacks);
+        assert_eq!(report.delivered, Strategy::Optimal);
+        assert_eq!(c.ii_per_original_iteration(), 1.0);
+        assert!(c.partition.is_some(), "optimal records its partition");
+        // The search pass ran and was accounted.
+        assert!(report.stats.search_nodes > 0 || report.stats.search_probe > 0);
+        let j = report.stats_json_line("fig1.dot", "figure1");
+        assert!(j.contains("\"requested\":\"optimal\""), "{j}");
+        assert!(j.contains("\"search_nodes\":"), "{j}");
+    }
+
+    #[test]
+    fn optimal_matches_selective_or_better_on_figure1_machines() {
+        let l = figure1_dot();
+        for m in [MachineConfig::figure1(), MachineConfig::paper_default()] {
+            let sel = crate::pipeline::compile(&l, &m, Strategy::Selective).unwrap();
+            let opt = crate::pipeline::compile(&l, &m, Strategy::Optimal).unwrap();
+            assert!(
+                opt.ii_per_original_iteration() <= sel.ii_per_original_iteration(),
+                "machine {}: optimal {} > selective {}",
+                m.name,
+                opt.ii_per_original_iteration(),
+                sel.ii_per_original_iteration()
+            );
+        }
     }
 
     #[test]

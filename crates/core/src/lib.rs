@@ -30,6 +30,7 @@
 
 pub mod cache;
 mod driver;
+pub mod optimal;
 pub mod parallel;
 mod partition;
 mod pipeline;
@@ -42,6 +43,7 @@ pub use driver::{
     compile_checked, CompilationReport, CompileError, DriverConfig, Fallback, Pass,
     PassStats,
 };
+pub use optimal::{optimal_search, OptimalConfig, OptimalReport, OptimalWitness};
 pub use partition::{
     partition_ops, partition_ops_with_legality, PartitionResult, SelectiveConfig,
 };

@@ -230,8 +230,9 @@ fn merge_into(into: &mut sv_modsched::Placement, from: sv_modsched::Placement) {
 
 /// Whether the vector form of a memory operation would need realignment
 /// merges under the machine's active alignment policy — the single
-/// definition shared by the cost model and the legality screen.
-fn op_misaligned(l: &Loop, m: &MachineConfig, op: &sv_ir::Operation) -> bool {
+/// definition shared by the cost model, the legality screen and the
+/// optimal-II oracle's lower bounds.
+pub(crate) fn op_misaligned(l: &Loop, m: &MachineConfig, op: &sv_ir::Operation) -> bool {
     let Some(r) = &op.mem else { return false };
     match m.alignment {
         AlignmentPolicy::AssumeAligned => false,
@@ -338,22 +339,22 @@ pub fn partition_ops(
     partition_ops_with_legality(l, g, m, cfg, &statuses)
 }
 
-/// [`partition_ops`] with a precomputed legality vector.
-pub fn partition_ops_with_legality(
+/// Which operations may be assigned to the vector partition: legally
+/// vectorizable AND executable by this machine's vector resources.
+///
+/// An op is movable when the machine can actually execute its vector form
+/// (and the realignment merge it would need): a machine without vector or
+/// merge units pins everything scalar instead of panicking in the bin
+/// packer. Merge capacity is only demanded when the op can actually be
+/// misaligned under the active alignment policy — a merge-less machine
+/// with `AssumeAligned` (or statically aligned refs) still vectorizes its
+/// memory operations. Shared by the KL partitioner and the optimal-II
+/// oracle so both search the same assignment space.
+pub(crate) fn movable_ops(
     l: &Loop,
-    g: &DepGraph,
     m: &MachineConfig,
-    cfg: &SelectiveConfig,
     statuses: &[VecStatus],
-) -> PartitionResult {
-    // An op is movable when it is legally vectorizable AND the machine can
-    // actually execute its vector form (and the realignment merge it would
-    // need): a machine without vector or merge units pins everything
-    // scalar instead of panicking in the bin packer. Merge capacity is
-    // only demanded when the op can actually be misaligned under the
-    // active alignment policy — a merge-less machine with
-    // `AssumeAligned` (or statically aligned refs) still vectorizes its
-    // memory operations.
+) -> Vec<bool> {
     let pool = m.resource_pool();
     let machine_supports = |i: usize| -> bool {
         let op = &l.ops[i];
@@ -364,11 +365,22 @@ pub fn partition_ops_with_legality(
         }
         reqs.iter().all(|r| pool.capacity(r.class) > 0)
     };
-    let movable: Vec<bool> = statuses
+    statuses
         .iter()
         .enumerate()
         .map(|(i, s)| s.is_vectorizable() && machine_supports(i))
-        .collect();
+        .collect()
+}
+
+/// [`partition_ops`] with a precomputed legality vector.
+pub fn partition_ops_with_legality(
+    l: &Loop,
+    g: &DepGraph,
+    m: &MachineConfig,
+    cfg: &SelectiveConfig,
+    statuses: &[VecStatus],
+) -> PartitionResult {
+    let movable = movable_ops(l, m, statuses);
     let model = CostModel::new(l, g, m, cfg);
 
     // Kernighan–Lin is a local search; seed it from both extremes — the

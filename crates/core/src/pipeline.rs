@@ -31,18 +31,27 @@ pub enum Strategy {
     /// with zero communication. Falls back to the unrolled baseline for
     /// loops the window cannot cover (any loop-carried dependence).
     Widened,
+    /// The optimal-II oracle: certified-minimum selective vectorization.
+    /// Runs the selective pipeline for an incumbent, then a complete
+    /// branch-and-bound over every legal partition with an exact
+    /// modulo-schedule probe ([`crate::optimal_search`]); delivers either
+    /// the proved-optimal witness schedule or the (proved-optimal)
+    /// incumbent. Degrades to [`Strategy::Selective`] when the search
+    /// budget is exhausted before the proof closes.
+    Optimal,
 }
 
 impl Strategy {
     /// All strategies in the paper's comparison order, plus the widened
-    /// window extension.
-    pub const ALL: [Strategy; 6] = [
+    /// window extension and the optimal-II oracle.
+    pub const ALL: [Strategy; 7] = [
         Strategy::ModuloNoUnroll,
         Strategy::ModuloOnly,
         Strategy::Traditional,
         Strategy::Full,
         Strategy::Selective,
         Strategy::Widened,
+        Strategy::Optimal,
     ];
 
     /// The strategy's canonical machine-readable spelling — stable across
@@ -57,6 +66,7 @@ impl Strategy {
             Strategy::Full => "full",
             Strategy::Selective => "selective",
             Strategy::Widened => "widened",
+            Strategy::Optimal => "optimal",
         }
     }
 }
@@ -70,6 +80,7 @@ impl fmt::Display for Strategy {
             Strategy::Full => "full",
             Strategy::Selective => "selective",
             Strategy::Widened => "widened",
+            Strategy::Optimal => "optimal",
         };
         write!(f, "{s}")
     }

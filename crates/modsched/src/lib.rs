@@ -41,6 +41,7 @@
 
 mod binpack;
 mod emit;
+mod exact;
 mod mii;
 mod pressure;
 mod regalloc;
@@ -49,6 +50,7 @@ mod validate;
 
 pub use binpack::{Bins, Placement};
 pub use emit::{emit_flat, emit_flat_for, FlatListing, Row};
+pub use exact::{exact_schedule, ExactOutcome, ProbeBudget};
 pub use mii::{compute_mii, compute_recmii, compute_resmii, edge_delay};
 pub use pressure::{max_live, mve_factor};
 pub use regalloc::{allocate_rotating, validate_assignment, AllocError, RegisterAssignment};

@@ -445,8 +445,9 @@ fn unschedule(
 
 /// Height-based priority: the longest `delay − II·distance` path from each
 /// op to any sink, computed by relaxation (no positive cycles exist at
-/// II ≥ RecMII, so this converges).
-fn compute_heights(l: &Loop, g: &DepGraph, m: &MachineConfig, ii: u32) -> Vec<i64> {
+/// II ≥ RecMII, so this converges). Shared with the exact feasibility
+/// probe in [`crate::exact`], which orders its search the same way.
+pub(crate) fn compute_heights(l: &Loop, g: &DepGraph, m: &MachineConfig, ii: u32) -> Vec<i64> {
     let n = l.ops.len();
     let mut h = vec![0i64; n];
     for _ in 0..=n {

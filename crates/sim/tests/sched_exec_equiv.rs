@@ -11,7 +11,7 @@
 //!    kernel runs.
 //!
 //! Two hundred seeded random loops sweep the generator's distribution
-//! profiles across all six strategies and three registry machines; the
+//! profiles across all seven strategies and three registry machines; the
 //! benchmark suites pin the hand-written kernels; a separate property
 //! test holds `play_schedule` to its documented "analytic count within
 //! one II of exact" claim over the whole machine registry.

@@ -60,8 +60,8 @@ fn all_workloads_equivalent_under_all_strategies() {
         }
         checked
     });
-    // 377 loops (Table 3 counts summed) × 2 machines × 6 strategies.
-    assert_eq!(counts.iter().sum::<u32>(), 377 * 2 * 6);
+    // 377 loops (Table 3 counts summed) × 2 machines × 7 strategies.
+    assert_eq!(counts.iter().sum::<u32>(), 377 * 2 * 7);
 }
 
 #[test]
