@@ -70,18 +70,70 @@ grep '"cache":{' "$SERVE/pass2.jsonl" \
            printf "ci: serve replay pass 2 served %d/%d from cache\n", hits, total }'
 echo "ci: serve replay byte-identical across cache-cold and cache-warm passes"
 
-# Service performance gate: warm-over-cold speedup and warm hit rate
-# floors against the committed BENCH_serve.json baseline, plus the
-# committed-overload phase — the retry path must actually fire and the
-# give-up rate must stay bounded.
+# Service performance gate (v3): warm-over-cold speedup and warm hit
+# rate floors, the committed-overload phase (the server-hinted retry
+# path must actually fire, give-up rate bounded), the multi-connection
+# warm_mt phase (>=4 concurrent closed-loop clients), and the committed
+# SLO in BENCH_serve.json — the fresh run must sustain the baseline's
+# warm/warm_mt throughput floors and warm_mt p99 ceiling.
 cargo run --release -q -p sv-bench --bin loadgen -- --out target/ci-serve/BENCH_serve.json --check BENCH_serve.json
-echo "ci: loadgen cache + overload-retry gate passed"
+echo "ci: loadgen cache + overload-retry + multi-connection SLO gate passed"
+
+# Sharding gate: one loadgen trace replayed over TCP through a single
+# svd and through a router over two svd shards (ephemeral ports, each
+# request routed by its v2 canonical key hash). Every compile response
+# must be byte-identical across all three runs — single, routed-cold,
+# routed-warm: routing is cache locality, never semantics — and the warm
+# routed pass must serve >=90% from the shards' caches (the per-shard
+# stats prove the keyspace split sticks).
+SHARD="target/ci-shard"
+rm -rf "$SHARD"
+mkdir -p "$SHARD"
+SVD="target/release/svd"
+LOADGEN="target/release/loadgen"
+wait_port() {
+  for _ in $(seq 100); do [ -s "$1" ] && return 0; sleep 0.1; done
+  echo "ci: timed out waiting for $1"; return 1
+}
+"$LOADGEN" --emit-trace "$SHARD/trace.jsonl" --synth 8
+grep -v '"verb":"stats"' "$SHARD/trace.jsonl" | grep -v '"verb":"shutdown"' > "$SHARD/core.jsonl"
+"$SVD" --tcp 127.0.0.1:0 --port-file "$SHARD/single.port" 2> "$SHARD/single.log" &
+wait_port "$SHARD/single.port"
+"$LOADGEN" --replay "$SHARD/trace.jsonl" --server "$(cat "$SHARD/single.port")" > "$SHARD/single.jsonl"
+"$SVD" --tcp 127.0.0.1:0 --port-file "$SHARD/s1.port" 2> "$SHARD/s1.log" &
+"$SVD" --tcp 127.0.0.1:0 --port-file "$SHARD/s2.port" 2> "$SHARD/s2.log" &
+wait_port "$SHARD/s1.port"
+wait_port "$SHARD/s2.port"
+"$SVD" --tcp 127.0.0.1:0 --route "$(cat "$SHARD/s1.port"),$(cat "$SHARD/s2.port")" \
+  --port-file "$SHARD/router.port" 2> "$SHARD/router.log" &
+wait_port "$SHARD/router.port"
+"$LOADGEN" --replay "$SHARD/core.jsonl" --server "$(cat "$SHARD/router.port")" > "$SHARD/rout_cold.jsonl"
+"$LOADGEN" --replay "$SHARD/core.jsonl" --server "$(cat "$SHARD/router.port")" > "$SHARD/rout_warm.jsonl"
+echo '{"verb":"stats","id":1}' > "$SHARD/stats.jsonl"
+"$LOADGEN" --replay "$SHARD/stats.jsonl" --server "$(cat "$SHARD/s1.port")" > "$SHARD/s1.stats"
+"$LOADGEN" --replay "$SHARD/stats.jsonl" --server "$(cat "$SHARD/s2.port")" > "$SHARD/s2.stats"
+echo '{"verb":"shutdown","id":2}' > "$SHARD/shut.jsonl"
+"$LOADGEN" --replay "$SHARD/shut.jsonl" --server "$(cat "$SHARD/router.port")" > /dev/null
+wait
+diff <(grep -v '"cache":{' "$SHARD/single.jsonl" | grep -v '"shutdown"') "$SHARD/rout_cold.jsonl"
+diff "$SHARD/rout_cold.jsonl" "$SHARD/rout_warm.jsonl"
+cat "$SHARD/s1.stats" "$SHARD/s2.stats" \
+  | sed 's/.*"mem_hits":\([0-9]*\),"disk_hits":\([0-9]*\),"misses":\([0-9]*\).*/\1 \2 \3/' \
+  | awk '{ hits += $1 + $2; misses += $3 }
+         END { total = hits + misses;
+               if (total == 0 || 2 * hits / total < 0.9) {
+                 printf "ci: sharded warm pass hit rate %d/%d below 90%%\n", hits, total / 2; exit 1
+               }
+               printf "ci: sharded warm pass served %d/%d from the shard caches\n", hits, total / 2 }'
+echo "ci: 2-shard router byte-identical to single instance (cold and warm passes)"
 
 # Chaos gate: seeded fault-injection soak over the full serving stack
 # (disk faults, torn writes, compile panics, drainer deaths, stalls,
-# connection drops). Asserts exactly-once responses, byte-identity of
-# every ok against a fault-free control, daemon liveness, and crash-safe
-# cache recovery, with per-class injection coverage across the soak.
+# connection drops, greedy client bursts). Asserts exactly-once
+# responses — including across concurrently submitting fair-share
+# clients — byte-identity of every ok against a fault-free control,
+# daemon liveness, and crash-safe cache recovery, with per-class
+# injection coverage across the soak.
 cargo run --release -q -p sv-bench --bin chaos -- --seeds 0..200
 echo "ci: chaos soak held every invariant across 200 seeds"
 

@@ -4,12 +4,16 @@
 //! (cache + service + supervised batcher) with the full
 //! [`FaultConfig::soak`] mix armed — injected disk I/O errors, torn
 //! writes, orphaned temporaries, compile panics, slow compiles, drainer
-//! deaths, queue stalls, connection drops — pushes cold and warm request
-//! waves plus a retrying-client wave through it, and asserts the
-//! invariants the chaos-hardening work guarantees:
+//! deaths, queue stalls, connection drops, greedy client bursts — pushes
+//! cold and warm request waves, a retrying-client wave, and a
+//! multi-client burst wave (several registered fair-share identities
+//! submitting concurrently, with injected bursts) through it, and
+//! asserts the invariants the chaos-hardening work guarantees:
 //!
 //! * **exactly-once** — every submitted request gets exactly one
-//!   response, none lost, none duplicated, in-order per sink;
+//!   response, none lost, none duplicated, in-order per sink — including
+//!   across concurrently submitting clients whose items interleave in
+//!   the round-robin drain and in post-crash requeues;
 //! * **byte-identity** — every `ok` response is byte-identical to the
 //!   fault-free control run's bytes (faults may fail a request with a
 //!   typed error, but may never change what a success looks like);
@@ -148,7 +152,12 @@ struct SeedOutcome {
     client_ok: u64,
     client_give_ups: u64,
     client_retries: u64,
+    burst_admitted: u64,
+    burst_rejected: u64,
 }
+
+/// How many concurrent fair-share identities the burst wave registers.
+const BURST_CLIENTS: u64 = 3;
 
 /// Run one fully-faulted seed and check every invariant.
 fn run_seed(seed: u64, reqs: &[CompileRequest], control: &[String], jobs: usize) -> SeedOutcome {
@@ -217,6 +226,57 @@ fn run_seed(seed: u64, reqs: &[CompileRequest], control: &[String], jobs: usize)
     let client_stats = client.stats();
     drop(client);
 
+    // Burst wave: several registered fair-share identities submitting
+    // concurrently, with the plan occasionally turning one submission
+    // into a greedy back-to-back burst. Quota rejections are legal (and
+    // must be the typed overloaded error); every *admitted* submission
+    // is held to the same exactly-once + byte-identity bar as the
+    // direct waves. Ids 3n.. are partitioned per thread so a duplicate
+    // or cross-wiring is unmistakable.
+    let mut burst_admitted = 0u64;
+    let mut burst_rejected = 0u64;
+    let threads: Vec<_> = (0..BURST_CLIENTS)
+        .map(|t| {
+            let b = Arc::clone(&batcher);
+            let plan = Arc::clone(&plan);
+            let reqs = reqs.to_vec();
+            std::thread::spawn(move || {
+                let cid = b.register_client(1);
+                let mut admitted = Vec::new();
+                let mut rejected = 0u64;
+                let mut seq = 0u64;
+                for (i, r) in reqs.iter().enumerate() {
+                    let copies = plan.client_burst().max(1);
+                    for _ in 0..copies {
+                        let id = 3 * n + t * 100_000 + seq;
+                        seq += 1;
+                        let (sink, buf) = capture();
+                        match b.submit_for(
+                            cid,
+                            Request::Compile { id, req: Box::new(r.clone()) },
+                            sink,
+                        ) {
+                            Ok(()) => admitted.push((id, i, buf)),
+                            Err(sv_serve::ServeError::Overloaded { .. }) => rejected += 1,
+                            Err(e) => panic!(
+                                "seed {seed}: burst client {t} id {id} rejected with an \
+                                 untyped error: {e}"
+                            ),
+                        }
+                    }
+                }
+                b.deregister_client(cid);
+                (admitted, rejected)
+            })
+        })
+        .collect();
+    for th in threads {
+        let (admitted, rejected) = th.join().expect("burst client thread");
+        burst_admitted += admitted.len() as u64;
+        burst_rejected += rejected;
+        sinks.extend(admitted);
+    }
+
     // Liveness: the daemon must finish alive — a typed Err here means
     // the supervisor hit its fruitless-restart bound, which the soak mix
     // must never cause.
@@ -284,6 +344,8 @@ fn run_seed(seed: u64, reqs: &[CompileRequest], control: &[String], jobs: usize)
         client_ok,
         client_give_ups: client_stats.give_ups,
         client_retries: client_stats.retries,
+        burst_admitted,
+        burst_rejected,
     }
 }
 
@@ -318,6 +380,7 @@ fn main() -> ExitCode {
 
     let mut total = FaultCounters::default();
     let (mut ok, mut internal, mut client_ok, mut give_ups, mut retries) = (0, 0, 0, 0, 0);
+    let (mut burst_admitted, mut burst_rejected) = (0u64, 0u64);
     let seeds = opts.seeds.clone();
     for seed in seeds {
         let o = run_seed(seed, &reqs, &control, opts.jobs);
@@ -330,23 +393,27 @@ fn main() -> ExitCode {
         total.drainer_panics += o.injected.drainer_panics;
         total.queue_stalls += o.injected.queue_stalls;
         total.conn_drops += o.injected.conn_drops;
+        total.client_bursts += o.injected.client_bursts;
         ok += o.ok;
         internal += o.internal;
         client_ok += o.client_ok;
         give_ups += o.client_give_ups;
         retries += o.client_retries;
+        burst_admitted += o.burst_admitted;
+        burst_rejected += o.burst_rejected;
     }
     let n_seeds = opts.seeds.end - opts.seeds.start;
     println!(
         "chaos: {n_seeds} seeds × {} requests: {ok} ok + {internal} typed-internal direct \
          responses (exactly-once held), {client_ok} client oks ({retries} retries, \
-         {give_ups} give-ups), {} faults injected",
+         {give_ups} give-ups), {burst_admitted} concurrent-client admissions \
+         ({burst_rejected} typed quota rejections), {} faults injected",
         reqs.len() * 2,
         total.total()
     );
     println!(
         "chaos: injected per class: disk_reads={} disk_writes={} torn={} orphans={} \
-         compile_panics={} slow={} drainer_panics={} stalls={} conn_drops={}",
+         compile_panics={} slow={} drainer_panics={} stalls={} conn_drops={} bursts={}",
         total.disk_reads,
         total.disk_writes,
         total.torn_writes,
@@ -355,7 +422,8 @@ fn main() -> ExitCode {
         total.slow_compiles,
         total.drainer_panics,
         total.queue_stalls,
-        total.conn_drops
+        total.conn_drops,
+        total.client_bursts
     );
     // Coverage: a class that never fired proved nothing. Require a
     // reasonably sized soak before enforcing (a 1-seed repro run is for
@@ -370,6 +438,7 @@ fn main() -> ExitCode {
         assert!(total.drainer_panics > 0, "soak never injected a drainer panic");
         assert!(total.queue_stalls > 0, "soak never injected a queue stall");
         assert!(total.conn_drops > 0, "soak never injected a connection drop");
+        assert!(total.client_bursts > 0, "soak never injected a client burst");
     }
     println!("chaos: all invariants held (exactly-once, byte-identity, liveness, recovery)");
     ExitCode::SUCCESS

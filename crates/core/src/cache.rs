@@ -212,6 +212,35 @@ struct Shard {
     lru: BTreeMap<u64, u128>,
     next_tick: u64,
     bytes: usize,
+    /// Lookups routed to this shard (memory tier; disk promotions count
+    /// as hits for the shard that absorbed them).
+    lookups: u64,
+    /// Lookups this shard answered (memory hit or disk promotion).
+    hits: u64,
+}
+
+/// Per-shard counters surfaced by [`CompileCache::shard_stats`] — the
+/// serving layer's `metrics` verb reports these so a skewed keyspace
+/// (one hot shard soaking every lookup) is visible in production.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups routed to this shard.
+    pub lookups: u64,
+    /// Lookups this shard answered (memory hit or disk promotion).
+    pub hits: u64,
+    /// Entries currently resident in this shard.
+    pub entries: u64,
+}
+
+impl ShardStats {
+    /// Hit fraction for this shard (0 when it saw no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
 }
 
 impl Shard {
@@ -395,18 +424,28 @@ impl CompileCache {
     /// the memory tier. Does **not** count a miss — only
     /// [`CompileCache::lookup`]'s callers know whether a compile follows.
     fn lookup_inner(&self, key: CanonicalHash) -> Option<(Arc<str>, CacheOutcome)> {
-        if let Some(body) = self.shard(key).lock().expect("cache shard poisoned").touch(key.0) {
-            self.mem_hits.fetch_add(1, Ordering::Relaxed);
-            return Some((body, CacheOutcome::Memory));
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            shard.lookups += 1;
+            if let Some(body) = shard.touch(key.0) {
+                shard.hits += 1;
+                drop(shard);
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Some((body, CacheOutcome::Memory));
+            }
         }
         let body = self.disk_read(key)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
-        let evicted = self.shard(key).lock().expect("cache shard poisoned").insert(
-            key.0,
-            Arc::clone(&body),
-            self.per_shard_entries(),
-            self.per_shard_bytes(),
-        );
+        let evicted = {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            shard.hits += 1; // disk promotion: this shard absorbed the lookup
+            shard.insert(
+                key.0,
+                Arc::clone(&body),
+                self.per_shard_entries(),
+                self.per_shard_bytes(),
+            )
+        };
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Some((body, CacheOutcome::Disk))
     }
@@ -457,6 +496,18 @@ impl CompileCache {
             entries,
             bytes,
         }
+    }
+
+    /// Per-shard lookup/hit/occupancy counters, in shard-index order
+    /// (the `metrics` verb renders these as per-shard hit rates).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().expect("cache shard poisoned");
+                ShardStats { lookups: s.lookups, hits: s.hits, entries: s.map.len() as u64 }
+            })
+            .collect()
     }
 
     /// The disk path of a key's entry.

@@ -37,7 +37,7 @@ mod pipeline;
 
 pub use cache::{
     compile_cached, request_key, CacheConfig, CacheOutcome, CacheStats, CompileCache,
-    DiskFaults, RecoveryReport, WriteFault,
+    DiskFaults, RecoveryReport, ShardStats, WriteFault,
 };
 pub use driver::{
     compile_checked, CompilationReport, CompileError, DriverConfig, Fallback, Pass,

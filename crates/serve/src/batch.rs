@@ -1,23 +1,35 @@
-//! The bounded request queue, its batching drainer, and the drainer's
-//! supervisor.
+//! The bounded multi-tenant request queue, its batching drainer, and the
+//! drainer's supervisor.
 //!
-//! All verbs flow through one FIFO queue drained by a single thread:
+//! Every connection is a registered **client** with its own FIFO
+//! sub-queue; one drainer thread serves them all:
 //!
-//! * adjacent `compile` requests coalesce into a **batch** that flushes
-//!   when it reaches [`BatchConfig::batch_max`], when the oldest queued
-//!   request has waited [`BatchConfig::flush_ms`], or when nothing else
-//!   can join it (a non-compile verb or shutdown is behind it);
-//! * a flushed batch fans out onto [`sv_core::parallel::run_ordered`],
+//! * admission is **weighted-fair**: the global compile weight is capped
+//!   by [`BatchConfig::queue_cap`], and each registered client is capped
+//!   at its share of that capacity (share-weighted, never below one
+//!   slot), so a greedy connection fills only its own quota and is
+//!   rejected with a typed [`ServeError::Overloaded`] — carrying a
+//!   `retry_after_ms` hint computed from live queue depth — while other
+//!   clients keep being admitted;
+//! * the drainer gathers compile runs **round-robin** across client
+//!   sub-queues (one item per client per cycle), so service order is
+//!   fair while each client's own responses still arrive in its
+//!   submission order; a run flushes when it reaches
+//!   [`BatchConfig::batch_max`], when its oldest member has waited
+//!   [`BatchConfig::flush_ms`], or when nothing else can join it (a
+//!   non-compile verb is pending);
+//! * a flushed run fans out onto [`sv_core::parallel::run_ordered`],
 //!   which preserves the workspace's determinism guarantee: the worker
 //!   count never changes response bytes or order;
-//! * the queue is **bounded** — a submission that would push the queued
-//!   compile weight past [`BatchConfig::queue_cap`] is rejected with
-//!   [`ServeError::Overloaded`] instead of growing without limit, and a
-//!   deadline that is already expired at admission is rejected
+//! * a deadline that is already expired at admission is rejected
 //!   immediately so it never occupies queue weight;
-//! * `machines`, `stats` and `shutdown` ride the same queue, so a
-//!   `stats` response reflects every request submitted before it,
-//!   deterministically.
+//! * `machines`, `stats`, `metrics` and `shutdown` ride the same queue,
+//!   so a `stats` response reflects every request the same client
+//!   submitted before it, deterministically.
+//!
+//! Single-stream front-ends (stdio, in-process tests) submit as the
+//! always-registered [`DEFAULT_CLIENT`], whose quota is then the whole
+//! queue — the pre-multi-tenant behavior, byte for byte.
 //!
 //! ## Fault containment
 //!
@@ -41,12 +53,13 @@
 //! matches input order.
 
 use crate::faults::FaultPlan;
+use crate::metrics::PhaseLatencies;
 use crate::proto::{
     batch_response, error_object, error_response, ok_response, CompileRequest, Request,
     ServeError,
 };
 use crate::service::ServeService;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -101,12 +114,20 @@ impl Default for BatchConfig {
     }
 }
 
+/// The shared always-registered client identity used by single-stream
+/// front-ends (stdio) and in-process callers. Registered at queue
+/// construction with share 1 and never removed, so a single-client
+/// batcher behaves exactly like the pre-multi-tenant one: its quota is
+/// the whole queue capacity.
+pub const DEFAULT_CLIENT: u64 = 0;
+
 /// One queued unit of work.
 enum Work {
     Compile { id: u64, req: Box<CompileRequest> },
     Batch { id: u64, reqs: Vec<CompileRequest> },
     Machines { id: u64 },
     Stats { id: u64 },
+    Metrics { id: u64 },
     Shutdown { id: u64 },
 }
 
@@ -116,7 +137,10 @@ impl Work {
         match self {
             Work::Compile { .. } => 1,
             Work::Batch { reqs, .. } => reqs.len(),
-            Work::Machines { .. } | Work::Stats { .. } | Work::Shutdown { .. } => 0,
+            Work::Machines { .. }
+            | Work::Stats { .. }
+            | Work::Metrics { .. }
+            | Work::Shutdown { .. } => 0,
         }
     }
 
@@ -127,6 +151,7 @@ impl Work {
             | Work::Batch { id, .. }
             | Work::Machines { id }
             | Work::Stats { id }
+            | Work::Metrics { id }
             | Work::Shutdown { id } => *id,
         }
     }
@@ -136,16 +161,107 @@ struct Item {
     work: Work,
     out: Sink,
     submitted: Instant,
+    /// The registered client that submitted this (fairness accounting
+    /// and re-queue targeting after drainer deaths).
+    client: u64,
 }
 
-#[derive(Default)]
-struct Queue {
+/// One client's private FIFO sub-queue.
+struct ClientQ {
     items: VecDeque<Item>,
-    /// Sum of queued [`Work::weight`]s.
+    /// Fairness share while registered (≥ 1).
+    share: usize,
+    /// Queued compile weight charged to this client.
+    queued: usize,
+    /// Live connections hold `true`; a deregistered client's entry
+    /// lingers only until its queued items drain.
+    registered: bool,
+}
+
+impl ClientQ {
+    fn new(share: usize, registered: bool) -> ClientQ {
+        ClientQ { items: VecDeque::new(), share: share.max(1), queued: 0, registered }
+    }
+}
+
+struct Queue {
+    /// Per-client sub-queues. A `BTreeMap` so round-robin traversal has
+    /// a stable, deterministic order.
+    clients: BTreeMap<u64, ClientQ>,
+    /// Next id handed out by [`Batcher::register_client`].
+    next_client: u64,
+    /// The last client the drainer took work from; the next gather
+    /// starts at the following id (wrapping), which is what makes the
+    /// drain round-robin rather than lowest-id-wins.
+    rr_cursor: u64,
+    /// Sum of queued [`Work::weight`]s across all clients.
     weight: usize,
+    /// Sum of registered clients' shares (the quota denominator).
+    share_total: usize,
     /// Set by `shutdown` or [`Batcher::close`]; stops admissions and
     /// flushes immediately.
     closed: bool,
+}
+
+impl Default for Queue {
+    fn default() -> Queue {
+        let mut clients = BTreeMap::new();
+        clients.insert(DEFAULT_CLIENT, ClientQ::new(1, true));
+        Queue {
+            clients,
+            next_client: 1,
+            // One before the smallest id (wrapping), so the first gather
+            // starts at the lowest client id.
+            rr_cursor: u64::MAX,
+            weight: 0,
+            share_total: 1,
+            closed: false,
+        }
+    }
+}
+
+impl Queue {
+    /// Items queued across every client.
+    fn total_items(&self) -> usize {
+        self.clients.values().map(|c| c.items.len()).sum()
+    }
+
+    /// Clients with queued work, in round-robin order: ids above the
+    /// cursor first, then wrap-around.
+    fn rr_order(&self) -> Vec<u64> {
+        let mut after = Vec::new();
+        let mut before = Vec::new();
+        for (&id, c) in &self.clients {
+            if c.items.is_empty() {
+                continue;
+            }
+            if id > self.rr_cursor { after.push(id) } else { before.push(id) }
+        }
+        after.extend(before);
+        after
+    }
+
+    /// Drop a sub-queue whose client has disconnected and fully drained
+    /// (the default identity is permanent).
+    fn prune(&mut self, id: u64) {
+        if id == DEFAULT_CLIENT {
+            return;
+        }
+        if let Some(c) = self.clients.get(&id) {
+            if !c.registered && c.items.is_empty() {
+                self.clients.remove(&id);
+            }
+        }
+    }
+}
+
+/// Backoff hint for an `overloaded` rejection: roughly how long the
+/// backlog queued ahead needs to drain — one flush interval per batch
+/// the backlog fills, never zero so a hinted client always waits at
+/// least a beat.
+fn retry_hint(queued_weight: usize, cfg: &BatchConfig) -> u64 {
+    let batches = (queued_weight / cfg.batch_max.max(1)) as u64 + 1;
+    batches * cfg.flush_ms.max(1)
 }
 
 /// Counters reported by the `stats` verb's `queue` object.
@@ -186,6 +302,8 @@ struct Inner {
     /// [`Batcher::join`] report a typed failure.
     failed: AtomicBool,
     faults: Option<Arc<FaultPlan>>,
+    /// Per-phase latency histograms backing the `metrics` verb.
+    lat: PhaseLatencies,
     submitted: AtomicU64,
     rejected: AtomicU64,
     deadline_rejected: AtomicU64,
@@ -242,6 +360,7 @@ impl Batcher {
             in_flight: Mutex::new(VecDeque::new()),
             failed: AtomicBool::new(false),
             faults,
+            lat: PhaseLatencies::default(),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
@@ -260,22 +379,80 @@ impl Batcher {
         Batcher { inner, supervisor: Some(supervisor) }
     }
 
-    /// Enqueue one decoded request; its response will be written to
-    /// `out` by the drainer.
+    /// [`Batcher::submit_for`] as the always-registered
+    /// [`DEFAULT_CLIENT`] — the single-stream front door.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// As [`Batcher::submit_for`].
+    pub fn submit(&self, request: Request, out: Sink) -> Result<(), ServeError> {
+        self.submit_for(DEFAULT_CLIENT, request, out)
+    }
+
+    /// Register a new client identity with the given fairness share
+    /// (clamped to ≥ 1) and return its id. Each TCP connection registers
+    /// on accept and deregisters on disconnect.
+    pub fn register_client(&self, share: usize) -> u64 {
+        let mut q = lock_recover(&self.inner.q);
+        let id = q.next_client;
+        q.next_client += 1;
+        q.share_total += share.max(1);
+        q.clients.insert(id, ClientQ::new(share, true));
+        id
+    }
+
+    /// Retire a client identity: it stops counting toward the quota
+    /// denominator immediately and its sub-queue is dropped once its
+    /// already-admitted items drain (they are still answered — the sink
+    /// may be a dead socket, which only loses those bytes).
+    pub fn deregister_client(&self, client: u64) {
+        if client == DEFAULT_CLIENT {
+            return; // the shared identity is permanent
+        }
+        let mut q = lock_recover(&self.inner.q);
+        let freed = match q.clients.get_mut(&client) {
+            Some(c) if c.registered => {
+                c.registered = false;
+                c.share
+            }
+            _ => 0,
+        };
+        q.share_total -= freed;
+        q.prune(client);
+    }
+
+    /// The backoff hint an `overloaded` rejection would carry right now
+    /// (used by accept loops that refuse connections past
+    /// `--max-clients` with the same typed error).
+    pub fn retry_after_hint(&self) -> u64 {
+        let q = lock_recover(&self.inner.q);
+        retry_hint(q.weight, &self.inner.cfg)
+    }
+
+    /// Enqueue one decoded request on behalf of a registered client; its
+    /// response will be written to `out` by the drainer.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity or the
+    /// client's fair-share quota is exhausted (the error carries a
+    /// `retry_after_ms` hint computed from live queue depth),
     /// [`ServeError::DeadlineExceeded`] when the request's deadline is
     /// already expired at admission, [`ServeError::ShuttingDown`] after
     /// shutdown/close. The caller reports these to the client itself —
     /// nothing was enqueued.
-    pub fn submit(&self, request: Request, out: Sink) -> Result<(), ServeError> {
+    pub fn submit_for(
+        &self,
+        client: u64,
+        request: Request,
+        out: Sink,
+    ) -> Result<(), ServeError> {
         let work = match request {
             Request::Compile { id, req } => Work::Compile { id, req },
             Request::Batch { id, reqs } => Work::Batch { id, reqs },
             Request::Machines { id } => Work::Machines { id },
             Request::Stats { id } => Work::Stats { id },
+            Request::Metrics { id } => Work::Metrics { id },
             Request::Shutdown { id } => Work::Shutdown { id },
         };
         // A deadline of zero is already expired the instant it is
@@ -289,16 +466,37 @@ impl Batcher {
             }
         }
         let w = work.weight();
+        let cap = self.inner.cfg.queue_cap;
         let mut q = lock_recover(&self.inner.q);
         if q.closed {
             return Err(ServeError::ShuttingDown);
         }
-        if q.weight + w > self.inner.cfg.queue_cap {
+        let hint = retry_hint(q.weight, &self.inner.cfg);
+        if q.weight + w > cap {
             self.inner.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::Overloaded { cap: self.inner.cfg.queue_cap });
+            return Err(ServeError::Overloaded { cap, retry_after_ms: hint });
         }
+        let share_total = q.share_total.max(1);
+        let Some(c) = q.clients.get_mut(&client) else {
+            return Err(ServeError::Internal {
+                message: format!("client {client} is not registered"),
+            });
+        };
+        if !c.registered {
+            return Err(ServeError::Internal {
+                message: format!("client {client} has deregistered"),
+            });
+        }
+        // Fair share of the capacity, weighted by this client's share
+        // and never below one slot so light clients always get in.
+        let quota = (cap * c.share / share_total).max(1);
+        if c.queued + w > quota {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { cap: quota, retry_after_ms: hint });
+        }
+        c.queued += w;
+        c.items.push_back(Item { work, out, submitted: Instant::now(), client });
         q.weight += w;
-        q.items.push_back(Item { work, out, submitted: Instant::now() });
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         self.inner.cv.notify_all();
         Ok(())
@@ -383,28 +581,38 @@ enum Action {
     Batch { id: u64, reqs: Vec<CompileRequest>, out: Sink, submitted: Instant },
     Machines { id: u64, out: Sink },
     Stats { id: u64, out: Sink },
+    Metrics { id: u64, out: Sink },
     Shutdown { id: u64, out: Sink },
     Exit,
 }
 
 /// Pop the next unit of work, blocking until a flush condition holds.
-/// The popped item(s) move into the in-flight ledger *before* the queue
-/// lock is released, so there is never an instant where taken work is
-/// tracked nowhere.
+/// Runs are gathered round-robin across client sub-queues (one item per
+/// client per cycle), so no connection can monopolize the drainer while
+/// each client's own responses stay in its submission order. The popped
+/// item(s) move into the in-flight ledger *before* the queue lock is
+/// released, so there is never an instant where taken work is tracked
+/// nowhere.
 fn next_action(inner: &Inner) -> Action {
     let flush = Duration::from_millis(inner.cfg.flush_ms);
     let mut q = lock_recover(&inner.q);
     loop {
-        if q.items.is_empty() {
+        let order = q.rr_order();
+        let Some(&first) = order.first() else {
             if q.closed {
                 return Action::Exit;
             }
             q = inner.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
             continue;
-        }
-        if !matches!(q.items[0].work, Work::Compile { .. }) {
-            let item = q.items.pop_front().expect("checked non-empty");
-            q.weight -= item.work.weight();
+        };
+        if !matches!(q.clients[&first].items[0].work, Work::Compile { .. }) {
+            let c = q.clients.get_mut(&first).expect("candidate exists");
+            let item = c.items.pop_front().expect("checked non-empty");
+            let w = item.work.weight();
+            c.queued -= w;
+            q.weight -= w;
+            q.rr_cursor = first;
+            q.prune(first);
             let action = match &item.work {
                 Work::Batch { id, reqs } => Action::Batch {
                     id: *id,
@@ -416,6 +624,9 @@ fn next_action(inner: &Inner) -> Action {
                     Action::Machines { id: *id, out: Arc::clone(&item.out) }
                 }
                 Work::Stats { id } => Action::Stats { id: *id, out: Arc::clone(&item.out) },
+                Work::Metrics { id } => {
+                    Action::Metrics { id: *id, out: Arc::clone(&item.out) }
+                }
                 Work::Shutdown { id } => {
                     Action::Shutdown { id: *id, out: Arc::clone(&item.out) }
                 }
@@ -424,22 +635,53 @@ fn next_action(inner: &Inner) -> Action {
             lock_recover(&inner.in_flight).push_back(item);
             return action;
         }
-        // Head is a compile: measure the contiguous run that could flush.
-        let run_len = q
-            .items
-            .iter()
-            .take(inner.cfg.batch_max)
-            .take_while(|i| matches!(i.work, Work::Compile { .. }))
-            .count();
-        let capped = run_len >= inner.cfg.batch_max;
-        // Nothing more can ever join: a non-compile verb sits right
-        // behind the run, so waiting out the timer buys nothing.
-        let sealed = run_len < q.items.len();
-        let deadline = q.items[0].submitted + flush;
+        // The round-robin head is a compile: plan a run by cycling the
+        // candidate clients, taking one queued compile per client per
+        // cycle; a client stops contributing at its first non-compile.
+        let mut taken: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut plan: Vec<u64> = Vec::new();
+        let mut oldest = q.clients[&first].items[0].submitted;
+        'gather: loop {
+            let mut progressed = false;
+            for &id in &order {
+                let k = taken.get(&id).copied().unwrap_or(0);
+                if let Some(item) = q.clients[&id].items.get(k) {
+                    if matches!(item.work, Work::Compile { .. }) {
+                        oldest = oldest.min(item.submitted);
+                        plan.push(id);
+                        *taken.entry(id).or_insert(0) += 1;
+                        progressed = true;
+                        if plan.len() >= inner.cfg.batch_max {
+                            break 'gather;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let capped = plan.len() >= inner.cfg.batch_max;
+        // Nothing more can ever join: a non-compile verb is pending
+        // somewhere, so waiting out the timer buys nothing.
+        let sealed = plan.len() < q.total_items();
+        let deadline = oldest + flush;
         let now = Instant::now();
         if capped || sealed || q.closed || now >= deadline {
-            q.weight -= run_len;
-            let items: Vec<Item> = q.items.drain(..run_len).collect();
+            let mut items: Vec<Item> = Vec::with_capacity(plan.len());
+            for &id in &plan {
+                let c = q.clients.get_mut(&id).expect("planned client exists");
+                let item = c.items.pop_front().expect("planned item exists");
+                c.queued -= item.work.weight();
+                items.push(item);
+            }
+            q.weight -= items.iter().map(|i| i.work.weight()).sum::<usize>();
+            if let Some(&last) = plan.last() {
+                q.rr_cursor = last;
+            }
+            for &id in &plan {
+                q.prune(id);
+            }
             let entries: Vec<RunEntry> = items
                 .iter()
                 .map(|item| match &item.work {
@@ -479,6 +721,7 @@ fn respond_and_retire(inner: &Inner, out: &Sink, expect_id: u64, line: &str) {
     }
     let retired = ledger.pop_front().expect("responding to an item not in the ledger");
     debug_assert_eq!(retired.work.id(), expect_id, "ledger order must match response order");
+    inner.lat.total.record_ns(retired.submitted.elapsed().as_nanos() as u64);
     inner.responses.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -506,20 +749,25 @@ fn execute(
         .collect();
     inner.flushes.fetch_add(1, Ordering::Relaxed);
     inner.compiles.fetch_add(reqs.len() as u64, Ordering::Relaxed);
-    run_ordered(reqs, inner.cfg.jobs, |i, req| match expired[i] {
-        Some(timeout_ms) => Err(ServeError::DeadlineExceeded { timeout_ms }),
-        None => match catch_unwind(AssertUnwindSafe(|| inner.svc.compile_body(req))) {
-            Ok(result) => result.map(|(body, _)| body),
-            Err(payload) => {
-                inner.panics_isolated.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Internal {
-                    message: format!(
-                        "compile panicked (isolated to this request): {}",
-                        panic_message(payload.as_ref())
-                    ),
-                })
-            }
-        },
+    run_ordered(reqs, inner.cfg.jobs, |i, req| {
+        let t0 = Instant::now();
+        let verdict = match expired[i] {
+            Some(timeout_ms) => Err(ServeError::DeadlineExceeded { timeout_ms }),
+            None => match catch_unwind(AssertUnwindSafe(|| inner.svc.compile_body(req))) {
+                Ok(result) => result.map(|(body, _)| body),
+                Err(payload) => {
+                    inner.panics_isolated.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Internal {
+                        message: format!(
+                            "compile panicked (isolated to this request): {}",
+                            panic_message(payload.as_ref())
+                        ),
+                    })
+                }
+            },
+        };
+        inner.lat.execute.record_ns(t0.elapsed().as_nanos() as u64);
+        verdict
     })
 }
 
@@ -532,6 +780,14 @@ fn drain(inner: &Inner) {
         match next_action(inner) {
             Action::Exit => return,
             Action::Run(entries) => {
+                let taken_at = Instant::now();
+                for e in &entries {
+                    inner
+                        .lat
+                        .queue_wait
+                        .record_ns(taken_at.saturating_duration_since(e.submitted).as_nanos()
+                            as u64);
+                }
                 let panic_at =
                     inner.faults.as_ref().and_then(|p| p.drainer_panic_point(entries.len()));
                 if panic_at == Some(0) {
@@ -555,6 +811,7 @@ fn drain(inner: &Inner) {
                 }
             }
             Action::Batch { id, reqs, out, submitted } => {
+                inner.lat.queue_wait.record_ns(submitted.elapsed().as_nanos() as u64);
                 let refs: Vec<&CompileRequest> = reqs.iter().collect();
                 let results = execute(inner, &refs, submitted);
                 let elements: Vec<String> = results
@@ -595,6 +852,10 @@ fn drain(inner: &Inner) {
                 );
                 respond_and_retire(inner, &out, id, &ok_response(id, &result));
             }
+            Action::Metrics { id, out } => {
+                let result = metrics_object(inner);
+                respond_and_retire(inner, &out, id, &ok_response(id, &result));
+            }
             Action::Shutdown { id, out } => {
                 respond_and_retire(inner, &out, id, &ok_response(id, "{\"shutdown\":true}"));
                 lock_recover(&inner.q).closed = true;
@@ -604,17 +865,65 @@ fn drain(inner: &Inner) {
     }
 }
 
-/// Move every unanswered in-flight item back to the queue front,
-/// preserving order, and restore its weight. Called by the supervisor
-/// between drainer incarnations (the drainer is dead, so nothing else
-/// mutates the ledger).
+/// Render the `metrics` verb's result object: live queue/ledger gauges,
+/// the queue counters, global and per-shard cache stats, fault counters
+/// and per-phase latency percentiles — one canonical line.
+fn metrics_object(inner: &Inner) -> String {
+    let (depth, weight, clients) = {
+        let q = lock_recover(&inner.q);
+        let registered = q.clients.values().filter(|c| c.registered).count();
+        (q.total_items(), q.weight, registered)
+    };
+    let ledger = lock_recover(&inner.in_flight).len();
+    let qs = inner.stats();
+    let occupancy =
+        if qs.flushes == 0 { 0.0 } else { qs.compiles as f64 / qs.flushes as f64 };
+    let faults = match &inner.faults {
+        Some(p) => crate::metrics::faults_json(true, &p.injected()),
+        None => crate::metrics::faults_json(false, &Default::default()),
+    };
+    format!(
+        "{{\"queue\":{{\"depth\":{depth},\"weight\":{weight},\"in_flight\":{ledger},\
+         \"clients\":{clients},\"batch_occupancy\":{occupancy:.4},\"submitted\":{},\
+         \"rejected\":{},\"deadline_rejected\":{},\"compiles\":{},\"flushes\":{},\
+         \"responses\":{},\"panics_isolated\":{},\"drainer_restarts\":{},\
+         \"requeued\":{}}},\"cache\":{},\"shards\":{},\"faults\":{faults},\
+         \"latency\":{}}}",
+        qs.submitted,
+        qs.rejected,
+        qs.deadline_rejected,
+        qs.compiles,
+        qs.flushes,
+        // The response being built is not yet counted.
+        qs.responses + 1,
+        qs.panics_isolated,
+        qs.drainer_restarts,
+        qs.requeued,
+        inner.svc.stats_object(),
+        crate::metrics::shards_json(&inner.svc.shard_stats()),
+        inner.lat.to_json(),
+    )
+}
+
+/// Move every unanswered in-flight item back to the front of its
+/// client's sub-queue, preserving per-client order, and restore its
+/// weight. Called by the supervisor between drainer incarnations (the
+/// drainer is dead, so nothing else mutates the ledger). A client that
+/// disconnected and was pruned gets its entry recreated unregistered,
+/// just long enough to drain.
 fn requeue_in_flight(inner: &Inner) -> u64 {
     let mut q = lock_recover(&inner.q);
     let mut ledger = lock_recover(&inner.in_flight);
     let n = ledger.len() as u64;
     while let Some(item) = ledger.pop_back() {
-        q.weight += item.work.weight();
-        q.items.push_front(item);
+        let w = item.work.weight();
+        q.weight += w;
+        let c = q
+            .clients
+            .entry(item.client)
+            .or_insert_with(|| ClientQ::new(1, false));
+        c.queued += w;
+        c.items.push_front(item);
     }
     inner.requeued.fetch_add(n, Ordering::Relaxed);
     n
@@ -630,7 +939,12 @@ fn fail_pending(inner: &Inner, reason: &str) {
         q.closed = true;
         let mut ledger = lock_recover(&inner.in_flight);
         q.weight = 0;
-        ledger.drain(..).chain(q.items.drain(..)).collect()
+        let mut queued = Vec::new();
+        for c in q.clients.values_mut() {
+            c.queued = 0;
+            queued.extend(c.items.drain(..));
+        }
+        ledger.drain(..).chain(queued).collect()
     };
     inner.cv.notify_all();
     for item in items {
@@ -749,10 +1063,161 @@ mod tests {
         b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
         b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
         let e = b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap_err();
-        assert!(matches!(e, ServeError::Overloaded { cap: 2 }));
+        assert!(matches!(e, ServeError::Overloaded { cap: 2, .. }));
+        assert!(e.retry_after().unwrap() > Duration::ZERO, "hint must be non-zero");
         assert_eq!(b.stats().rejected, 1);
         b.close();
         b.join().unwrap();
+    }
+
+    #[test]
+    fn retry_hint_grows_with_queue_depth() {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Batcher::new(
+            svc,
+            BatchConfig { batch_max: 2, flush_ms: 60_000, queue_cap: 64, jobs: 1 },
+        );
+        let (sink, _buf) = buffer();
+        let empty_hint = b.retry_after_hint();
+        for r in suite_requests(6) {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        // Six queued compiles at batch_max=2 is (at least) three more
+        // flush intervals of backlog than an empty queue.
+        assert!(
+            b.retry_after_hint() > empty_hint,
+            "{} vs {empty_hint}",
+            b.retry_after_hint()
+        );
+        b.close();
+        b.join().unwrap();
+    }
+
+    #[test]
+    fn greedy_client_is_capped_at_its_share_not_the_whole_queue() {
+        let svc = Arc::new(ServeService::in_memory());
+        // Long flush + big batch keep everything queued during the test.
+        let b = Batcher::new(
+            svc,
+            BatchConfig { batch_max: 64, flush_ms: 60_000, queue_cap: 9, jobs: 1 },
+        );
+        let greedy = b.register_client(1);
+        let light = b.register_client(1);
+        // Default client (share 1) + two registered: share_total = 3, so
+        // each client's quota is 9/3 = 3.
+        let (sink, _buf) = buffer();
+        let mut reqs = suite_requests(9).into_iter();
+        for _ in 0..3 {
+            b.submit_for(greedy, reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        }
+        let e = b.submit_for(greedy, reqs.next().unwrap(), Arc::clone(&sink)).unwrap_err();
+        assert!(
+            matches!(e, ServeError::Overloaded { cap: 3, .. }),
+            "greedy must bounce off its quota, got {e:?}"
+        );
+        // The light client still gets its full share.
+        for _ in 0..3 {
+            b.submit_for(light, reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        }
+        let e = b.submit_for(light, reqs.next().unwrap(), Arc::clone(&sink)).unwrap_err();
+        assert!(matches!(e, ServeError::Overloaded { cap: 3, .. }));
+        b.close();
+        b.join().unwrap();
+    }
+
+    #[test]
+    fn drain_round_robins_across_clients() {
+        let svc = Arc::new(ServeService::in_memory());
+        // Nothing flushes until close(): deadline far away, batch_max
+        // bigger than the workload, no non-compile verbs queued.
+        let b = Batcher::new(
+            svc,
+            BatchConfig { batch_max: 64, flush_ms: 60_000, queue_cap: 64, jobs: 1 },
+        );
+        let a = b.register_client(1);
+        let c = b.register_client(1);
+        let (sink, buf) = buffer();
+        let mut reqs = suite_requests(8).into_iter();
+        // Client a gets ids 0..4 first, then client c gets ids 4..8: a
+        // FIFO drain would answer all of a before any of c.
+        let mut ids = (0..8u64).map(|i| {
+            let Request::Compile { req, .. } = reqs.next().unwrap() else { panic!() };
+            Request::Compile { id: i, req }
+        });
+        for _ in 0..4 {
+            b.submit_for(a, ids.next().unwrap(), Arc::clone(&sink)).unwrap();
+        }
+        for _ in 0..4 {
+            b.submit_for(c, ids.next().unwrap(), Arc::clone(&sink)).unwrap();
+        }
+        b.close();
+        b.join().unwrap();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let order: Vec<u64> = out
+            .lines()
+            .map(|l| {
+                let rest = l.strip_prefix("{\"id\":").unwrap();
+                rest[..rest.find(',').unwrap()].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![0, 4, 1, 5, 2, 6, 3, 7],
+            "responses must interleave one per client per cycle: {out}"
+        );
+    }
+
+    #[test]
+    fn deregistered_client_frees_its_share() {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Batcher::new(
+            svc,
+            BatchConfig { batch_max: 64, flush_ms: 60_000, queue_cap: 8, jobs: 1 },
+        );
+        let a = b.register_client(3);
+        // default(1) + a(3): quota for default is 8*1/4 = 2.
+        let (sink, _buf) = buffer();
+        let mut reqs = suite_requests(6).into_iter();
+        b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        let e = b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap_err();
+        assert!(matches!(e, ServeError::Overloaded { cap: 2, .. }));
+        // After a disconnects, the default client has the queue to
+        // itself again (quota 8) and submitting as a is refused.
+        b.deregister_client(a);
+        b.submit(reqs.next().unwrap(), Arc::clone(&sink)).unwrap();
+        let e = b.submit_for(a, reqs.next().unwrap(), Arc::clone(&sink)).unwrap_err();
+        assert!(matches!(e, ServeError::Internal { .. }), "{e:?}");
+        b.close();
+        b.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_verb_reports_gauges_shards_and_latency() {
+        let svc = Arc::new(ServeService::in_memory());
+        let b = Batcher::new(svc, BatchConfig::default());
+        let (sink, buf) = buffer();
+        for r in suite_requests(3) {
+            b.submit(r, Arc::clone(&sink)).unwrap();
+        }
+        b.submit(Request::Metrics { id: 50 }, Arc::clone(&sink)).unwrap();
+        b.join().unwrap();
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let line = out.lines().last().unwrap();
+        assert!(line.contains("\"id\":50,\"ok\":true"), "{line}");
+        for field in [
+            "\"depth\":",
+            "\"in_flight\":",
+            "\"clients\":1",
+            "\"batch_occupancy\":",
+            "\"shards\":[{\"lookups\":",
+            "\"faults\":{\"armed\":false",
+            "\"latency\":{\"queue_wait\":{\"count\":",
+            "\"p99_us\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+        assert!(!line.contains('\n'), "metrics must be one canonical line");
     }
 
     #[test]

@@ -1,15 +1,27 @@
 //! `svd` — the selective-vectorization compilation daemon.
 //!
 //! Serves the newline-delimited JSON protocol (see `sv_serve::proto`)
-//! over stdin/stdout by default, or over TCP with `--tcp ADDR`. Every
-//! request flows through the bounded batching queue onto the
-//! deterministic worker pool, fronted by the two-tier compilation cache.
+//! over stdin/stdout by default, or over TCP with `--tcp ADDR` (a
+//! multi-client accept loop: every connection gets its own weighted-fair
+//! client identity, bounded by `--max-clients`). Every request flows
+//! through the bounded batching queue onto the deterministic worker
+//! pool, fronted by the two-tier compilation cache.
 //!
 //! ```text
-//! svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N]
+//! svd [--tcp ADDR] [--max-clients N] [--port-file PATH]
+//!     [--route ADDR,ADDR,...] [--jobs N] [--batch-max N] [--flush-ms N]
 //!     [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR]
 //!     [--machines DIR] [--faults SPEC] [--fault-seed N]
 //! ```
+//!
+//! `--route A,B,...` turns this process into a **router** over N running
+//! `svd --tcp` shards instead of a compile server: each request is
+//! forwarded to the shard keyed by its v2 canonical request key, with
+//! per-shard health checks and typed failover (`--tcp` required; the
+//! cache/queue flags are ignored in router mode).
+//!
+//! `--port-file PATH` writes the bound address (e.g. `127.0.0.1:40213`)
+//! to `PATH` after listening starts — ephemeral-port scripting for ci.
 //!
 //! `--machines DIR` loads every `*.spec`/`*.mspec` file in `DIR` into
 //! the machine registry next to the builtin `paper`/`figure1` entries;
@@ -30,23 +42,28 @@
 //! ```text
 //! $ echo '{"verb":"compile","id":1,"loop":"..."}' | svd --disk /tmp/svc
 //! $ svd --tcp 127.0.0.1:7199 --jobs 8 --machines examples/machines &
+//! $ svd --tcp 127.0.0.1:7200 --route 127.0.0.1:7199,127.0.0.1:7198 &
 //! ```
 //!
 //! Exit is triggered by the `shutdown` verb or stdin EOF; either way the
 //! queue drains fully before the process ends.
 
-use std::io::{BufRead, BufReader};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 use sv_core::CacheConfig;
 use sv_machine::MachineRegistry;
-use sv_serve::{parse_request, BatchConfig, Batcher, FaultConfig, FaultPlan, ServeService, Sink};
+use sv_serve::{
+    serve_lines, BatchConfig, Batcher, FaultConfig, FaultPlan, Router, RouterConfig, Server,
+    ServeService, ServerConfig, Sink,
+};
 
 struct Options {
     tcp: Option<String>,
+    route: Option<Vec<String>>,
+    port_file: Option<PathBuf>,
+    server: ServerConfig,
     batch: BatchConfig,
     cache: CacheConfig,
     machines_dir: Option<PathBuf>,
@@ -56,7 +73,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svd [--tcp ADDR] [--jobs N] [--batch-max N] [--flush-ms N] \
+        "usage: svd [--tcp ADDR] [--max-clients N] [--port-file PATH] \
+         [--route ADDR,ADDR,...] [--jobs N] [--batch-max N] [--flush-ms N] \
          [--queue-cap N] [--mem-entries N] [--mem-bytes N] [--disk DIR] \
          [--machines DIR] [--faults SPEC] [--fault-seed N]"
     );
@@ -66,6 +84,9 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut opts = Options {
         tcp: None,
+        route: None,
+        port_file: None,
+        server: ServerConfig::default(),
         batch: BatchConfig { jobs: sv_core::parallel::default_jobs(), ..BatchConfig::default() },
         cache: CacheConfig::default(),
         machines_dir: None,
@@ -88,6 +109,15 @@ fn parse_args() -> Options {
         };
         match a.as_str() {
             "--tcp" => opts.tcp = Some(val("--tcp")),
+            "--route" => {
+                opts.route = Some(
+                    val("--route").split(',').map(|s| s.trim().to_string()).collect(),
+                )
+            }
+            "--port-file" => opts.port_file = Some(PathBuf::from(val("--port-file"))),
+            "--max-clients" => {
+                opts.server.max_clients = num("--max-clients", val("--max-clients")).max(1)
+            }
             "--jobs" => opts.batch.jobs = num("--jobs", val("--jobs")).max(1),
             "--batch-max" => opts.batch.batch_max = num("--batch-max", val("--batch-max")).max(1),
             "--flush-ms" => opts.batch.flush_ms = num("--flush-ms", val("--flush-ms")) as u64,
@@ -116,28 +146,15 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Read request lines from `input`, submitting each to the batcher;
-/// admission failures (parse, overload, shutdown) are answered
-/// immediately on `sink` without occupying the queue.
-fn serve_lines(input: impl BufRead, batcher: &Batcher, sink: &Sink) {
-    for line in input.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let outcome = match parse_request(&line) {
-            Ok(req) => {
-                let id = req.id();
-                batcher.submit(req, Arc::clone(sink)).err().map(|e| (id, e))
-            }
-            Err((id, e)) => Some((id, e)),
-        };
-        if let Some((id, e)) = outcome {
-            let mut w = sink.lock().expect("sink poisoned");
-            let _ = writeln!(w, "{}", sv_serve::proto::error_response(id, &e));
-            let _ = w.flush();
-        }
+/// Bind, announce, and record the listening address for scripts.
+fn bind_and_announce(addr: &str, port_file: Option<&PathBuf>) -> std::io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("svd: listening on {local}");
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{local}\n"))?;
     }
+    Ok(listener)
 }
 
 fn serve_stdio(batcher: Batcher) -> Result<(), sv_serve::ServeError> {
@@ -147,40 +164,37 @@ fn serve_stdio(batcher: Batcher) -> Result<(), sv_serve::ServeError> {
     batcher.join()
 }
 
-fn serve_tcp(addr: &str, batcher: Batcher) -> std::io::Result<()> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    eprintln!("svd: listening on {}", listener.local_addr()?);
+fn serve_tcp(
+    addr: &str,
+    port_file: Option<&PathBuf>,
+    cfg: ServerConfig,
+    batcher: Batcher,
+) -> std::io::Result<()> {
+    let listener = bind_and_announce(addr, port_file)?;
     let batcher = Arc::new(batcher);
-    let mut conns = Vec::new();
-    // Poll so the accept loop can notice a protocol-initiated shutdown.
-    while !batcher.is_closed() {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                let reader = stream.try_clone()?;
-                let sink: Sink = Arc::new(Mutex::new(stream));
-                let b = Arc::clone(&batcher);
-                conns.push(
-                    std::thread::Builder::new()
-                        .name(format!("sv-serve-conn-{peer}"))
-                        .spawn(move || serve_lines(BufReader::new(reader), &b, &sink))?,
-                );
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    drop(listener);
-    // Finish answering already-connected clients, then drain the queue.
-    for c in conns {
-        let _ = c.join();
-    }
+    Server::new(Arc::clone(&batcher), cfg).serve(listener)?;
     match Arc::try_unwrap(batcher) {
         Ok(b) => b.join().map_err(|e| std::io::Error::other(e.to_string())),
         Err(_) => unreachable!("all connection threads joined"),
     }
+}
+
+fn serve_router(
+    addr: &str,
+    port_file: Option<&PathBuf>,
+    shards: Vec<String>,
+    registry: MachineRegistry,
+) -> std::io::Result<()> {
+    let listener = bind_and_announce(addr, port_file)?;
+    let router = Router::new(shards, registry, RouterConfig::default());
+    let up = router.health_check();
+    eprintln!(
+        "svd: routing to {} shard(s), {} healthy: {}",
+        up.len(),
+        up.iter().filter(|&&h| h).count(),
+        router.health_object()
+    );
+    router.serve(listener)
 }
 
 fn main() -> ExitCode {
@@ -194,6 +208,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(shards) = opts.route.take() {
+        let Some(addr) = opts.tcp.as_deref() else {
+            eprintln!("svd: --route needs --tcp ADDR to listen on");
+            return ExitCode::FAILURE;
+        };
+        return match serve_router(addr, opts.port_file.as_ref(), shards, registry) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("svd: router failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     // One seeded plan drives every layer, so a chaos run replays exactly.
     let plan = opts.faults.take().map(|cfg| {
@@ -218,7 +245,7 @@ fn main() -> ExitCode {
     let batcher = Batcher::with_faults(svc, opts.batch, plan);
     let outcome = match opts.tcp {
         None => serve_stdio(batcher).map_err(|e| std::io::Error::other(e.to_string())),
-        Some(addr) => serve_tcp(&addr, batcher),
+        Some(addr) => serve_tcp(&addr, opts.port_file.as_ref(), opts.server, batcher),
     };
     if let Err(e) = outcome {
         eprintln!("svd: server failed: {e}");

@@ -2,11 +2,20 @@
 //!
 //! `svc --server` and `loadgen` talk to a server through a
 //! [`RetryClient`]: one request line in, one response line out, with
-//! capped exponential backoff (plus seeded jitter) on the two *transient*
-//! failures — an `overloaded` rejection and a dropped connection. Every
-//! other outcome, including typed errors like `deadline` or `compile`,
-//! is final and returned to the caller as-is: retrying a request the
-//! server has already judged would only waste its deadline budget.
+//! retries on the *transient* failures — an `overloaded` or
+//! `unavailable` rejection and a dropped connection. Every other
+//! outcome, including typed errors like `deadline` or `compile`, is
+//! final and returned to the caller as-is: retrying a request the server
+//! has already judged would only waste its deadline budget.
+//!
+//! Backoff is **server-hinted first**: an `overloaded` rejection carries
+//! `retry_after_ms` — the server's own estimate of when queue space
+//! reappears, computed from live queue depth (see
+//! `crate::batch`) — and the client sleeps exactly that hint scaled by
+//! jitter in `[1.0, 1.5)`. Blind exponential backoff (jitter
+//! `[0.5, 1.5)`) remains the fallback for failures that carry no hint,
+//! such as dropped connections. Hinted waits are counted separately in
+//! [`RetryStats::hinted`].
 //!
 //! The client is deadline-aware: it never sleeps past the caller's
 //! deadline — when the next backoff would land beyond it, the client
@@ -62,6 +71,9 @@ pub struct RetryStats {
     pub attempts: u64,
     /// Retries performed (after a transient failure, before success).
     pub retries: u64,
+    /// Retries whose wait was paced by a server `retry_after_ms` hint
+    /// rather than blind exponential backoff.
+    pub hinted: u64,
     /// Calls abandoned: retries exhausted or deadline budget spent.
     pub give_ups: u64,
 }
@@ -118,15 +130,24 @@ pub trait Transport {
 }
 
 /// Whether a response line is a server-side *transient* rejection the
-/// client should retry (currently: the `overloaded` kind, matching
-/// [`crate::proto::ServeError::retryable`]).
+/// client should retry (the `overloaded` and `unavailable` kinds,
+/// matching [`crate::proto::ServeError::retryable`]).
 pub fn retryable_response(line: &str) -> bool {
     let Ok(v) = json::parse(line) else { return false };
     if v.get("ok").and_then(json::Value::as_bool) != Some(false) {
         return false;
     }
-    v.get("error").and_then(|e| e.get("kind")).and_then(json::Value::as_str)
-        == Some("overloaded")
+    matches!(
+        v.get("error").and_then(|e| e.get("kind")).and_then(json::Value::as_str),
+        Some("overloaded" | "unavailable")
+    )
+}
+
+/// The server's `retry_after_ms` backpressure hint from an error
+/// response line, when present.
+pub fn retry_after_ms(line: &str) -> Option<u64> {
+    let v = json::parse(line).ok()?;
+    v.get("error")?.get("retry_after_ms")?.as_u64()
 }
 
 /// A transport wrapped in retry/backoff/deadline logic.
@@ -154,10 +175,12 @@ impl<T: Transport> RetryClient<T> {
         &mut self.transport
     }
 
-    /// Send one request line, retrying transient failures with capped
-    /// exponential backoff and jitter, never sleeping past `deadline`.
-    /// A response line — even one carrying a non-retryable typed error —
-    /// is a success at this layer and is returned to the caller.
+    /// Send one request line, retrying transient failures — paced by the
+    /// server's `retry_after_ms` hint when the rejection carries one,
+    /// by capped exponential backoff with jitter otherwise — never
+    /// sleeping past `deadline`. A response line — even one carrying a
+    /// non-retryable typed error — is a success at this layer and is
+    /// returned to the caller.
     ///
     /// # Errors
     ///
@@ -173,12 +196,13 @@ impl<T: Transport> RetryClient<T> {
         loop {
             attempts += 1;
             self.stats.attempts += 1;
-            let transient = match self.transport.call(line) {
+            let (transient, hint) = match self.transport.call(line) {
                 Ok(response) if retryable_response(&response) => {
-                    format!("server overloaded: {response}")
+                    let hint = retry_after_ms(&response);
+                    (format!("server overloaded: {response}"), hint)
                 }
                 Ok(response) => return Ok(response),
-                Err(TransportError::Drop(m)) => format!("connection dropped: {m}"),
+                Err(TransportError::Drop(m)) => (format!("connection dropped: {m}"), None),
                 Err(TransportError::Fatal(m)) => {
                     self.stats.give_ups += 1;
                     return Err(ClientError::Fatal(m));
@@ -188,15 +212,30 @@ impl<T: Transport> RetryClient<T> {
                 self.stats.give_ups += 1;
                 return Err(ClientError::GiveUp { attempts, last: transient });
             }
-            let exp = self
-                .policy
-                .base_backoff
-                .saturating_mul(1u32 << (attempts - 1).min(16))
-                .min(self.policy.max_backoff);
-            // Jitter in [0.5, 1.5): desynchronizes clients that were all
-            // rejected by the same full queue.
-            let jitter = 0.5 + (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-            let delay = exp.mul_f64(jitter);
+            let delay = match hint {
+                // The server said when queue space should reappear:
+                // sleep exactly that, scaled by jitter in [1.0, 1.5) so
+                // hinted clients still fan out instead of stampeding
+                // back in lockstep.
+                Some(ms) => {
+                    let jitter =
+                        1.0 + (self.rng.next_u64() >> 11) as f64 / (1u64 << 54) as f64;
+                    Duration::from_millis(ms.max(1)).mul_f64(jitter)
+                }
+                // No hint (dropped connection): capped exponential
+                // backoff, jitter in [0.5, 1.5) to desynchronize
+                // clients that all failed at the same instant.
+                None => {
+                    let exp = self
+                        .policy
+                        .base_backoff
+                        .saturating_mul(1u32 << (attempts - 1).min(16))
+                        .min(self.policy.max_backoff);
+                    let jitter =
+                        0.5 + (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    exp.mul_f64(jitter)
+                }
+            };
             if let Some(d) = deadline {
                 // Sleeping past the deadline guarantees a useless
                 // attempt; give up now so the caller learns in time.
@@ -210,6 +249,9 @@ impl<T: Transport> RetryClient<T> {
             }
             std::thread::sleep(delay);
             self.stats.retries += 1;
+            if hint.is_some() {
+                self.stats.hinted += 1;
+            }
         }
     }
 }
@@ -453,6 +495,69 @@ mod tests {
         assert!(start.elapsed() < Duration::from_millis(500), "must not sleep 1s");
         let ClientError::GiveUp { last, .. } = e else { panic!("{e}") };
         assert!(last.contains("deadline budget"), "{last}");
+    }
+
+    #[test]
+    fn server_hint_paces_the_retry_and_is_counted() {
+        let hinted = r#"{"id":1,"ok":false,"error":{"kind":"overloaded","cap":4,"retry_after_ms":1,"message":"q"}}"#;
+        let mut c = RetryClient::new(
+            Scripted {
+                responses: vec![
+                    Ok(hinted.into()),
+                    Ok(r#"{"id":1,"ok":true,"result":{}}"#.into()),
+                ],
+                calls: 0,
+            },
+            // A blind exponential retry here would sleep ~1s; the 1 ms
+            // hint must be used instead.
+            RetryPolicy {
+                max_retries: 3,
+                base_backoff: Duration::from_secs(1),
+                max_backoff: Duration::from_secs(1),
+                seed: 3,
+            },
+        );
+        let start = Instant::now();
+        let out = c.call("{}", None).unwrap();
+        assert!(out.contains("\"ok\":true"));
+        assert!(start.elapsed() < Duration::from_millis(500), "hint must override backoff");
+        let s = c.stats();
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.hinted, 1);
+    }
+
+    #[test]
+    fn oversized_hint_still_respects_the_deadline() {
+        let hinted = r#"{"id":1,"ok":false,"error":{"kind":"overloaded","cap":4,"retry_after_ms":60000,"message":"q"}}"#;
+        let mut c = RetryClient::new(
+            Scripted { responses: vec![Ok(hinted.into())], calls: 0 },
+            fast_policy(),
+        );
+        let start = Instant::now();
+        let e = c.call("{}", Some(start + Duration::from_millis(5))).unwrap_err();
+        assert!(start.elapsed() < Duration::from_millis(500), "must not sleep 60s");
+        let ClientError::GiveUp { last, .. } = e else { panic!("{e}") };
+        assert!(last.contains("deadline budget"), "{last}");
+        assert_eq!(c.stats().hinted, 0, "the hinted sleep never happened");
+    }
+
+    #[test]
+    fn unavailable_is_transient_and_retried() {
+        let unavailable =
+            r#"{"id":1,"ok":false,"error":{"kind":"unavailable","message":"no backend"}}"#;
+        let mut c = RetryClient::new(
+            Scripted {
+                responses: vec![
+                    Ok(unavailable.into()),
+                    Ok(r#"{"id":1,"ok":true,"result":{}}"#.into()),
+                ],
+                calls: 0,
+            },
+            fast_policy(),
+        );
+        let out = c.call("{}", None).unwrap();
+        assert!(out.contains("\"ok\":true"));
+        assert_eq!(c.stats().retries, 1);
     }
 
     #[test]

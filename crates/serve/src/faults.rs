@@ -15,6 +15,7 @@
 //! | drainer | panic before/mid-batch | supervisor respawn + exactly-once re-queue |
 //! | stall | drainer sleeps before an action | deadline verdicts, `overloaded` backpressure |
 //! | connection | response dropped on the client path | retrying client ([`crate::client`]) |
+//! | burst | one client floods a burst of extra submissions | weighted-fair admission, typed `overloaded` + `retry_after_ms` |
 //!
 //! Probabilities default to zero: a default plan injects nothing, and a
 //! plan-free server pays only an `Option` check per site.
@@ -55,6 +56,13 @@ pub struct FaultConfig {
     pub stall_ms: u64,
     /// Dropped response per client call (simulated connection drop).
     pub conn_drop: f64,
+    /// Burst of extra submissions from a greedy client, per chaos wave
+    /// (multi-connection site: floods one client's fair share so
+    /// admission must reject with typed `overloaded` while other
+    /// clients keep completing).
+    pub client_burst: f64,
+    /// How many extra submissions one burst injects.
+    pub burst_len: u64,
 }
 
 impl Default for FaultConfig {
@@ -71,6 +79,8 @@ impl Default for FaultConfig {
             queue_stall: 0.0,
             stall_ms: 2,
             conn_drop: 0.0,
+            client_burst: 0.0,
+            burst_len: 8,
         }
     }
 }
@@ -93,6 +103,8 @@ impl FaultConfig {
             queue_stall: 0.05,
             stall_ms: 1,
             conn_drop: 0.10,
+            client_burst: 0.25,
+            burst_len: 8,
         }
     }
 
@@ -144,6 +156,8 @@ impl FaultConfig {
                 "queue_stall" => cfg.queue_stall = p()?,
                 "stall_ms" => cfg.stall_ms = ms()?,
                 "conn_drop" => cfg.conn_drop = p()?,
+                "client_burst" => cfg.client_burst = p()?,
+                "burst_len" => cfg.burst_len = ms()?,
                 other => return Err(format!("unknown fault knob `{other}`")),
             }
         }
@@ -160,9 +174,10 @@ enum Site {
     Drainer = 3,
     Stall = 4,
     Conn = 5,
+    Burst = 6,
 }
 
-const SITES: usize = 6;
+const SITES: usize = 7;
 
 /// What the plan dictates for one batch-entry compile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +211,8 @@ pub struct FaultCounters {
     pub queue_stalls: u64,
     /// Responses dropped on the client path.
     pub conn_drops: u64,
+    /// Greedy-client bursts injected.
+    pub client_bursts: u64,
 }
 
 impl FaultCounters {
@@ -210,6 +227,7 @@ impl FaultCounters {
             + self.drainer_panics
             + self.queue_stalls
             + self.conn_drops
+            + self.client_bursts
     }
 }
 
@@ -220,7 +238,7 @@ impl FaultCounters {
 pub struct FaultPlan {
     cfg: FaultConfig,
     sites: Vec<Mutex<SmallRng>>,
-    injected: [AtomicU64; 9],
+    injected: [AtomicU64; 10],
 }
 
 impl FaultPlan {
@@ -304,6 +322,19 @@ impl FaultPlan {
         }
     }
 
+    /// How many extra submissions a greedy client should flood into the
+    /// queue right now (`0` = no burst this wave). The burst targets one
+    /// client's fair share, so the admission path must answer the excess
+    /// with typed `overloaded` while other clients keep completing.
+    pub fn client_burst(&self) -> u64 {
+        if self.draw(Site::Burst, self.cfg.client_burst) {
+            self.count(9);
+            self.cfg.burst_len
+        } else {
+            0
+        }
+    }
+
     /// Faults injected so far.
     pub fn injected(&self) -> FaultCounters {
         let c = |i: usize| self.injected[i].load(Ordering::Relaxed);
@@ -317,6 +348,7 @@ impl FaultPlan {
             drainer_panics: c(6),
             queue_stalls: c(7),
             conn_drops: c(8),
+            client_bursts: c(9),
         }
     }
 }
@@ -365,6 +397,7 @@ mod tests {
             assert_eq!(plan.drainer_panic_point(8), None);
             assert_eq!(plan.stall(), None);
             assert!(!plan.drop_response());
+            assert_eq!(plan.client_burst(), 0);
         }
         assert_eq!(plan.injected().total(), 0);
     }
@@ -395,6 +428,7 @@ mod tests {
             let _ = plan.drainer_panic_point(6);
             let _ = plan.stall();
             let _ = plan.drop_response();
+            let _ = plan.client_burst();
         }
         let c = plan.injected();
         assert!(c.disk_reads > 0, "{c:?}");
@@ -406,6 +440,7 @@ mod tests {
         assert!(c.drainer_panics > 0, "{c:?}");
         assert!(c.queue_stalls > 0, "{c:?}");
         assert!(c.conn_drops > 0, "{c:?}");
+        assert!(c.client_bursts > 0, "{c:?}");
     }
 
     #[test]
@@ -425,10 +460,14 @@ mod tests {
 
     #[test]
     fn spec_parsing_round_trips_and_rejects_garbage() {
-        let cfg = FaultConfig::parse("disk_read=0.5,torn_write=0.25,stall_ms=7").unwrap();
+        let cfg =
+            FaultConfig::parse("disk_read=0.5,torn_write=0.25,stall_ms=7,client_burst=0.4,burst_len=3")
+                .unwrap();
         assert_eq!(cfg.disk_read, 0.5);
         assert_eq!(cfg.torn_write, 0.25);
         assert_eq!(cfg.stall_ms, 7);
+        assert_eq!(cfg.client_burst, 0.4);
+        assert_eq!(cfg.burst_len, 3);
         assert_eq!(cfg.drainer_panic, 0.0);
         let soak = FaultConfig::parse("soak,conn_drop=0").unwrap();
         assert_eq!(soak.disk_read, FaultConfig::soak().disk_read);

@@ -10,15 +10,24 @@
 //! * [`proto`] — request/response types, the typed [`proto::ServeError`]
 //!   taxonomy, and the wire renderings;
 //! * [`service`] — decode → [`sv_core::compile_cached`] → canonical body;
-//! * [`batch`] — the bounded queue and its *supervised* batching drainer:
-//!   per-entry panic isolation, exactly-once response accounting across
-//!   drainer deaths;
+//! * [`batch`] — the bounded multi-tenant queue and its *supervised*
+//!   batching drainer: per-client weighted-fair admission, round-robin
+//!   drain, per-entry panic isolation, exactly-once response accounting
+//!   across drainer deaths;
+//! * [`server`] — the multi-client TCP accept loop: per-connection
+//!   client identities, `--max-clients` bounding, EOF-survival;
+//! * [`router`] — the shard-by-canonical-hash front process for
+//!   multi-instance mode: pure-hash routing on the v2 request key,
+//!   per-shard health checks, typed failover;
+//! * [`metrics`] — lock-free latency histograms and the `metrics` verb's
+//!   canonical rendering;
 //! * [`faults`] — seeded, deterministic fault injection (disk I/O errors,
 //!   torn writes, compile panics, drainer deaths, stalls, connection
-//!   drops) driving the `chaos` soak in `sv-bench`;
-//! * [`client`] — a retrying client (capped exponential backoff with
-//!   jitter on `overloaded`/connection drops, deadline-budget aware)
-//!   used by `svc --server` and `loadgen`.
+//!   drops, greedy-client bursts) driving the `chaos` soak in `sv-bench`;
+//! * [`client`] — a retrying client (server-hinted `retry_after_ms`
+//!   backoff when offered, capped exponential backoff with jitter
+//!   otherwise, deadline-budget aware) used by `svc --server` and
+//!   `loadgen`.
 //!
 //! The load-generator client (`loadgen`) and the `chaos` soak live in
 //! `sv-bench`, next to the other measurement binaries.
@@ -38,11 +47,17 @@ pub mod batch;
 pub mod client;
 pub mod faults;
 pub mod json;
+pub mod metrics;
 pub mod proto;
+pub mod router;
+pub mod server;
 pub mod service;
 
-pub use batch::{BatchConfig, Batcher, QueueStats, Sink};
+pub use batch::{BatchConfig, Batcher, QueueStats, Sink, DEFAULT_CLIENT};
 pub use client::{ClientError, InProcess, RetryClient, RetryPolicy, RetryStats, TcpTransport};
 pub use faults::{CompileFault, FaultConfig, FaultCounters, FaultPlan};
+pub use metrics::{LatencyHistogram, PhaseLatencies};
 pub use proto::{parse_request, CompileRequest, Request, ServeError};
+pub use router::{Router, RouterConfig};
+pub use server::{serve_lines, Server, ServerConfig};
 pub use service::ServeService;

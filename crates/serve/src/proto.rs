@@ -10,6 +10,7 @@
 //! | `batch` | `requests`: array of compile bodies | array of per-request results |
 //! | `machines` | — | the machine registry: names, canonical hashes, sources |
 //! | `stats` | — | cache/queue counters |
+//! | `metrics` | — | queue depth, batch occupancy, ledger size, per-shard cache hit rates, fault counters, per-phase latency percentiles |
 //! | `shutdown` | — | ack; server drains and exits |
 //!
 //! A compile body names a registered machine (`machine`) or carries an
@@ -32,10 +33,21 @@ use std::time::Duration;
 /// carries its own taxonomy from the driver).
 #[derive(Debug)]
 pub enum ServeError {
-    /// The bounded request queue is full; the client should back off.
+    /// The bounded request queue (or the caller's fair share of it) is
+    /// full; the client should back off.
     Overloaded {
         /// The configured queue capacity that was exceeded.
         cap: usize,
+        /// Server-computed backoff hint from live queue depth: roughly
+        /// how long until the queued work ahead has drained. Clients
+        /// honor it in place of blind exponential backoff.
+        retry_after_ms: u64,
+    },
+    /// No healthy backend could take the request (router mode: the keyed
+    /// shard and every failover candidate are down).
+    Unavailable {
+        /// What was tried.
+        message: String,
     },
     /// The request's deadline passed before a worker picked it up.
     DeadlineExceeded {
@@ -70,6 +82,7 @@ impl ServeError {
     pub fn kind(&self) -> &'static str {
         match self {
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Unavailable { .. } => "unavailable",
             ServeError::DeadlineExceeded { .. } => "deadline",
             ServeError::Parse { .. } => "parse",
             ServeError::BadRequest { .. } => "bad_request",
@@ -82,15 +95,28 @@ impl ServeError {
     /// Whether a client should retry this error (after backoff): the
     /// condition is transient and a later attempt can succeed.
     pub fn retryable(&self) -> bool {
-        matches!(self, ServeError::Overloaded { .. })
+        matches!(self, ServeError::Overloaded { .. } | ServeError::Unavailable { .. })
+    }
+
+    /// The server's backoff hint, when this error carries one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ServeError::Overloaded { retry_after_ms, .. } => {
+                Some(Duration::from_millis(*retry_after_ms))
+            }
+            _ => None,
+        }
     }
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Overloaded { cap } => {
-                write!(f, "queue full (capacity {cap}); retry later")
+            ServeError::Overloaded { cap, retry_after_ms } => {
+                write!(f, "queue full (capacity {cap}); retry in {retry_after_ms} ms")
+            }
+            ServeError::Unavailable { message } => {
+                write!(f, "no healthy backend: {message}")
             }
             ServeError::DeadlineExceeded { timeout_ms } => {
                 write!(f, "deadline of {timeout_ms} ms passed before execution")
@@ -240,6 +266,13 @@ pub enum Request {
         /// Client correlation id.
         id: u64,
     },
+    /// Report live serving metrics: queue depth, batch occupancy, ledger
+    /// size, per-shard cache hit rates, fault counters, per-phase
+    /// latency percentiles.
+    Metrics {
+        /// Client correlation id.
+        id: u64,
+    },
     /// Drain pending work and exit.
     Shutdown {
         /// Client correlation id.
@@ -255,6 +288,7 @@ impl Request {
             | Request::Batch { id, .. }
             | Request::Machines { id }
             | Request::Stats { id }
+            | Request::Metrics { id }
             | Request::Shutdown { id } => *id,
         }
     }
@@ -367,9 +401,10 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, ServeError)> {
         }
         "machines" => Ok(Request::Machines { id }),
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(fail(bad(format!(
-            "unknown verb `{other}` (want compile, batch, machines, stats or shutdown)"
+            "unknown verb `{other}` (want compile, batch, machines, stats, metrics or shutdown)"
         )))),
     }
 }
@@ -398,6 +433,10 @@ pub fn error_object(e: &ServeError) -> String {
             ce.pass(),
             json::escape(ce.loop_name()),
             json::escape(&ce.to_string())
+        ),
+        ServeError::Overloaded { retry_after_ms, .. } => format!(
+            "{{\"kind\":\"overloaded\",\"retry_after_ms\":{retry_after_ms},\"message\":\"{}\"}}",
+            json::escape(&e.to_string())
         ),
         other => format!(
             "{{\"kind\":\"{}\",\"message\":\"{}\"}}",
@@ -485,6 +524,23 @@ mod tests {
     }
 
     #[test]
+    fn metrics_verb_parses() {
+        let r = parse_request(r#"{"verb":"metrics","id":13}"#).unwrap();
+        assert!(matches!(r, Request::Metrics { id: 13 }));
+    }
+
+    #[test]
+    fn overload_hint_is_typed_and_on_the_wire() {
+        let e = ServeError::Overloaded { cap: 4, retry_after_ms: 30 };
+        assert!(e.retryable());
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(30)));
+        let u = ServeError::Unavailable { message: "2 shards down".into() };
+        assert!(u.retryable());
+        assert_eq!(u.retry_after(), None);
+        assert_eq!(u.kind(), "unavailable");
+    }
+
+    #[test]
     fn inline_spec_round_trips_through_wire() {
         let req = CompileRequest {
             loop_text: "loop t (trip 4 x1 invocations, scale 1)".into(),
@@ -533,8 +589,10 @@ mod tests {
     fn responses_are_single_lines() {
         let ok = ok_response(4, "{\"x\":1}");
         assert_eq!(ok, "{\"id\":4,\"ok\":true,\"result\":{\"x\":1}}");
-        let err = error_response(5, &ServeError::Overloaded { cap: 8 });
+        let err =
+            error_response(5, &ServeError::Overloaded { cap: 8, retry_after_ms: 12 });
         assert!(err.contains("\"kind\":\"overloaded\""), "{err}");
+        assert!(err.contains("\"retry_after_ms\":12"), "{err}");
         assert!(!err.contains('\n'));
     }
 

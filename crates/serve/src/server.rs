@@ -1,0 +1,182 @@
+//! The multi-client TCP front door.
+//!
+//! Each accepted connection registers its own client identity with the
+//! batcher (weighted-fair admission, round-robin service — see
+//! [`crate::batch`]) and gets a dedicated reader thread; responses are
+//! written back by the drainer through the connection's sink, in that
+//! connection's submission order. The accept loop:
+//!
+//! * is bounded by [`ServerConfig::max_clients`] — a connection past the
+//!   bound is answered with one typed `overloaded` line (carrying the
+//!   live `retry_after_ms` hint) and closed, never queued invisibly;
+//! * survives client misbehavior: a disconnect, EOF mid-line, or failed
+//!   accept handshake costs only that connection — the daemon keeps
+//!   serving (the pre-multi-tenant loop died on the first accept error);
+//! * winds down when the batcher closes (a `shutdown` verb from any
+//!   client, or [`crate::Batcher::close`]): connection threads notice
+//!   via a finite read timeout and exit even when their client keeps an
+//!   idle connection open.
+
+use crate::batch::{Batcher, Sink, DEFAULT_CLIENT};
+use crate::proto::{error_response, parse_request, ServeError};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Accept-loop knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most simultaneous connections served; the next one is refused
+    /// with a typed `overloaded` line.
+    pub max_clients: usize,
+    /// Fairness share registered for each connection (see
+    /// [`Batcher::register_client`]).
+    pub client_share: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { max_clients: 64, client_share: 1 }
+    }
+}
+
+/// Parse one request line and submit it on behalf of `client`; admission
+/// failures (parse, overload, shutdown) are answered immediately on
+/// `sink` without occupying the queue.
+fn handle_line(batcher: &Batcher, client: u64, line: &str, sink: &Sink) {
+    if line.trim().is_empty() {
+        return;
+    }
+    let outcome = match parse_request(line) {
+        Ok(req) => {
+            let id = req.id();
+            batcher.submit_for(client, req, Arc::clone(sink)).err().map(|e| (id, e))
+        }
+        Err((id, e)) => Some((id, e)),
+    };
+    if let Some((id, e)) = outcome {
+        let mut w = sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writeln!(w, "{}", error_response(id, &e));
+        let _ = w.flush();
+    }
+}
+
+/// Read request lines from `input` as the always-registered
+/// [`DEFAULT_CLIENT`], submitting each to the batcher — the stdio
+/// front-end (`svd` without `--tcp`) and the test harnesses.
+pub fn serve_lines(input: impl BufRead, batcher: &Batcher, sink: &Sink) {
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        handle_line(batcher, DEFAULT_CLIENT, &line, sink);
+    }
+}
+
+/// Serve one accepted connection as registered client `client` until the
+/// client hangs up or the batcher closes.
+fn serve_conn(batcher: &Batcher, client: u64, stream: TcpStream) {
+    // A finite read timeout lets this thread notice server shutdown even
+    // when its client keeps an idle connection open.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return, // connection-local failure: drop this client only
+    };
+    let sink: Sink = Arc::new(Mutex::new(stream));
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client EOF
+            Ok(_) => {
+                handle_line(batcher, client, &line, &sink);
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // Idle (or mid-line) timeout: keep any partial line
+                // accumulated so far and poll the shutdown flag.
+                if batcher.is_closed() {
+                    return;
+                }
+            }
+            Err(_) => return, // connection reset: this client is gone
+        }
+    }
+}
+
+/// The accept loop around a shared [`Batcher`].
+pub struct Server {
+    batcher: Arc<Batcher>,
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// Wrap a batcher in an accept loop.
+    pub fn new(batcher: Arc<Batcher>, cfg: ServerConfig) -> Server {
+        Server { batcher, cfg }
+    }
+
+    /// Accept and serve connections until the batcher closes (a
+    /// `shutdown` verb or [`Batcher::close`]), then join every
+    /// connection thread. The queue itself is *not* joined here — the
+    /// caller still owns that (and the final drain).
+    ///
+    /// # Errors
+    ///
+    /// Only for listener-level setup failure (`set_nonblocking`);
+    /// per-connection errors are contained.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.batcher.is_closed() {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    // Reap finished connection threads so the bound
+                    // tracks *live* clients, not historical ones.
+                    conns.retain(|h| !h.is_finished());
+                    if conns.len() >= self.cfg.max_clients {
+                        refuse(stream, self.cfg.max_clients, self.batcher.retry_after_hint());
+                        continue;
+                    }
+                    let client = self.batcher.register_client(self.cfg.client_share);
+                    let b = Arc::clone(&self.batcher);
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("sv-serve-conn-{peer}"))
+                        .spawn(move || {
+                            serve_conn(&b, client, stream);
+                            b.deregister_client(client);
+                        });
+                    match spawned {
+                        Ok(h) => conns.push(h),
+                        Err(_) => self.batcher.deregister_client(client),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // A failed accept (client vanished mid-handshake,
+                // transient resource pressure) must never kill the
+                // daemon: keep listening.
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        drop(listener);
+        for c in conns {
+            let _ = c.join();
+        }
+        Ok(())
+    }
+}
+
+/// Answer an over-capacity connection with one typed `overloaded` line
+/// and close it.
+fn refuse(mut stream: TcpStream, max_clients: usize, retry_after_ms: u64) {
+    let e = ServeError::Overloaded { cap: max_clients, retry_after_ms };
+    let _ = writeln!(stream, "{}", error_response(0, &e));
+    let _ = stream.flush();
+}
