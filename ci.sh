@@ -11,6 +11,9 @@ JOBS="$(nproc 2>/dev/null || echo 1)"
 cargo build --release --workspace
 cargo test --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# The fuzzer sweeps every generator profile per seed — including the
+# `predicated` profile (dense if-converted cmp+select chains), so each
+# fuzz block below is also a 100+-seed predicated sweep.
 cargo run --release -p sv-bench --bin fuzz -- --seeds 0..200 --fail-fast --jobs "$JOBS"
 
 # Engine self-check: every compiled case executed on both the fast
@@ -29,6 +32,10 @@ cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --oracle-selfcheck 
 # fails the test).
 cargo test --release -p sv-sim --test sched_exec_equiv
 cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --executed-selfcheck --fail-fast --jobs "$JOBS"
+# The same executed gate swept over the select-capacity registry
+# machines (selcheap/selslow), exercising shared select units at both
+# extremes of latency and bandwidth.
+cargo run --release -p sv-bench --bin fuzz -- --seeds 0..100 --executed-selfcheck --fail-fast --jobs "$JOBS" --machines examples/machines
 cargo test --release -p sv-bench --test golden table_executed_matches_golden
 echo "ci: executed schedules bit-identical at scheduled II (equiv suite + fuzz + registry sweep)"
 

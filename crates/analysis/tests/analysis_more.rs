@@ -145,3 +145,68 @@ fn long_distance_star_free_loop_vectorizable_at_smaller_vl() {
         assert_eq!(v.iter().all(|s| s.is_vectorizable()), ok, "vl={vl}");
     }
 }
+
+#[test]
+fn select_three_operand_form_builds_all_register_edges() {
+    // cond, then-arm, else-arm: every one of a select's three operands
+    // must contribute its own flow edge into the dependence graph.
+    let mut b = LoopBuilder::new("sel");
+    let x = b.array("x", ScalarType::F64, 16);
+    let y = b.array("y", ScalarType::F64, 16);
+    let z = b.array("z", ScalarType::F64, 16);
+    let lx = b.load(x, 1, 0);
+    let ly = b.load(y, 1, 0);
+    let c = b.fcmplt(lx, ly);
+    let s = b.fselect(c, lx, ly);
+    b.store(z, 1, 0, s);
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    for src in [c, lx, ly] {
+        assert!(
+            g.edges()
+                .iter()
+                .any(|e| e.src == src && e.dst == s && !e.is_mem && e.kind == DepKind::Flow),
+            "missing flow edge {src:?} -> select"
+        );
+    }
+    // A carried read through the else-arm is an edge too.
+    let mut b = LoopBuilder::new("selc");
+    let x = b.array("x", ScalarType::F64, 16);
+    let w = b.array("w", ScalarType::F64, 16);
+    let lx = b.load(x, 1, 0);
+    let c = b.fcmplt(lx, lx);
+    let s = b.select(
+        ScalarType::F64,
+        Operand::def(c),
+        Operand::def(lx),
+        Operand::carried(lx, 2),
+    );
+    b.store(w, 1, 0, s);
+    let l = b.finish();
+    let g = DepGraph::build(&l);
+    assert!(
+        g.edges()
+            .iter()
+            .any(|e| e.src == lx && e.dst == s && e.distance == 2),
+        "carried else-arm edge missing"
+    );
+}
+
+#[test]
+fn cmp_select_chain_is_vectorizable_and_not_a_reduction() {
+    // A straight-line clip kernel (load, compare, select, store) has no
+    // cycles: every op vectorizes, and the select must not be mistaken
+    // for a reduction by the cycle rules.
+    let mut b = LoopBuilder::new("clip");
+    let x = b.array("x", ScalarType::F64, 64);
+    let y = b.array("y", ScalarType::F64, 64);
+    let lx = b.load(x, 1, 0);
+    let c = b.fcmplt(lx, lx);
+    let s = b.fselect(c, lx, lx);
+    b.store(y, 1, 0, s);
+    let l = b.finish();
+    assert!(!l.ops[s.index()].is_reduction);
+    let g = DepGraph::build(&l);
+    let v = vectorizable_ops(&l, &g, 4);
+    assert!(v.iter().all(|st| *st == VecStatus::Vectorizable), "{v:?}");
+}

@@ -26,6 +26,7 @@ fn sized_profile(loads: u32, arith: u32) -> SynthProfile {
         recurrence_prob: 0.1,
         div_prob: 0.02,
         carried_prob: 0.05,
+        cmp_select_prob: 0.0,
         trip: (128, 128),
         invocations: (1, 1),
     }

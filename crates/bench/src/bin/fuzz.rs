@@ -85,7 +85,20 @@ fn profiles() -> Vec<(&'static str, SynthProfile)> {
             // Small loops with tiny trips: cleanup-loop and remainder
             // handling.
             "tiny",
-            SynthProfile { loads: (1, 2), arith: (1, 3), trip: (1, 9), ..broad },
+            SynthProfile { loads: (1, 2), arith: (1, 3), trip: (1, 9), ..broad.clone() },
+        ),
+        (
+            // If-converted control flow: dense cmp+select chains, some
+            // with carried (latched) else-arms, mixed with reductions —
+            // the predicated path through every layer.
+            "predicated",
+            SynthProfile {
+                cmp_select_prob: 0.4,
+                arith: (3, 12),
+                carried_prob: 0.15,
+                reduction_prob: 0.4,
+                ..broad
+            },
         ),
     ]
 }
@@ -561,6 +574,25 @@ mod tests {
             let checks = Checks { executed: true, ..Checks::default() };
             assert!(run_case(&l, &m, strategy, checks).is_none(), "{strategy}");
         }
+    }
+
+    #[test]
+    fn predicated_profile_emits_selects_and_passes_selfchecks() {
+        // The predicated profile must actually produce cmp/select chains,
+        // and those chains must hold the same engine + executed gates the
+        // CI sweeps enforce.
+        let (_, profile) = profiles().into_iter().find(|(n, _)| *n == "predicated").unwrap();
+        let m = MachineConfig::paper_default();
+        let mut saw_select = false;
+        for seed in 0..8 {
+            let l = fuzz_loop(&format!("t{seed}"), &profile, seed);
+            saw_select |= l.ops.iter().any(|o| o.opcode.kind == sv_ir::OpKind::Select);
+            for strategy in Strategy::ALL {
+                let checks = Checks { oracle: true, executed: true, ..Checks::default() };
+                assert!(run_case(&l, &m, strategy, checks).is_none(), "seed {seed} {strategy}");
+            }
+        }
+        assert!(saw_select, "predicated profile never emitted a select in 8 seeds");
     }
 
     #[test]

@@ -755,6 +755,31 @@ mod tests {
     }
 
     #[test]
+    fn predicated_kernel_vectorizes_profitably() {
+        // swim.wetdry: an FP-bound conditional saxpy (cubic drag, mask
+        // compare, select). The cmp/select chain vectorizes like any
+        // elementwise op, so the partitioner can split the chain across
+        // the scalar FP units and the vector unit — selective must beat
+        // the unrolled scalar baseline, traditional vectorization, and
+        // all-or-nothing full vectorization on the paper machine.
+        let m = MachineConfig::paper_default();
+        let suite = benchmark("swim").unwrap();
+        let l = suite
+            .loops
+            .iter()
+            .find(|l| l.name.ends_with("wetdry"))
+            .expect("swim.wetdry in suite");
+        let r = evaluate_loop(l, &m, &SelectiveConfig::default()).unwrap();
+        let sel = r.outcomes["selective"].cycles;
+        let trad = r.outcomes["traditional"].cycles;
+        let full = r.outcomes["full"].cycles;
+        let base = r.outcomes["modulo"].cycles;
+        assert!(sel < trad, "selective {sel} vs traditional {trad}");
+        assert!(sel < full, "selective {sel} vs full {full}");
+        assert!(sel < base, "selective {sel} vs modulo baseline {base}");
+    }
+
+    #[test]
     fn table3_counts_add_up() {
         let m = MachineConfig::paper_default();
         let r = evaluate_suite(&benchmark("tomcatv").unwrap(), &m, &SelectiveConfig::default(), 1)

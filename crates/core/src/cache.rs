@@ -43,7 +43,11 @@ use sv_machine::MachineConfig;
 /// renderings to canonical encodings ([`MachineConfig::to_spec`] /
 /// [`DriverConfig::canonical_encoding`]), so keys are invariant under
 /// spec formatting and derive churn.
-const KEY_SCHEMA: &str = "sv-core/cache/v2";
+/// v3: predicated IR (`cmp`/`select`) landed — loops and machines gained
+/// new canonical dimensions (select opcodes in the loop text,
+/// `select_units`/`lat.select` in every machine encoding), so v2 entries
+/// describe results a v3 compiler would not reproduce.
+const KEY_SCHEMA: &str = "sv-core/cache/v3";
 
 /// Magic prefixing every disk entry's header line.
 const DISK_MAGIC: &str = "svcache/v1";
@@ -800,6 +804,59 @@ mod tests {
         let full = DriverConfig::for_strategy(Strategy::Full);
         assert_ne!(request_key(&l, &paper, &cfg), request_key(&l, &paper, &full));
         assert_ne!(request_key(&l, &paper, &cfg), request_key(&dot("dot2"), &paper, &cfg));
+    }
+
+    #[test]
+    fn key_separates_predicated_loop_from_select_free_cousin() {
+        // A clip kernel and its select-free cousin (identical loads and
+        // store, no cmp/select between them) must never share a cache
+        // entry: the predicated ops are part of the loop's canonical
+        // form, so the v3 keys differ.
+        let clip = |predicated: bool| {
+            let mut b = LoopBuilder::new("clip");
+            b.trip(100);
+            let x = b.array("x", ScalarType::F64, 128);
+            let y = b.array("y", ScalarType::F64, 128);
+            let lx = b.load(x, 1, 0);
+            let v = if predicated {
+                let c = b.cmp(
+                    sv_ir::CmpPred::Lt,
+                    ScalarType::F64,
+                    sv_ir::Operand::def(lx),
+                    sv_ir::Operand::ConstF(1.0),
+                );
+                b.select(
+                    ScalarType::F64,
+                    sv_ir::Operand::def(c),
+                    sv_ir::Operand::def(lx),
+                    sv_ir::Operand::ConstF(1.0),
+                )
+            } else {
+                lx
+            };
+            b.store(y, 1, 0, v);
+            b.finish()
+        };
+        let m = MachineConfig::paper_default();
+        let cfg = DriverConfig::default();
+        assert_ne!(
+            request_key(&clip(true), &m, &cfg),
+            request_key(&clip(false), &m, &cfg)
+        );
+    }
+
+    #[test]
+    fn v3_keys_differ_from_v2_for_identical_requests() {
+        // The schema bump alone must invalidate every v2 entry: the same
+        // loop, machine and config hashed under the old tag may not
+        // collide with today's key (old disk tiers describe results a v3
+        // compiler would not reproduce — machines now carry select
+        // dimensions).
+        let l = dot("dot");
+        let m = MachineConfig::paper_default();
+        let cfg = DriverConfig::default();
+        let v2 = l.canonical_hash(&["sv-core/cache/v2", &m.to_spec(), &cfg.canonical_encoding()]);
+        assert_ne!(request_key(&l, &m, &cfg), v2);
     }
 
     #[test]

@@ -110,10 +110,10 @@ pub struct OptimalReport {
 }
 
 /// Number of modelled resource classes (`ResourceClass::ALL`).
-const NC: usize = 8;
+const NC: usize = 9;
 
 /// Number of resource groups the bound aggregates over.
-const NG: usize = 12;
+const NG: usize = 13;
 
 /// Resource groups as bitmasks over `ResourceClass::ALL` slots: every
 /// singleton class, plus the unions that couple the classes an op's two
@@ -131,6 +131,7 @@ const GROUPS: [u16; NG] = [
     0b0010_0000, // vector
     0b0100_0000, // merge
     0b1000_0000, // vissue
+    0b1_0000_0000, // select (shared by scalar and vector selects — no union)
     0b0010_0100, // fp + vector
     0b0010_0010, // int + vector
     0b0010_0110, // int + fp + vector

@@ -50,6 +50,7 @@ fn kl_matches_the_exhaustive_optimum_on_small_loops() {
         recurrence_prob: 0.2,
         div_prob: 0.05,
         carried_prob: 0.1,
+        cmp_select_prob: 0.1,
         trip: (64, 64),
         invocations: (1, 1),
     };

@@ -1,7 +1,7 @@
 //! Ergonomic construction of loops.
 
 use crate::mem::{ArrayDecl, ArrayId, MemRef};
-use crate::op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
+use crate::op::{CarriedInit, CmpPred, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
 use crate::program::{LiveIn, LiveInId, LiveOut, Loop, TripCount};
 use crate::types::ScalarType;
 use crate::verify::VerifyError;
@@ -196,6 +196,52 @@ impl LoopBuilder {
     pub fn unary(&mut self, kind: OpKind, ty: ScalarType, a: OpId) -> OpId {
         debug_assert_eq!(kind.arity(), 1);
         self.push(Opcode::scalar(kind, ty), vec![Operand::def(a)], None, false)
+    }
+
+    /// Emit an ordered comparison `a <pred> b` producing 0/1 in `ty`.
+    pub fn cmp(&mut self, pred: CmpPred, ty: ScalarType, a: Operand, b: Operand) -> OpId {
+        self.bin(OpKind::Cmp(pred), ty, a, b)
+    }
+
+    /// `a < b` on two defs, producing a 0/1 value of their type.
+    pub fn fcmplt(&mut self, a: OpId, b: OpId) -> OpId {
+        self.cmp(CmpPred::Lt, ScalarType::F64, Operand::def(a), Operand::def(b))
+    }
+
+    /// Emit a conditional move `cond != 0 ? a : b` in `ty`.
+    pub fn select(&mut self, ty: ScalarType, cond: Operand, a: Operand, b: Operand) -> OpId {
+        self.push(
+            Opcode::scalar(OpKind::Select, ty),
+            vec![cond, a, b],
+            None,
+            false,
+        )
+    }
+
+    /// Select over three defs on f64.
+    pub fn fselect(&mut self, cond: OpId, a: OpId, b: OpId) -> OpId {
+        self.select(
+            ScalarType::F64,
+            Operand::def(cond),
+            Operand::def(a),
+            Operand::def(b),
+        )
+    }
+
+    /// `r = cond ? value : r@1` — a select-carried first-order recurrence
+    /// (argmax-style index tracking: the carried value survives until the
+    /// condition next fires). Starts at zero.
+    pub fn select_recurrence(&mut self, ty: ScalarType, cond: Operand, value: Operand) -> OpId {
+        let id = OpId(self.looop.ops.len() as u32);
+        let op = Operation {
+            id,
+            opcode: Opcode::scalar(OpKind::Select, ty),
+            operands: vec![cond, value, Operand::carried(id, 1)],
+            mem: None,
+            is_reduction: false,
+            carried_init: CarriedInit::Zero,
+        };
+        self.looop.push_op(op)
     }
 
     /// Emit the accumulation op of a reduction `s = s ⊕ value` (f64 sum by

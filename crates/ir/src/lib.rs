@@ -51,7 +51,7 @@ pub use builder::LoopBuilder;
 pub use frontend::loop_from_source;
 pub use hash::{CanonicalHash, CanonicalHasher};
 pub use mem::{ArrayDecl, ArrayFill, ArrayId, MemRef};
-pub use op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
+pub use op::{CarriedInit, CmpPred, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
 pub use parse::{parse_loop, ParseError};
 pub use program::{LiveIn, LiveInId, LiveOut, Loop, TripCount};
 pub use stats::LoopStats;

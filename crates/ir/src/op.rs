@@ -34,6 +34,38 @@ impl fmt::Display for OpId {
 /// accesses. Loop-control overhead (back branch, induction update) is
 /// modeled by the machine description rather than explicit IR ops, matching
 /// the paper's use of rotating-register branch support.
+/// Comparison predicate of an [`OpKind::Cmp`] operation.
+///
+/// Only the four ordered predicates are modeled; `Gt`/`Ge` are expressed
+/// by swapping the operands of `Lt`/`Le`, which keeps the canonical form
+/// (and hence canonical hashes) unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (ordered).
+    Lt,
+    /// Less than or equal (ordered).
+    Le,
+}
+
+impl CmpPred {
+    /// All predicates, in mnemonic order.
+    pub const ALL: [CmpPred; 4] = [CmpPred::Eq, CmpPred::Ne, CmpPred::Lt, CmpPred::Le];
+
+    /// Predicate suffix of the mnemonic (`cmpeq`, `cmpne`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Memory read. Carries a [`MemRef`]; takes no value operands.
@@ -76,6 +108,16 @@ pub enum OpKind {
     /// vector and a constant lane index. Free-communication counterpart of
     /// the vector→scalar transfer.
     Extract,
+    /// Ordered comparison producing a 0/1 value in the opcode's element
+    /// type — the if-converted encoding of a branch condition. Not a
+    /// reduction kind; executes on the ordinary ALUs.
+    Cmp(CmpPred),
+    /// Three-operand conditional move `cond != 0 ? a : b` — the
+    /// if-converted encoding of a guarded assignment, after the LLVM SLP
+    /// select idiom. Data flow only: both arms are always evaluated, so
+    /// select is pass-through cost on its own functional unit, not control
+    /// flow.
+    Select,
 }
 
 impl OpKind {
@@ -88,7 +130,8 @@ impl OpKind {
             OpKind::Store | OpKind::Neg | OpKind::Abs | OpKind::Sqrt | OpKind::Copy
             | OpKind::Merge | OpKind::Pack => 1,
             OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Min
-            | OpKind::Max | OpKind::Extract => 2,
+            | OpKind::Max | OpKind::Extract | OpKind::Cmp(_) => 2,
+            OpKind::Select => 3,
         }
     }
 
@@ -131,6 +174,11 @@ impl OpKind {
             OpKind::Merge => "merge",
             OpKind::Pack => "pack",
             OpKind::Extract => "extract",
+            OpKind::Cmp(CmpPred::Eq) => "cmpeq",
+            OpKind::Cmp(CmpPred::Ne) => "cmpne",
+            OpKind::Cmp(CmpPred::Lt) => "cmplt",
+            OpKind::Cmp(CmpPred::Le) => "cmple",
+            OpKind::Select => "select",
         }
     }
 }
@@ -379,6 +427,36 @@ mod tests {
         assert_eq!(OpKind::Add.arity(), 2);
         assert_eq!(OpKind::Merge.arity(), 1);
         assert_eq!(OpKind::Sqrt.arity(), 1);
+        assert_eq!(OpKind::Cmp(CmpPred::Lt).arity(), 2);
+        assert_eq!(OpKind::Select.arity(), 3);
+    }
+
+    #[test]
+    fn cmp_select_are_not_reductions() {
+        for p in CmpPred::ALL {
+            assert!(!OpKind::Cmp(p).is_reduction_kind());
+            assert!(OpKind::Cmp(p).defines_value());
+        }
+        assert!(!OpKind::Select.is_reduction_kind());
+        assert!(OpKind::Select.defines_value());
+        assert!(!OpKind::Select.is_variadic());
+    }
+
+    #[test]
+    fn cmp_select_mnemonics() {
+        assert_eq!(OpKind::Cmp(CmpPred::Eq).mnemonic(), "cmpeq");
+        assert_eq!(OpKind::Cmp(CmpPred::Ne).mnemonic(), "cmpne");
+        assert_eq!(OpKind::Cmp(CmpPred::Lt).mnemonic(), "cmplt");
+        assert_eq!(OpKind::Cmp(CmpPred::Le).mnemonic(), "cmple");
+        assert_eq!(OpKind::Select.mnemonic(), "select");
+        assert_eq!(
+            Opcode::vector(OpKind::Select, ScalarType::F64).to_string(),
+            "vselect.f64"
+        );
+        assert_eq!(
+            Opcode::scalar(OpKind::Cmp(CmpPred::Lt), ScalarType::I64).to_string(),
+            "cmplt.i64"
+        );
     }
 
     #[test]

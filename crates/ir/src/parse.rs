@@ -18,7 +18,7 @@
 //! ```
 
 use crate::mem::{ArrayDecl, ArrayFill, ArrayId, MemRef};
-use crate::op::{CarriedInit, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
+use crate::op::{CarriedInit, CmpPred, OpId, OpKind, Opcode, Operand, Operation, VectorForm};
 use crate::program::{LiveIn, LiveInId, LiveOut, Loop, TripCount};
 use crate::types::ScalarType;
 use std::fmt;
@@ -175,6 +175,11 @@ fn kind_from_mnemonic(c: &Cursor<'_>, w: &str) -> Result<OpKind, ParseError> {
         "merge" => OpKind::Merge,
         "pack" => OpKind::Pack,
         "extract" => OpKind::Extract,
+        "cmpeq" => OpKind::Cmp(CmpPred::Eq),
+        "cmpne" => OpKind::Cmp(CmpPred::Ne),
+        "cmplt" => OpKind::Cmp(CmpPred::Lt),
+        "cmple" => OpKind::Cmp(CmpPred::Le),
+        "select" => OpKind::Select,
         other => return c.err(format!("unknown opcode `{other}`")),
     })
 }
@@ -464,6 +469,28 @@ mod tests {
         b.store(x, 1, 8, r);
         b.reduce(OpKind::Min, ScalarType::F64, r); // init +inf
         round_trip(&b.finish());
+    }
+
+    #[test]
+    fn round_trips_cmp_and_select() {
+        let mut b = LoopBuilder::new("clip");
+        let x = b.array("x", ScalarType::F64, 64);
+        let y = b.array("y", ScalarType::F64, 64);
+        let hi = b.live_in("hi", ScalarType::F64);
+        let lx = b.load(x, 1, 0);
+        let over = b.cmp(CmpPred::Lt, ScalarType::F64, Operand::LiveIn(hi), Operand::def(lx));
+        let clipped = b.select(
+            ScalarType::F64,
+            Operand::def(over),
+            Operand::LiveIn(hi),
+            Operand::def(lx),
+        );
+        b.store(y, 1, 0, clipped);
+        let l = b.finish();
+        let text = l.to_string();
+        assert!(text.contains("cmplt.f64"), "{text}");
+        assert!(text.contains("select.f64"), "{text}");
+        round_trip(&l);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct Latencies {
     pub branch: u32,
     /// Vector merge (realignment).
     pub merge: u32,
+    /// Select (conditional move). Pass-through data movement like a copy
+    /// or merge, so single-cycle on the paper machine.
+    pub select: u32,
 }
 
 impl Latencies {
@@ -44,6 +47,7 @@ impl Latencies {
             store: 1,
             branch: 1,
             merge: 1,
+            select: 1,
         }
     }
 
@@ -61,6 +65,7 @@ impl Latencies {
             store: 1,
             branch: 1,
             merge: 1,
+            select: 1,
         }
     }
 }
@@ -149,6 +154,9 @@ pub struct MachineConfig {
     pub vector_units: u32,
     /// Vector merge units.
     pub merge_units: u32,
+    /// Select (conditional move) units, shared between scalar and vector
+    /// selects the way the load/store units are shared.
+    pub select_units: u32,
     /// Optional global cap on vector instructions per cycle.
     pub vector_issue_limit: Option<u32>,
     /// Elements per vector register (paper: 128-bit vectors of 64-bit data,
@@ -189,6 +197,7 @@ impl MachineConfig {
             branch_units: 1,
             vector_units: 1,
             merge_units: 1,
+            select_units: 1,
             vector_issue_limit: None,
             vector_length: 2,
             lat: Latencies::paper(),
@@ -216,6 +225,7 @@ impl MachineConfig {
             branch_units: 1,
             vector_units: 1,
             merge_units: 1,
+            select_units: 1,
             vector_issue_limit: Some(1),
             vector_length: 2,
             lat: Latencies::unit(),
@@ -240,6 +250,7 @@ impl MachineConfig {
             (ResourceClass::Vector, self.vector_units),
             (ResourceClass::Merge, self.merge_units),
             (ResourceClass::VectorIssue, self.vector_issue_limit.unwrap_or(0)),
+            (ResourceClass::Select, self.select_units),
         ])
     }
 
@@ -267,8 +278,9 @@ impl MachineConfig {
                     l.int_mul
                 }
             }
+            OpKind::Select => l.select,
             OpKind::Add | OpKind::Sub | OpKind::Min | OpKind::Max | OpKind::Neg
-            | OpKind::Abs | OpKind::Copy => {
+            | OpKind::Abs | OpKind::Copy | OpKind::Cmp(_) => {
                 if opcode.ty.is_float() {
                     l.fp_alu
                 } else {
@@ -303,6 +315,10 @@ impl MachineConfig {
         let fu = match opcode.kind {
             OpKind::Load | OpKind::Store => ResourceClass::Mem,
             OpKind::Merge => ResourceClass::Merge,
+            // Selects run on the dedicated select unit in both forms
+            // (shared scalar/vector, like the load/store units); compares
+            // are ordinary ALU work and fall through below.
+            OpKind::Select => ResourceClass::Select,
             _ if vector => ResourceClass::Vector,
             _ if opcode.ty == ScalarType::F64 => ResourceClass::Fp,
             _ => ResourceClass::Int,
@@ -423,6 +439,26 @@ mod tests {
         assert!(vector.iter().any(|r| r.class == ResourceClass::VectorIssue));
         assert_eq!(m.resource_pool().capacity(ResourceClass::VectorIssue), 1);
         assert_eq!(m.resource_pool().capacity(ResourceClass::Issue), 3);
+    }
+
+    #[test]
+    fn cmp_is_alu_select_is_select_unit() {
+        use sv_ir::CmpPred;
+        let m = MachineConfig::paper_default();
+        assert_eq!(m.latency(fop(OpKind::Cmp(CmpPred::Lt))), 4);
+        assert_eq!(m.latency(Opcode::scalar(OpKind::Cmp(CmpPred::Eq), ScalarType::I64)), 1);
+        assert_eq!(m.latency(fop(OpKind::Select)), 1);
+        let cmp = m.requirements(fop(OpKind::Cmp(CmpPred::Lt)));
+        assert!(cmp.iter().any(|r| r.class == ResourceClass::Fp));
+        let vcmp = m.requirements(Opcode::vector(OpKind::Cmp(CmpPred::Lt), ScalarType::F64));
+        assert!(vcmp.iter().any(|r| r.class == ResourceClass::Vector));
+        // Selects occupy the shared select unit in both forms.
+        for op in [fop(OpKind::Select), Opcode::vector(OpKind::Select, ScalarType::F64)] {
+            let reqs = m.requirements(op);
+            assert!(reqs.iter().any(|r| r.class == ResourceClass::Select), "{op}");
+            assert!(!reqs.iter().any(|r| r.class == ResourceClass::Vector));
+        }
+        assert_eq!(m.resource_pool().capacity(ResourceClass::Select), 1);
     }
 
     #[test]

@@ -26,11 +26,14 @@ pub enum ResourceClass {
     /// Artificial class limiting total vector instructions per cycle; used
     /// by the Figure 1 toy machine ("one vector instruction each cycle").
     VectorIssue,
+    /// Conditional-move (select) unit — shared between scalar and vector
+    /// select operations, like [`ResourceClass::Mem`] is for memory ops.
+    Select,
 }
 
 impl ResourceClass {
     /// All classes, in a fixed display order.
-    pub const ALL: [ResourceClass; 8] = [
+    pub const ALL: [ResourceClass; 9] = [
         ResourceClass::Issue,
         ResourceClass::Int,
         ResourceClass::Fp,
@@ -39,6 +42,7 @@ impl ResourceClass {
         ResourceClass::Vector,
         ResourceClass::Merge,
         ResourceClass::VectorIssue,
+        ResourceClass::Select,
     ];
 }
 
@@ -53,6 +57,7 @@ impl fmt::Display for ResourceClass {
             ResourceClass::Vector => "vector",
             ResourceClass::Merge => "merge",
             ResourceClass::VectorIssue => "vissue",
+            ResourceClass::Select => "select",
         };
         write!(f, "{s}")
     }

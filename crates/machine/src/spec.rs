@@ -117,6 +117,7 @@ impl MachineConfig {
                 "branch_units" => m.branch_units = num(value)?,
                 "vector_units" => m.vector_units = num(value)?,
                 "merge_units" => m.merge_units = num(value)?,
+                "select_units" => m.select_units = num(value)?,
                 "vector_length" => m.vector_length = num(value)?,
                 "vector_issue_limit" => {
                     m.vector_issue_limit =
@@ -161,6 +162,7 @@ impl MachineConfig {
                 "lat.store" => m.lat.store = num(value)?,
                 "lat.branch" => m.lat.branch = num(value)?,
                 "lat.merge" => m.lat.merge = num(value)?,
+                "lat.select" => m.lat.select = num(value)?,
                 "regs.scalar_int" => m.regs.scalar_int = num(value)?,
                 "regs.scalar_fp" => m.regs.scalar_fp = num(value)?,
                 "regs.vector_int" => m.regs.vector_int = num(value)?,
@@ -205,6 +207,7 @@ impl MachineConfig {
         let _ = writeln!(s, "branch_units = {}", self.branch_units);
         let _ = writeln!(s, "vector_units = {}", self.vector_units);
         let _ = writeln!(s, "merge_units = {}", self.merge_units);
+        let _ = writeln!(s, "select_units = {}", self.select_units);
         match self.vector_issue_limit {
             Some(n) => {
                 let _ = writeln!(s, "vector_issue_limit = {n}");
@@ -222,6 +225,7 @@ impl MachineConfig {
         let _ = writeln!(s, "lat.store = {}", self.lat.store);
         let _ = writeln!(s, "lat.branch = {}", self.lat.branch);
         let _ = writeln!(s, "lat.merge = {}", self.lat.merge);
+        let _ = writeln!(s, "lat.select = {}", self.lat.select);
         let _ = writeln!(s, "regs.scalar_int = {}", self.regs.scalar_int);
         let _ = writeln!(s, "regs.scalar_fp = {}", self.regs.scalar_fp);
         let _ = writeln!(s, "regs.vector_int = {}", self.regs.vector_int);
@@ -343,6 +347,30 @@ mod tests {
         .unwrap_err();
         assert!(e.message.contains("first set on line 3"), "{e}");
         assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn select_keys_default_and_override() {
+        // A spec with no select keys gets the paper defaults — old spec
+        // files keep parsing to the machine they always described.
+        let m = MachineConfig::from_spec("issue_width = 8\n").unwrap();
+        assert_eq!(m.select_units, MachineConfig::paper_default().select_units);
+        assert_eq!(m.lat.select, MachineConfig::paper_default().lat.select);
+        let m = MachineConfig::from_spec("select_units = 2\nlat.select = 3\n").unwrap();
+        assert_eq!(m.select_units, 2);
+        assert_eq!(m.lat.select, 3);
+    }
+
+    #[test]
+    fn duplicate_select_key_errors_with_both_lines() {
+        let e = MachineConfig::from_spec(
+            "select_units = 1\nfp_units = 2\nselect_units = 2\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicate key `select_units`"), "{e}");
+        assert!(e.message.contains("line 1"), "{e}");
+        assert!(e.message.contains("line 3"), "{e}");
     }
 
     #[test]

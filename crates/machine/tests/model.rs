@@ -18,7 +18,8 @@ fn paper_default_matches_table1_resources() {
     assert_eq!(pool.capacity(ResourceClass::Vector), 1);
     assert_eq!(pool.capacity(ResourceClass::Merge), 1);
     assert_eq!(pool.capacity(ResourceClass::VectorIssue), 0); // unlimited
-    assert_eq!(pool.len(), 17);
+    assert_eq!(pool.capacity(ResourceClass::Select), 1);
+    assert_eq!(pool.len(), 18);
     assert_eq!(m.alignment, AlignmentPolicy::AssumeMisaligned);
     assert_eq!(m.comm, CommModel::ThroughMemory);
     assert_eq!(m.model, ResourceModel::Full);

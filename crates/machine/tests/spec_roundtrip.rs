@@ -40,6 +40,7 @@ fn random_machine(seed: u64) -> MachineConfig {
     m.branch_units = r.range(1, 4);
     m.vector_units = r.range(1, 4);
     m.merge_units = r.range(0, 4);
+    m.select_units = r.range(0, 4);
     m.vector_issue_limit = if r.flag() { Some(r.range(1, 4)) } else { None };
     m.vector_length = 2 << r.range(0, 3); // 2, 4, 8, 16
     m.lat.int_alu = r.range(1, 4);
@@ -52,6 +53,7 @@ fn random_machine(seed: u64) -> MachineConfig {
     m.lat.store = r.range(1, 4);
     m.lat.branch = r.range(1, 4);
     m.lat.merge = r.range(1, 4);
+    m.lat.select = r.range(1, 4);
     m.regs.scalar_int = r.range(16, 256);
     m.regs.scalar_fp = r.range(16, 256);
     m.regs.vector_int = r.range(8, 128);
@@ -91,6 +93,40 @@ fn randomized_configs_round_trip_through_canonical_spec() {
         // byte-identical canonical text (and hash identically).
         assert_eq!(back.to_spec(), text, "seed {seed}");
         assert_eq!(back.canonical_hash(), m.canonical_hash(), "seed {seed}");
+    }
+}
+
+#[test]
+fn example_spec_files_parse_with_defaulted_select_and_round_trip() {
+    // Backward compatibility: every committed spec file predating (or not
+    // mentioning) the `select_units` / `lat.select` keys must still parse,
+    // receive the paper defaults for them, and satisfy the round-trip law.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/machines");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/machines must exist")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            matches!(p.extension().and_then(|e| e.to_str()), Some("spec") | Some("mspec"))
+        })
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 6, "expected the committed machine specs in {dir:?}");
+    let defaults = MachineConfig::paper_default();
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let m = MachineConfig::from_spec(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if !text.contains("select_units") {
+            assert_eq!(m.select_units, defaults.select_units, "{}", path.display());
+        }
+        if !text.contains("lat.select") {
+            assert_eq!(m.lat.select, defaults.lat.select, "{}", path.display());
+        }
+        let back = MachineConfig::from_spec(&m.to_spec())
+            .unwrap_or_else(|e| panic!("{}: canonical spec must parse: {e}", path.display()));
+        assert_eq!(back, m, "round-trip law violated for {}", path.display());
     }
 }
 

@@ -31,7 +31,7 @@
 //! [`crate::reference`]; `crates/sim/tests/engine_equiv.rs` and the
 //! fuzzer's `--oracle-selfcheck` mode prove both engines byte-identical.
 
-use crate::interp::{apply_binary, apply_unary, init_scalar, LiveOutValue};
+use crate::interp::{apply_binary, apply_select, apply_unary, init_scalar, LiveOutValue};
 use crate::memory::{Memory, Scalar};
 use sv_ir::{Loop, OpKind, Operand, ScalarType, VectorForm};
 
@@ -64,6 +64,7 @@ pub(crate) enum DClass {
     Extract,
     Binary,
     Unary,
+    Select,
 }
 
 /// One decoded operation.
@@ -152,6 +153,7 @@ impl DecodedLoop {
                 OpKind::Store => DClass::Store,
                 OpKind::Pack => DClass::Pack,
                 OpKind::Extract => DClass::Extract,
+                OpKind::Select => DClass::Select,
                 k if k.arity() == 2 => DClass::Binary,
                 _ => DClass::Unary,
             };
@@ -322,6 +324,19 @@ pub(crate) fn exec_op(
                 }
             } else {
                 scratch[0] = apply_unary(op.kind, op.ty, scalar_of(s0));
+            }
+            true
+        }
+        DClass::Select => {
+            let s0 = src_of(&os[0]);
+            let s1 = src_of(&os[1]);
+            let s2 = src_of(&os[2]);
+            if op.vector {
+                for (j, s) in scratch.iter_mut().enumerate().take(op.lanes as usize) {
+                    *s = apply_select(op.ty, lane_of(s0, j), lane_of(s1, j), lane_of(s2, j));
+                }
+            } else {
+                scratch[0] = apply_select(op.ty, scalar_of(s0), scalar_of(s1), scalar_of(s2));
             }
             true
         }

@@ -1,7 +1,7 @@
 //! Functional interpretation of loops in any form.
 
 use crate::memory::{Memory, Scalar};
-use sv_ir::{CarriedInit, Loop, OpKind, ScalarType};
+use sv_ir::{CarriedInit, CmpPred, Loop, OpKind, ScalarType};
 
 /// A live-out observation after a loop (piece) executed.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +62,7 @@ pub(crate) fn apply_binary(kind: OpKind, ty: ScalarType, a: Scalar, b: Scalar) -
                 OpKind::Div => a / b,
                 OpKind::Min => a.min(b),
                 OpKind::Max => a.max(b),
+                OpKind::Cmp(p) => return Scalar::F(if cmp_f64(p, a, b) { 1.0 } else { 0.0 }),
                 _ => unreachable!("binary kind {kind:?}"),
             };
             Scalar::F(r)
@@ -83,11 +84,44 @@ pub(crate) fn apply_binary(kind: OpKind, ty: ScalarType, a: Scalar, b: Scalar) -
                 }
                 OpKind::Min => a.min(b),
                 OpKind::Max => a.max(b),
+                OpKind::Cmp(p) => {
+                    let hit = match p {
+                        CmpPred::Eq => a == b,
+                        CmpPred::Ne => a != b,
+                        CmpPred::Lt => a < b,
+                        CmpPred::Le => a <= b,
+                    };
+                    i64::from(hit)
+                }
                 _ => unreachable!("binary kind {kind:?}"),
             };
             Scalar::I(r)
         }
     }
+}
+
+fn cmp_f64(p: CmpPred, a: f64, b: f64) -> bool {
+    match p {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Lt => a < b,
+        CmpPred::Le => a <= b,
+    }
+}
+
+/// Truthiness of a select condition: any nonzero value picks the first
+/// arm. Shared by every engine so select semantics stay bit-identical.
+pub(crate) fn is_truthy(cond: Scalar) -> bool {
+    match cond {
+        Scalar::F(f) => f != 0.0,
+        Scalar::I(i) => i != 0,
+    }
+}
+
+/// `cond != 0 ? a : b`, coerced to `ty`. The arms pass through untouched
+/// (modulo type coercion), so a select can never perturb bits.
+pub(crate) fn apply_select(ty: ScalarType, cond: Scalar, a: Scalar, b: Scalar) -> Scalar {
+    if is_truthy(cond) { a } else { b }.coerce(ty)
 }
 
 pub(crate) fn apply_unary(kind: OpKind, ty: ScalarType, a: Scalar) -> Scalar {

@@ -17,7 +17,7 @@
 //! demand bit-identical live-outs and memory. Keep changes to this module
 //! semantic-free.
 
-use crate::interp::{apply_binary, apply_unary, init_scalar, LiveOutValue, Value};
+use crate::interp::{apply_binary, apply_select, apply_unary, init_scalar, LiveOutValue, Value};
 use crate::memory::{Memory, Scalar};
 use crate::run::RunResult;
 use std::collections::HashMap;
@@ -134,6 +134,25 @@ impl<'a> Interp<'a> {
                 let lane = operands[1].scalar().as_i64() as usize;
                 let lanes = operands[0].lanes(self.k as usize);
                 Some(Value::S(lanes[lane]))
+            }
+            OpKind::Select => {
+                if vector {
+                    let c = operands[0].lanes(self.k as usize);
+                    let a = operands[1].lanes(self.k as usize);
+                    let b = operands[2].lanes(self.k as usize);
+                    Some(Value::V(
+                        (0..self.k as usize)
+                            .map(|j| apply_select(ty, c[j], a[j], b[j]))
+                            .collect(),
+                    ))
+                } else {
+                    Some(Value::S(apply_select(
+                        ty,
+                        operands[0].scalar(),
+                        operands[1].scalar(),
+                        operands[2].scalar(),
+                    )))
+                }
             }
             kind if kind.arity() == 2 => {
                 if vector {
@@ -313,6 +332,19 @@ pub(crate) fn execute_instances(
                 let lane = operands[1].scalar().as_i64() as usize;
                 Some(Value::S(operands[0].lanes(k as usize)[lane]))
             }
+            OpKind::Select => Some(if vector {
+                let c = operands[0].lanes(k as usize);
+                let a = operands[1].lanes(k as usize);
+                let b = operands[2].lanes(k as usize);
+                Value::V((0..k as usize).map(|j| apply_select(ty, c[j], a[j], b[j])).collect())
+            } else {
+                Value::S(apply_select(
+                    ty,
+                    operands[0].scalar(),
+                    operands[1].scalar(),
+                    operands[2].scalar(),
+                ))
+            }),
             kind if kind.arity() == 2 => Some(if vector {
                 Value::V(
                     operands[0]

@@ -145,6 +145,9 @@ pub struct ExecutedPiece {
     pub stage_count: u32,
     /// Iterations the piece ran.
     pub iterations: u64,
+    /// The schedule's MaxLive register-pressure estimate, per class in
+    /// [`sv_ir::RegClass::ALL`] order.
+    pub max_live: [u32; 4],
     /// The executor's cycle accounting.
     pub report: ExecReport,
 }
@@ -209,6 +212,7 @@ pub fn run_compiled_executed(
             scheduled_ii: s.ii,
             stage_count: s.stage_count,
             iterations: n,
+            max_live: s.max_live,
             report,
         });
         Ok(())
@@ -238,7 +242,11 @@ pub fn run_compiled_executed(
 ///    [`crate::reference::run_compiled`];
 /// 2. **timing** — zero interlock stalls and measured steady-state
 ///    cycles/iteration exactly the scheduled II, for every piece whose
-///    kernel runs ([`ExecReport::steady_state_ok`]).
+///    kernel runs ([`ExecReport::steady_state_ok`]);
+/// 3. **register pressure** — the executor's observed per-class live
+///    maximum ([`ExecReport::observed_max_live`]) never exceeds the
+///    scheduler's `MaxLive` estimate: an excess means the scheduler
+///    would under-allocate registers for this pipeline.
 ///
 /// Returns the per-piece accounting on success.
 ///
@@ -267,6 +275,19 @@ pub fn executed_selfcheck(
                 p.report.stall_cycles,
                 p.report.total_cycles,
             ));
+        }
+        for (ci, &cls) in sv_ir::RegClass::ALL.iter().enumerate() {
+            if p.report.observed_max_live[ci] > p.max_live[ci] {
+                return Err(format!(
+                    "{}: observed {cls:?} register pressure {} exceeds the \
+                     scheduler's MaxLive estimate {} (II {}, {} iterations)",
+                    p.piece,
+                    p.report.observed_max_live[ci],
+                    p.max_live[ci],
+                    p.scheduled_ii,
+                    p.iterations,
+                ));
+            }
         }
     }
     Ok(pieces)

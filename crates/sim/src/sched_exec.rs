@@ -60,6 +60,16 @@ pub struct ExecReport {
     pub kernel_cycles: u64,
     /// How many times the kernel's `II` rows were executed.
     pub kernel_executions: u64,
+    /// The largest number of simultaneously live values observed in any
+    /// cycle, per register class in [`sv_ir::RegClass::ALL`] order. A
+    /// value is live from its issue cycle to its last read (half-open:
+    /// a register read and overwritten in the same cycle counts once,
+    /// matching the scheduler's `⌈lifetime/II⌉` model); values no row
+    /// reads hold their register for the producer latency, and a
+    /// live-out's final instance stays live to the end of the run. Must
+    /// never exceed the scheduler's `MaxLive` estimate — an excess is an
+    /// under-allocation bug surfaced by [`crate::executed_selfcheck`].
+    pub observed_max_live: [u32; 4],
 }
 
 impl ExecReport {
@@ -312,6 +322,40 @@ pub fn execute_schedule(
     let mut ring = vec![Scalar::I(0); ring_len];
     // Delivery cycle of the value currently held by each ring slot.
     let mut ready = vec![0u64; ready_len];
+    // Register-pressure probe: the [`sv_ir::RegClass::ALL`] index of each
+    // defining op's result, the lifetime of the instance each ring slot
+    // currently holds, and the committed lifetime intervals swept at the
+    // end for the observed per-class maxima.
+    let reg_slot: Vec<usize> = l
+        .ops
+        .iter()
+        .map(|op| {
+            if !op.defines_value() {
+                return 0;
+            }
+            let c = op.opcode.def_class();
+            sv_ir::RegClass::ALL.iter().position(|&x| x == c).expect("class indexed")
+        })
+        .collect();
+    let mut slot_birth = vec![0u64; ready_len];
+    let mut slot_death = vec![0u64; ready_len];
+    let mut slot_iter = vec![i64::MIN; ready_len];
+    // Committed lifetimes land in per-cycle delta buckets (+1 at birth,
+    // −1 at death) and a single prefix sweep at the end recovers the
+    // per-class maxima — O(1) per interval and O(cycles) total, never a
+    // sort over every instance.
+    let mut press_delta: Vec<[i32; 4]> = Vec::new();
+    let commit_span = |delta: &mut Vec<[i32; 4]>, b: u64, dth: u64, c: usize| {
+        if dth <= b {
+            return;
+        }
+        let end = dth as usize;
+        if delta.len() <= end {
+            delta.resize(end + 1, [0i32; 4]);
+        }
+        delta[b as usize][c] += 1;
+        delta[end][c] -= 1;
+    };
     let mut scratch = vec![Scalar::I(0); d.max_lanes];
     let mut produced_up_to = vec![i64::MIN; nops];
     // One unit-busy horizon per pool instance (non-pipelined reservations
@@ -559,6 +603,42 @@ pub fn execute_schedule(
             }
         }
 
+        // --- register-pressure probe: this row's births and reads -------
+        // Births first (committing each slot's previous occupant), then
+        // reads extend the occupant's lifetime to this cycle — half-open,
+        // so a value whose last read shares a cycle with a birth frees
+        // its register for that birth, matching the scheduler's
+        // `⌈lifetime/II⌉` counting.
+        for &(oi, j) in &row.ops {
+            if !d.ops[oi].defines {
+                continue;
+            }
+            let rot = if depth[oi] == 1 { 0 } else { (j % depth[oi]) as usize };
+            let at = ready_bases[oi] + rot;
+            if slot_iter[at] != i64::MIN {
+                commit_span(&mut press_delta, slot_birth[at], slot_death[at], reg_slot[oi]);
+            }
+            slot_birth[at] = cycle;
+            slot_death[at] = cycle + lat[oi];
+            slot_iter[at] = j as i64;
+        }
+        for &(oi, j) in &row.ops {
+            let op = &d.ops[oi];
+            for o in &d.operands[op.o_start as usize..op.o_end as usize] {
+                let DOperand::Def { op: p, distance } = *o else { continue };
+                let p = p as usize;
+                if u64::from(distance) > j {
+                    continue;
+                }
+                let need = j - u64::from(distance);
+                let rot = if depth[p] == 1 { 0 } else { (need % depth[p]) as usize };
+                let at = ready_bases[p] + rot;
+                if slot_iter[at] == need as i64 {
+                    slot_death[at] = slot_death[at].max(cycle);
+                }
+            }
+        }
+
         report.total_cycles += stalled_here + 1;
         if row.sect == Sect::Kernel {
             report.kernel_cycles += 1;
@@ -566,6 +646,37 @@ pub fn execute_schedule(
         cycle += 1;
     }
     report.kernel_executions = flat.kernel_executions(n);
+    // Live-out values survive to the end of the run; commit every
+    // interval still open and sweep for the observed per-class maxima
+    // (deaths sort before tied births: half-open intervals).
+    if n > 0 {
+        for lo in &l.live_outs {
+            let p = lo.op.index();
+            let need = n - 1;
+            let at = ready_bases[p] + (need % depth[p]) as usize;
+            if slot_iter[at] == need as i64 {
+                slot_death[at] = slot_death[at].max(cycle);
+            }
+        }
+    }
+    for (i, op) in d.ops.iter().enumerate() {
+        if !op.defines {
+            continue;
+        }
+        for rot in 0..depth[i] as usize {
+            let at = ready_bases[i] + rot;
+            if slot_iter[at] != i64::MIN {
+                commit_span(&mut press_delta, slot_birth[at], slot_death[at], reg_slot[i]);
+            }
+        }
+    }
+    let mut cur = [0i64; 4];
+    for deltas in &press_delta {
+        for (c, &dlt) in deltas.iter().enumerate() {
+            cur[c] += i64::from(dlt);
+            report.observed_max_live[c] = report.observed_max_live[c].max(cur[c].max(0) as u32);
+        }
+    }
     pr.restore(mem, n);
 
     let outs = collect_liveouts(l, &d, |p, lane| {

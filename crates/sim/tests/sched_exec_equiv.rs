@@ -122,6 +122,91 @@ fn suite_kernels_execute_at_scheduled_ii() {
 }
 
 #[test]
+fn predicated_kernels_hold_every_gate_everywhere() {
+    // The four if-converted suite kernels (clip, threshold-accumulate,
+    // argmax max+select, conditional saxpy) × every strategy × the
+    // registry machines — including the select-capacity sweep pair
+    // (`selcheap`/`selslow`). `compile_executed` holds each plan to the
+    // full gate stack: bit-identical state vs the reference engine, zero
+    // stalls, measured steady-state II == scheduled II, and observed
+    // register pressure within MaxLive.
+    let mut reg = MachineRegistry::builtin();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/machines");
+    reg.load_dir(&dir).expect("examples/machines must parse");
+    let machines: Vec<(String, MachineConfig)> =
+        ["paper", "figure1", "vl4", "selcheap", "selslow"]
+            .iter()
+            .map(|n| (n.to_string(), reg.get(n).unwrap_or_else(|| panic!("{n} missing")).clone()))
+            .collect();
+    for (suite, pat) in [
+        ("hydro2d", "slopeclip"),
+        ("apsi", "excess"),
+        ("swim", "wetdry"),
+        ("wave5", "fieldmax"),
+    ] {
+        let s = sv_workloads::benchmark(suite).expect("suite exists");
+        let mut l = s
+            .loops
+            .iter()
+            .find(|l| l.name.ends_with(pat))
+            .unwrap_or_else(|| panic!("{pat} missing from {suite}"))
+            .clone();
+        l.invocations = 1;
+        for (name, m) in &machines {
+            let compiled = check_executed(&l, name, m);
+            assert!(compiled >= 6, "{pat}/{name}: only {compiled}/7 strategies compiled");
+        }
+    }
+}
+
+#[test]
+fn observed_register_pressure_is_real_and_bounded() {
+    // The executor's live-value probe must (a) see the pressure a
+    // pipelined copy loop provably has — at II = 1 the loaded value
+    // lives for the 3-cycle load latency, so ≥ 3 fp registers are
+    // simultaneously live — and (b) never exceed the scheduler's
+    // MaxLive estimate (the `executed_selfcheck` gate).
+    let mut b = sv_ir::LoopBuilder::new("copy");
+    b.trip(64);
+    let x = b.array("x", sv_ir::ScalarType::F64, 80);
+    let y = b.array("y", sv_ir::ScalarType::F64, 80);
+    let lx = b.load(x, 1, 0);
+    b.store(y, 1, 0, lx);
+    let l = b.finish();
+    let m = MachineConfig::paper_default();
+    let cfg = DriverConfig { strategy: Strategy::ModuloNoUnroll, ..DriverConfig::default() };
+    let (_, _, pieces) = compile_executed(&l, &m, &cfg).expect("copy compiles");
+    let main = &pieces[0];
+    assert_eq!(main.scheduled_ii, 1);
+    let fp = main.report.observed_max_live[1];
+    assert!(fp >= 3, "observed fp pressure {fp} misses the load latency");
+    assert!(fp <= main.max_live[1], "probe exceeds the scheduler estimate");
+    // Nothing here touches the other classes' registers.
+    assert_eq!(main.report.observed_max_live[2], 0, "no vector-int values");
+    assert_eq!(main.report.observed_max_live[3], 0, "no vector-fp values");
+}
+
+#[test]
+fn suite_pressure_never_exceeds_maxlive_across_registry() {
+    // Register-pressure slice of the executed gate across machines: every
+    // suite kernel that compiles under every strategy must replay within
+    // the scheduler's MaxLive on each registry machine (the assertion
+    // itself lives inside `executed_selfcheck`; this sweep pins the
+    // suite × strategy × registry coverage).
+    let machines = registry_machines();
+    let mut checked = 0u32;
+    for (mi, suite) in sv_workloads::all_benchmarks().iter().enumerate() {
+        let (name, m) = &machines[mi % machines.len()];
+        for l in suite.loops.iter().take(4) {
+            let mut l = l.clone();
+            l.invocations = 1;
+            checked += check_executed(&l, name, m);
+        }
+    }
+    assert!(checked >= 100, "only {checked} suite × strategy × machine points checked");
+}
+
+#[test]
 fn analytic_cycles_within_one_ii_over_registry() {
     // `PlaybackReport::analytic_cycles` documents `(n + SC − 1)·II` as
     // "always within one II of the exact count". Hold that claim over

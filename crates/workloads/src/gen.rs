@@ -33,6 +33,12 @@ pub struct SynthProfile {
     /// iteration (register-carried at distance `vector_length`, which
     /// remains vectorizable).
     pub carried_prob: f64,
+    /// Probability an arithmetic step emits an if-converted cmp+select
+    /// pair instead of a plain op (the compare and the select both join
+    /// the value pool, so chains of predicated ops form naturally). A
+    /// zero knob draws no randomness, leaving legacy profiles
+    /// bit-identical.
+    pub cmp_select_prob: f64,
     /// Inclusive trip-count range.
     pub trip: (u64, u64),
     /// Inclusive invocation-count range.
@@ -52,6 +58,7 @@ impl SynthProfile {
             recurrence_prob: 0.2,
             div_prob: 0.05,
             carried_prob: 0.1,
+            cmp_select_prob: 0.0,
             trip: (3, 200),
             invocations: (1, 4),
         }
@@ -118,6 +125,25 @@ pub fn synth_loop(name: &str, profile: &SynthProfile, seed: u64) -> Loop {
         OpKind::Neg,
     ];
     for _ in 0..n_arith {
+        // If-converted step: a four-predicate compare feeding a select,
+        // occasionally with a carried else-arm (a latched recurrence).
+        if profile.cmp_select_prob > 0.0 && rng.chance(profile.cmp_select_prob) {
+            use sv_ir::CmpPred;
+            let a = values[rng.index(values.len())];
+            let bnd = values[rng.index(values.len())];
+            let pred = [CmpPred::Eq, CmpPred::Ne, CmpPred::Lt, CmpPred::Le][rng.index(4)];
+            let c = b.cmp(pred, ScalarType::F64, Operand::def(a), Operand::def(bnd));
+            let t = values[rng.index(values.len())];
+            let sel = if rng.chance(0.25) {
+                // Carried else-arm at distance 2 (one vl=2 vector length).
+                b.select(ScalarType::F64, Operand::def(c), Operand::def(t), Operand::carried(a, 2))
+            } else {
+                b.select(ScalarType::F64, Operand::def(c), Operand::def(t), Operand::def(bnd))
+            };
+            values.push(c);
+            values.push(sel);
+            continue;
+        }
         // Long-latency non-pipelined kinds (divide, square root) are gated
         // by `div_prob`; they dominate any loop they appear in.
         let kind = if rng.chance(profile.div_prob) {
@@ -197,6 +223,38 @@ mod tests {
             let has_effect = l.ops.iter().any(|o| o.opcode.kind == OpKind::Store)
                 || !l.live_outs.is_empty();
             assert!(has_effect, "seed {seed} has no observable effect");
+        }
+    }
+
+    #[test]
+    fn predicated_knob_emits_cmp_select_chains() {
+        let mut p = SynthProfile::broad();
+        p.cmp_select_prob = 0.6;
+        p.arith = (6, 10);
+        let mut saw_cmp = 0;
+        let mut saw_select = 0;
+        for seed in 0..100 {
+            let l = synth_loop("p", &p, seed);
+            assert!(l.verify().is_ok(), "seed {seed}");
+            saw_cmp += l.ops.iter().filter(|o| matches!(o.opcode.kind, OpKind::Cmp(_))).count();
+            saw_select += l.ops.iter().filter(|o| o.opcode.kind == OpKind::Select).count();
+        }
+        assert!(saw_cmp >= 100, "expected a dense cmp population, got {saw_cmp}");
+        assert_eq!(saw_cmp, saw_select, "every compare feeds exactly one select");
+    }
+
+    #[test]
+    fn zero_knob_is_bit_identical_to_legacy_generation() {
+        // The knob must not perturb the RNG stream when disabled, so the
+        // suite fill loops (and their goldens) are unchanged by its
+        // existence.
+        let p = SynthProfile::broad();
+        for seed in 0..50 {
+            let l = synth_loop("z", &p, seed);
+            assert!(
+                !l.ops.iter().any(|o| matches!(o.opcode.kind, OpKind::Cmp(_) | OpKind::Select)),
+                "seed {seed} emitted predicated ops with a zero knob"
+            );
         }
     }
 

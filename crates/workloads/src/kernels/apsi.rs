@@ -11,7 +11,7 @@ use sv_ir::{Loop, LoopBuilder, OpKind, Operand, ScalarType};
 const N: u64 = 112; // 112×112×16 training grid, horizontal line
 const STEPS: u64 = 100;
 
-/// Seven hand kernels (suite filled to the paper's 61).
+/// Eight hand kernels (suite filled to the paper's 61).
 pub fn kernels() -> Vec<Loop> {
     vec![
         advection(),
@@ -21,7 +21,28 @@ pub fn kernels() -> Vec<Loop> {
         coriolis(),
         moisture_clip(),
         radiation_decay(),
+        moisture_excess(),
     ]
+}
+
+/// Supersaturation accumulation, if-converted: `excess += (q > qs) ?
+/// q − qs : 0` as a cmp+select chain feeding a non-reassociable sum.
+/// The loads, subtract, compare and select all vectorize while the
+/// accumulation stays scalar — the mixed partition selective
+/// vectorization is built for.
+fn moisture_excess() -> Loop {
+    use sv_ir::CmpPred;
+    let mut b = LoopBuilder::new("apsi.excess");
+    b.trip(N).invocations(STEPS * N);
+    let q = b.array("q", ScalarType::F64, N + 8);
+    let qs = b.array("qs", ScalarType::F64, N + 8);
+    let lq = b.load(q, 1, 0);
+    let ls = b.load(qs, 1, 0);
+    let d = b.fsub(lq, ls);
+    let c = b.cmp(CmpPred::Lt, ScalarType::F64, Operand::ConstF(0.0), Operand::def(d));
+    let z = b.select(ScalarType::F64, Operand::def(c), Operand::def(d), Operand::ConstF(0.0));
+    b.reduce_add(z);
+    b.finish()
 }
 
 /// Horizontal advection: upwind differences, fully parallel.

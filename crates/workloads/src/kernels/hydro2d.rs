@@ -9,7 +9,7 @@ use sv_ir::{Loop, LoopBuilder, OpKind, ScalarType};
 const N: u64 = 402;
 const STEPS: u64 = 20;
 
-/// Eight hand kernels (suite filled to the paper's 67).
+/// Nine hand kernels (suite filled to the paper's 67).
 pub fn kernels() -> Vec<Loop> {
     vec![
         flux(),
@@ -20,6 +20,7 @@ pub fn kernels() -> Vec<Loop> {
         energy_update(),
         boundary_reflect(),
         density_floor(),
+        slope_clip(),
     ]
 }
 
@@ -131,6 +132,24 @@ fn boundary_reflect() -> Loop {
     let l = b.load(v, 1, 0);
     let n = b.fneg(l);
     b.store(ghost, 1, 0, n);
+    b.finish()
+}
+
+/// Slope limiter, if-converted: the raw slope is compared against the
+/// limiter bound and a select keeps the smaller — `if (du > lim) du =
+/// lim` flattened to straight-line cmp+select, fully parallel.
+fn slope_clip() -> Loop {
+    use sv_ir::{CmpPred, Operand};
+    let mut b = LoopBuilder::new("hydro2d.slopeclip");
+    b.trip(N).invocations(STEPS * N);
+    let u = b.array("u", ScalarType::F64, N + 8);
+    let s = b.array("slope", ScalarType::F64, N + 8);
+    let u0 = b.load(u, 1, 0);
+    let u1 = b.load(u, 1, 1);
+    let du = b.fsub(u1, u0);
+    let c = b.cmp(CmpPred::Lt, ScalarType::F64, Operand::def(du), Operand::ConstF(0.5));
+    let lim = b.select(ScalarType::F64, Operand::def(c), Operand::def(du), Operand::ConstF(0.5));
+    b.store(s, 1, 0, lim);
     b.finish()
 }
 

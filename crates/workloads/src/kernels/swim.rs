@@ -21,7 +21,38 @@ pub fn kernels() -> Vec<Loop> {
         initial_conditions(),
         halve_timestep(),
         ns_boundary(),
+        wetdry_update(),
     ]
+}
+
+/// Wet/dry masked update, if-converted: `u[i] += dt·(du[i] − drag(u))`
+/// only where the cell mask is wet, flattened to a conditional saxpy.
+/// The cubic drag polynomial makes the loop FP-bound like `calc1`, and
+/// the select runs elementwise with the rest of the chain.
+fn wetdry_update() -> Loop {
+    use sv_ir::{CmpPred, OpKind, Operand};
+    let mut b = LoopBuilder::new("swim.wetdry");
+    b.trip(N).invocations(STEPS * N);
+    let mask = b.array("mask", ScalarType::F64, 2 * N + 8);
+    let u = b.array("u", ScalarType::F64, 2 * N + 8);
+    let du = b.array("du", ScalarType::F64, 2 * N + 8);
+    let dt = b.live_in("dt", ScalarType::F64);
+    let lm = b.load(mask, 1, 0);
+    let lu = b.load(u, 1, 0);
+    let ld = b.load(du, 1, 0);
+    // drag(u) = u·(c1 + u·(c2 + u·c3)) — Horner form, three mul/add pairs.
+    let c3u = b.bin(OpKind::Mul, ScalarType::F64, Operand::def(lu), Operand::ConstF(0.003));
+    let h2 = b.bin(OpKind::Add, ScalarType::F64, Operand::def(c3u), Operand::ConstF(0.02));
+    let h2u = b.fmul(h2, lu);
+    let h1 = b.bin(OpKind::Add, ScalarType::F64, Operand::def(h2u), Operand::ConstF(0.1));
+    let drag = b.fmul(h1, lu);
+    let net = b.fsub(ld, drag);
+    let ax = b.fmul_li(dt, net);
+    let s = b.fadd(lu, ax);
+    let c = b.cmp(CmpPred::Ne, ScalarType::F64, Operand::def(lm), Operand::ConstF(0.0));
+    let r = b.fselect(c, s, lu);
+    b.store(u, 1, 0, r);
+    b.finish()
 }
 
 /// `calc1`: CU, CV, Z, H from U, V, P — 8 loads, 4 stores, ~14 FP ops.

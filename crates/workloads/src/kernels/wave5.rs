@@ -23,7 +23,34 @@ pub fn kernels() -> Vec<Loop> {
         vy_push(),
         current_smooth(),
         boundary_absorb(),
+        field_argmax(),
     ]
+}
+
+/// Peak-field diagnostic, if-converted argmax: a max reduction tracks
+/// the largest |E| while a select-carried recurrence latches the index
+/// where it last improved. The compare and the max are elementwise but
+/// the index latch is a true distance-1 cycle, so only part of the loop
+/// may vectorize — a partition stress for the cmp/select path.
+fn field_argmax() -> Loop {
+    use sv_ir::{CmpPred, OpKind, Operand, ScalarType};
+    let mut b = LoopBuilder::new("wave5.fieldmax");
+    b.trip(NF).invocations(STEPS);
+    let e = b.array("efield", ScalarType::F64, NF + 8);
+    let le = b.load(e, 1, 0);
+    let mag = b.fabs(le);
+    let m = b.reduce(OpKind::Max, ScalarType::F64, mag);
+    // `prev max < |E|` — reads the accumulator from the previous
+    // iteration, exactly when the max is about to improve.
+    let c = b.cmp(
+        CmpPred::Lt,
+        ScalarType::F64,
+        Operand::carried(m, 1),
+        Operand::def(mag),
+    );
+    let idx = b.select_recurrence(ScalarType::I64, Operand::def(c), Operand::iv());
+    b.live_out("argmax", idx);
+    b.finish()
 }
 
 /// Velocity/position update: unit-stride over the particle arrays, fully

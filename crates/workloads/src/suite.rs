@@ -39,6 +39,7 @@ fn specs() -> Vec<SuiteSpec> {
         recurrence_prob: 0.1,
         div_prob: 0.02,
         carried_prob: 0.05,
+        cmp_select_prob: 0.0,
         trip: (64, 512),
         invocations: (5, 40),
     };
